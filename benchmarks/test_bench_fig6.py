@@ -1,0 +1,61 @@
+"""Benchmarks regenerating Fig. 6 of the paper.
+
+Fig. 6 sweeps the number of workers ``|W|``, the number of requests
+``|R|``, the mean of the temporal distribution of requests, and the mean of
+the spatial distribution of requests, reporting revenue (row 1), running
+time (row 2) and memory (row 3) for MAPS, BaseP, SDR, SDE and CappedUCB.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import (
+    assert_maps_competitive,
+    assert_series_increasing,
+    run_figure,
+)
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_vary_workers(benchmark):
+    """Fig. 6 (a, e, i): revenue/time/memory while varying |W|."""
+    result = run_figure("fig6-W", default_scale=0.01, benchmark=benchmark, seed=1)
+    assert_maps_competitive(result)
+    # Revenue grows with the number of workers (supply approaches demand).
+    assert_series_increasing(result, "MAPS")
+    assert_series_increasing(result, "BaseP")
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_vary_requests(benchmark):
+    """Fig. 6 (b, f, j): revenue/time/memory while varying |R|."""
+    result = run_figure("fig6-R", default_scale=0.01, benchmark=benchmark, seed=2)
+    assert_maps_competitive(result)
+    # Revenue grows with demand and eventually saturates (fixed supply):
+    # the last point should not be below the first.
+    for strategy in ("MAPS", "BaseP"):
+        series = result.revenue_series(strategy)
+        assert series[-1] >= series[0]
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_vary_temporal_mu(benchmark):
+    """Fig. 6 (c, g, k): revenue/time/memory while varying the temporal mean."""
+    result = run_figure("fig6-tmu", default_scale=0.01, benchmark=benchmark, seed=3)
+    assert_maps_competitive(result)
+    # Tasks arriving before most workers have appeared (mu = 0.1) find a
+    # thin market; the aligned setting (mu = 0.5) must not be worse.
+    for strategy in ("MAPS", "BaseP"):
+        series = dict(zip(result.parameter_values, result.revenue_series(strategy)))
+        assert series[0.5] >= 0.9 * series[0.1]
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_vary_spatial_mean(benchmark):
+    """Fig. 6 (d, h, l): revenue/time/memory while varying the spatial mean."""
+    result = run_figure("fig6-smean", default_scale=0.01, benchmark=benchmark, seed=4)
+    assert_maps_competitive(result)
+    # Revenue peaks when task origins overlap the worker distribution (0.5).
+    series = dict(zip(result.parameter_values, result.revenue_series("MAPS")))
+    assert series[0.5] >= 0.85 * max(series.values())

@@ -1,0 +1,56 @@
+"""Benchmarks regenerating Fig. 7 of the paper.
+
+Fig. 7 sweeps the mean and the standard deviation of the demand (valuation)
+distribution, the number of time periods ``T`` and the number of grids
+``G``, reporting revenue, running time and memory for all five strategies.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import assert_maps_competitive, run_figure
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_vary_demand_mu(benchmark):
+    """Fig. 7 col. 1: varying the mean of the demand distribution."""
+    result = run_figure("fig7-dmu", default_scale=0.01, benchmark=benchmark, seed=5)
+    assert_maps_competitive(result)
+    # Richer requesters (higher valuation mean) bring more revenue.
+    for strategy in ("MAPS", "BaseP"):
+        series = result.revenue_series(strategy)
+        assert series[-1] >= series[0]
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_vary_demand_sigma(benchmark):
+    """Fig. 7 col. 2: varying the standard deviation of the demand distribution."""
+    result = run_figure("fig7-dsigma", default_scale=0.01, benchmark=benchmark, seed=6)
+    assert_maps_competitive(result)
+    # With the mean fixed at 2 and truncation to [1, 5], a larger sigma
+    # raises the effective valuations, hence revenue should not drop.
+    series = result.revenue_series("MAPS")
+    assert series[-1] >= 0.9 * series[0]
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_vary_periods(benchmark):
+    """Fig. 7 col. 3: varying the number of time periods T."""
+    result = run_figure("fig7-T", default_scale=0.01, benchmark=benchmark, seed=7)
+    assert_maps_competitive(result)
+    # Spreading the same tasks over more periods weakens the per-period
+    # optimisation: revenue at T_max must not exceed revenue at T_min by much.
+    series = result.revenue_series("MAPS")
+    assert series[-1] <= 1.25 * series[0]
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_vary_grids(benchmark):
+    """Fig. 7 col. 4: varying the number of grids G."""
+    result = run_figure("fig7-G", default_scale=0.01, benchmark=benchmark, seed=8)
+    assert_maps_competitive(result)
+    # Finer grids enable finer-grained pricing up to a point: the best G
+    # should not be the coarsest one for MAPS.
+    series = dict(zip(result.parameter_values, result.revenue_series("MAPS")))
+    assert max(series, key=series.get) != 25 or series[25] <= 1.1 * max(series.values())

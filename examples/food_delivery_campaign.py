@@ -1,0 +1,174 @@
+#!/usr/bin/env python
+"""Dynamic pricing for a food-delivery lunch-rush campaign.
+
+The paper motivates spatial crowdsourcing with more than ride hailing —
+food delivery (Seamless), micro-tasks (Gigwalk) and data collection (Waze)
+all share the structure of fragmented local markets.  This example models a
+food-delivery platform during a lunch rush:
+
+* demand concentrates around office districts between 11:30 and 13:00 and
+  is highly price-sensitive (nobody pays surge prices for a sandwich twice);
+* couriers start near restaurant clusters and have a short service radius;
+* the platform prices delivery per kilometre, per city cell.
+
+The example shows how to assemble a *custom* workload directly from
+``Task``/``Worker`` objects and plug it into the library's engine — i.e.
+how a downstream user would adapt the library to their own data — and then
+compares MAPS with the heuristics on that workload.
+
+Run it with::
+
+    python examples/food_delivery_campaign.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    BoundingBox,
+    Grid,
+    Point,
+    SimulationEngine,
+    Task,
+    TruncatedNormalValuation,
+    Worker,
+    create_strategy,
+)
+from repro.market.acceptance import DistributionAcceptanceModel, PerGridAcceptance
+from repro.pricing.registry import available_strategies
+from repro.simulation.config import WorkloadBundle
+
+CITY_SIDE_KM = 12.0
+NUM_PERIODS = 24          # 90 minutes of lunch rush in ~4-minute batches
+NUM_ORDERS = 1800
+NUM_COURIERS = 260
+COURIER_RADIUS_KM = 2.0
+
+#: Office districts (demand hot spots) and restaurant clusters (supply).
+OFFICE_DISTRICTS = [Point(3.0, 9.0), Point(8.5, 8.0), Point(6.0, 4.0)]
+RESTAURANT_CLUSTERS = [Point(3.5, 8.0), Point(8.0, 7.0), Point(6.5, 5.0), Point(2.0, 3.0)]
+
+
+def build_lunch_rush_workload(seed: int = 23) -> WorkloadBundle:
+    """Assemble a WorkloadBundle by hand from Task/Worker records."""
+    rng = np.random.default_rng(seed)
+    grid = Grid(BoundingBox.square(CITY_SIDE_KM), 6, 6)
+
+    # Price sensitivity differs by district: office workers near the centre
+    # tolerate slightly higher delivery fees than the suburbs.
+    acceptance_models = {}
+    for cell in grid.cells():
+        distance_to_center = cell.center.distance_to(Point(CITY_SIDE_KM / 2, CITY_SIDE_KM / 2))
+        mean_valuation = 2.4 - 0.08 * distance_to_center + float(rng.normal(0.0, 0.05))
+        acceptance_models[cell.index] = DistributionAcceptanceModel(
+            TruncatedNormalValuation(mean=float(np.clip(mean_valuation, 1.2, 3.5)), std=0.8)
+        )
+    acceptance = PerGridAcceptance(
+        models=acceptance_models,
+        default=DistributionAcceptanceModel(TruncatedNormalValuation(mean=2.0, std=0.8)),
+    )
+
+    # Orders: lunch demand peaks mid-window, origins near office districts,
+    # deliveries are short hops (0.5 - 3 km).
+    tasks_by_period = [[] for _ in range(NUM_PERIODS)]
+    order_periods = np.clip(
+        rng.normal(NUM_PERIODS * 0.55, NUM_PERIODS * 0.2, size=NUM_ORDERS), 0, NUM_PERIODS - 1
+    ).astype(int)
+    for order_id in range(NUM_ORDERS):
+        district = OFFICE_DISTRICTS[int(rng.integers(len(OFFICE_DISTRICTS)))]
+        origin = Point(
+            float(np.clip(district.x + rng.normal(0, 0.8), 0, CITY_SIDE_KM)),
+            float(np.clip(district.y + rng.normal(0, 0.8), 0, CITY_SIDE_KM)),
+        )
+        hop = rng.uniform(0.5, 3.0)
+        angle = rng.uniform(0, 2 * np.pi)
+        destination = Point(
+            float(np.clip(origin.x + hop * np.cos(angle), 0, CITY_SIDE_KM)),
+            float(np.clip(origin.y + hop * np.sin(angle), 0, CITY_SIDE_KM)),
+        )
+        grid_index = grid.locate(origin)
+        valuation = acceptance.model_for(grid_index).sample_valuation(rng)
+        period = int(order_periods[order_id])
+        tasks_by_period[period].append(
+            Task(
+                task_id=order_id,
+                period=period,
+                origin=origin,
+                destination=destination,
+                valuation=valuation,
+                grid_index=grid_index,
+            )
+        )
+
+    # Couriers: appear early near restaurant clusters, stay ~40 minutes.
+    workers_by_period = [[] for _ in range(NUM_PERIODS)]
+    courier_periods = np.clip(
+        rng.normal(NUM_PERIODS * 0.3, NUM_PERIODS * 0.25, size=NUM_COURIERS), 0, NUM_PERIODS - 1
+    ).astype(int)
+    for courier_id in range(NUM_COURIERS):
+        cluster = RESTAURANT_CLUSTERS[int(rng.integers(len(RESTAURANT_CLUSTERS)))]
+        location = Point(
+            float(np.clip(cluster.x + rng.normal(0, 1.0), 0, CITY_SIDE_KM)),
+            float(np.clip(cluster.y + rng.normal(0, 1.0), 0, CITY_SIDE_KM)),
+        )
+        period = int(courier_periods[courier_id])
+        workers_by_period[period].append(
+            Worker(
+                worker_id=courier_id,
+                period=period,
+                location=location,
+                radius=COURIER_RADIUS_KM,
+                duration=10,
+            )
+        )
+
+    return WorkloadBundle(
+        grid=grid,
+        tasks_by_period=tasks_by_period,
+        workers_by_period=workers_by_period,
+        acceptance=acceptance,
+        metric="euclidean",
+        price_bounds=(1.0, 4.0),
+        description="food-delivery lunch rush",
+    )
+
+
+def main() -> None:
+    workload = build_lunch_rush_workload()
+    print(f"Lunch-rush workload: {workload.total_tasks} orders, "
+          f"{workload.total_workers} couriers, {workload.num_periods} batches")
+
+    engine = SimulationEngine(workload, seed=5, keep_details=True)
+    calibration = engine.calibrate_base_price()
+    print(f"Calibrated base delivery fee: {calibration.base_price:.2f} per km\n")
+
+    print(f"{'strategy':>10s} {'revenue':>10s} {'served':>8s} {'accept %':>9s} {'time (s)':>9s}")
+    results = {}
+    for name in available_strategies():
+        strategy = create_strategy(
+            name,
+            base_price=calibration.base_price,
+            p_min=1.0,
+            p_max=4.0,
+            calibration=calibration if name == "MAPS" else None,
+        )
+        result = engine.run(strategy)
+        results[name] = result
+        metrics = result.metrics
+        print(
+            f"{name:>10s} {metrics.total_revenue:10.1f} {metrics.served_tasks:8d} "
+            f"{100 * metrics.acceptance_rate:9.1f} {metrics.pricing_time_seconds:9.3f}"
+        )
+
+    maps_metrics = results["MAPS"].metrics
+    peak_period = int(np.argmax(maps_metrics.revenue_by_period))
+    print(
+        f"\nMAPS earned its peak revenue in batch {peak_period} "
+        f"({maps_metrics.revenue_by_period[peak_period]:.1f}) — the heart of the lunch rush, "
+        "where courier supply is the binding constraint."
+    )
+
+
+if __name__ == "__main__":
+    main()

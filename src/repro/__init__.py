@@ -1,0 +1,122 @@
+"""repro — a reproduction of "Dynamic Pricing in Spatial Crowdsourcing:
+A Matching-Based Approach" (Tong et al., SIGMOD 2018).
+
+The library implements the Global Dynamic Pricing (GDP) problem, the Base
+Pricing calibration (Algorithm 1), the MAPS matching-based dynamic pricing
+strategy (Algorithms 2–3), the four baselines of the paper's evaluation
+(BaseP, SDR, SDE, CappedUCB), and the full simulation / experiment harness
+that regenerates every figure of the evaluation section.
+
+Quickstart::
+
+    from repro import (
+        SyntheticConfig, SyntheticWorkloadGenerator, SimulationEngine,
+        MAPSStrategy, BasePriceStrategy,
+    )
+
+    config = SyntheticConfig(num_workers=300, num_tasks=1200, num_periods=20)
+    workload = SyntheticWorkloadGenerator(config).generate()
+    engine = SimulationEngine(workload, seed=1)
+    calibration = engine.calibrate_base_price()
+
+    maps_result = engine.run(MAPSStrategy.from_calibration(calibration))
+    base_result = engine.run(BasePriceStrategy.from_calibration(calibration))
+    print(maps_result.total_revenue, base_result.total_revenue)
+"""
+
+from repro.core import (
+    BasePricingConfig,
+    BasePricingResult,
+    GDPInstance,
+    MAPSPlan,
+    MAPSPlanner,
+    PeriodInstance,
+    run_base_pricing,
+)
+from repro.market import (
+    ExponentialValuation,
+    TabularAcceptanceModel,
+    Task,
+    TruncatedNormalValuation,
+    UniformValuation,
+    Worker,
+)
+from repro.pricing import (
+    BasePriceStrategy,
+    CappedUCBStrategy,
+    MAPSStrategy,
+    OracleMyersonStrategy,
+    PricingStrategy,
+    SDEStrategy,
+    SDRStrategy,
+    available_strategies,
+    create_strategy,
+)
+from repro.simulation import (
+    BeijingConfig,
+    BeijingTaxiGenerator,
+    SimulationEngine,
+    SimulationResult,
+    SyntheticConfig,
+    SyntheticWorkloadGenerator,
+    WorkloadBundle,
+)
+from repro.spatial import BoundingBox, Grid, Point
+from repro.experiments import (
+    build_figure_sweep,
+    figure_ids,
+    format_series,
+    format_table,
+    get_figure,
+    run_sweep,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # core
+    "GDPInstance",
+    "PeriodInstance",
+    "BasePricingConfig",
+    "BasePricingResult",
+    "run_base_pricing",
+    "MAPSPlanner",
+    "MAPSPlan",
+    # market
+    "Task",
+    "Worker",
+    "TruncatedNormalValuation",
+    "ExponentialValuation",
+    "UniformValuation",
+    "TabularAcceptanceModel",
+    # pricing
+    "PricingStrategy",
+    "MAPSStrategy",
+    "BasePriceStrategy",
+    "SDRStrategy",
+    "SDEStrategy",
+    "CappedUCBStrategy",
+    "OracleMyersonStrategy",
+    "available_strategies",
+    "create_strategy",
+    # simulation
+    "SyntheticConfig",
+    "BeijingConfig",
+    "WorkloadBundle",
+    "SyntheticWorkloadGenerator",
+    "BeijingTaxiGenerator",
+    "SimulationEngine",
+    "SimulationResult",
+    # spatial
+    "Point",
+    "BoundingBox",
+    "Grid",
+    # experiments
+    "figure_ids",
+    "get_figure",
+    "build_figure_sweep",
+    "run_sweep",
+    "format_table",
+    "format_series",
+    "__version__",
+]

@@ -1,0 +1,25 @@
+"""Empirical verification of the paper's theoretical claims.
+
+The paper proves several guarantees (Theorems 2-5, 8 and 10, Lemma 9).
+This subpackage provides utilities that *measure* those guarantees on
+concrete instances, which the test suite and the ablation benchmarks use:
+
+* :mod:`repro.analysis.guarantees` — approximation-ratio measurement of a
+  price vector against the brute-force GDP optimum on small instances,
+  submodularity / diminishing-returns checks of the supply-allocation
+  objective, and the UCB regret of a learned price sequence.
+"""
+
+from repro.analysis.guarantees import (
+    approximation_ratio,
+    diminishing_returns_violations,
+    empirical_regret,
+    is_submodular_on_chain,
+)
+
+__all__ = [
+    "approximation_ratio",
+    "is_submodular_on_chain",
+    "diminishing_returns_violations",
+    "empirical_regret",
+]

@@ -1,0 +1,137 @@
+"""Measuring the paper's guarantees on concrete instances.
+
+These helpers turn the paper's theorems into executable checks:
+
+* Theorem 8 / 10 promise that MAPS achieves a ``(1 - 1/e)`` fraction of the
+  optimal approximate revenue (modulo an additive concentration term).
+  :func:`approximation_ratio` measures the ratio of a strategy's expected
+  revenue against the brute-force GDP optimum on instances small enough to
+  enumerate.
+* The greedy heap allocation is justified by the submodularity /
+  diminishing-returns structure of the supply objective (Lemma 9);
+  :func:`is_submodular_on_chain` and :func:`diminishing_returns_violations`
+  check that structure numerically for a grid market.
+* The UCB analysis (Theorem 5) bounds how often a sub-optimal ladder price
+  is chosen; :func:`empirical_regret` computes the realised revenue regret
+  of a price sequence against the best fixed ladder price in hindsight.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.gdp import GDPInstance
+from repro.market.curves import GridMarket
+from repro.matching.possible_worlds import optimal_prices_by_enumeration
+
+
+def approximation_ratio(
+    gdp: GDPInstance,
+    grid_prices: Mapping[int, float],
+    candidate_prices: Sequence[float],
+) -> Tuple[float, float, float]:
+    """Ratio of a price vector's expected revenue to the brute-force optimum.
+
+    The optimum enumerates every per-task price combination over
+    ``candidate_prices`` (exponential — only use on instances with a
+    handful of tasks), which upper-bounds the per-grid-constrained optimum,
+    so the returned ratio is conservative.
+
+    Args:
+        gdp: The problem instance with ground-truth acceptance models.
+        grid_prices: The price vector to evaluate (per grid).
+        candidate_prices: The finite price set for the brute-force optimum.
+
+    Returns:
+        ``(ratio, achieved, optimum)`` where ``ratio = achieved / optimum``
+        (defined as 1.0 when the optimum is zero).
+    """
+    achieved = gdp.expected_total_revenue(grid_prices, method="exact")
+
+    def ratio_of(task_position: int, price: float) -> float:
+        task = gdp.instance.tasks[task_position]
+        return gdp.acceptance.acceptance_ratio(task.grid_index, price)
+
+    _, optimum = optimal_prices_by_enumeration(
+        gdp.instance.graph, list(candidate_prices), ratio_of
+    )
+    if optimum <= 0.0:
+        return 1.0, achieved, optimum
+    return achieved / optimum, achieved, optimum
+
+
+def is_submodular_on_chain(
+    market: GridMarket, candidate_prices: Sequence[float], max_supply: Optional[int] = None
+) -> bool:
+    """Check diminishing returns of ``max_p L^g(n, p)`` along the supply chain.
+
+    Lemma 9 states the marginal gains are non-increasing in the supply
+    level; this is the chain (total-order) special case of submodularity
+    that the greedy heap relies on.
+
+    Returns:
+        True if no violation (beyond a small numerical tolerance) is found.
+    """
+    return diminishing_returns_violations(market, candidate_prices, max_supply) == 0
+
+
+def diminishing_returns_violations(
+    market: GridMarket,
+    candidate_prices: Sequence[float],
+    max_supply: Optional[int] = None,
+    tolerance: float = 1e-9,
+) -> int:
+    """Count the supply levels at which the marginal gain increases.
+
+    A strictly positive count means the discrete candidate ladder broke the
+    diminishing-returns structure at some point (possible when the ladder
+    is very coarse); MAPS still works but the (1 - 1/e) guarantee of the
+    lazy greedy no longer formally applies there.
+    """
+    limit = max_supply if max_supply is not None else market.num_tasks + 1
+    gains: List[float] = []
+    for supply in range(limit + 1):
+        _, delta = market.marginal_gain(supply, candidate_prices)
+        gains.append(delta)
+    violations = 0
+    for earlier, later in zip(gains, gains[1:]):
+        if later > earlier + tolerance:
+            violations += 1
+    return violations
+
+
+def empirical_regret(
+    chosen_prices: Sequence[float],
+    acceptance_ratio: Callable[[float], float],
+    candidate_prices: Sequence[float],
+) -> Tuple[float, float]:
+    """Revenue regret of a price sequence against the best fixed price.
+
+    For a single local market with unlimited supply, the expected
+    per-offer revenue of quoting ``p`` is ``p * S(p)``.  The regret of a
+    sequence of quoted prices is the gap to always quoting the best ladder
+    price — the quantity the UCB analysis (Theorem 5) keeps logarithmic.
+
+    Args:
+        chosen_prices: The prices quoted over time (one per offer).
+        acceptance_ratio: The true acceptance ratio ``S(p)``.
+        candidate_prices: The ladder the learner chooses from.
+
+    Returns:
+        ``(total_regret, per_round_regret)``.
+    """
+    if not chosen_prices:
+        return 0.0, 0.0
+    best_value = max(p * acceptance_ratio(p) for p in candidate_prices)
+    total = 0.0
+    for price in chosen_prices:
+        total += best_value - price * acceptance_ratio(price)
+    return total, total / len(chosen_prices)
+
+
+__all__ = [
+    "approximation_ratio",
+    "is_submodular_on_chain",
+    "diminishing_returns_violations",
+    "empirical_regret",
+]

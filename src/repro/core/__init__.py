@@ -1,0 +1,35 @@
+"""Core contribution of the paper: the GDP problem, Base Pricing and MAPS.
+
+* :mod:`repro.core.gdp` — the Global Dynamic Pricing problem instance and
+  exact/Monte-Carlo evaluation of the expected total revenue objective;
+* :mod:`repro.core.base_pricing` — Algorithm 1: Hoeffding-sampled
+  estimation of per-grid Myerson reserve prices and the base price ``p_b``;
+* :mod:`repro.core.maximizer` — Algorithm 3: the UCB-scored search for the
+  price maximising the per-grid revenue approximation given a supply level;
+* :mod:`repro.core.maps` — Algorithm 2: the matching-based dynamic pricing
+  planner that allocates dependent supply across grids with a max-heap of
+  marginal gains and an incrementally grown pre-matching.
+"""
+
+from repro.core.gdp import GDPInstance, PeriodInstance
+from repro.core.base_pricing import (
+    BasePricingConfig,
+    BasePricingResult,
+    ProbeOracle,
+    run_base_pricing,
+)
+from repro.core.maximizer import MaximizerResult, calculate_maximizer
+from repro.core.maps import MAPSPlan, MAPSPlanner
+
+__all__ = [
+    "GDPInstance",
+    "PeriodInstance",
+    "BasePricingConfig",
+    "BasePricingResult",
+    "ProbeOracle",
+    "run_base_pricing",
+    "MaximizerResult",
+    "calculate_maximizer",
+    "MAPSPlan",
+    "MAPSPlanner",
+]

@@ -1,0 +1,185 @@
+"""The Global Dynamic Pricing (GDP) problem instance.
+
+Definition 7: given the tasks ``R^t`` and workers ``W^t`` of a time period
+(with unknown acceptance ratios), find one unit price per task such that
+the expected total revenue — defined through possible-world semantics over
+the probabilistic bipartite graph and maximum-weight matchings — is
+maximised.  The platform actually quotes one price per *grid*, so a price
+vector is represented as ``{grid_index: unit_price}``.
+
+:class:`PeriodInstance` bundles everything a pricing strategy may inspect
+for one period; :class:`GDPInstance` additionally carries the ground-truth
+acceptance models so the objective can be evaluated exactly (for small
+instances) or by Monte-Carlo sampling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.market.acceptance import AcceptanceModel, PerGridAcceptance
+from repro.market.curves import GridMarket
+from repro.market.entities import Task, Worker
+from repro.matching.bipartite import BipartiteGraph, build_bipartite_graph
+from repro.matching.possible_worlds import (
+    exact_expected_revenue,
+    monte_carlo_expected_revenue,
+)
+from repro.spatial.geometry import DistanceMetric
+from repro.spatial.grid import Grid
+from repro.utils.rng import RandomState
+
+
+@dataclass
+class PeriodInstance:
+    """The observable state of one time period.
+
+    Attributes:
+        period: Time period index ``t``.
+        grid: The pricing grid.
+        tasks: Tasks issued in the period, annotated with ``grid_index``.
+        workers: Workers available in the period.
+        graph: Range-constrained bipartite graph between them.
+        tasks_by_grid: Mapping grid index -> task positions (in ``tasks``).
+        workers_by_grid: Mapping grid index -> number of workers located in
+            the grid (used by the SDR/SDE/CappedUCB baselines, which reason
+            per grid rather than through the bipartite graph).
+    """
+
+    period: int
+    grid: Grid
+    tasks: List[Task]
+    workers: List[Worker]
+    graph: BipartiteGraph
+    tasks_by_grid: Dict[int, List[int]] = field(default_factory=dict)
+    workers_by_grid: Dict[int, int] = field(default_factory=dict)
+
+    @classmethod
+    def build(
+        cls,
+        period: int,
+        grid: Grid,
+        tasks: Sequence[Task],
+        workers: Sequence[Worker],
+        metric: Union[str, DistanceMetric] = "euclidean",
+        use_index: bool = True,
+    ) -> "PeriodInstance":
+        """Annotate tasks with their grid cell and build the bipartite graph."""
+        annotated: List[Task] = []
+        for task in tasks:
+            if task.grid_index is None:
+                task = task.with_grid(grid.locate(task.origin))
+            annotated.append(task)
+        graph = build_bipartite_graph(
+            annotated, list(workers), metric=metric, grid=grid, use_index=use_index
+        )
+        tasks_by_grid: Dict[int, List[int]] = {}
+        for pos, task in enumerate(annotated):
+            tasks_by_grid.setdefault(task.grid_index, []).append(pos)  # type: ignore[arg-type]
+        workers_by_grid: Dict[int, int] = {}
+        for worker in workers:
+            cell = grid.locate(worker.location)
+            workers_by_grid[cell] = workers_by_grid.get(cell, 0) + 1
+        return cls(
+            period=period,
+            grid=grid,
+            tasks=annotated,
+            workers=list(workers),
+            graph=graph,
+            tasks_by_grid=tasks_by_grid,
+            workers_by_grid=workers_by_grid,
+        )
+
+    # ------------------------------------------------------------------
+    # convenience views
+    # ------------------------------------------------------------------
+    @property
+    def num_tasks(self) -> int:
+        return len(self.tasks)
+
+    @property
+    def num_workers(self) -> int:
+        return len(self.workers)
+
+    def grid_indices_with_tasks(self) -> List[int]:
+        return sorted(self.tasks_by_grid.keys())
+
+    def distances_in_grid(self, grid_index: int) -> List[float]:
+        """Travel distances of the grid's tasks (non-increasing order)."""
+        positions = self.tasks_by_grid.get(grid_index, [])
+        return sorted((self.tasks[pos].distance for pos in positions), reverse=True)
+
+    def grid_market(self, grid_index: int, acceptance_ratio=None) -> GridMarket:
+        """Build a :class:`GridMarket` view of one grid."""
+        market = GridMarket(
+            grid_index=grid_index, distances=self.distances_in_grid(grid_index)
+        )
+        if acceptance_ratio is not None:
+            market.acceptance_ratio = acceptance_ratio
+        return market
+
+    def price_per_task(self, grid_prices: Mapping[int, float], default: float = 0.0) -> List[float]:
+        """Expand per-grid prices into a per-task price vector."""
+        prices = []
+        for task in self.tasks:
+            prices.append(float(grid_prices.get(task.grid_index, default)))
+        return prices
+
+
+@dataclass
+class GDPInstance:
+    """A GDP problem instance with ground-truth demand for evaluation.
+
+    Attributes:
+        instance: The observable :class:`PeriodInstance`.
+        acceptance: Ground-truth per-grid acceptance models (hidden from
+            pricing strategies; used only to evaluate the objective and to
+            drive the simulator's accept/reject decisions).
+    """
+
+    instance: PeriodInstance
+    acceptance: PerGridAcceptance
+
+    def acceptance_probabilities(self, grid_prices: Mapping[int, float]) -> List[float]:
+        """True ``S^g(p_r)`` per task for a per-grid price vector."""
+        probabilities = []
+        for task in self.instance.tasks:
+            price = float(grid_prices.get(task.grid_index, 0.0))
+            probabilities.append(
+                self.acceptance.acceptance_ratio(task.grid_index, price)
+            )
+        return probabilities
+
+    def expected_total_revenue(
+        self,
+        grid_prices: Mapping[int, float],
+        method: str = "auto",
+        num_samples: int = 2000,
+        rng: Optional[RandomState] = None,
+    ) -> float:
+        """Evaluate ``E[U(B^t) | P^t]`` for a per-grid price vector.
+
+        Args:
+            grid_prices: Unit price per grid index.
+            method: ``exact`` (possible-world enumeration, tasks <= 20),
+                ``monte-carlo``, or ``auto`` (exact when feasible).
+            num_samples: Sample count for the Monte-Carlo estimator.
+            rng: Generator for the Monte-Carlo estimator.
+        """
+        prices = self.instance.price_per_task(grid_prices)
+        probabilities = self.acceptance_probabilities(grid_prices)
+        if method not in ("auto", "exact", "monte-carlo"):
+            raise ValueError(f"unknown method {method!r}")
+        use_exact = method == "exact" or (
+            method == "auto" and self.instance.num_tasks <= 12
+        )
+        if use_exact:
+            return exact_expected_revenue(self.instance.graph, prices, probabilities)
+        estimate, _ = monte_carlo_expected_revenue(
+            self.instance.graph, prices, probabilities, num_samples=num_samples, rng=rng
+        )
+        return estimate
+
+
+__all__ = ["PeriodInstance", "GDPInstance"]

@@ -1,0 +1,189 @@
+"""MAPS — the MAtching-based Pricing Strategy (Algorithm 2).
+
+Per time period MAPS jointly decides, for every grid, how many workers to
+dedicate to it (its *supply* ``n^{tg}``) and which unit price to quote, so
+that the sum of per-grid revenue approximations ``sum_g L^g(n^{tg}, p^{tg})``
+is maximised subject to the range constraints and the one-task-per-worker
+constraint.  The key ingredients are:
+
+* a max-heap of per-grid marginal gains ``Delta^g`` (lazy greedy over a
+  submodular objective, Theorem 8);
+* an incrementally grown *pre-matching* that certifies an extra supply unit
+  for a grid is actually feasible (Algorithm 2 lines 10/16);
+* the UCB-scored maximizer of Algorithm 3 that picks the best ladder price
+  for a given supply level without knowing the true acceptance ratios.
+
+The planner is stateless across periods except for the acceptance
+statistics, which live in the per-grid
+:class:`~repro.learning.estimator.GridAcceptanceEstimator` objects owned by
+the caller (the :class:`~repro.pricing.maps_strategy.MAPSStrategy`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.gdp import PeriodInstance
+from repro.core.maximizer import MaximizerResult, calculate_maximizer
+from repro.learning.estimator import GridAcceptanceEstimator
+from repro.matching.incremental import IncrementalMatcher
+from repro.utils.heap import AddressableMaxHeap
+
+#: Signature of the per-grid maximizer; swap in
+#: :func:`repro.core.maximizer.exploitation_maximizer` for the ablation.
+MaximizerFn = Callable[[GridAcceptanceEstimator, Sequence[float], int, Optional[int]], MaximizerResult]
+
+
+@dataclass
+class MAPSPlan:
+    """Output of one MAPS planning round.
+
+    Attributes:
+        prices: Unit price per grid index (every grid of the pricing grid
+            gets a price; grids without demand or supply fall back to the
+            base price).
+        supply: Planned number of workers per grid (``n^{tg}``).
+        pre_matching: The pre-matching ``M'`` as ``{task_position:
+            worker_position}`` over the period's bipartite graph.
+        approx_revenue: The planner's estimate ``sum_g L^g(n^{tg}, p^{tg})``
+            (optimistic, since it uses UCB-scored acceptance ratios).
+        iterations: Number of heap extractions performed (for complexity
+            experiments).
+    """
+
+    prices: Dict[int, float]
+    supply: Dict[int, int]
+    pre_matching: Dict[int, int]
+    approx_revenue: float
+    iterations: int
+
+
+class MAPSPlanner:
+    """Plans prices and supply for one period (Algorithm 2).
+
+    Args:
+        base_price: The base price ``p_b`` from Algorithm 1, used for grids
+            that receive no dedicated supply.
+        p_min: Minimum quotable unit price.
+        p_max: Maximum quotable unit price (prices are capped at it, line
+            13–14 of Algorithm 2).
+        maximizer: The per-grid price maximizer (Algorithm 3 by default).
+    """
+
+    def __init__(
+        self,
+        base_price: float,
+        p_min: float,
+        p_max: float,
+        maximizer: MaximizerFn = calculate_maximizer,
+    ) -> None:
+        if p_min <= 0 or p_max < p_min:
+            raise ValueError("need 0 < p_min <= p_max")
+        if not p_min <= base_price <= p_max:
+            base_price = min(p_max, max(p_min, base_price))
+        self.base_price = float(base_price)
+        self.p_min = float(p_min)
+        self.p_max = float(p_max)
+        self._maximizer = maximizer
+
+    # ------------------------------------------------------------------
+    # planning
+    # ------------------------------------------------------------------
+    def plan(
+        self,
+        instance: PeriodInstance,
+        estimators: Mapping[int, GridAcceptanceEstimator],
+    ) -> MAPSPlan:
+        """Run Algorithm 2 for one period.
+
+        Args:
+            instance: The period's tasks, workers and bipartite graph.
+            estimators: Per-grid acceptance statistics (must contain an
+                estimator for every grid that has tasks this period).
+
+        Returns:
+            The :class:`MAPSPlan` with prices, supply and the pre-matching.
+        """
+        grid = instance.grid
+        matcher = IncrementalMatcher(instance.graph)
+
+        # Every grid starts at the base price; grids with demand may be
+        # re-priced below.
+        prices: Dict[int, float] = {
+            cell.index: self.base_price for cell in grid.cells()
+        }
+        supply: Dict[int, int] = {cell.index: 0 for cell in grid.cells()}
+        approx_revenue: Dict[int, float] = {cell.index: 0.0 for cell in grid.cells()}
+
+        distances: Dict[int, List[float]] = {
+            g: instance.distances_in_grid(g) for g in instance.grid_indices_with_tasks()
+        }
+
+        heap = AddressableMaxHeap()
+        # Initialisation (lines 3-4): one entry per grid with demand.  Grids
+        # without tasks keep the base price and never enter the competition,
+        # which is what lines 16-17 reduce to for them.
+        for g in distances:
+            estimator = estimators.get(g)
+            if estimator is None:
+                raise KeyError(f"no acceptance estimator for grid {g}")
+            heap.push(g, math.inf, payload=(0, self.base_price))
+
+        iterations = 0
+        while heap:
+            iterations += 1
+            entry = heap.pop()
+            g = entry.key
+            delta = entry.priority
+            candidate_supply, candidate_price = entry.payload
+
+            if not math.isinf(delta):
+                if delta <= 1e-12:
+                    # Lines 11-14: no further gain; finalise the grid's price.
+                    prices[g] = min(candidate_price, self.p_max)
+                    continue
+                # Lines 8-10: admit the supply increase if it is still
+                # feasible (other grids may have consumed the needed worker
+                # since the gain was computed).
+                matched_task = matcher.augment_grid(g)
+                if matched_task is None:
+                    # The gain is stale; re-evaluate the grid at its current
+                    # supply and finalise it on the next extraction.
+                    result = self._maximizer(
+                        estimators[g], distances[g], supply[g], supply[g]
+                    )
+                    price = result.price if supply[g] > 0 else self.base_price
+                    heap.push(g, 0.0, payload=(supply[g], price))
+                    continue
+                supply[g] = candidate_supply
+                prices[g] = min(candidate_price, self.p_max)
+                approx_revenue[g] += delta
+
+            # Lines 15-21: propose the next supply increase for the grid.
+            if not distances[g] or not matcher.can_augment_grid(g):
+                # No demand left to serve or no feasible worker: freeze at
+                # the current price (zero further gain).
+                current_price = prices[g] if supply[g] > 0 else self.base_price
+                heap.push(g, 0.0, payload=(supply[g], current_price))
+                continue
+            if supply[g] >= len(distances[g]):
+                # Supply already covers every task; more workers cannot help.
+                heap.push(g, 0.0, payload=(supply[g], prices[g]))
+                continue
+            new_supply = supply[g] + 1
+            result = self._maximizer(estimators[g], distances[g], new_supply, supply[g])
+            heap.push(g, result.delta, payload=(new_supply, result.price))
+
+        total_approx = sum(approx_revenue.values())
+        return MAPSPlan(
+            prices=prices,
+            supply=supply,
+            pre_matching=matcher.matching(),
+            approx_revenue=total_approx,
+            iterations=iterations,
+        )
+
+
+__all__ = ["MAPSPlanner", "MAPSPlan", "MaximizerFn"]

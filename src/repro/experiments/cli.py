@@ -1,0 +1,123 @@
+"""Command-line interface for the experiment harness.
+
+Regenerate any figure of the paper's evaluation from a shell::
+
+    python -m repro.experiments.cli --list
+    python -m repro.experiments.cli --figure fig6-W --scale 0.02
+    python -m repro.experiments.cli --figure fig8-real2 --scale 0.005 \
+        --strategies MAPS BaseP --metric revenue time
+
+The output is the same plain-text tables the benchmark harness prints
+(one row per swept parameter value, one column per strategy, one table per
+metric), plus a one-line revenue-winner summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.experiments.figures import FIGURES, figure_ids, get_figure
+from repro.experiments.report import format_table, format_winner_summary
+from repro.experiments.sweeps import run_sweep
+from repro.pricing.registry import PAPER_STRATEGIES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the evaluation figures of the SIGMOD'18 dynamic "
+        "pricing paper at a configurable scale.",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list the available experiment ids and exit"
+    )
+    parser.add_argument(
+        "--figure",
+        choices=figure_ids(),
+        help="experiment id to run (see --list)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.01,
+        help="fraction of the paper-sized workload to generate (default 0.01; "
+        "1.0 reproduces the paper's instance sizes)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="root random seed for the sweep"
+    )
+    parser.add_argument(
+        "--strategies",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help=f"strategies to compare (default: {' '.join(PAPER_STRATEGIES)})",
+    )
+    parser.add_argument(
+        "--metrics",
+        nargs="+",
+        default=["revenue", "time", "memory"],
+        choices=["revenue", "time", "total_time", "memory", "served", "accepted"],
+        help="metrics to print (default: revenue time memory)",
+    )
+    parser.add_argument(
+        "--values",
+        nargs="+",
+        default=None,
+        help="override the swept parameter values (numbers)",
+    )
+    parser.add_argument(
+        "--no-memory-tracking",
+        action="store_true",
+        help="disable tracemalloc peak-memory tracking (faster)",
+    )
+    return parser
+
+
+def _parse_values(raw_values: Optional[Sequence[str]]) -> Optional[List[float]]:
+    if raw_values is None:
+        return None
+    parsed: List[float] = []
+    for value in raw_values:
+        number = float(value)
+        parsed.append(int(number) if number.is_integer() else number)
+    return parsed
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for figure_id in figure_ids():
+            spec = FIGURES[figure_id]
+            print(f"{figure_id:12s}  {spec.title}")
+        return 0
+
+    if args.figure is None:
+        parser.error("--figure is required unless --list is given")
+
+    spec = get_figure(args.figure)
+    sweep = spec.build_sweep(
+        scale=args.scale,
+        strategies=args.strategies,
+        values=_parse_values(args.values),
+        seed=args.seed,
+        track_memory=not args.no_memory_tracking,
+    )
+    print(f"# {spec.title}")
+    print(f"# expectation: {spec.expectation}")
+    print(f"# scale = {args.scale}, seed = {args.seed}")
+    result = run_sweep(sweep)
+    for metric in args.metrics:
+        print()
+        print(format_table(result, metric))
+    print()
+    print(format_winner_summary(result))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main() in tests
+    sys.exit(main())

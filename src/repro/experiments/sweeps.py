@@ -1,0 +1,187 @@
+"""Parameter sweeps over pricing strategies.
+
+A sweep varies one experiment parameter (e.g. ``|W|``) over a list of
+values; for each value a workload is generated, the base price is
+calibrated once (shared by every strategy that needs it, as in the paper),
+and every strategy is simulated on the *same* workload.  The result is a
+grid of :class:`SweepCell` records — one per (parameter value, strategy) —
+carrying the three metrics the paper plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.base_pricing import BasePricingConfig, BasePricingResult
+from repro.pricing.registry import PAPER_STRATEGIES, create_strategy
+from repro.pricing.strategy import PricingStrategy
+from repro.simulation.config import WorkloadBundle
+from repro.simulation.engine import SimulationEngine
+
+#: Builds the workload for one parameter value.
+WorkloadFactory = Callable[[object], WorkloadBundle]
+
+
+@dataclass
+class SweepCell:
+    """Metrics of one strategy at one parameter value."""
+
+    parameter: object
+    strategy: str
+    revenue: float
+    pricing_time_seconds: float
+    matching_time_seconds: float
+    peak_memory_mb: float
+    served_tasks: int
+    accepted_tasks: int
+    total_tasks: int
+
+    @property
+    def total_time_seconds(self) -> float:
+        return self.pricing_time_seconds + self.matching_time_seconds
+
+
+@dataclass
+class ExperimentResult:
+    """All cells of one sweep, plus bookkeeping for reports."""
+
+    experiment_id: str
+    parameter_name: str
+    parameter_values: List[object]
+    strategies: List[str]
+    cells: List[SweepCell] = field(default_factory=list)
+    base_prices: Dict[object, float] = field(default_factory=dict)
+
+    def cell(self, parameter: object, strategy: str) -> SweepCell:
+        for candidate in self.cells:
+            if candidate.parameter == parameter and candidate.strategy == strategy:
+                return candidate
+        raise KeyError(f"no cell for parameter={parameter!r}, strategy={strategy!r}")
+
+    def revenue_series(self, strategy: str) -> List[float]:
+        return [self.cell(value, strategy).revenue for value in self.parameter_values]
+
+    def time_series(self, strategy: str) -> List[float]:
+        return [
+            self.cell(value, strategy).pricing_time_seconds
+            for value in self.parameter_values
+        ]
+
+    def memory_series(self, strategy: str) -> List[float]:
+        return [
+            self.cell(value, strategy).peak_memory_mb for value in self.parameter_values
+        ]
+
+    def winner_by_revenue(self, parameter: object) -> str:
+        """Strategy with the highest revenue at one parameter value."""
+        best_strategy = None
+        best_revenue = float("-inf")
+        for strategy in self.strategies:
+            revenue = self.cell(parameter, strategy).revenue
+            if revenue > best_revenue:
+                best_revenue = revenue
+                best_strategy = strategy
+        assert best_strategy is not None
+        return best_strategy
+
+
+@dataclass
+class ParameterSweep:
+    """Specification of one parameter sweep.
+
+    Attributes:
+        experiment_id: Identifier (e.g. ``"fig6-W"``).
+        parameter_name: Human-readable parameter name (e.g. ``"|W|"``).
+        parameter_values: The values to sweep.
+        workload_factory: Maps a parameter value to a generated workload.
+        strategies: Strategy names to compare (paper's five by default).
+        seed: Seed passed to the simulation engine.
+        track_memory: Enable peak-memory tracking (slower).
+        calibration_config: Base pricing parameters (a capped probe budget
+            by default to keep the calibration phase affordable).
+    """
+
+    experiment_id: str
+    parameter_name: str
+    parameter_values: List[object]
+    workload_factory: WorkloadFactory
+    strategies: List[str] = field(default_factory=lambda: list(PAPER_STRATEGIES))
+    seed: int = 0
+    track_memory: bool = False
+    calibration_config: Optional[BasePricingConfig] = None
+
+
+def run_sweep(sweep: ParameterSweep) -> ExperimentResult:
+    """Execute a sweep and collect metrics for every (value, strategy) pair."""
+    result = ExperimentResult(
+        experiment_id=sweep.experiment_id,
+        parameter_name=sweep.parameter_name,
+        parameter_values=list(sweep.parameter_values),
+        strategies=list(sweep.strategies),
+    )
+    for value in sweep.parameter_values:
+        workload = sweep.workload_factory(value)
+        engine = SimulationEngine(
+            workload,
+            seed=sweep.seed,
+            track_memory=sweep.track_memory,
+        )
+        p_min, p_max = workload.price_bounds
+        calibration = engine.calibrate_base_price(config=sweep.calibration_config)
+        result.base_prices[value] = calibration.base_price
+
+        for strategy_name in sweep.strategies:
+            strategy = create_strategy(
+                strategy_name,
+                base_price=calibration.base_price,
+                p_min=p_min,
+                p_max=p_max,
+                calibration=calibration if strategy_name.lower() == "maps" else None,
+            )
+            simulation = engine.run(strategy)
+            metrics = simulation.metrics
+            result.cells.append(
+                SweepCell(
+                    parameter=value,
+                    strategy=strategy_name,
+                    revenue=metrics.total_revenue,
+                    pricing_time_seconds=metrics.pricing_time_seconds,
+                    matching_time_seconds=metrics.matching_time_seconds,
+                    peak_memory_mb=metrics.peak_memory_mb,
+                    served_tasks=metrics.served_tasks,
+                    accepted_tasks=metrics.accepted_tasks,
+                    total_tasks=metrics.total_tasks,
+                )
+            )
+    return result
+
+
+def run_single_setting(
+    workload: WorkloadBundle,
+    strategies: Optional[Sequence[str]] = None,
+    seed: int = 0,
+    track_memory: bool = False,
+    calibration_config: Optional[BasePricingConfig] = None,
+) -> ExperimentResult:
+    """Convenience wrapper: compare strategies on a single fixed workload."""
+    sweep = ParameterSweep(
+        experiment_id="single",
+        parameter_name="setting",
+        parameter_values=["default"],
+        workload_factory=lambda _value: workload,
+        strategies=list(strategies or PAPER_STRATEGIES),
+        seed=seed,
+        track_memory=track_memory,
+        calibration_config=calibration_config,
+    )
+    return run_sweep(sweep)
+
+
+__all__ = [
+    "ParameterSweep",
+    "SweepCell",
+    "ExperimentResult",
+    "run_sweep",
+    "run_single_setting",
+]

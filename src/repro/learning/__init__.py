@@ -1,0 +1,41 @@
+"""Demand-learning substrate: sampling, bandit indices and change detection.
+
+The platform never observes private valuations, only accept/reject
+feedback per offered price.  Both pricing strategies of the paper learn
+the acceptance ratios from this feedback:
+
+* Base Pricing (Algorithm 1) offers every candidate price on a geometric
+  ladder to a Hoeffding-determined number of requesters and keeps the
+  sample mean (:mod:`repro.learning.sampling`,
+  :mod:`repro.learning.estimator`);
+* MAPS scores candidate prices with an upper-confidence-bound index that
+  mixes the estimated demand curve with the current supply cap
+  (:mod:`repro.learning.ucb`), and flags demand shifts with a binomial
+  deviation test (:mod:`repro.learning.change`).
+"""
+
+from repro.learning.sampling import (
+    hoeffding_sample_size,
+    num_candidate_prices,
+    price_ladder,
+)
+from repro.learning.estimator import (
+    AcceptanceEstimate,
+    GridAcceptanceEstimator,
+    PriceStats,
+)
+from repro.learning.ucb import confidence_radius, ucb_index, ucb_score
+from repro.learning.change import BinomialChangeDetector
+
+__all__ = [
+    "price_ladder",
+    "hoeffding_sample_size",
+    "num_candidate_prices",
+    "PriceStats",
+    "AcceptanceEstimate",
+    "GridAcceptanceEstimator",
+    "confidence_radius",
+    "ucb_score",
+    "ucb_index",
+    "BinomialChangeDetector",
+]

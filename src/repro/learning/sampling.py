@@ -1,0 +1,114 @@
+"""Candidate price ladders and Hoeffding sample sizes (Algorithm 1).
+
+Base pricing samples acceptance ratios on a geometric ladder of candidate
+prices ``p_min, (1+alpha) p_min, (1+alpha)^2 p_min, ..., <= p_max``.  The
+number of candidates is ``k = ceil(ln(p_max/p_min) / ln(1+alpha))`` and
+each price ``p`` is offered to
+
+    h(p) = ceil( (2 p^2 / eps^2) * ln(2k / delta) )
+
+requesters, which by the Hoeffding inequality makes the estimated revenue
+curve point ``p * S_hat(p)`` accurate to ``eps/2`` with probability at
+least ``1 - delta/k`` (Theorem 2's proof).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+
+def num_candidate_prices(p_min: float, p_max: float, alpha: float) -> int:
+    """``k = ceil(ln(p_max / p_min) / ln(1 + alpha))`` (Algorithm 1, line 1).
+
+    Returns at least 1 so that degenerate intervals still test ``p_min``.
+    """
+    _validate_ladder_args(p_min, p_max, alpha)
+    if p_max <= p_min:
+        return 1
+    return max(1, math.ceil(math.log(p_max / p_min) / math.log(1.0 + alpha)))
+
+
+def price_ladder(p_min: float, p_max: float, alpha: float) -> List[float]:
+    """The geometric candidate price ladder of Algorithm 1.
+
+    Starts at ``p_min`` and multiplies by ``(1 + alpha)`` while the price
+    does not exceed ``p_max`` (matching the ``while p <= p_max`` loop in
+    the pseudo-code).  For the paper's Example 4 (``p_min=1, p_max=5,
+    alpha=0.5``) this yields ``[1, 1.5, 2.25, 3.375]`` and a fifth price
+    ``5.0625`` would exceed ``p_max`` and is excluded.
+
+    Returns:
+        The list of candidate prices in increasing order (never empty).
+    """
+    _validate_ladder_args(p_min, p_max, alpha)
+    ladder: List[float] = []
+    price = float(p_min)
+    # Guard against pathological float issues with a generous iteration cap.
+    max_iterations = 10_000
+    while price <= p_max * (1.0 + 1e-12) and len(ladder) < max_iterations:
+        ladder.append(price)
+        price *= 1.0 + alpha
+    if not ladder:
+        ladder.append(float(p_min))
+    return ladder
+
+
+def hoeffding_sample_size(price: float, epsilon: float, k: int, delta: float) -> int:
+    """``h(p) = ceil( (2 p^2 / eps^2) ln(2k / delta) )`` (Algorithm 1, line 5).
+
+    Args:
+        price: Candidate price ``p`` being tested.
+        epsilon: Target accuracy of the revenue-curve estimate.
+        k: Number of candidate prices on the ladder.
+        delta: Overall failure probability budget.
+
+    Returns:
+        The number of requesters to offer the price to (at least 1).
+    """
+    if price <= 0:
+        raise ValueError("price must be positive")
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if not 0.0 < delta < 1.0:
+        raise ValueError("delta must lie in (0, 1)")
+    return max(1, math.ceil((2.0 * price * price / (epsilon * epsilon)) * math.log(2.0 * k / delta)))
+
+
+def recommended_epsilon(p_min: float, alpha: float, min_acceptance: float) -> float:
+    """The paper's suggested accuracy ``eps = alpha * p_min * min_p S(p)``.
+
+    Section 3.3 argues this choice is small enough to separate two
+    successive ladder prices, so the sampling recovers the best ladder
+    price with probability ``1 - delta``.
+
+    Args:
+        p_min: Smallest candidate price.
+        alpha: Ladder multiplier parameter.
+        min_acceptance: A lower bound on the acceptance ratio over the
+            candidate prices (clipped away from zero to keep the sample
+            size finite).
+    """
+    if p_min <= 0 or alpha <= 0:
+        raise ValueError("p_min and alpha must be positive")
+    floor = max(1e-3, float(min_acceptance))
+    return alpha * p_min * floor
+
+
+def _validate_ladder_args(p_min: float, p_max: float, alpha: float) -> None:
+    if p_min <= 0:
+        raise ValueError("p_min must be positive")
+    if p_max < p_min:
+        raise ValueError("p_max must be at least p_min")
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+
+
+__all__ = [
+    "num_candidate_prices",
+    "price_ladder",
+    "hoeffding_sample_size",
+    "recommended_epsilon",
+]

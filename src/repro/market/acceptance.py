@@ -1,0 +1,185 @@
+"""Acceptance behaviour of requesters.
+
+The platform never observes private valuations; it only observes, per
+offered price, whether the requester accepted.  For the algorithms we
+therefore need two views of the same phenomenon:
+
+* the *ground-truth* view used by the simulator, which knows the per-grid
+  valuation distribution (or an explicit acceptance table as in the
+  running example's Table 1) and answers price offers; and
+* the *estimated* view used by the pricing strategies, which learn
+  acceptance ratios from observations (see :mod:`repro.learning`).
+
+This module implements the ground-truth view as :class:`AcceptanceModel`
+implementations.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.market.entities import Task
+from repro.market.valuation import ValuationDistribution
+from repro.utils.rng import RandomState, bernoulli
+
+
+class AcceptanceModel(ABC):
+    """Ground-truth acceptance behaviour of the requesters in one grid."""
+
+    @abstractmethod
+    def acceptance_ratio(self, price: float) -> float:
+        """True acceptance probability ``S(p)`` for a price ``p``."""
+
+    @abstractmethod
+    def sample_valuation(self, rng: RandomState) -> float:
+        """Draw one private valuation ``v_r``."""
+
+    def decide(self, task: Task, price: float, rng: RandomState) -> bool:
+        """Whether the requester of ``task`` accepts ``price``.
+
+        If the task carries a private valuation the decision is the
+        deterministic comparison ``price <= v_r``; otherwise a Bernoulli
+        draw with probability ``S(price)`` is used.
+        """
+        if task.valuation is not None:
+            return task.accepts(price)
+        return bernoulli(rng, self.acceptance_ratio(price))
+
+    def assign_valuations(self, tasks: Sequence[Task], rng: RandomState) -> list:
+        """Return copies of ``tasks`` with freshly sampled valuations."""
+        return [task.with_valuation(self.sample_valuation(rng)) for task in tasks]
+
+
+class DistributionAcceptanceModel(AcceptanceModel):
+    """Acceptance driven by a :class:`ValuationDistribution`.
+
+    This is the model used in all synthetic experiments: the per-grid
+    distribution is a truncated normal (or exponential in Appendix D) and
+    ``S(p) = 1 - F(p)``.
+    """
+
+    def __init__(self, distribution: ValuationDistribution) -> None:
+        self._distribution = distribution
+
+    @property
+    def distribution(self) -> ValuationDistribution:
+        return self._distribution
+
+    def acceptance_ratio(self, price: float) -> float:
+        return self._distribution.acceptance_ratio(price)
+
+    def sample_valuation(self, rng: RandomState) -> float:
+        return float(self._distribution.sample(rng, size=1)[0])
+
+    def __repr__(self) -> str:
+        return f"DistributionAcceptanceModel({self._distribution!r})"
+
+
+class TabularAcceptanceModel(AcceptanceModel):
+    """Acceptance ratios given explicitly at a few price points.
+
+    This reproduces Table 1 of the paper (``S(1)=0.9, S(2)=0.8, S(3)=0.5``)
+    for the running example and is also handy in unit tests.  Prices
+    between table entries are interpolated linearly; prices below the
+    smallest entry use its ratio, prices above the largest entry use the
+    largest entry's ratio (so the table is a step-wise conservative model
+    rather than dropping to zero, matching how Example 3 evaluates the
+    prices {3, 3, 2}).
+
+    Valuation sampling inverts the implied CDF, so a task population drawn
+    from this model reproduces the tabulated acceptance frequencies.
+    """
+
+    def __init__(self, table: Mapping[float, float]) -> None:
+        if not table:
+            raise ValueError("acceptance table must be non-empty")
+        items = sorted((float(p), float(s)) for p, s in table.items())
+        for price, ratio in items:
+            if price < 0:
+                raise ValueError("prices must be non-negative")
+            if not 0.0 <= ratio <= 1.0:
+                raise ValueError("acceptance ratios must lie in [0, 1]")
+        ratios = [s for _, s in items]
+        if any(b > a + 1e-12 for a, b in zip(ratios, ratios[1:])):
+            raise ValueError("acceptance ratios must be non-increasing in price")
+        self._prices = np.array([p for p, _ in items])
+        self._ratios = np.array(ratios)
+
+    def acceptance_ratio(self, price: float) -> float:
+        if price <= self._prices[0]:
+            return float(self._ratios[0])
+        if price >= self._prices[-1]:
+            return float(self._ratios[-1])
+        return float(np.interp(price, self._prices, self._ratios))
+
+    def sample_valuation(self, rng: RandomState) -> float:
+        """Sample a valuation consistent with the table.
+
+        We draw ``u ~ Uniform(0, 1)`` and return the largest tabulated
+        price ``p`` with ``S(p) > u`` (the requester accepts every price up
+        to that point).  If even the smallest price would be rejected we
+        return half the smallest price, representing a requester that
+        rejects all tabulated prices.
+        """
+        u = rng.random()
+        accepted = self._prices[self._ratios > u]
+        if accepted.size == 0:
+            return float(self._prices[0]) / 2.0
+        return float(accepted[-1])
+
+    @property
+    def prices(self) -> np.ndarray:
+        return self._prices.copy()
+
+    @property
+    def ratios(self) -> np.ndarray:
+        return self._ratios.copy()
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(f"{p:g}: {s:g}" for p, s in zip(self._prices, self._ratios))
+        return f"TabularAcceptanceModel({{{pairs}}})"
+
+
+class PerGridAcceptance:
+    """Convenience container mapping grid index -> acceptance model.
+
+    Falls back to a default model for grids without an explicit entry,
+    which matches the synthetic generator where every grid shares the
+    same family of distributions but possibly different parameters.
+    """
+
+    def __init__(
+        self,
+        models: Optional[Dict[int, AcceptanceModel]] = None,
+        default: Optional[AcceptanceModel] = None,
+    ) -> None:
+        self._models: Dict[int, AcceptanceModel] = dict(models or {})
+        self._default = default
+        if not self._models and self._default is None:
+            raise ValueError("provide at least one model or a default")
+
+    def model_for(self, grid_index: int) -> AcceptanceModel:
+        model = self._models.get(grid_index, self._default)
+        if model is None:
+            raise KeyError(f"no acceptance model for grid {grid_index} and no default")
+        return model
+
+    def acceptance_ratio(self, grid_index: int, price: float) -> float:
+        return self.model_for(grid_index).acceptance_ratio(price)
+
+    def set_model(self, grid_index: int, model: AcceptanceModel) -> None:
+        self._models[grid_index] = model
+
+    def grids(self) -> Sequence[int]:
+        return tuple(self._models.keys())
+
+
+__all__ = [
+    "AcceptanceModel",
+    "DistributionAcceptanceModel",
+    "TabularAcceptanceModel",
+    "PerGridAcceptance",
+]

@@ -1,0 +1,173 @@
+"""Demand and supply curves and the per-grid revenue approximation (Eq. 1).
+
+MAPS approximates the expected revenue of grid ``g`` in period ``t`` as
+
+    L^g(n, p) = min(  sum_{r in R^{tg}} d_r * p * S^g(p) ,   # demand curve
+                      sum_{i=1..n} d_{(i)} * p )             # supply curve
+
+where ``d_{(1)} >= d_{(2)} >= ...`` are the task distances of the grid in
+non-increasing order and ``n`` is the number of workers (supply) allocated
+to the grid.  The demand curve is the expected revenue with unlimited
+supply; the supply curve caps it by the revenue the allocated ``n``
+workers could generate at most (serving the ``n`` longest tasks).
+
+:class:`GridMarket` bundles the per-grid task distances with an acceptance
+ratio callable and provides the marginal-gain computation ``delta`` used by
+the MAPS heap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+AcceptanceRatioFn = Callable[[float], float]
+
+
+def demand_curve_value(distances: Sequence[float], price: float, acceptance_ratio: float) -> float:
+    """Value of the demand curve ``sum_r d_r * p * S(p)`` at ``price``.
+
+    Args:
+        distances: Travel distances of the grid's tasks (any order).
+        price: Unit price ``p``.
+        acceptance_ratio: ``S(p)`` at that price.
+    """
+    if price < 0:
+        raise ValueError("price must be non-negative")
+    if not 0.0 <= acceptance_ratio <= 1.0 + 1e-9:
+        raise ValueError("acceptance ratio must lie in [0, 1]")
+    return float(sum(distances)) * price * acceptance_ratio
+
+
+def supply_curve_value(sorted_distances: Sequence[float], supply: int, price: float) -> float:
+    """Value of the supply curve ``sum_{i<=n} d_(i) * p`` at ``price``.
+
+    Args:
+        sorted_distances: Task distances sorted in non-increasing order.
+        supply: Number of workers ``n`` allocated to the grid.
+        price: Unit price ``p``.
+    """
+    if supply < 0:
+        raise ValueError("supply must be non-negative")
+    if price < 0:
+        raise ValueError("price must be non-negative")
+    top = sorted_distances[: min(supply, len(sorted_distances))]
+    return float(sum(top)) * price
+
+
+def revenue_approximation(
+    distances: Sequence[float],
+    supply: int,
+    price: float,
+    acceptance_ratio: float,
+) -> float:
+    """The paper's Eq. (1): ``L^g(n, p) = min(demand curve, supply curve)``."""
+    sorted_distances = sorted((float(d) for d in distances), reverse=True)
+    demand = demand_curve_value(sorted_distances, price, acceptance_ratio)
+    supply_cap = supply_curve_value(sorted_distances, supply, price)
+    return min(demand, supply_cap)
+
+
+@dataclass
+class GridMarket:
+    """The local market of one grid cell in one time period.
+
+    Attributes:
+        grid_index: 1-based grid cell index.
+        distances: Travel distances of the tasks whose origin is in the
+            grid; stored sorted in non-increasing order.
+        acceptance_ratio: Callable returning the (true or estimated)
+            acceptance ratio ``S^g(p)`` for a price.
+    """
+
+    grid_index: int
+    distances: List[float] = field(default_factory=list)
+    acceptance_ratio: AcceptanceRatioFn = lambda price: 1.0
+
+    def __post_init__(self) -> None:
+        self.distances = sorted((float(d) for d in self.distances), reverse=True)
+        if any(d < 0 for d in self.distances):
+            raise ValueError("task distances must be non-negative")
+
+    # ------------------------------------------------------------------
+    # basic quantities
+    # ------------------------------------------------------------------
+    @property
+    def num_tasks(self) -> int:
+        """``|R^{tg}|`` — the demand of the local market."""
+        return len(self.distances)
+
+    @property
+    def total_distance(self) -> float:
+        """``C = sum_r d_r`` (the demand-curve coefficient of Alg. 3)."""
+        return float(sum(self.distances))
+
+    def top_distance_sum(self, supply: int) -> float:
+        """``D = sum_{i<=n} d_(i)`` (the supply-curve coefficient of Alg. 3)."""
+        if supply < 0:
+            raise ValueError("supply must be non-negative")
+        return float(sum(self.distances[: min(supply, len(self.distances))]))
+
+    # ------------------------------------------------------------------
+    # Eq. (1) and its optimisation
+    # ------------------------------------------------------------------
+    def expected_revenue(self, supply: int, price: float) -> float:
+        """``L^g(n, p)`` with the market's own acceptance ratio."""
+        ratio = max(0.0, min(1.0, self.acceptance_ratio(price)))
+        return revenue_approximation(self.distances, supply, price, ratio)
+
+    def best_price(self, supply: int, candidate_prices: Sequence[float]) -> Tuple[float, float]:
+        """Maximise ``L^g(supply, p)`` over explicit candidate prices.
+
+        Returns:
+            ``(best_price, best_value)``.  Ties are broken towards the
+            smaller price, as in the paper (a smaller price means a higher
+            acceptance ratio, hence a more reliable revenue).
+        """
+        if not candidate_prices:
+            raise ValueError("candidate_prices must be non-empty")
+        best_price: Optional[float] = None
+        best_value = -np.inf
+        for price in sorted(candidate_prices):
+            value = self.expected_revenue(supply, price)
+            if value > best_value + 1e-12:
+                best_value = value
+                best_price = price
+        assert best_price is not None
+        return float(best_price), float(best_value)
+
+    def marginal_gain(
+        self, current_supply: int, candidate_prices: Sequence[float]
+    ) -> Tuple[float, float]:
+        """Gain in ``max_p L^g(n, p)`` from raising supply ``n`` by one.
+
+        Returns:
+            ``(new_best_price, delta)`` where ``delta`` is the increase of
+            the optimised Eq. (1) when the supply grows from
+            ``current_supply`` to ``current_supply + 1``.  The paper's
+            Lemma 9 shows this sequence of deltas is non-increasing, which
+            is what makes the greedy heap allocation near-optimal.
+        """
+        if current_supply < 0:
+            raise ValueError("current_supply must be non-negative")
+        _, old_value = (
+            self.best_price(current_supply, candidate_prices)
+            if current_supply > 0
+            else (0.0, 0.0)
+        )
+        new_price, new_value = self.best_price(current_supply + 1, candidate_prices)
+        return new_price, max(0.0, new_value - old_value)
+
+    def saturated(self, supply: int) -> bool:
+        """Whether additional supply can no longer increase Eq. (1)."""
+        return supply >= self.num_tasks
+
+
+__all__ = [
+    "GridMarket",
+    "demand_curve_value",
+    "supply_curve_value",
+    "revenue_approximation",
+]

@@ -1,0 +1,135 @@
+"""Core market entities: spatial tasks and crowd workers.
+
+These are deliberately small, immutable records.  All behaviour (pricing,
+matching, acceptance) lives in the algorithms that consume them, which
+keeps the entities serialisable and easy to generate in bulk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Union
+
+from repro.spatial.geometry import DistanceMetric, Point, resolve_metric
+
+
+@dataclass(frozen=True)
+class Task:
+    """A spatial task ``r = <t, ori_r, des_r>`` issued by a requester.
+
+    Attributes:
+        task_id: Unique identifier of the task (and of its requester; the
+            paper uses ``r`` for both).
+        period: Time period ``t`` at which the task is issued.
+        origin: Pick-up / start location ``ori_r``.
+        destination: Drop-off / end location ``des_r``.
+        distance: Travel distance ``d_r`` from origin to destination.  The
+            platform earns ``d_r * p`` when the task is served at unit
+            price ``p``.  If not given, it is computed with ``metric``.
+        valuation: The requester's private valuation ``v_r`` (maximum unit
+            price he/she accepts).  Hidden from the platform; carried on
+            the record so the simulator can answer price offers.  ``None``
+            for tasks whose acceptance is governed by an external
+            :class:`~repro.market.acceptance.AcceptanceModel`.
+        grid_index: Cached 1-based index of the grid cell containing the
+            origin (filled in by the workload generator / simulator).
+    """
+
+    task_id: int
+    period: int
+    origin: Point
+    destination: Point
+    distance: float = -1.0
+    valuation: Optional[float] = None
+    grid_index: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.distance < 0:
+            object.__setattr__(
+                self, "distance", self.origin.distance_to(self.destination)
+            )
+        if self.distance < 0:
+            raise ValueError("task distance must be non-negative")
+
+    def with_grid(self, grid_index: int) -> "Task":
+        """Return a copy annotated with the origin's grid cell index."""
+        return replace(self, grid_index=grid_index)
+
+    def with_valuation(self, valuation: float) -> "Task":
+        """Return a copy with the private valuation set."""
+        return replace(self, valuation=float(valuation))
+
+    def accepts(self, unit_price: float) -> bool:
+        """Whether the requester accepts ``unit_price``.
+
+        The paper defines acceptance as ``p <= v_r`` (the requester accepts
+        any price not exceeding the private valuation).
+
+        Raises:
+            ValueError: if the task has no valuation attached.
+        """
+        if self.valuation is None:
+            raise ValueError(
+                f"task {self.task_id} has no private valuation; "
+                "use an AcceptanceModel to decide acceptance"
+            )
+        return unit_price <= self.valuation
+
+    def revenue_at(self, unit_price: float) -> float:
+        """Platform revenue ``d_r * p`` if this task is served at ``p``."""
+        return self.distance * unit_price
+
+
+@dataclass(frozen=True)
+class Worker:
+    """A crowd worker ``w = <t, l_w, a_w>``.
+
+    Attributes:
+        worker_id: Unique identifier.
+        period: Time period from which the worker is available.
+        location: Initial location ``l_w``.
+        radius: Service radius ``a_w`` of the range constraint: the worker
+            can serve a task only if the task's origin is within ``radius``
+            of ``location``.
+        duration: Number of consecutive periods the worker stays available
+            (the real-data experiments vary this as ``delta_w``). ``None``
+            means the worker remains available until matched.
+    """
+
+    worker_id: int
+    period: int
+    location: Point
+    radius: float
+    duration: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.radius < 0:
+            raise ValueError("worker radius must be non-negative")
+        if self.duration is not None and self.duration <= 0:
+            raise ValueError("worker duration must be positive when given")
+
+    def can_serve(
+        self, task: Task, metric: Union[str, DistanceMetric] = "euclidean"
+    ) -> bool:
+        """Range constraint check: ``dist(ori_r, l_w) <= a_w``."""
+        distance = resolve_metric(metric)(self.location, task.origin)
+        return distance <= self.radius
+
+    def available_in(self, period: int) -> bool:
+        """Whether the worker is available during ``period``."""
+        if period < self.period:
+            return False
+        if self.duration is None:
+            return True
+        return period < self.period + self.duration
+
+    def relocated(self, new_location: Point, period: Optional[int] = None) -> "Worker":
+        """Return a copy of this worker at a new location (after a trip)."""
+        return replace(
+            self,
+            location=new_location,
+            period=self.period if period is None else period,
+        )
+
+
+__all__ = ["Task", "Worker"]

@@ -1,0 +1,189 @@
+"""Task–worker bipartite graph under the range constraint.
+
+The probabilistic bipartite graph of Definition 5 has tasks on the left,
+workers on the right, and an edge ``(r, w)`` whenever task ``r``'s origin
+lies within worker ``w``'s service radius.  The instantiation of the graph
+(which tasks accepted their price) happens later; this module only deals
+with the structural graph, which is what MAPS needs for its pre-matching
+and what the simulator needs to compute realized revenue.
+
+Edges can be built either by a brute-force scan (fine for tests and small
+instances) or through the grid spatial index (the default for the
+simulator, which needs to scale to hundreds of thousands of nodes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.market.entities import Task, Worker
+from repro.spatial.geometry import DistanceMetric, resolve_metric
+from repro.spatial.grid import Grid
+from repro.spatial.index import GridSpatialIndex
+
+
+@dataclass
+class BipartiteGraph:
+    """Adjacency structure between tasks (left) and workers (right).
+
+    Attributes:
+        tasks: The tasks, indexed by their position in this list.
+        workers: The workers, indexed by their position in this list.
+        task_neighbors: ``task_neighbors[i]`` is the sorted list of worker
+            positions adjacent to task ``i``.
+        worker_neighbors: ``worker_neighbors[j]`` is the sorted list of
+            task positions adjacent to worker ``j``.
+    """
+
+    tasks: List[Task]
+    workers: List[Worker]
+    task_neighbors: List[List[int]] = field(default_factory=list)
+    worker_neighbors: List[List[int]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.task_neighbors:
+            self.task_neighbors = [[] for _ in self.tasks]
+        if not self.worker_neighbors:
+            self.worker_neighbors = [[] for _ in self.workers]
+        if len(self.task_neighbors) != len(self.tasks):
+            raise ValueError("task_neighbors length must match tasks")
+        if len(self.worker_neighbors) != len(self.workers):
+            raise ValueError("worker_neighbors length must match workers")
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def num_tasks(self) -> int:
+        return len(self.tasks)
+
+    @property
+    def num_workers(self) -> int:
+        return len(self.workers)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(adj) for adj in self.task_neighbors)
+
+    def has_edge(self, task_pos: int, worker_pos: int) -> bool:
+        return worker_pos in self.task_neighbors[task_pos]
+
+    def edges(self) -> Iterable[Tuple[int, int]]:
+        """Yield edges as ``(task_position, worker_position)`` pairs."""
+        for task_pos, adjacency in enumerate(self.task_neighbors):
+            for worker_pos in adjacency:
+                yield (task_pos, worker_pos)
+
+    def degree_of_task(self, task_pos: int) -> int:
+        return len(self.task_neighbors[task_pos])
+
+    def degree_of_worker(self, worker_pos: int) -> int:
+        return len(self.worker_neighbors[worker_pos])
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add_edge(self, task_pos: int, worker_pos: int) -> None:
+        """Add an edge; duplicates are ignored."""
+        if not 0 <= task_pos < self.num_tasks:
+            raise IndexError(f"task position {task_pos} out of range")
+        if not 0 <= worker_pos < self.num_workers:
+            raise IndexError(f"worker position {worker_pos} out of range")
+        if worker_pos not in self.task_neighbors[task_pos]:
+            self.task_neighbors[task_pos].append(worker_pos)
+            self.worker_neighbors[worker_pos].append(task_pos)
+
+    # ------------------------------------------------------------------
+    # grid-level views
+    # ------------------------------------------------------------------
+    def tasks_in_grid(self, grid_index: int) -> List[int]:
+        """Positions of tasks whose (cached) grid index equals ``grid_index``."""
+        return [
+            pos for pos, task in enumerate(self.tasks) if task.grid_index == grid_index
+        ]
+
+    def tasks_by_grid(self) -> Dict[int, List[int]]:
+        """Mapping grid index -> positions of tasks in that grid."""
+        buckets: Dict[int, List[int]] = {}
+        for pos, task in enumerate(self.tasks):
+            if task.grid_index is None:
+                raise ValueError(
+                    f"task {task.task_id} has no grid index; "
+                    "annotate tasks before building grid views"
+                )
+            buckets.setdefault(task.grid_index, []).append(pos)
+        return buckets
+
+    def subgraph_for_tasks(self, task_positions: Sequence[int]) -> "BipartiteGraph":
+        """Induced subgraph keeping only the given tasks (all workers kept).
+
+        The returned graph re-indexes tasks to ``0..len(task_positions)-1``
+        while worker positions are preserved, which is what the realized
+        revenue computation needs (only accepted tasks remain).
+        """
+        keep = list(task_positions)
+        new_tasks = [self.tasks[pos] for pos in keep]
+        new_task_neighbors = [sorted(self.task_neighbors[pos]) for pos in keep]
+        new_worker_neighbors: List[List[int]] = [[] for _ in self.workers]
+        for new_pos, adjacency in enumerate(new_task_neighbors):
+            for worker_pos in adjacency:
+                new_worker_neighbors[worker_pos].append(new_pos)
+        return BipartiteGraph(
+            tasks=new_tasks,
+            workers=list(self.workers),
+            task_neighbors=new_task_neighbors,
+            worker_neighbors=new_worker_neighbors,
+        )
+
+
+def build_bipartite_graph(
+    tasks: Sequence[Task],
+    workers: Sequence[Worker],
+    metric: Union[str, DistanceMetric] = "euclidean",
+    grid: Optional[Grid] = None,
+    use_index: bool = True,
+) -> BipartiteGraph:
+    """Build the range-constrained bipartite graph.
+
+    Args:
+        tasks: Tasks of the period (left side).
+        workers: Available workers of the period (right side).
+        metric: Distance metric for the range constraint.
+        grid: Optional grid for spatial-index acceleration.  Required when
+            ``use_index`` is True and there is at least one task.
+        use_index: When True (and ``grid`` is given) tasks are bucketed in a
+            :class:`GridSpatialIndex` and each worker issues a circular
+            range query; otherwise an all-pairs scan is used.
+
+    Returns:
+        The :class:`BipartiteGraph` with an edge for every
+        ``(task, worker)`` pair satisfying the range constraint.
+    """
+    graph = BipartiteGraph(tasks=list(tasks), workers=list(workers))
+    if not tasks or not workers:
+        return graph
+    metric_fn = resolve_metric(metric)
+
+    if use_index and grid is not None:
+        index: GridSpatialIndex[int] = GridSpatialIndex(grid, metric=metric_fn)
+        for pos, task in enumerate(graph.tasks):
+            index.insert(pos, task.origin)
+        for worker_pos, worker in enumerate(graph.workers):
+            for task_pos, _distance in index.query_circle(worker.location, worker.radius):
+                graph.add_edge(task_pos, worker_pos)
+    else:
+        for worker_pos, worker in enumerate(graph.workers):
+            for task_pos, task in enumerate(graph.tasks):
+                if metric_fn(worker.location, task.origin) <= worker.radius:
+                    graph.add_edge(task_pos, worker_pos)
+
+    # Keep adjacency deterministic regardless of construction order.
+    for adjacency in graph.task_neighbors:
+        adjacency.sort()
+    for adjacency in graph.worker_neighbors:
+        adjacency.sort()
+    return graph
+
+
+__all__ = ["BipartiteGraph", "build_bipartite_graph"]

@@ -1,0 +1,198 @@
+"""Incremental augmenting-path matcher (the MAPS pre-matching).
+
+Algorithm 2 maintains a *pre-matching* ``M'``: every time the planner wants
+to raise the supply ``n^{tg}`` of a grid by one, it must check that an
+additional, not-yet-assigned task of that grid can actually be matched to a
+free worker (possibly after re-routing existing assignments along an
+augmenting path).  If no augmenting path exists the grid's marginal gain is
+forced to zero and the grid drops out of the supply competition.
+
+:class:`IncrementalMatcher` wraps that logic: it owns the matching state,
+answers "can grid g absorb one more worker?" queries by searching an
+augmenting path from any unmatched task of the grid, and commits the path
+when the planner admits the supply increase.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.matching.bipartite import BipartiteGraph
+from repro.matching.maximum_matching import UNMATCHED
+
+
+class IncrementalMatcher:
+    """Maintains a matching of the task–worker graph under augmentation.
+
+    The matcher never removes matched pairs; it only grows the matching
+    one augmenting path at a time, which mirrors lines 10 and 16 of
+    Algorithm 2.
+
+    Args:
+        graph: Structural bipartite graph of the current period.
+    """
+
+    def __init__(self, graph: BipartiteGraph) -> None:
+        self._graph = graph
+        self._match_task: List[int] = [UNMATCHED] * graph.num_tasks
+        self._match_worker: List[int] = [UNMATCHED] * graph.num_workers
+        # Task positions grouped by grid, computed lazily on first use.
+        self._grid_tasks: Optional[Dict[int, List[int]]] = None
+
+    # ------------------------------------------------------------------
+    # read-only views
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> BipartiteGraph:
+        return self._graph
+
+    @property
+    def size(self) -> int:
+        """Number of matched pairs."""
+        return sum(1 for worker in self._match_task if worker != UNMATCHED)
+
+    def matching(self) -> Dict[int, int]:
+        """Current matching as ``{task_position: worker_position}``."""
+        return {
+            task_pos: worker_pos
+            for task_pos, worker_pos in enumerate(self._match_task)
+            if worker_pos != UNMATCHED
+        }
+
+    def worker_of(self, task_pos: int) -> Optional[int]:
+        worker = self._match_task[task_pos]
+        return None if worker == UNMATCHED else worker
+
+    def task_of(self, worker_pos: int) -> Optional[int]:
+        task = self._match_worker[worker_pos]
+        return None if task == UNMATCHED else task
+
+    def is_task_matched(self, task_pos: int) -> bool:
+        return self._match_task[task_pos] != UNMATCHED
+
+    def matched_tasks_in_grid(self, grid_index: int) -> List[int]:
+        return [
+            pos for pos in self._tasks_of_grid(grid_index) if self.is_task_matched(pos)
+        ]
+
+    def unmatched_tasks_in_grid(self, grid_index: int) -> List[int]:
+        return [
+            pos
+            for pos in self._tasks_of_grid(grid_index)
+            if not self.is_task_matched(pos)
+        ]
+
+    # ------------------------------------------------------------------
+    # augmentation
+    # ------------------------------------------------------------------
+    def can_augment_grid(self, grid_index: int) -> bool:
+        """Whether some unmatched task of the grid admits an augmenting path.
+
+        Does not modify the matching.
+        """
+        return self._find_grid_augmenting_path(grid_index) is not None
+
+    def augment_grid(self, grid_index: int) -> Optional[int]:
+        """Admit one more supply unit for the grid, if feasible.
+
+        Searches an augmenting path starting from any unmatched task of the
+        grid and, if found, applies it.
+
+        Returns:
+            The task position that became matched, or ``None`` if no
+            augmenting path exists (the grid is saturated).
+        """
+        result = self._find_grid_augmenting_path(grid_index)
+        if result is None:
+            return None
+        start_task, path = result
+        self._apply_path(path)
+        return start_task
+
+    def augment_task(self, task_pos: int) -> bool:
+        """Try to match a specific task (used by tests and by baselines)."""
+        if self.is_task_matched(task_pos):
+            return True
+        path = self._find_augmenting_path(task_pos)
+        if path is None:
+            return False
+        self._apply_path(path)
+        return True
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _tasks_of_grid(self, grid_index: int) -> List[int]:
+        if self._grid_tasks is None:
+            self._grid_tasks = {}
+            for pos, task in enumerate(self._graph.tasks):
+                if task.grid_index is None:
+                    raise ValueError(
+                        f"task {task.task_id} has no grid index; annotate tasks first"
+                    )
+                self._grid_tasks.setdefault(task.grid_index, []).append(pos)
+        return self._grid_tasks.get(grid_index, [])
+
+    def _find_grid_augmenting_path(
+        self, grid_index: int
+    ) -> Optional[Tuple[int, List[Tuple[int, int]]]]:
+        for task_pos in self._tasks_of_grid(grid_index):
+            if self.is_task_matched(task_pos):
+                continue
+            path = self._find_augmenting_path(task_pos)
+            if path is not None:
+                return task_pos, path
+        return None
+
+    def _find_augmenting_path(self, start_task: int) -> Optional[List[Tuple[int, int]]]:
+        """DFS for an augmenting path; returns the (task, worker) pairs to set.
+
+        The returned list alternates along the path so that applying every
+        pair (in order) flips matched/unmatched edges correctly.
+        """
+        visited_workers: Set[int] = set()
+        path: List[Tuple[int, int]] = []
+
+        def dfs(task_pos: int) -> bool:
+            for worker_pos in self._graph.task_neighbors[task_pos]:
+                if worker_pos in visited_workers:
+                    continue
+                visited_workers.add(worker_pos)
+                current_task = self._match_worker[worker_pos]
+                if current_task == UNMATCHED or dfs(current_task):
+                    path.append((task_pos, worker_pos))
+                    return True
+            return False
+
+        if dfs(start_task):
+            return path
+        return None
+
+    def _apply_path(self, path: Iterable[Tuple[int, int]]) -> None:
+        for task_pos, worker_pos in path:
+            self._match_task[task_pos] = worker_pos
+            self._match_worker[worker_pos] = task_pos
+
+    # ------------------------------------------------------------------
+    # validation helpers (used by tests)
+    # ------------------------------------------------------------------
+    def is_valid_matching(self) -> bool:
+        """Check mutual consistency and edge feasibility of the matching."""
+        for task_pos, worker_pos in enumerate(self._match_task):
+            if worker_pos == UNMATCHED:
+                continue
+            if self._match_worker[worker_pos] != task_pos:
+                return False
+            if worker_pos not in self._graph.task_neighbors[task_pos]:
+                return False
+        seen_workers: Set[int] = set()
+        for worker_pos in self._match_task:
+            if worker_pos == UNMATCHED:
+                continue
+            if worker_pos in seen_workers:
+                return False
+            seen_workers.add(worker_pos)
+        return True
+
+
+__all__ = ["IncrementalMatcher"]

@@ -1,0 +1,56 @@
+"""Pricing strategies evaluated in the paper (Section 5.1).
+
+All strategies implement the :class:`~repro.pricing.strategy.PricingStrategy`
+interface: per period they receive a :class:`~repro.core.gdp.PeriodInstance`
+and return one unit price per grid; after the period the simulator feeds
+back which offers were accepted so learning strategies can update their
+estimates.
+
+Shipped strategies:
+
+* :class:`~repro.pricing.maps_strategy.MAPSStrategy` — the paper's
+  contribution (Algorithms 2–3 on top of the base price);
+* :class:`~repro.pricing.base_price.BasePriceStrategy` — "BaseP", the
+  unified base price of Algorithm 1 for every grid;
+* :class:`~repro.pricing.sdr.SDRStrategy` — supply/demand-ratio heuristic;
+* :class:`~repro.pricing.sde.SDEStrategy` — supply/demand exponential
+  heuristic;
+* :class:`~repro.pricing.capped_ucb.CappedUCBStrategy` — the per-grid
+  limited-supply posted-price mechanism of Babaioff et al. applied to each
+  grid independently;
+* :class:`~repro.pricing.myerson.OracleMyersonStrategy` — a non-paper
+  oracle upper-line that prices each grid at the true Myerson reserve
+  price (requires ground-truth distributions; used in ablations).
+"""
+
+from repro.pricing.strategy import PricingStrategy, PriceFeedback
+from repro.pricing.base_price import BasePriceStrategy
+from repro.pricing.sdr import SDRStrategy
+from repro.pricing.sde import SDEStrategy
+from repro.pricing.capped_ucb import CappedUCBStrategy
+from repro.pricing.maps_strategy import MAPSStrategy
+from repro.pricing.myerson import OracleMyersonStrategy
+from repro.pricing.registry import available_strategies, create_strategy
+from repro.pricing.smoothing import (
+    PriceCap,
+    PricePostProcessor,
+    SmoothedStrategy,
+    SpatialSmoother,
+)
+
+__all__ = [
+    "PricePostProcessor",
+    "PriceCap",
+    "SpatialSmoother",
+    "SmoothedStrategy",
+    "PricingStrategy",
+    "PriceFeedback",
+    "BasePriceStrategy",
+    "SDRStrategy",
+    "SDEStrategy",
+    "CappedUCBStrategy",
+    "MAPSStrategy",
+    "OracleMyersonStrategy",
+    "available_strategies",
+    "create_strategy",
+]

@@ -1,0 +1,51 @@
+"""BaseP — the unified base price strategy (Section 3, baseline 1).
+
+BaseP quotes the same price ``p_b`` (the output of Algorithm 1) for every
+grid in every period.  It is optimal when supply is sufficient everywhere
+and the per-grid Myerson reserve prices are similar, and it is the starting
+point MAPS refines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.base_pricing import BasePricingResult
+from repro.core.gdp import PeriodInstance
+from repro.pricing.strategy import PricingStrategy
+
+
+class BasePriceStrategy(PricingStrategy):
+    """Quote the calibrated base price ``p_b`` for every grid.
+
+    Args:
+        base_price: The base price, typically
+            :attr:`repro.core.base_pricing.BasePricingResult.base_price`.
+        p_min: Lower clamp for quoted prices.
+        p_max: Upper clamp for quoted prices.
+    """
+
+    name = "BaseP"
+
+    def __init__(self, base_price: float, p_min: float = 1.0, p_max: float = 5.0) -> None:
+        if p_min <= 0 or p_max < p_min:
+            raise ValueError("need 0 < p_min <= p_max")
+        self.p_min = float(p_min)
+        self.p_max = float(p_max)
+        self.base_price = self.clamp_price(base_price, self.p_min, self.p_max)
+
+    @classmethod
+    def from_calibration(
+        cls, calibration: BasePricingResult, p_min: float = 1.0, p_max: float = 5.0
+    ) -> "BasePriceStrategy":
+        """Build the strategy directly from an Algorithm 1 result."""
+        return cls(calibration.base_price, p_min=p_min, p_max=p_max)
+
+    def price_period(self, instance: PeriodInstance) -> Dict[int, float]:
+        return {
+            grid_index: self.base_price
+            for grid_index in instance.grid_indices_with_tasks()
+        }
+
+
+__all__ = ["BasePriceStrategy"]

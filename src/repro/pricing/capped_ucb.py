@@ -1,0 +1,99 @@
+"""CappedUCB — per-grid limited-supply posted pricing (Section 5.1, baseline 4).
+
+CappedUCB is the state-of-the-art single-market posted-price mechanism of
+Babaioff et al. applied to every grid independently: each grid ``g`` is a
+market with ``|R^{tg}|`` requesters and ``|W^{tg}|`` co-located workers,
+and the quoted price maximises
+
+    min( |R^{tg}| * p * S^g(p) ,  |W^{tg}| * p )
+
+which is Eq. (1) with every travel distance set to 1 and the supply fixed
+to the number of workers located in the grid.  The acceptance ratio is
+learned with the same UCB index as MAPS, so the comparison isolates the
+effect of MAPS's global supply allocation (CappedUCB ignores that one
+worker could serve several grids and that travel distances differ).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.core.gdp import PeriodInstance
+from repro.learning.estimator import GridAcceptanceEstimator
+from repro.learning.sampling import price_ladder
+from repro.learning.ucb import ucb_index
+from repro.pricing.strategy import PriceFeedback, PricingStrategy
+
+
+class CappedUCBStrategy(PricingStrategy):
+    """Per-grid capped UCB posted pricing.
+
+    Args:
+        p_min: Lower bound of the candidate price ladder.
+        p_max: Upper bound of the candidate price ladder.
+        alpha: Geometric step of the ladder (shared with MAPS so the two
+            strategies search the same price set).
+    """
+
+    name = "CappedUCB"
+
+    def __init__(self, p_min: float = 1.0, p_max: float = 5.0, alpha: float = 0.5) -> None:
+        if p_min <= 0 or p_max < p_min:
+            raise ValueError("need 0 < p_min <= p_max")
+        if alpha <= 0:
+            raise ValueError("alpha must be positive")
+        self.p_min = float(p_min)
+        self.p_max = float(p_max)
+        self.alpha = float(alpha)
+        self._ladder = price_ladder(self.p_min, self.p_max, self.alpha)
+        self._estimators: Dict[int, GridAcceptanceEstimator] = {}
+
+    # ------------------------------------------------------------------
+    # PricingStrategy interface
+    # ------------------------------------------------------------------
+    def price_period(self, instance: PeriodInstance) -> Dict[int, float]:
+        prices: Dict[int, float] = {}
+        for grid_index in instance.grid_indices_with_tasks():
+            demand = len(instance.tasks_by_grid.get(grid_index, []))
+            supply = instance.workers_by_grid.get(grid_index, 0)
+            estimator = self._estimator_for(grid_index)
+            # Unit distances: C = |R^{tg}|, D = min(|W^{tg}|, |R^{tg}|).
+            demand_coefficient = float(demand)
+            supply_coefficient = float(min(supply, demand))
+            if demand_coefficient == 0.0:
+                prices[grid_index] = self.p_min
+                continue
+            price, _ = ucb_index(
+                estimator.snapshots(),
+                estimator.total_offers,
+                demand_coefficient,
+                supply_coefficient,
+            )
+            prices[grid_index] = self.clamp_price(price, self.p_min, self.p_max)
+        return prices
+
+    def observe_feedback(self, feedback: Sequence[PriceFeedback]) -> None:
+        for item in feedback:
+            estimator = self._estimator_for(item.grid_index)
+            try:
+                estimator.record(item.price, item.accepted)
+            except KeyError:
+                # Prices quoted by other mechanisms (e.g. during warm-up)
+                # may be off-ladder; nearest-ladder attribution keeps the
+                # statistics usable.
+                nearest = min(self._ladder, key=lambda p: abs(p - item.price))
+                estimator.record(nearest, item.accepted)
+
+    def reset(self) -> None:
+        self._estimators.clear()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _estimator_for(self, grid_index: int) -> GridAcceptanceEstimator:
+        if grid_index not in self._estimators:
+            self._estimators[grid_index] = GridAcceptanceEstimator(grid_index, self._ladder)
+        return self._estimators[grid_index]
+
+
+__all__ = ["CappedUCBStrategy"]

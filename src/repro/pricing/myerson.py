@@ -1,0 +1,74 @@
+"""Oracle Myerson pricing — an upper-line for ablation studies.
+
+Not a baseline of the paper: this strategy is given the *true* per-grid
+valuation distributions and quotes the exact Myerson reserve price of each
+grid (the price BaseP and MAPS try to learn).  Comparing learned strategies
+against it quantifies how much revenue is lost to demand estimation, as
+opposed to supply allocation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.core.gdp import PeriodInstance
+from repro.market.valuation import ValuationDistribution
+from repro.pricing.strategy import PricingStrategy
+
+
+class OracleMyersonStrategy(PricingStrategy):
+    """Quote each grid's true Myerson reserve price.
+
+    Args:
+        distributions: Ground-truth valuation distribution per grid index.
+        default: Distribution for grids missing from ``distributions``.
+        p_min: Lower clamp for quoted prices.
+        p_max: Upper clamp for quoted prices.
+    """
+
+    name = "OracleMyerson"
+
+    def __init__(
+        self,
+        distributions: Mapping[int, ValuationDistribution],
+        default: Optional[ValuationDistribution] = None,
+        p_min: float = 1.0,
+        p_max: float = 5.0,
+    ) -> None:
+        if p_min <= 0 or p_max < p_min:
+            raise ValueError("need 0 < p_min <= p_max")
+        if not distributions and default is None:
+            raise ValueError("provide per-grid distributions or a default")
+        self.p_min = float(p_min)
+        self.p_max = float(p_max)
+        self._distributions = dict(distributions)
+        self._default = default
+        self._cache: Dict[int, float] = {}
+
+    def price_period(self, instance: PeriodInstance) -> Dict[int, float]:
+        prices: Dict[int, float] = {}
+        for grid_index in instance.grid_indices_with_tasks():
+            prices[grid_index] = self._reserve_price(grid_index)
+        return prices
+
+    def reset(self) -> None:
+        self._cache.clear()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _reserve_price(self, grid_index: int) -> float:
+        if grid_index not in self._cache:
+            distribution = self._distributions.get(grid_index, self._default)
+            if distribution is None:
+                raise KeyError(
+                    f"no valuation distribution for grid {grid_index} and no default"
+                )
+            reserve = distribution.myerson_reserve_price(
+                price_range=(self.p_min, self.p_max)
+            )
+            self._cache[grid_index] = self.clamp_price(reserve, self.p_min, self.p_max)
+        return self._cache[grid_index]
+
+
+__all__ = ["OracleMyersonStrategy"]

@@ -1,0 +1,78 @@
+"""Strategy registry used by the experiment harness.
+
+The benchmark harness iterates over strategy names ("MAPS", "BaseP", ...)
+and needs to instantiate each with a consistent set of shared parameters
+(base price, price bounds, ladder step).  :func:`create_strategy` is the
+single factory the harness uses; :func:`available_strategies` lists the
+names of the five strategies compared in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.base_pricing import BasePricingResult
+from repro.pricing.base_price import BasePriceStrategy
+from repro.pricing.capped_ucb import CappedUCBStrategy
+from repro.pricing.maps_strategy import MAPSStrategy
+from repro.pricing.sde import SDEStrategy
+from repro.pricing.sdr import SDRStrategy
+from repro.pricing.strategy import PricingStrategy
+
+#: The five strategies of Section 5.1, in the paper's plotting order.
+PAPER_STRATEGIES: List[str] = ["MAPS", "BaseP", "SDR", "SDE", "CappedUCB"]
+
+
+def available_strategies() -> List[str]:
+    """Names of the strategies compared in the paper's evaluation."""
+    return list(PAPER_STRATEGIES)
+
+
+def create_strategy(
+    name: str,
+    base_price: float,
+    p_min: float = 1.0,
+    p_max: float = 5.0,
+    alpha: float = 0.5,
+    calibration: Optional[BasePricingResult] = None,
+    **overrides,
+) -> PricingStrategy:
+    """Instantiate a strategy by name with shared parameters.
+
+    Args:
+        name: One of ``MAPS``, ``BaseP``, ``SDR``, ``SDE``, ``CappedUCB``
+            (case-insensitive).
+        base_price: The calibrated base price ``p_b`` shared by BaseP, SDR,
+            SDE and MAPS.
+        p_min: Lower price bound.
+        p_max: Upper price bound.
+        alpha: Ladder step for UCB-based strategies.
+        calibration: Optional full Algorithm 1 result; when given, MAPS is
+            warm-started from its statistics.
+        **overrides: Extra keyword arguments forwarded to the strategy
+            constructor (e.g. ``coefficient`` for SDR).
+
+    Raises:
+        ValueError: for unknown strategy names.
+    """
+    key = name.strip().lower()
+    if key == "maps":
+        if calibration is not None and "warm_start" not in overrides:
+            overrides["warm_start"] = calibration
+        return MAPSStrategy(
+            base_price=base_price, p_min=p_min, p_max=p_max, alpha=alpha, **overrides
+        )
+    if key in ("basep", "base", "base_price"):
+        return BasePriceStrategy(base_price=base_price, p_min=p_min, p_max=p_max, **overrides)
+    if key == "sdr":
+        return SDRStrategy(base_price=base_price, p_min=p_min, p_max=p_max, **overrides)
+    if key == "sde":
+        return SDEStrategy(base_price=base_price, p_min=p_min, p_max=p_max, **overrides)
+    if key in ("cappeducb", "capped_ucb", "capped-ucb"):
+        return CappedUCBStrategy(p_min=p_min, p_max=p_max, alpha=alpha, **overrides)
+    raise ValueError(
+        f"unknown strategy {name!r}; available: {', '.join(PAPER_STRATEGIES)}"
+    )
+
+
+__all__ = ["PAPER_STRATEGIES", "available_strategies", "create_strategy"]

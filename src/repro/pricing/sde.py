@@ -1,0 +1,66 @@
+"""SDE — pricing by the supply/demand difference (Section 5.1, baseline 3).
+
+SDE inflates the base price with an exponential of the supply deficit:
+
+    p^{tg} = p_b * (1 + scale * e^{|W^{tg}| - |R^{tg}|})   if |R^{tg}| > |W^{tg}|
+    p^{tg} = p_b                                           otherwise
+
+The paper uses ``scale = 2``.  Because the exponent is negative whenever
+the branch applies (supply smaller than demand), the multiplier lies in
+``(1, 1 + scale)`` and shrinks as the deficit grows — SDE reacts to *any*
+shortage but barely differentiates mild from severe shortages, which is
+why it trails the other strategies in most of the paper's plots.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from repro.core.gdp import PeriodInstance
+from repro.pricing.strategy import PricingStrategy
+
+
+class SDEStrategy(PricingStrategy):
+    """Supply-demand exponential pricing heuristic.
+
+    Args:
+        base_price: The calibrated base price ``p_b``.
+        scale: Multiplier on the exponential term (paper: 2).
+        p_min: Lower clamp for quoted prices.
+        p_max: Upper clamp for quoted prices.
+    """
+
+    name = "SDE"
+
+    def __init__(
+        self,
+        base_price: float,
+        scale: float = 2.0,
+        p_min: float = 1.0,
+        p_max: float = 5.0,
+    ) -> None:
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        if p_min <= 0 or p_max < p_min:
+            raise ValueError("need 0 < p_min <= p_max")
+        self.p_min = float(p_min)
+        self.p_max = float(p_max)
+        self.base_price = self.clamp_price(base_price, self.p_min, self.p_max)
+        self.scale = float(scale)
+
+    def price_period(self, instance: PeriodInstance) -> Dict[int, float]:
+        prices: Dict[int, float] = {}
+        for grid_index in instance.grid_indices_with_tasks():
+            demand = len(instance.tasks_by_grid.get(grid_index, []))
+            supply = instance.workers_by_grid.get(grid_index, 0)
+            if demand > supply:
+                deficit_exponent = supply - demand  # negative by construction
+                price = self.base_price * (1.0 + self.scale * math.exp(deficit_exponent))
+            else:
+                price = self.base_price
+            prices[grid_index] = self.clamp_price(price, self.p_min, self.p_max)
+        return prices
+
+
+__all__ = ["SDEStrategy"]

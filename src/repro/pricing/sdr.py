@@ -1,0 +1,68 @@
+"""SDR — pricing by the supply/demand ratio (Section 5.1, baseline 2).
+
+SDR raises the price of a grid proportionally to how much demand exceeds
+supply:
+
+    p^{tg} = coefficient * p_b * |R^{tg}| / |W^{tg}|   if |R^{tg}| > |W^{tg}|
+    p^{tg} = p_b                                        otherwise
+
+The paper empirically sets ``coefficient = 0.5``.  ``|W^{tg}|`` counts the
+workers *located in* grid ``g`` (the heuristic ignores that a worker can
+also serve neighbouring grids, which is exactly the weakness MAPS fixes).
+A grid with demand but no co-located workers has an infinite ratio; the
+price is then clamped to ``p_max``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.gdp import PeriodInstance
+from repro.pricing.strategy import PricingStrategy
+
+
+class SDRStrategy(PricingStrategy):
+    """Supply-demand-ratio pricing heuristic.
+
+    Args:
+        base_price: The calibrated base price ``p_b``.
+        coefficient: Multiplier on the ratio term (paper: 0.5).
+        p_min: Lower clamp for quoted prices.
+        p_max: Upper clamp for quoted prices.
+    """
+
+    name = "SDR"
+
+    def __init__(
+        self,
+        base_price: float,
+        coefficient: float = 0.5,
+        p_min: float = 1.0,
+        p_max: float = 5.0,
+    ) -> None:
+        if coefficient <= 0:
+            raise ValueError("coefficient must be positive")
+        if p_min <= 0 or p_max < p_min:
+            raise ValueError("need 0 < p_min <= p_max")
+        self.p_min = float(p_min)
+        self.p_max = float(p_max)
+        self.base_price = self.clamp_price(base_price, self.p_min, self.p_max)
+        self.coefficient = float(coefficient)
+
+    def price_period(self, instance: PeriodInstance) -> Dict[int, float]:
+        prices: Dict[int, float] = {}
+        for grid_index in instance.grid_indices_with_tasks():
+            demand = len(instance.tasks_by_grid.get(grid_index, []))
+            supply = instance.workers_by_grid.get(grid_index, 0)
+            if demand > supply:
+                if supply == 0:
+                    price = self.p_max
+                else:
+                    price = self.coefficient * self.base_price * demand / supply
+            else:
+                price = self.base_price
+            prices[grid_index] = self.clamp_price(price, self.p_min, self.p_max)
+        return prices
+
+
+__all__ = ["SDRStrategy"]

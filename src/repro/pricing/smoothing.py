@@ -1,0 +1,165 @@
+"""Price post-processing: caps and spatial smoothing (Section 4.2.3, notes).
+
+The paper closes Section 4.2.3 with two practical notes:
+
+  (i) MAPS tends to set a higher unit price for regions where workers are
+      insufficient, which doubles as an incentive for drivers to relocate;
+ (ii) "A cap on the unit prices can be setting bounded prices.  Spatial
+      smoothing can also be integrated to reduce the gap of unit prices
+      among neighbouring grids."
+
+This module implements note (ii) as composable post-processors that wrap
+any :class:`~repro.pricing.strategy.PricingStrategy`:
+
+* :class:`PriceCap` — clamp every quoted price into ``[floor, cap]``;
+* :class:`SpatialSmoother` — bring each grid's price closer to the average
+  of its neighbours, bounding the price gap across a cell boundary;
+* :class:`SmoothedStrategy` — a strategy decorator applying a pipeline of
+  post-processors while forwarding learning feedback to the inner strategy.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.gdp import PeriodInstance
+from repro.pricing.strategy import PriceFeedback, PricingStrategy
+from repro.spatial.grid import Grid
+
+
+class PricePostProcessor(ABC):
+    """Transforms a per-grid price vector after a strategy proposed it."""
+
+    @abstractmethod
+    def apply(self, prices: Dict[int, float], instance: PeriodInstance) -> Dict[int, float]:
+        """Return the adjusted prices (must not mutate the input)."""
+
+
+class PriceCap(PricePostProcessor):
+    """Clamp all prices into ``[floor, cap]`` (practical note (ii), first half).
+
+    Args:
+        cap: Maximum quotable unit price (e.g. a regulatory surge cap).
+        floor: Minimum quotable unit price.
+    """
+
+    def __init__(self, cap: float, floor: float = 0.0) -> None:
+        if cap <= 0:
+            raise ValueError("cap must be positive")
+        if floor < 0 or floor > cap:
+            raise ValueError("need 0 <= floor <= cap")
+        self.cap = float(cap)
+        self.floor = float(floor)
+
+    def apply(self, prices: Dict[int, float], instance: PeriodInstance) -> Dict[int, float]:
+        return {
+            grid_index: min(self.cap, max(self.floor, price))
+            for grid_index, price in prices.items()
+        }
+
+
+class SpatialSmoother(PricePostProcessor):
+    """Shrink each grid's price towards its neighbourhood average.
+
+    For every priced grid ``g`` the smoothed price is
+
+        (1 - weight) * p_g + weight * mean(p_h for h in N(g))
+
+    where ``N(g)`` are the (priced) neighbouring cells of ``g``.  With
+    ``weight = 0`` prices are unchanged; with ``weight = 1`` every grid
+    quotes its neighbourhood average.  Smoothing trades a little revenue for
+    a price surface without abrupt cliffs between adjacent cells — riders
+    standing a street apart should not see wildly different quotes.
+
+    Args:
+        weight: Mixing weight in ``[0, 1]``.
+        diagonal: Use the 8-neighbourhood (True) or the 4-neighbourhood.
+        iterations: Number of smoothing passes (more passes widen the
+            averaging stencil).
+    """
+
+    def __init__(self, weight: float = 0.3, diagonal: bool = True, iterations: int = 1) -> None:
+        if not 0.0 <= weight <= 1.0:
+            raise ValueError("weight must lie in [0, 1]")
+        if iterations <= 0:
+            raise ValueError("iterations must be positive")
+        self.weight = float(weight)
+        self.diagonal = bool(diagonal)
+        self.iterations = int(iterations)
+
+    def apply(self, prices: Dict[int, float], instance: PeriodInstance) -> Dict[int, float]:
+        grid = instance.grid
+        current = dict(prices)
+        for _ in range(self.iterations):
+            smoothed: Dict[int, float] = {}
+            for grid_index, price in current.items():
+                neighbour_prices = [
+                    current[n]
+                    for n in grid.neighbors(grid_index, diagonal=self.diagonal)
+                    if n in current
+                ]
+                if neighbour_prices:
+                    neighbourhood_mean = sum(neighbour_prices) / len(neighbour_prices)
+                    smoothed[grid_index] = (
+                        (1.0 - self.weight) * price + self.weight * neighbourhood_mean
+                    )
+                else:
+                    smoothed[grid_index] = price
+            current = smoothed
+        return current
+
+    def max_neighbour_gap(self, prices: Dict[int, float], grid: Grid) -> float:
+        """Largest absolute price difference across adjacent priced cells.
+
+        Used by tests and diagnostics to verify smoothing actually shrinks
+        the gaps.
+        """
+        gap = 0.0
+        for grid_index, price in prices.items():
+            for neighbour in grid.neighbors(grid_index, diagonal=self.diagonal):
+                if neighbour in prices:
+                    gap = max(gap, abs(price - prices[neighbour]))
+        return gap
+
+
+class SmoothedStrategy(PricingStrategy):
+    """Decorator applying post-processors to an inner strategy's prices.
+
+    The inner strategy still receives the raw accept/reject feedback, which
+    is generated under the *adjusted* prices; this mirrors production
+    systems where the learning layer observes the prices actually shown to
+    requesters.
+
+    Args:
+        inner: The wrapped strategy (e.g. :class:`MAPSStrategy`).
+        processors: Post-processors applied in order.
+        name: Optional display name (defaults to ``"<inner>+smooth"``).
+    """
+
+    def __init__(
+        self,
+        inner: PricingStrategy,
+        processors: Sequence[PricePostProcessor],
+        name: Optional[str] = None,
+    ) -> None:
+        if not processors:
+            raise ValueError("provide at least one post-processor")
+        self.inner = inner
+        self.processors: List[PricePostProcessor] = list(processors)
+        self.name = name or f"{inner.name}+smooth"
+
+    def price_period(self, instance: PeriodInstance) -> Dict[int, float]:
+        prices = self.inner.price_period(instance)
+        for processor in self.processors:
+            prices = processor.apply(prices, instance)
+        return prices
+
+    def observe_feedback(self, feedback: Sequence[PriceFeedback]) -> None:
+        self.inner.observe_feedback(feedback)
+
+    def reset(self) -> None:
+        self.inner.reset()
+
+
+__all__ = ["PricePostProcessor", "PriceCap", "SpatialSmoother", "SmoothedStrategy"]

@@ -1,0 +1,82 @@
+"""The pricing strategy interface shared by MAPS and all baselines.
+
+A strategy's life cycle inside the simulation engine is::
+
+    strategy.reset()
+    for each period t:
+        prices = strategy.price_period(instance_t)     # {grid: unit price}
+        ... simulator realises accept/reject + matching ...
+        strategy.observe_feedback(feedback_list_t)     # learning signal
+
+``price_period`` must return a price for every grid that has at least one
+task this period (prices for other grids are optional; the engine only
+offers prices to existing tasks).  ``observe_feedback`` receives one
+:class:`PriceFeedback` per task with the offered price and the requester's
+decision, which is exactly the information a real platform observes.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.core.gdp import PeriodInstance
+
+
+@dataclass(frozen=True)
+class PriceFeedback:
+    """Accept/reject feedback for one task of the just-finished period.
+
+    Attributes:
+        period: The time period of the offer.
+        grid_index: Grid cell of the task's origin.
+        price: The unit price that was offered.
+        accepted: Whether the requester accepted the price.
+        distance: The task's travel distance (useful for diagnostics).
+        served: Whether the task was actually served (accepted *and*
+            matched to a worker).  Strategies learn demand from
+            ``accepted``; ``served`` is reported for completeness.
+    """
+
+    period: int
+    grid_index: int
+    price: float
+    accepted: bool
+    distance: float
+    served: bool = False
+
+
+class PricingStrategy(ABC):
+    """Abstract base class of every pricing strategy."""
+
+    #: Human-readable name used in experiment reports (e.g. ``"MAPS"``).
+    name: str = "strategy"
+
+    @abstractmethod
+    def price_period(self, instance: PeriodInstance) -> Dict[int, float]:
+        """Return the unit price per grid index for this period."""
+
+    def observe_feedback(self, feedback: Sequence[PriceFeedback]) -> None:
+        """Receive accept/reject feedback for the just-priced period.
+
+        The default implementation ignores feedback (heuristics such as SDR
+        and SDE do not learn).
+        """
+
+    def reset(self) -> None:
+        """Clear any learned state before a fresh simulation run."""
+
+    # ------------------------------------------------------------------
+    # shared helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def clamp_price(price: float, p_min: float, p_max: float) -> float:
+        """Clamp a price into the quotable interval ``[p_min, p_max]``."""
+        return min(p_max, max(p_min, float(price)))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+__all__ = ["PricingStrategy", "PriceFeedback"]

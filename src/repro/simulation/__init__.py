@@ -1,0 +1,44 @@
+"""Simulation substrate: workload generation and the discrete-time engine.
+
+The paper's evaluation is simulation-based: tasks and workers are generated
+from configurable spatiotemporal distributions (Table 3), pricing
+strategies quote per-grid prices every period, requesters accept or reject
+according to their private valuations, and accepted tasks are served via a
+maximum-weight matching (Definition 5).  This subpackage implements that
+pipeline:
+
+* :mod:`repro.simulation.config` — dataclasses mirroring Table 3 (synthetic)
+  and Table 4 (Beijing-style) parameters, with the paper's defaults;
+* :mod:`repro.simulation.generator` — the synthetic workload generator;
+* :mod:`repro.simulation.taxi` — the synthetic Beijing taxi-trace generator
+  substituting the proprietary DiDi data (see DESIGN.md);
+* :mod:`repro.simulation.oracle` — the probe oracle backing Algorithm 1's
+  calibration against the ground-truth acceptance models;
+* :mod:`repro.simulation.engine` — the period-by-period simulation loop;
+* :mod:`repro.simulation.metrics` — revenue / runtime / memory bookkeeping.
+"""
+
+from repro.simulation.config import (
+    BeijingConfig,
+    SyntheticConfig,
+    WorkloadBundle,
+)
+from repro.simulation.generator import SyntheticWorkloadGenerator
+from repro.simulation.taxi import BeijingTaxiGenerator
+from repro.simulation.oracle import SimulatedProbeOracle
+from repro.simulation.engine import SimulationEngine, SimulationResult, PeriodOutcome
+from repro.simulation.metrics import MetricsCollector, StrategyMetrics
+
+__all__ = [
+    "SyntheticConfig",
+    "BeijingConfig",
+    "WorkloadBundle",
+    "SyntheticWorkloadGenerator",
+    "BeijingTaxiGenerator",
+    "SimulatedProbeOracle",
+    "SimulationEngine",
+    "SimulationResult",
+    "PeriodOutcome",
+    "MetricsCollector",
+    "StrategyMetrics",
+]

@@ -1,0 +1,64 @@
+"""The probe oracle that backs Base Pricing calibration in simulations.
+
+Algorithm 1 "uses the price p for h(p) times and observes the acceptance
+ratio" — i.e. it interacts with (historical) requesters.  In the simulator
+those interactions are answered by the ground-truth per-grid acceptance
+models: offering a price to ``count`` requesters of a grid draws ``count``
+Bernoulli samples with success probability ``S^g(p)``.
+
+The oracle also keeps a ledger of how many probes were issued per grid,
+which the experiment reports use to document the calibration budget.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.market.acceptance import PerGridAcceptance
+from repro.utils.rng import RandomState, as_generator
+
+
+class SimulatedProbeOracle:
+    """Accept/reject probe oracle backed by ground-truth acceptance models.
+
+    Args:
+        acceptance: Ground-truth per-grid acceptance models.
+        rng: Random generator (or seed) for the Bernoulli draws.
+    """
+
+    def __init__(self, acceptance: PerGridAcceptance, rng: Optional[RandomState] = None, seed: int = 0) -> None:
+        self._acceptance = acceptance
+        self._rng = rng if isinstance(rng, np.random.Generator) else as_generator(seed if rng is None else rng)
+        self._probes: Dict[Tuple[int, float], int] = {}
+
+    def offer(self, grid_index: int, price: float, count: int) -> int:
+        """Offer ``price`` to ``count`` requesters of ``grid_index``.
+
+        Returns:
+            The number of acceptances (a Binomial(count, S^g(price)) draw).
+        """
+        if count <= 0:
+            raise ValueError("count must be positive")
+        probability = self._acceptance.acceptance_ratio(grid_index, price)
+        probability = min(1.0, max(0.0, probability))
+        acceptances = int(self._rng.binomial(count, probability))
+        key = (int(grid_index), float(price))
+        self._probes[key] = self._probes.get(key, 0) + count
+        return acceptances
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    @property
+    def total_probes(self) -> int:
+        return sum(self._probes.values())
+
+    def probes_for_grid(self, grid_index: int) -> int:
+        return sum(
+            count for (grid, _price), count in self._probes.items() if grid == grid_index
+        )
+
+
+__all__ = ["SimulatedProbeOracle"]

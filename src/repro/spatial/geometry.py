@@ -1,0 +1,166 @@
+"""Planar geometry primitives and distance metrics.
+
+Tasks and workers live in a two-dimensional coordinate space.  The
+synthetic experiments of the paper use a 100x100 Euclidean square; the
+Beijing experiments use a longitude/latitude rectangle with distances in
+kilometres, for which we provide the haversine metric.  All metrics share
+the signature ``metric(a: Point, b: Point) -> float`` so they can be
+plugged into the grid index and the bipartite graph builder.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, Tuple, Union
+
+DistanceMetric = Callable[["Point", "Point"], float]
+
+#: Mean Earth radius in kilometres, used by the haversine metric.
+EARTH_RADIUS_KM = 6371.0088
+
+
+@dataclass(frozen=True)
+class Point:
+    """A point in the plane (or a lon/lat pair for geographic data).
+
+    Attributes:
+        x: First coordinate (or longitude in degrees).
+        y: Second coordinate (or latitude in degrees).
+    """
+
+    x: float
+    y: float
+
+    def __iter__(self):
+        yield self.x
+        yield self.y
+
+    def as_tuple(self) -> Tuple[float, float]:
+        return (self.x, self.y)
+
+    def translate(self, dx: float, dy: float) -> "Point":
+        """Return a new point shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def distance_to(self, other: "Point", metric: Union[str, DistanceMetric] = "euclidean") -> float:
+        """Distance to ``other`` under the given metric (name or callable)."""
+        return resolve_metric(metric)(self, other)
+
+
+def as_point(value: Union[Point, Tuple[float, float], Iterable[float]]) -> Point:
+    """Coerce a ``Point`` or 2-sequence into a :class:`Point`."""
+    if isinstance(value, Point):
+        return value
+    x, y = value  # type: ignore[misc]
+    return Point(float(x), float(y))
+
+
+def euclidean_distance(a: Point, b: Point) -> float:
+    """Straight-line distance, the metric used by the synthetic experiments."""
+    return math.hypot(a.x - b.x, a.y - b.y)
+
+
+def manhattan_distance(a: Point, b: Point) -> float:
+    """L1 distance; a cheap proxy for grid-like road networks."""
+    return abs(a.x - b.x) + abs(a.y - b.y)
+
+
+def haversine_distance(a: Point, b: Point) -> float:
+    """Great-circle distance in kilometres between two lon/lat points.
+
+    Points are interpreted as ``(longitude, latitude)`` in degrees, which
+    matches how the Beijing bounding box is specified in the paper
+    (bottom-left ``(116.30, 39.84)``, top-right ``(116.50, 40.0)``).
+    """
+    lon1, lat1 = math.radians(a.x), math.radians(a.y)
+    lon2, lat2 = math.radians(b.x), math.radians(b.y)
+    dlon = lon2 - lon1
+    dlat = lat2 - lat1
+    h = math.sin(dlat / 2.0) ** 2 + math.cos(lat1) * math.cos(lat2) * math.sin(dlon / 2.0) ** 2
+    return 2.0 * EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(h)))
+
+
+_METRICS: dict = {
+    "euclidean": euclidean_distance,
+    "manhattan": manhattan_distance,
+    "haversine": haversine_distance,
+}
+
+
+def resolve_metric(metric: Union[str, DistanceMetric]) -> DistanceMetric:
+    """Resolve a metric name or callable into a callable.
+
+    Raises:
+        KeyError: if a string name is not one of ``euclidean``,
+            ``manhattan`` or ``haversine``.
+    """
+    if callable(metric):
+        return metric
+    return _METRICS[metric]
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """An axis-aligned rectangle ``[min_x, max_x] x [min_y, max_y]``."""
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.max_x < self.min_x or self.max_y < self.min_y:
+            raise ValueError("bounding box must have non-negative extent")
+
+    @property
+    def width(self) -> float:
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        return self.max_y - self.min_y
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        return Point((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+
+    def contains(self, point: Point) -> bool:
+        """Whether ``point`` lies inside (boundary inclusive)."""
+        return self.min_x <= point.x <= self.max_x and self.min_y <= point.y <= self.max_y
+
+    def clamp(self, point: Point) -> Point:
+        """Project ``point`` onto the box (nearest point inside)."""
+        return Point(
+            min(self.max_x, max(self.min_x, point.x)),
+            min(self.max_y, max(self.min_y, point.y)),
+        )
+
+    def intersects_circle(self, center: Point, radius: float) -> bool:
+        """Whether the disc of ``radius`` around ``center`` intersects the box."""
+        nearest = self.clamp(center)
+        return euclidean_distance(nearest, center) <= radius
+
+    @classmethod
+    def square(cls, side: float, origin: Point = Point(0.0, 0.0)) -> "BoundingBox":
+        """A square box of side ``side`` with bottom-left corner at ``origin``."""
+        if side <= 0:
+            raise ValueError("side must be positive")
+        return cls(origin.x, origin.y, origin.x + side, origin.y + side)
+
+
+__all__ = [
+    "Point",
+    "as_point",
+    "BoundingBox",
+    "DistanceMetric",
+    "euclidean_distance",
+    "manhattan_distance",
+    "haversine_distance",
+    "resolve_metric",
+    "EARTH_RADIUS_KM",
+]

@@ -1,0 +1,235 @@
+"""Grid partitioning of the region of interest (Definition 1 of the paper).
+
+The platform quotes one unit price per grid cell per time period.  The
+paper indexes cells "from the bottom-left" (Example 2: with a 8x8 region
+and cell side 2, worker ``w3`` at ``(5, 3)`` is in grid 7 and requests at
+``(1, 5)`` / ``(2, 6)`` fall into grid 9), i.e. row-major order starting
+at 1 from the bottom-left corner.  :class:`Grid` reproduces exactly that
+indexing (1-based) while also exposing 0-based ``(row, col)`` coordinates
+for internal use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.spatial.geometry import BoundingBox, Point
+
+
+@dataclass(frozen=True)
+class GridCell:
+    """A single rectangular cell of the partition.
+
+    Attributes:
+        index: 1-based index following the paper's bottom-left, row-major
+            numbering.
+        row: 0-based row (0 = bottom row).
+        col: 0-based column (0 = leftmost column).
+        box: The cell's bounding box in region coordinates.
+    """
+
+    index: int
+    row: int
+    col: int
+    box: BoundingBox
+
+    @property
+    def center(self) -> Point:
+        return self.box.center
+
+
+class Grid:
+    """A uniform rectangular grid over a bounding box.
+
+    Args:
+        region: The bounding box of the region of interest.
+        rows: Number of rows (along the y axis).
+        cols: Number of columns (along the x axis).
+
+    The paper writes ``G = rows x cols`` for the total number of cells
+    (e.g. ``G = 10 x 10`` in the synthetic default and ``G = 10 x 8 = 80``
+    for the Beijing data).
+    """
+
+    def __init__(self, region: BoundingBox, rows: int, cols: int) -> None:
+        if rows <= 0 or cols <= 0:
+            raise ValueError("rows and cols must be positive")
+        self._region = region
+        self._rows = int(rows)
+        self._cols = int(cols)
+        self._cell_width = region.width / self._cols
+        self._cell_height = region.height / self._rows
+        if self._cell_width <= 0 or self._cell_height <= 0:
+            raise ValueError("region must have positive extent")
+        self._cells: List[GridCell] = []
+        for row in range(self._rows):
+            for col in range(self._cols):
+                index = row * self._cols + col + 1
+                box = BoundingBox(
+                    region.min_x + col * self._cell_width,
+                    region.min_y + row * self._cell_height,
+                    region.min_x + (col + 1) * self._cell_width,
+                    region.min_y + (row + 1) * self._cell_height,
+                )
+                self._cells.append(GridCell(index=index, row=row, col=col, box=box))
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def square(cls, side: float, cells_per_side: int) -> "Grid":
+        """A square region of side ``side`` split into ``n x n`` cells."""
+        return cls(BoundingBox.square(side), cells_per_side, cells_per_side)
+
+    @classmethod
+    def from_cell_count(cls, region: BoundingBox, num_cells: int) -> "Grid":
+        """Create an (approximately) square grid with ``num_cells`` cells.
+
+        ``num_cells`` must be a perfect square (the paper sweeps
+        G in {25, 100, 225, 400, 625}, all perfect squares).
+        """
+        side = int(round(num_cells ** 0.5))
+        if side * side != num_cells:
+            raise ValueError(f"num_cells={num_cells} is not a perfect square")
+        return cls(region, side, side)
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def region(self) -> BoundingBox:
+        return self._region
+
+    @property
+    def rows(self) -> int:
+        return self._rows
+
+    @property
+    def cols(self) -> int:
+        return self._cols
+
+    @property
+    def num_cells(self) -> int:
+        """The paper's ``G``."""
+        return self._rows * self._cols
+
+    @property
+    def cell_width(self) -> float:
+        return self._cell_width
+
+    @property
+    def cell_height(self) -> float:
+        return self._cell_height
+
+    def __len__(self) -> int:
+        return self.num_cells
+
+    def __iter__(self) -> Iterator[GridCell]:
+        return iter(self._cells)
+
+    def cells(self) -> Sequence[GridCell]:
+        return tuple(self._cells)
+
+    def cell(self, index: int) -> GridCell:
+        """Return the cell with 1-based ``index``.
+
+        Raises:
+            IndexError: if ``index`` is outside ``[1, G]``.
+        """
+        if not 1 <= index <= self.num_cells:
+            raise IndexError(f"grid index {index} outside [1, {self.num_cells}]")
+        return self._cells[index - 1]
+
+    # ------------------------------------------------------------------
+    # point -> cell mapping
+    # ------------------------------------------------------------------
+    def locate(self, point: Point) -> int:
+        """Return the 1-based index of the cell containing ``point``.
+
+        Points on the shared edge of two cells belong to the cell with the
+        larger coordinates (half-open cells), except on the region's outer
+        maximum boundary which maps to the last row/column.  Points outside
+        the region are clamped onto it, which mirrors how real platforms
+        bucket slightly out-of-range GPS fixes.
+        """
+        clamped = self._region.clamp(point)
+        col = int((clamped.x - self._region.min_x) / self._cell_width)
+        row = int((clamped.y - self._region.min_y) / self._cell_height)
+        col = min(col, self._cols - 1)
+        row = min(row, self._rows - 1)
+        return row * self._cols + col + 1
+
+    def locate_cell(self, point: Point) -> GridCell:
+        """Return the :class:`GridCell` containing ``point``."""
+        return self.cell(self.locate(point))
+
+    def contains(self, point: Point) -> bool:
+        return self._region.contains(point)
+
+    # ------------------------------------------------------------------
+    # neighbourhood queries
+    # ------------------------------------------------------------------
+    def neighbors(self, index: int, diagonal: bool = True) -> List[int]:
+        """Return the indices of cells adjacent to ``index``.
+
+        Args:
+            index: 1-based cell index.
+            diagonal: Include the 4 diagonal neighbours (8-neighbourhood)
+                when True, otherwise only the 4-neighbourhood.
+        """
+        cell = self.cell(index)
+        offsets = [(-1, 0), (1, 0), (0, -1), (0, 1)]
+        if diagonal:
+            offsets += [(-1, -1), (-1, 1), (1, -1), (1, 1)]
+        result = []
+        for dr, dc in offsets:
+            row, col = cell.row + dr, cell.col + dc
+            if 0 <= row < self._rows and 0 <= col < self._cols:
+                result.append(row * self._cols + col + 1)
+        return result
+
+    def cells_intersecting_circle(self, center: Point, radius: float) -> List[int]:
+        """Indices of cells whose rectangle intersects the given disc.
+
+        Used by the spatial index to restrict candidate cells when building
+        the task–worker bipartite graph under the range constraint.
+        """
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        min_col = int((center.x - radius - self._region.min_x) / self._cell_width)
+        max_col = int((center.x + radius - self._region.min_x) / self._cell_width)
+        min_row = int((center.y - radius - self._region.min_y) / self._cell_height)
+        max_row = int((center.y + radius - self._region.min_y) / self._cell_height)
+        min_col = max(0, min_col)
+        min_row = max(0, min_row)
+        max_col = min(self._cols - 1, max_col)
+        max_row = min(self._rows - 1, max_row)
+        result = []
+        for row in range(min_row, max_row + 1):
+            for col in range(min_col, max_col + 1):
+                index = row * self._cols + col + 1
+                if self._cells[index - 1].box.intersects_circle(center, radius):
+                    result.append(index)
+        return result
+
+    # ------------------------------------------------------------------
+    # aggregation helpers
+    # ------------------------------------------------------------------
+    def group_by_cell(self, points: Iterable[Tuple[object, Point]]) -> Dict[int, List[object]]:
+        """Group labelled points by the cell containing them.
+
+        Args:
+            points: Iterable of ``(label, point)`` pairs.
+
+        Returns:
+            Mapping from 1-based cell index to the list of labels whose
+            point falls in that cell.  Cells without points are omitted.
+        """
+        buckets: Dict[int, List[object]] = {}
+        for label, point in points:
+            buckets.setdefault(self.locate(point), []).append(label)
+        return buckets
+
+
+__all__ = ["Grid", "GridCell"]

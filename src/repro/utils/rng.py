@@ -1,0 +1,108 @@
+"""Seeded random number generation helpers.
+
+Every stochastic component of the library (workload generation, requester
+accept/reject decisions, bandit exploration) draws from a
+``numpy.random.Generator``.  To keep experiments reproducible while still
+allowing independent streams per component, we derive child seeds from a
+root seed with :func:`derive_seed` and spawn independent generators with
+:func:`spawn_generators`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+#: Convenience alias used across the code base for type annotations.
+RandomState = np.random.Generator
+
+SeedLike = Union[int, None, np.random.Generator, np.random.SeedSequence]
+
+
+def as_generator(seed: SeedLike = None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Accepts an integer seed, ``None`` (non-deterministic), an existing
+    generator (returned unchanged) or a ``SeedSequence``.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.default_rng(seed)
+    return np.random.default_rng(seed)
+
+
+def derive_seed(root_seed: int, *labels: Union[str, int]) -> int:
+    """Derive a deterministic 63-bit child seed from a root seed and labels.
+
+    The derivation hashes the root seed together with the labels, so
+    distinct label tuples yield statistically independent child seeds and
+    the mapping is stable across processes and Python versions.
+
+    Args:
+        root_seed: The experiment-level seed.
+        *labels: Any mix of strings/ints identifying the component, e.g.
+            ``derive_seed(42, "workload", period)``.
+
+    Returns:
+        A non-negative integer suitable for ``numpy.random.default_rng``.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(str(int(root_seed)).encode("utf-8"))
+    for label in labels:
+        hasher.update(b"\x1f")
+        hasher.update(str(label).encode("utf-8"))
+    return int.from_bytes(hasher.digest()[:8], "big") >> 1
+
+
+def spawn_generators(root_seed: int, labels: Sequence[Union[str, int]]) -> List[np.random.Generator]:
+    """Create one independent generator per label.
+
+    Args:
+        root_seed: The experiment-level seed.
+        labels: Component labels; the i-th generator corresponds to
+            ``labels[i]``.
+
+    Returns:
+        A list of independent :class:`numpy.random.Generator` objects.
+    """
+    return [np.random.default_rng(derive_seed(root_seed, label)) for label in labels]
+
+
+def bernoulli(rng: np.random.Generator, probability: float) -> bool:
+    """Draw a single Bernoulli sample with the given success probability.
+
+    Probabilities outside ``[0, 1]`` are clipped, which is convenient when
+    the caller works with estimated acceptance ratios that may exceed the
+    unit interval due to confidence bonuses.
+    """
+    p = min(1.0, max(0.0, float(probability)))
+    return bool(rng.random() < p)
+
+
+def choice_without_replacement(
+    rng: np.random.Generator, population: Sequence, size: int
+) -> List:
+    """Sample ``size`` distinct elements from ``population``.
+
+    Returns the whole population (shuffled) if ``size`` exceeds its length.
+    """
+    population = list(population)
+    if size >= len(population):
+        shuffled = population[:]
+        rng.shuffle(shuffled)
+        return shuffled
+    indices = rng.choice(len(population), size=size, replace=False)
+    return [population[i] for i in indices]
+
+
+__all__ = [
+    "RandomState",
+    "as_generator",
+    "derive_seed",
+    "spawn_generators",
+    "bernoulli",
+    "choice_without_replacement",
+]

@@ -1,0 +1,196 @@
+"""Light-weight statistics helpers for aggregating experiment results.
+
+The benchmark harness repeats each simulation with several seeds and
+reports mean revenue with a confidence interval.  Rather than keeping all
+samples in memory, :class:`OnlineMeanVariance` maintains Welford-style
+running moments; :func:`confidence_interval` converts them into a normal
+approximation interval and :func:`summarize` formats a compact report row.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+
+class OnlineMeanVariance:
+    """Numerically-stable running mean and variance (Welford's algorithm)."""
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._minimum = math.inf
+        self._maximum = -math.inf
+
+    def add(self, value: float) -> None:
+        """Incorporate a new observation."""
+        value = float(value)
+        self._count += 1
+        delta = value - self._mean
+        self._mean += delta / self._count
+        self._m2 += delta * (value - self._mean)
+        self._minimum = min(self._minimum, value)
+        self._maximum = max(self._maximum, value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Incorporate a batch of observations."""
+        for value in values:
+            self.add(value)
+
+    def merge(self, other: "OnlineMeanVariance") -> "OnlineMeanVariance":
+        """Return a new accumulator equivalent to observing both streams."""
+        merged = OnlineMeanVariance()
+        if self._count == 0:
+            merged._count = other._count
+            merged._mean = other._mean
+            merged._m2 = other._m2
+            merged._minimum = other._minimum
+            merged._maximum = other._maximum
+            return merged
+        if other._count == 0:
+            merged._count = self._count
+            merged._mean = self._mean
+            merged._m2 = self._m2
+            merged._minimum = self._minimum
+            merged._maximum = self._maximum
+            return merged
+        count = self._count + other._count
+        delta = other._mean - self._mean
+        merged._count = count
+        merged._mean = self._mean + delta * other._count / count
+        merged._m2 = (
+            self._m2
+            + other._m2
+            + delta * delta * self._count * other._count / count
+        )
+        merged._minimum = min(self._minimum, other._minimum)
+        merged._maximum = max(self._maximum, other._maximum)
+        return merged
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self._count else math.nan
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (``ddof=1``); NaN when fewer than two samples."""
+        if self._count < 2:
+            return math.nan
+        return self._m2 / (self._count - 1)
+
+    @property
+    def std(self) -> float:
+        variance = self.variance
+        return math.sqrt(variance) if not math.isnan(variance) else math.nan
+
+    @property
+    def minimum(self) -> float:
+        return self._minimum if self._count else math.nan
+
+    @property
+    def maximum(self) -> float:
+        return self._maximum if self._count else math.nan
+
+
+# 97.5% quantile of the standard normal distribution, used for the default
+# 95% confidence interval without pulling in scipy for this tiny need.
+_Z_975 = 1.959963984540054
+
+
+def confidence_interval(
+    values: Sequence[float], confidence: float = 0.95
+) -> Tuple[float, float, float]:
+    """Return ``(mean, lower, upper)`` of a normal-approximation interval.
+
+    With fewer than two samples the interval collapses to the mean.
+    """
+    values = [float(v) for v in values]
+    if not values:
+        return (math.nan, math.nan, math.nan)
+    acc = OnlineMeanVariance()
+    acc.extend(values)
+    mean = acc.mean
+    if acc.count < 2 or math.isnan(acc.std):
+        return (mean, mean, mean)
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    # Two-sided z quantile via the inverse error function approximation.
+    z = _z_quantile(0.5 + confidence / 2.0)
+    half_width = z * acc.std / math.sqrt(acc.count)
+    return (mean, mean - half_width, mean + half_width)
+
+
+def _z_quantile(p: float) -> float:
+    """Inverse CDF of the standard normal (Acklam's rational approximation)."""
+    if not 0.0 < p < 1.0:
+        raise ValueError("p must be in (0, 1)")
+    # Coefficients for the central and tail regions.
+    a = [-3.969683028665376e01, 2.209460984245205e02, -2.759285104469687e02,
+         1.383577518672690e02, -3.066479806614716e01, 2.506628277459239e00]
+    b = [-5.447609879822406e01, 1.615858368580409e02, -1.556989798598866e02,
+         6.680131188771972e01, -1.328068155288572e01]
+    c = [-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e00,
+         -2.549732539343734e00, 4.374664141464968e00, 2.938163982698783e00]
+    d = [7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e00,
+         3.754408661907416e00]
+    p_low = 0.02425
+    p_high = 1 - p_low
+    if p < p_low:
+        q = math.sqrt(-2 * math.log(p))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1
+        )
+    if p <= p_high:
+        q = p - 0.5
+        r = q * q
+        return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / (
+            ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1
+        )
+    q = math.sqrt(-2 * math.log(1 - p))
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+        (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1
+    )
+
+
+@dataclass
+class SummaryRow:
+    """A single aggregated metric for reporting."""
+
+    label: str
+    mean: float
+    lower: float
+    upper: float
+    count: int
+
+    def format(self, precision: int = 2) -> str:
+        return (
+            f"{self.label}: {self.mean:.{precision}f} "
+            f"[{self.lower:.{precision}f}, {self.upper:.{precision}f}] (n={self.count})"
+        )
+
+
+def summarize(
+    samples: Dict[str, Sequence[float]], confidence: float = 0.95
+) -> Dict[str, SummaryRow]:
+    """Aggregate labelled sample lists into :class:`SummaryRow` objects."""
+    rows: Dict[str, SummaryRow] = {}
+    for label, values in samples.items():
+        mean, lower, upper = confidence_interval(values, confidence)
+        rows[label] = SummaryRow(
+            label=label, mean=mean, lower=lower, upper=upper, count=len(list(values))
+        )
+    return rows
+
+
+__all__ = [
+    "OnlineMeanVariance",
+    "confidence_interval",
+    "summarize",
+    "SummaryRow",
+]

@@ -1,0 +1,148 @@
+"""Tests for Base Pricing (Algorithm 1 / Section 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.base_pricing import (
+    BasePricingConfig,
+    estimate_grid_reserve_price,
+    run_base_pricing,
+)
+from repro.market.acceptance import (
+    DistributionAcceptanceModel,
+    PerGridAcceptance,
+    TabularAcceptanceModel,
+)
+from repro.market.valuation import TruncatedNormalValuation, UniformValuation
+from repro.simulation.oracle import SimulatedProbeOracle
+
+
+class DeterministicOracle:
+    """A probe oracle answering with exact (rounded) acceptance counts."""
+
+    def __init__(self, tables):
+        self.tables = tables
+        self.offers = []
+
+    def offer(self, grid_index, price, count):
+        self.offers.append((grid_index, price, count))
+        ratio = self.tables[grid_index].acceptance_ratio(price)
+        return int(round(count * ratio))
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        config = BasePricingConfig()
+        assert config.candidate_prices == pytest.approx([1.0, 1.5, 2.25, 3.375])
+        assert config.num_candidates == 4
+
+    def test_samples_for_price_and_cap(self):
+        config = BasePricingConfig()
+        assert config.samples_for(1.0) == 335
+        capped = BasePricingConfig(max_samples_per_price=100)
+        assert capped.samples_for(1.0) == 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BasePricingConfig(p_min=0.0)
+        with pytest.raises(ValueError):
+            BasePricingConfig(p_min=2.0, p_max=1.0)
+        with pytest.raises(ValueError):
+            BasePricingConfig(alpha=0.0)
+        with pytest.raises(ValueError):
+            BasePricingConfig(epsilon=0.0)
+        with pytest.raises(ValueError):
+            BasePricingConfig(delta=1.0)
+        with pytest.raises(ValueError):
+            BasePricingConfig(max_samples_per_price=0)
+
+
+class TestGridEstimation:
+    def test_example_4_reserve_price(self):
+        """Example 4: acceptance 0.9/0.85/0.75/0.4 on the ladder -> p_m = 2.25."""
+        table = TabularAcceptanceModel({1.0: 0.9, 1.5: 0.85, 2.25: 0.75, 3.375: 0.4})
+        oracle = DeterministicOracle({1: table})
+        config = BasePricingConfig()
+        reserve, estimator, probes = estimate_grid_reserve_price(1, oracle, config)
+        assert reserve == pytest.approx(2.25)
+        assert probes == sum(config.samples_for(p) for p in config.candidate_prices)
+        assert estimator.total_offers == probes
+
+    def test_reserve_close_to_true_myerson_price(self):
+        """The estimate lands on the ladder price nearest the true optimum."""
+        distribution = TruncatedNormalValuation(mean=2.0, std=1.0)
+        acceptance = PerGridAcceptance(
+            models={1: DistributionAcceptanceModel(distribution)}
+        )
+        oracle = SimulatedProbeOracle(acceptance, seed=0)
+        config = BasePricingConfig()
+        reserve, _, _ = estimate_grid_reserve_price(1, oracle, config)
+        true_reserve = distribution.myerson_reserve_price(price_range=(1.0, 5.0))
+        ladder = np.array(config.candidate_prices)
+        best_ladder_value = max(p * distribution.acceptance_ratio(p) for p in ladder)
+        achieved = reserve * distribution.acceptance_ratio(reserve)
+        # Theorem 2: the chosen ladder price is eps-close to the best ladder price.
+        assert achieved >= best_ladder_value - 2 * config.epsilon
+        # Theorem 3: and (1 - alpha)-close to the continuous optimum.
+        assert achieved >= (1 - config.alpha) * true_reserve * distribution.acceptance_ratio(
+            true_reserve
+        ) - 2 * config.epsilon
+
+    def test_oracle_validation(self):
+        class BadOracle:
+            def offer(self, grid_index, price, count):
+                return count + 5
+
+        with pytest.raises(ValueError):
+            estimate_grid_reserve_price(1, BadOracle(), BasePricingConfig())
+
+
+class TestRunBasePricing:
+    def test_base_price_is_mean_of_grid_estimates(self):
+        tables = {
+            1: TabularAcceptanceModel({1.0: 0.9, 1.5: 0.85, 2.25: 0.75, 3.375: 0.4}),
+            2: TabularAcceptanceModel({1.0: 0.95, 1.5: 0.9, 2.25: 0.85, 3.375: 0.8}),
+        }
+        oracle = DeterministicOracle(tables)
+        result = run_base_pricing([1, 2], oracle, BasePricingConfig())
+        # Grid 1 -> 2.25 (see Example 4); grid 2 -> 3.375 (0.8 * 3.375 = 2.7 max).
+        assert result.grid_reserve_prices[1] == pytest.approx(2.25)
+        assert result.grid_reserve_prices[2] == pytest.approx(3.375)
+        assert result.base_price == pytest.approx((2.25 + 3.375) / 2)
+        assert result.reserve_price(1) == pytest.approx(2.25)
+        assert set(result.estimators) == {1, 2}
+        assert result.total_probes == sum(count for _, _, count in oracle.offers)
+        assert result.total_probes > 0
+
+    def test_empty_grid_list_rejected(self):
+        oracle = DeterministicOracle({})
+        with pytest.raises(ValueError):
+            run_base_pricing([], oracle)
+
+    def test_every_ladder_price_probed_in_every_grid(self):
+        tables = {g: TabularAcceptanceModel({1.0: 0.9, 3.375: 0.4}) for g in (1, 2, 3)}
+        oracle = DeterministicOracle(tables)
+        config = BasePricingConfig(max_samples_per_price=10)
+        run_base_pricing([1, 2, 3], oracle, config)
+        probed = {(grid, price) for grid, price, _ in oracle.offers}
+        assert probed == {
+            (grid, price) for grid in (1, 2, 3) for price in config.candidate_prices
+        }
+
+    def test_base_price_within_bounds(self):
+        tables = {g: TabularAcceptanceModel({1.0: 0.99, 5.0: 0.95}) for g in range(1, 6)}
+        oracle = DeterministicOracle(tables)
+        result = run_base_pricing(list(range(1, 6)), oracle, BasePricingConfig(max_samples_per_price=20))
+        assert BasePricingConfig().p_min <= result.base_price <= BasePricingConfig().p_max
+
+
+class TestTotalProbeCount:
+    def test_probe_count_matches_hoeffding_budget(self):
+        tables = {1: TabularAcceptanceModel({1.0: 0.9, 5.0: 0.4})}
+        oracle = DeterministicOracle(tables)
+        config = BasePricingConfig()
+        result = run_base_pricing([1], oracle, config)
+        expected = sum(config.samples_for(price) for price in config.candidate_prices)
+        assert result.total_probes == expected

@@ -1,0 +1,198 @@
+"""Tests for the MAPS planner (Algorithm 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.gdp import PeriodInstance
+from repro.core.maps import MAPSPlanner
+from repro.learning.estimator import GridAcceptanceEstimator
+from repro.market.entities import Task, Worker
+from repro.matching.maximum_matching import maximum_matching_size
+from repro.spatial.geometry import BoundingBox, Point
+from repro.spatial.grid import Grid
+
+LADDER = [1.0, 2.0, 3.0]
+TABLE_1 = {1.0: 0.9, 2.0: 0.8, 3.0: 0.5}
+
+
+def _converged_estimators(grids, table=TABLE_1, ladder=LADDER, offers=50000):
+    estimators = {}
+    for grid_index in grids:
+        estimator = GridAcceptanceEstimator(grid_index, ladder)
+        for price in ladder:
+            estimator.record_batch(price, offers, int(round(offers * table[price])))
+        estimators[grid_index] = estimator
+    return estimators
+
+
+def _running_example_instance():
+    """Tasks/workers laid out so the bipartite graph matches Fig. 1b.
+
+    Grid of 4x4 cells of side 2 over an 8x8 region.  Tasks r1 (d=1.3) and
+    r2 (d=0.7) sit in the same cell and can only be reached by worker w1;
+    task r3 (d=1.0) sits in another cell served by its own worker w3.
+    """
+    grid = Grid(BoundingBox.square(8.0), 4, 4)
+    tasks = [
+        Task(task_id=1, period=0, origin=Point(0.5, 5.0), destination=Point(0.5, 6.3), distance=1.3),
+        Task(task_id=2, period=0, origin=Point(1.0, 4.5), destination=Point(1.0, 5.2), distance=0.7),
+        Task(task_id=3, period=0, origin=Point(6.5, 1.0), destination=Point(6.5, 2.0), distance=1.0),
+    ]
+    workers = [
+        Worker(worker_id=1, period=0, location=Point(1.0, 5.0), radius=1.5),
+        Worker(worker_id=2, period=0, location=Point(6.5, 6.5), radius=1.0),
+        Worker(worker_id=3, period=0, location=Point(6.5, 1.5), radius=1.5),
+    ]
+    return PeriodInstance.build(0, grid, tasks, workers)
+
+
+class TestRunningExample:
+    def test_graph_shape_matches_paper(self):
+        instance = _running_example_instance()
+        graph = instance.graph
+        # r1 and r2 reachable only by w1, r3 only by w3, w2 idle.
+        assert graph.task_neighbors[0] == [0]
+        assert graph.task_neighbors[1] == [0]
+        assert graph.task_neighbors[2] == [2]
+        # r1 and r2 share a grid; r3 is elsewhere.
+        assert instance.tasks[0].grid_index == instance.tasks[1].grid_index
+        assert instance.tasks[2].grid_index != instance.tasks[0].grid_index
+
+    def test_example_5_prices(self):
+        """Example 5: the scarce grid is priced 3, the covered grid 2."""
+        instance = _running_example_instance()
+        grid_r12 = instance.tasks[0].grid_index
+        grid_r3 = instance.tasks[2].grid_index
+        estimators = _converged_estimators([grid_r12, grid_r3])
+        planner = MAPSPlanner(base_price=2.0, p_min=1.0, p_max=3.0)
+        plan = planner.plan(instance, estimators)
+        assert plan.prices[grid_r12] == pytest.approx(3.0)
+        assert plan.prices[grid_r3] == pytest.approx(2.0)
+        assert plan.supply[grid_r12] == 1
+        assert plan.supply[grid_r3] == 1
+        # The pre-matching covers one task of the scarce grid and r3.
+        assert len(plan.pre_matching) == 2
+
+    def test_grids_without_tasks_get_base_price(self):
+        instance = _running_example_instance()
+        estimators = _converged_estimators(
+            [instance.tasks[0].grid_index, instance.tasks[2].grid_index]
+        )
+        planner = MAPSPlanner(base_price=2.0, p_min=1.0, p_max=3.0)
+        plan = planner.plan(instance, estimators)
+        empty_grids = [
+            g for g in range(1, 17) if g not in (instance.tasks[0].grid_index, instance.tasks[2].grid_index)
+        ]
+        for g in empty_grids:
+            assert plan.prices[g] == pytest.approx(2.0)
+            assert plan.supply[g] == 0
+
+
+class TestPlannerInvariants:
+    def _random_instance(self, seed, num_tasks=30, num_workers=15):
+        rng = np.random.default_rng(seed)
+        grid = Grid(BoundingBox.square(100.0), 5, 5)
+        tasks = [
+            Task(
+                task_id=i,
+                period=0,
+                origin=Point(float(rng.uniform(0, 100)), float(rng.uniform(0, 100))),
+                destination=Point(float(rng.uniform(0, 100)), float(rng.uniform(0, 100))),
+            )
+            for i in range(num_tasks)
+        ]
+        workers = [
+            Worker(
+                worker_id=j,
+                period=0,
+                location=Point(float(rng.uniform(0, 100)), float(rng.uniform(0, 100))),
+                radius=float(rng.uniform(10, 30)),
+            )
+            for j in range(num_workers)
+        ]
+        return PeriodInstance.build(0, grid, tasks, workers)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_plan_structure(self, seed):
+        instance = self._random_instance(seed)
+        estimators = _converged_estimators(instance.grid_indices_with_tasks())
+        planner = MAPSPlanner(base_price=2.0, p_min=1.0, p_max=3.0)
+        plan = planner.plan(instance, estimators)
+
+        # Every grid has a price within bounds.
+        assert set(plan.prices.keys()) == {cell.index for cell in instance.grid.cells()}
+        assert all(1.0 <= price <= 3.0 for price in plan.prices.values())
+
+        # Supply never exceeds the number of tasks in the grid.
+        for grid_index, supply in plan.supply.items():
+            assert supply <= len(instance.tasks_by_grid.get(grid_index, []))
+
+        # The pre-matching is a valid matching of the bipartite graph of the
+        # planned size.
+        matched_workers = list(plan.pre_matching.values())
+        assert len(set(matched_workers)) == len(matched_workers)
+        for task_pos, worker_pos in plan.pre_matching.items():
+            assert instance.graph.has_edge(task_pos, worker_pos)
+        assert len(plan.pre_matching) == sum(plan.supply.values())
+
+        # The planner cannot promise more supply than a maximum matching.
+        assert sum(plan.supply.values()) <= maximum_matching_size(instance.graph)
+
+        assert plan.approx_revenue >= 0.0
+        # Every grid with demand enters the supply competition at least once.
+        assert plan.iterations >= len(instance.grid_indices_with_tasks())
+
+    def test_no_workers_means_base_price_everywhere(self):
+        instance = PeriodInstance.build(
+            0,
+            Grid(BoundingBox.square(10.0), 2, 2),
+            [Task(task_id=1, period=0, origin=Point(1, 1), destination=Point(2, 2))],
+            [],
+        )
+        estimators = _converged_estimators(instance.grid_indices_with_tasks())
+        planner = MAPSPlanner(base_price=2.0, p_min=1.0, p_max=3.0)
+        plan = planner.plan(instance, estimators)
+        assert all(price == pytest.approx(2.0) for price in plan.prices.values())
+        assert sum(plan.supply.values()) == 0
+        assert plan.pre_matching == {}
+
+    def test_missing_estimator_raises(self):
+        instance = self._random_instance(0)
+        planner = MAPSPlanner(base_price=2.0, p_min=1.0, p_max=3.0)
+        with pytest.raises(KeyError):
+            planner.plan(instance, {})
+
+    def test_base_price_clamped_into_bounds(self):
+        planner = MAPSPlanner(base_price=10.0, p_min=1.0, p_max=3.0)
+        assert planner.base_price == 3.0
+        with pytest.raises(ValueError):
+            MAPSPlanner(base_price=2.0, p_min=0.0, p_max=3.0)
+
+    def test_scarce_supply_priced_higher_than_abundant(self):
+        """MAPS charges more where workers are scarce (practical note (i))."""
+        grid = Grid(BoundingBox.square(40.0), 2, 2)
+        # Grid 1 (bottom-left): 4 tasks, 1 nearby worker. Grid 4 (top-right):
+        # 4 tasks, 6 nearby workers.
+        tasks = []
+        for i in range(4):
+            tasks.append(
+                Task(task_id=i, period=0, origin=Point(5.0 + i, 5.0), destination=Point(5.0 + i, 8.0))
+            )
+            tasks.append(
+                Task(task_id=10 + i, period=0, origin=Point(30.0 + i, 30.0), destination=Point(30.0 + i, 33.0))
+            )
+        workers = [Worker(worker_id=0, period=0, location=Point(6.0, 6.0), radius=8.0)]
+        workers += [
+            Worker(worker_id=1 + j, period=0, location=Point(31.0 + j, 31.0), radius=8.0)
+            for j in range(6)
+        ]
+        instance = PeriodInstance.build(0, grid, tasks, workers)
+        estimators = _converged_estimators(instance.grid_indices_with_tasks())
+        planner = MAPSPlanner(base_price=2.0, p_min=1.0, p_max=3.0)
+        plan = planner.plan(instance, estimators)
+        scarce_grid = instance.tasks[0].grid_index
+        abundant_grid = instance.tasks[1].grid_index
+        assert plan.prices[scarce_grid] >= plan.prices[abundant_grid]
+        assert plan.supply[abundant_grid] >= plan.supply[scarce_grid]

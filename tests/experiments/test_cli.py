@@ -1,0 +1,80 @@
+"""Tests for the experiment command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_flag(self, capsys):
+        assert main(["--list"]) == 0
+        output = capsys.readouterr().out
+        assert "fig6-W" in output
+        assert "fig8-real2" in output
+        assert "fig10-alpha" in output
+
+    def test_figure_required_without_list(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--figure", "fig99"])
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["--figure", "fig6-W"])
+        assert args.scale == 0.01
+        assert args.metrics == ["revenue", "time", "memory"]
+        assert args.strategies is None
+
+
+class TestExecution:
+    def test_small_run_prints_tables(self, capsys):
+        exit_code = main(
+            [
+                "--figure",
+                "fig6-W",
+                "--scale",
+                "0.005",
+                "--values",
+                "1250",
+                "5000",
+                "--strategies",
+                "MAPS",
+                "BaseP",
+                "--metrics",
+                "revenue",
+                "--no-memory-tracking",
+                "--seed",
+                "3",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "fig6-W — revenue" in output
+        assert "MAPS" in output and "BaseP" in output
+        assert "revenue winners" in output
+        # The overridden parameter values appear as table rows.
+        assert "1250" in output and "5000" in output
+
+    def test_value_parsing_handles_floats(self, capsys):
+        exit_code = main(
+            [
+                "--figure",
+                "fig6-tmu",
+                "--scale",
+                "0.005",
+                "--values",
+                "0.5",
+                "--strategies",
+                "BaseP",
+                "--metrics",
+                "revenue",
+                "--no-memory-tracking",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "0.5" in output

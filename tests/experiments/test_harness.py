@@ -1,0 +1,148 @@
+"""Tests for the experiment harness (sweeps, figure registry, reporting)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import (
+    FIGURES,
+    build_figure_sweep,
+    figure_ids,
+    get_figure,
+    scaled_synthetic_config,
+)
+from repro.experiments.report import (
+    format_series,
+    format_table,
+    format_winner_summary,
+    result_to_series,
+)
+from repro.experiments.sweeps import ParameterSweep, run_single_setting, run_sweep
+
+
+class TestFigureRegistry:
+    EXPECTED_IDS = {
+        "fig6-W",
+        "fig6-R",
+        "fig6-tmu",
+        "fig6-smean",
+        "fig7-dmu",
+        "fig7-dsigma",
+        "fig7-T",
+        "fig7-G",
+        "fig8-aw",
+        "fig8-scale",
+        "fig8-real1",
+        "fig8-real2",
+        "fig10-alpha",
+    }
+
+    def test_every_paper_figure_registered(self):
+        assert set(figure_ids()) == self.EXPECTED_IDS
+
+    def test_parameter_values_match_paper(self):
+        assert get_figure("fig6-W").parameter_values == [1250, 2500, 5000, 7500, 10000]
+        assert get_figure("fig6-R").parameter_values == [5000, 10000, 20000, 30000, 40000]
+        assert get_figure("fig7-G").parameter_values == [25, 100, 225, 400, 625]
+        assert get_figure("fig8-aw").parameter_values == [5, 10, 15, 20, 25]
+        assert get_figure("fig8-scale").parameter_values == [
+            100000,
+            200000,
+            300000,
+            400000,
+            500000,
+        ]
+        assert get_figure("fig10-alpha").parameter_values == [0.5, 0.75, 1.0, 1.25, 1.5]
+
+    def test_unknown_figure(self):
+        with pytest.raises(KeyError):
+            get_figure("fig99")
+
+    def test_every_figure_has_expectation_and_metrics(self):
+        for spec in FIGURES.values():
+            assert spec.expectation
+            assert spec.metrics == ["revenue", "time", "memory"]
+
+    def test_scaled_synthetic_config(self):
+        config = scaled_synthetic_config(0.01)
+        assert config.num_workers == 50
+        assert config.num_tasks == 200
+        assert config.num_periods == 5 or config.num_periods == 4  # floor guard
+        override = scaled_synthetic_config(0.01, num_periods=7, demand_mu=3.0)
+        assert override.num_periods == 7
+        assert override.demand_mu == 3.0
+
+    def test_build_sweep_shapes(self):
+        sweep = build_figure_sweep("fig6-W", scale=0.01, values=[1250, 2500])
+        assert isinstance(sweep, ParameterSweep)
+        assert sweep.parameter_values == [1250, 2500]
+        assert sweep.experiment_id == "fig6-W"
+        with pytest.raises(ValueError):
+            get_figure("fig6-W").build_sweep(scale=0.0)
+
+    def test_figure_factories_produce_workloads(self):
+        """Each figure's factory must yield a valid (scaled-down) workload."""
+        for figure_id in ("fig6-W", "fig7-G", "fig8-real2", "fig10-alpha"):
+            spec = get_figure(figure_id)
+            value = spec.parameter_values[0]
+            workload = spec.factory(value, 0.004)
+            workload.validate()
+            assert workload.total_tasks > 0
+            assert workload.total_workers > 0
+
+
+class TestSweepExecution:
+    @pytest.fixture(scope="class")
+    def small_result(self):
+        sweep = build_figure_sweep(
+            "fig6-W",
+            scale=0.008,
+            values=[1250, 5000],
+            strategies=["MAPS", "BaseP", "SDR"],
+            seed=2,
+        )
+        return run_sweep(sweep)
+
+    def test_result_shape(self, small_result):
+        assert small_result.parameter_values == [1250, 5000]
+        assert small_result.strategies == ["MAPS", "BaseP", "SDR"]
+        assert len(small_result.cells) == 6
+        for value in small_result.parameter_values:
+            assert value in small_result.base_prices
+            for strategy in small_result.strategies:
+                cell = small_result.cell(value, strategy)
+                assert cell.revenue >= 0.0
+                assert cell.total_tasks > 0
+
+    def test_more_workers_do_not_hurt(self, small_result):
+        """Fig. 6a shape: revenue grows with the number of workers."""
+        for strategy in small_result.strategies:
+            series = small_result.revenue_series(strategy)
+            assert series[1] >= series[0] * 0.9  # allow small noise at tiny scale
+
+    def test_missing_cell_raises(self, small_result):
+        with pytest.raises(KeyError):
+            small_result.cell(1250, "Uber")
+
+    def test_winner_lookup(self, small_result):
+        winner = small_result.winner_by_revenue(5000)
+        assert winner in small_result.strategies
+
+    def test_report_rendering(self, small_result):
+        table = format_table(small_result, "revenue")
+        assert "fig6-W" in table
+        assert "MAPS" in table
+        series = result_to_series(small_result, "revenue")
+        assert set(series) == set(small_result.strategies)
+        assert len(series["MAPS"]) == 2
+        combined = format_series(small_result, metrics=("revenue", "time"))
+        assert "revenue" in combined and "time" in combined
+        summary = format_winner_summary(small_result)
+        assert "winners" in summary
+        with pytest.raises(ValueError):
+            result_to_series(small_result, "latency")
+
+    def test_run_single_setting(self, tiny_workload):
+        result = run_single_setting(tiny_workload, strategies=["BaseP", "SDE"], seed=1)
+        assert result.parameter_values == ["default"]
+        assert {cell.strategy for cell in result.cells} == {"BaseP", "SDE"}

@@ -1,0 +1,123 @@
+"""Tests for the per-grid acceptance-ratio estimator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.learning.estimator import GridAcceptanceEstimator, PriceStats
+
+
+class TestPriceStats:
+    def test_record_and_mean(self):
+        stats = PriceStats(price=2.0)
+        assert stats.sample_mean == 0.0
+        stats.record(True)
+        stats.record(False)
+        stats.record(True, count=2)
+        assert stats.offers == 4
+        assert stats.acceptances == 3
+        assert stats.sample_mean == pytest.approx(0.75)
+
+    def test_record_batch(self):
+        stats = PriceStats(price=2.0)
+        stats.record_batch(offers=10, acceptances=7)
+        assert stats.sample_mean == pytest.approx(0.7)
+        with pytest.raises(ValueError):
+            stats.record_batch(offers=5, acceptances=6)
+
+    def test_invalid_count(self):
+        stats = PriceStats(price=2.0)
+        with pytest.raises(ValueError):
+            stats.record(True, count=0)
+
+    def test_reset(self):
+        stats = PriceStats(price=2.0)
+        stats.record(True)
+        stats.reset()
+        assert stats.offers == 0
+        assert stats.sample_mean == 0.0
+
+
+class TestGridAcceptanceEstimator:
+    @pytest.fixture
+    def estimator(self):
+        return GridAcceptanceEstimator(grid_index=9, candidate_prices=[1.0, 1.5, 2.25, 3.375])
+
+    def test_requires_candidates(self):
+        with pytest.raises(ValueError):
+            GridAcceptanceEstimator(1, [])
+
+    def test_candidate_prices_sorted(self, estimator):
+        assert estimator.candidate_prices == [1.0, 1.5, 2.25, 3.375]
+
+    def test_record_and_query(self, estimator):
+        estimator.record(1.5, True)
+        estimator.record(1.5, False)
+        assert estimator.offers_at(1.5) == 2
+        assert estimator.sample_mean(1.5) == pytest.approx(0.5)
+        assert estimator.total_offers == 2
+
+    def test_float_drift_tolerated(self, estimator):
+        """Prices produced by repeated multiplication may drift by tiny eps."""
+        estimator.record(1.0 * 1.5 * 1.5, True)  # 2.25 with float noise
+        assert estimator.offers_at(2.25) == 1
+
+    def test_unknown_price_rejected(self, estimator):
+        with pytest.raises(KeyError):
+            estimator.record(4.99, True)
+
+    def test_reset_price_and_all(self, estimator):
+        estimator.record(1.0, True)
+        estimator.record(2.25, True)
+        estimator.reset_price(1.0)
+        assert estimator.offers_at(1.0) == 0
+        assert estimator.offers_at(2.25) == 1
+        estimator.reset_all()
+        assert estimator.total_offers == 0
+
+    def test_snapshots(self, estimator):
+        estimator.record_batch(1.0, 10, 9)
+        snapshots = estimator.snapshots()
+        assert len(snapshots) == 4
+        assert snapshots[0].price == 1.0
+        assert snapshots[0].sample_mean == pytest.approx(0.9)
+        assert snapshots[0].offers == 10
+        assert snapshots[1].offers == 0
+
+    def test_best_revenue_price_example_4(self, estimator):
+        """Example 4: ratios 0.9, 0.85, 0.75, 0.4 -> best is 2.25."""
+        for price, ratio in zip([1.0, 1.5, 2.25, 3.375], [0.9, 0.85, 0.75, 0.4]):
+            estimator.record_batch(price, 100, int(round(100 * ratio)))
+        best_price, best_value = estimator.best_revenue_price()
+        assert best_price == pytest.approx(2.25)
+        assert best_value == pytest.approx(2.25 * 0.75)
+
+    def test_best_revenue_price_tie_breaks_smaller(self):
+        estimator = GridAcceptanceEstimator(1, [1.0, 2.0])
+        estimator.record_batch(1.0, 10, 10)   # 1 * 1.0 = 1.0
+        estimator.record_batch(2.0, 10, 5)    # 2 * 0.5 = 1.0
+        best_price, _ = estimator.best_revenue_price()
+        assert best_price == 1.0
+
+    @given(st.lists(st.tuples(st.sampled_from([1.0, 2.0, 4.0]), st.booleans()), max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_counts_always_consistent(self, observations):
+        estimator = GridAcceptanceEstimator(1, [1.0, 2.0, 4.0])
+        accepted_count = {1.0: 0, 2.0: 0, 4.0: 0}
+        offer_count = {1.0: 0, 2.0: 0, 4.0: 0}
+        for price, accepted in observations:
+            estimator.record(price, accepted)
+            offer_count[price] += 1
+            accepted_count[price] += int(accepted)
+        assert estimator.total_offers == len(observations)
+        for price in (1.0, 2.0, 4.0):
+            assert estimator.offers_at(price) == offer_count[price]
+            if offer_count[price]:
+                assert estimator.sample_mean(price) == pytest.approx(
+                    accepted_count[price] / offer_count[price]
+                )
+            else:
+                assert estimator.sample_mean(price) == 0.0

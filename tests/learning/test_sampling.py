@@ -1,0 +1,118 @@
+"""Tests for the price ladder and Hoeffding sample sizes (Algorithm 1)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.learning.sampling import (
+    hoeffding_sample_size,
+    num_candidate_prices,
+    price_ladder,
+    recommended_epsilon,
+)
+
+
+class TestPaperExample4:
+    """Example 4: p_min=1, p_max=5, alpha=0.5, eps=0.2, delta=0.01."""
+
+    def test_number_of_candidates_is_4(self):
+        assert num_candidate_prices(1.0, 5.0, 0.5) == 4
+
+    def test_ladder_values(self):
+        ladder = price_ladder(1.0, 5.0, 0.5)
+        assert ladder == pytest.approx([1.0, 1.5, 2.25, 3.375])
+
+    def test_sample_size_is_335_for_price_1(self):
+        assert hoeffding_sample_size(1.0, 0.2, 4, 0.01) == 335
+
+
+class TestPriceLadder:
+    def test_single_price_interval(self):
+        assert price_ladder(2.0, 2.0, 0.5) == [2.0]
+
+    def test_ladder_respects_bounds(self):
+        ladder = price_ladder(1.0, 10.0, 0.3)
+        assert ladder[0] == 1.0
+        assert all(p <= 10.0 + 1e-9 for p in ladder)
+        assert ladder == sorted(ladder)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            price_ladder(0.0, 5.0, 0.5)
+        with pytest.raises(ValueError):
+            price_ladder(1.0, 0.5, 0.5)
+        with pytest.raises(ValueError):
+            price_ladder(1.0, 5.0, 0.0)
+
+    @given(
+        st.floats(min_value=0.1, max_value=10.0),
+        st.floats(min_value=0.05, max_value=3.0),
+        st.floats(min_value=1.0, max_value=100.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_ladder_geometric_structure(self, p_min, alpha, span):
+        p_max = p_min * span
+        ladder = price_ladder(p_min, p_max, alpha)
+        assert len(ladder) >= 1
+        assert ladder[0] == pytest.approx(p_min)
+        for a, b in zip(ladder, ladder[1:]):
+            assert b == pytest.approx(a * (1 + alpha))
+        # The next rung would exceed p_max.
+        assert ladder[-1] * (1 + alpha) > p_max * (1 - 1e-9)
+
+    @given(
+        st.floats(min_value=0.1, max_value=10.0),
+        st.floats(min_value=0.05, max_value=3.0),
+        st.floats(min_value=1.5, max_value=100.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_candidate_count_close_to_ladder_length(self, p_min, alpha, span):
+        p_max = p_min * span
+        k = num_candidate_prices(p_min, p_max, alpha)
+        ladder = price_ladder(p_min, p_max, alpha)
+        # k = ceil(log ratio) counts rungs after p_min; the ladder includes
+        # p_min itself, so the two can differ by at most one.
+        assert abs(len(ladder) - k) <= 1
+
+
+class TestHoeffdingSampleSize:
+    def test_monotone_in_price(self):
+        assert hoeffding_sample_size(2.0, 0.2, 4, 0.01) > hoeffding_sample_size(1.0, 0.2, 4, 0.01)
+
+    def test_monotone_in_epsilon(self):
+        assert hoeffding_sample_size(1.0, 0.1, 4, 0.01) > hoeffding_sample_size(1.0, 0.2, 4, 0.01)
+
+    def test_monotone_in_delta(self):
+        assert hoeffding_sample_size(1.0, 0.2, 4, 0.001) > hoeffding_sample_size(1.0, 0.2, 4, 0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hoeffding_sample_size(0.0, 0.2, 4, 0.01)
+        with pytest.raises(ValueError):
+            hoeffding_sample_size(1.0, 0.0, 4, 0.01)
+        with pytest.raises(ValueError):
+            hoeffding_sample_size(1.0, 0.2, 0, 0.01)
+        with pytest.raises(ValueError):
+            hoeffding_sample_size(1.0, 0.2, 4, 1.5)
+
+    def test_hoeffding_guarantee_formula(self):
+        """h(p) must satisfy exp(-eps^2 h / (2 p^2)) <= delta / (2k)."""
+        price, eps, k, delta = 2.25, 0.2, 4, 0.01
+        h = hoeffding_sample_size(price, eps, k, delta)
+        assert math.exp(-(eps**2) * h / (2 * price**2)) <= delta / (2 * k) + 1e-12
+
+
+class TestRecommendedEpsilon:
+    def test_formula(self):
+        assert recommended_epsilon(1.0, 0.5, 0.4) == pytest.approx(0.2)
+
+    def test_floor_applied(self):
+        assert recommended_epsilon(1.0, 0.5, 0.0) == pytest.approx(0.5 * 1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            recommended_epsilon(0.0, 0.5, 0.5)

@@ -1,0 +1,120 @@
+"""Tests for acceptance models (Definition 3 / Table 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.market.acceptance import (
+    DistributionAcceptanceModel,
+    PerGridAcceptance,
+    TabularAcceptanceModel,
+)
+from repro.market.entities import Task
+from repro.market.valuation import TruncatedNormalValuation, UniformValuation
+from repro.spatial.geometry import Point
+
+
+def _task(valuation=None):
+    return Task(
+        task_id=1, period=0, origin=Point(0, 0), destination=Point(1, 0), valuation=valuation
+    )
+
+
+class TestTabularAcceptanceModel:
+    def test_paper_table_1(self):
+        model = TabularAcceptanceModel({1.0: 0.9, 2.0: 0.8, 3.0: 0.5})
+        assert model.acceptance_ratio(1.0) == pytest.approx(0.9)
+        assert model.acceptance_ratio(2.0) == pytest.approx(0.8)
+        assert model.acceptance_ratio(3.0) == pytest.approx(0.5)
+
+    def test_interpolation_between_entries(self):
+        model = TabularAcceptanceModel({1.0: 0.9, 3.0: 0.5})
+        assert model.acceptance_ratio(2.0) == pytest.approx(0.7)
+
+    def test_extrapolation_clamps(self):
+        model = TabularAcceptanceModel({1.0: 0.9, 3.0: 0.5})
+        assert model.acceptance_ratio(0.5) == pytest.approx(0.9)
+        assert model.acceptance_ratio(10.0) == pytest.approx(0.5)
+
+    def test_rejects_increasing_ratios(self):
+        with pytest.raises(ValueError):
+            TabularAcceptanceModel({1.0: 0.5, 2.0: 0.9})
+
+    def test_rejects_invalid_ratios(self):
+        with pytest.raises(ValueError):
+            TabularAcceptanceModel({1.0: 1.5})
+        with pytest.raises(ValueError):
+            TabularAcceptanceModel({})
+
+    def test_sampled_valuations_reproduce_table(self):
+        """Valuations sampled from the table must reproduce its frequencies."""
+        model = TabularAcceptanceModel({1.0: 0.9, 2.0: 0.8, 3.0: 0.5})
+        rng = np.random.default_rng(7)
+        valuations = [model.sample_valuation(rng) for _ in range(20000)]
+        for price, expected in [(1.0, 0.9), (2.0, 0.8), (3.0, 0.5)]:
+            empirical = float(np.mean([v >= price for v in valuations]))
+            assert empirical == pytest.approx(expected, abs=0.02)
+
+    def test_decide_with_explicit_valuation(self):
+        model = TabularAcceptanceModel({1.0: 0.9, 3.0: 0.5})
+        rng = np.random.default_rng(0)
+        assert model.decide(_task(valuation=2.5), 2.0, rng) is True
+        assert model.decide(_task(valuation=2.5), 3.0, rng) is False
+
+    def test_decide_without_valuation_uses_probability(self):
+        model = TabularAcceptanceModel({1.0: 1.0, 5.0: 1.0})
+        rng = np.random.default_rng(0)
+        assert model.decide(_task(), 2.0, rng) is True
+
+
+class TestDistributionAcceptanceModel:
+    def test_ratio_matches_distribution(self):
+        dist = UniformValuation(1.0, 5.0)
+        model = DistributionAcceptanceModel(dist)
+        assert model.acceptance_ratio(3.0) == pytest.approx(dist.acceptance_ratio(3.0))
+
+    def test_assign_valuations(self):
+        model = DistributionAcceptanceModel(TruncatedNormalValuation(2.0, 1.0))
+        rng = np.random.default_rng(1)
+        tasks = [_task() for _ in range(5)]
+        annotated = model.assign_valuations(tasks, rng)
+        assert len(annotated) == 5
+        assert all(t.valuation is not None for t in annotated)
+        assert all(1.0 <= t.valuation <= 5.0 for t in annotated)
+
+    def test_empirical_acceptance_matches_ratio(self):
+        model = DistributionAcceptanceModel(TruncatedNormalValuation(2.0, 1.0))
+        rng = np.random.default_rng(2)
+        price = 2.5
+        decisions = [model.decide(_task(), price, rng) for _ in range(20000)]
+        assert float(np.mean(decisions)) == pytest.approx(
+            model.acceptance_ratio(price), abs=0.02
+        )
+
+
+class TestPerGridAcceptance:
+    def test_requires_models_or_default(self):
+        with pytest.raises(ValueError):
+            PerGridAcceptance()
+
+    def test_lookup_with_default(self):
+        default = DistributionAcceptanceModel(UniformValuation(1.0, 5.0))
+        special = DistributionAcceptanceModel(UniformValuation(1.0, 3.0))
+        acceptance = PerGridAcceptance(models={7: special}, default=default)
+        assert acceptance.model_for(7) is special
+        assert acceptance.model_for(99) is default
+        assert acceptance.acceptance_ratio(7, 2.0) == pytest.approx(0.5)
+
+    def test_missing_grid_without_default(self):
+        acceptance = PerGridAcceptance(
+            models={1: DistributionAcceptanceModel(UniformValuation(1.0, 5.0))}
+        )
+        with pytest.raises(KeyError):
+            acceptance.model_for(2)
+
+    def test_set_model_and_grids(self):
+        default = DistributionAcceptanceModel(UniformValuation(1.0, 5.0))
+        acceptance = PerGridAcceptance(default=default)
+        acceptance.set_model(3, default)
+        assert 3 in acceptance.grids()

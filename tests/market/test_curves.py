@@ -1,0 +1,163 @@
+"""Tests for the demand/supply curves and the Eq. (1) revenue approximation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.market.curves import (
+    GridMarket,
+    demand_curve_value,
+    revenue_approximation,
+    supply_curve_value,
+)
+
+
+class TestCurveValues:
+    def test_demand_curve_simple(self):
+        assert demand_curve_value([1.0, 2.0], price=3.0, acceptance_ratio=0.5) == pytest.approx(4.5)
+
+    def test_demand_curve_validation(self):
+        with pytest.raises(ValueError):
+            demand_curve_value([1.0], price=-1.0, acceptance_ratio=0.5)
+        with pytest.raises(ValueError):
+            demand_curve_value([1.0], price=1.0, acceptance_ratio=1.5)
+
+    def test_supply_curve_top_n(self):
+        distances = [3.0, 2.0, 1.0]
+        assert supply_curve_value(distances, supply=0, price=2.0) == 0.0
+        assert supply_curve_value(distances, supply=2, price=2.0) == pytest.approx(10.0)
+        assert supply_curve_value(distances, supply=10, price=2.0) == pytest.approx(12.0)
+
+    def test_supply_curve_validation(self):
+        with pytest.raises(ValueError):
+            supply_curve_value([1.0], supply=-1, price=1.0)
+
+    def test_revenue_approximation_is_min(self):
+        # demand = (1.3 + 0.7) * 3 * 0.5 = 3.0 ; supply(1) = 1.3 * 3 = 3.9
+        value = revenue_approximation([0.7, 1.3], supply=1, price=3.0, acceptance_ratio=0.5)
+        assert value == pytest.approx(3.0)
+        # With price 2: demand = 2*2*0.8 = 3.2 ; supply(1) = 2.6 -> min is 2.6
+        value = revenue_approximation([0.7, 1.3], supply=1, price=2.0, acceptance_ratio=0.8)
+        assert value == pytest.approx(2.6)
+
+
+class TestGridMarketRunningExample:
+    """The numbers of Example 5: grid with tasks of distances 1.3 and 0.7."""
+
+    @pytest.fixture
+    def grid9(self, example_acceptance_table):
+        return GridMarket(
+            grid_index=9,
+            distances=[1.3, 0.7],
+            acceptance_ratio=example_acceptance_table.acceptance_ratio,
+        )
+
+    @pytest.fixture
+    def grid_r3(self, example_acceptance_table):
+        return GridMarket(
+            grid_index=11,
+            distances=[1.0],
+            acceptance_ratio=example_acceptance_table.acceptance_ratio,
+        )
+
+    def test_grid9_first_worker_gain_is_3(self, grid9):
+        price, delta = grid9.marginal_gain(0, candidate_prices=[1.0, 2.0, 3.0])
+        assert delta == pytest.approx(3.0)
+        assert price == pytest.approx(3.0)
+
+    def test_grid_r3_first_worker_gain_is_1_6(self, grid_r3):
+        price, delta = grid_r3.marginal_gain(0, candidate_prices=[1.0, 2.0, 3.0])
+        assert delta == pytest.approx(1.6)
+        assert price == pytest.approx(2.0)
+
+    def test_best_price_tie_breaks_to_smaller(self, grid_r3):
+        # With a single candidate repeated values cannot tie; craft a tie:
+        market = GridMarket(
+            grid_index=1, distances=[1.0], acceptance_ratio=lambda p: 2.0 / p if p >= 2 else 1.0
+        )
+        price, _ = market.best_price(supply=5, candidate_prices=[2.0, 4.0])
+        assert price == 2.0
+
+
+class TestGridMarketProperties:
+    def test_distances_sorted_and_validated(self):
+        market = GridMarket(grid_index=1, distances=[1.0, 3.0, 2.0])
+        assert market.distances == [3.0, 2.0, 1.0]
+        with pytest.raises(ValueError):
+            GridMarket(grid_index=1, distances=[-1.0])
+
+    def test_coefficients(self):
+        market = GridMarket(grid_index=1, distances=[3.0, 1.0, 2.0])
+        assert market.total_distance == pytest.approx(6.0)
+        assert market.top_distance_sum(2) == pytest.approx(5.0)
+        assert market.top_distance_sum(0) == 0.0
+
+    def test_saturation(self):
+        market = GridMarket(grid_index=1, distances=[1.0, 2.0])
+        assert not market.saturated(1)
+        assert market.saturated(2)
+        assert market.saturated(3)
+
+    def test_empty_market(self):
+        market = GridMarket(grid_index=1, distances=[])
+        assert market.expected_revenue(3, 2.0) == 0.0
+        assert market.num_tasks == 0
+
+    def test_best_price_requires_candidates(self):
+        market = GridMarket(grid_index=1, distances=[1.0])
+        with pytest.raises(ValueError):
+            market.best_price(1, [])
+
+    @given(
+        st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=1, max_size=20),
+        st.integers(min_value=0, max_value=25),
+        st.floats(min_value=0.5, max_value=5.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_approximation_bounded_by_both_curves(self, distances, supply, price):
+        ratio = 0.6
+        value = revenue_approximation(distances, supply, price, ratio)
+        assert value <= demand_curve_value(distances, price, ratio) + 1e-9
+        sorted_d = sorted(distances, reverse=True)
+        assert value <= supply_curve_value(sorted_d, supply, price) + 1e-9
+        assert value >= -1e-12
+
+    @given(
+        st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=1, max_size=15),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_optimised_revenue_monotone_in_supply(self, distances):
+        """More supply can never reduce the optimised Eq. (1) value."""
+        market = GridMarket(
+            grid_index=1,
+            distances=distances,
+            acceptance_ratio=lambda p: max(0.0, 1.0 - 0.18 * p),
+        )
+        candidates = [1.0, 1.5, 2.25, 3.375, 5.0]
+        values = []
+        for supply in range(len(distances) + 2):
+            _, best = market.best_price(supply, candidates)
+            values.append(best)
+            _, delta = market.marginal_gain(supply, candidates)
+            assert delta >= 0.0
+        for earlier, later in zip(values, values[1:]):
+            assert later >= earlier - 1e-9
+        # Once supply covers every task the value stops growing.
+        assert values[-1] == pytest.approx(values[len(distances)])
+
+    def test_marginal_gains_non_increasing_running_example(self):
+        """Lemma 9 on the running example's well-behaved demand curve."""
+        market = GridMarket(
+            grid_index=9,
+            distances=[1.3, 0.9, 0.7, 0.5],
+            acceptance_ratio=lambda p: max(0.0, min(1.0, 1.1 - 0.2 * p)),
+        )
+        candidates = [1.0, 1.5, 2.25, 3.375, 5.0]
+        gains = []
+        for supply in range(6):
+            _, delta = market.marginal_gain(supply, candidates)
+            gains.append(delta)
+        for earlier, later in zip(gains, gains[1:]):
+            assert later <= earlier + 1e-9

@@ -1,0 +1,90 @@
+"""Tests for the Task and Worker entities (Definitions 2 and 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.market.entities import Task, Worker
+from repro.spatial.geometry import Point
+
+
+class TestTask:
+    def test_distance_computed_from_endpoints(self):
+        task = Task(task_id=1, period=0, origin=Point(0, 0), destination=Point(3, 4))
+        assert task.distance == pytest.approx(5.0)
+
+    def test_explicit_distance_preserved(self):
+        task = Task(
+            task_id=1, period=0, origin=Point(0, 0), destination=Point(3, 4), distance=7.5
+        )
+        assert task.distance == 7.5
+
+    def test_with_grid_and_valuation_return_copies(self):
+        task = Task(task_id=1, period=2, origin=Point(0, 0), destination=Point(1, 0))
+        annotated = task.with_grid(9).with_valuation(2.5)
+        assert annotated.grid_index == 9
+        assert annotated.valuation == 2.5
+        assert task.grid_index is None
+        assert task.valuation is None
+
+    def test_accepts_requires_valuation(self):
+        task = Task(task_id=1, period=0, origin=Point(0, 0), destination=Point(1, 0))
+        with pytest.raises(ValueError):
+            task.accepts(2.0)
+
+    def test_accepts_boundary(self):
+        """The paper defines acceptance as p <= v_r (boundary accepted)."""
+        task = Task(
+            task_id=1, period=0, origin=Point(0, 0), destination=Point(1, 0), valuation=3.0
+        )
+        assert task.accepts(3.0)
+        assert task.accepts(2.99)
+        assert not task.accepts(3.01)
+
+    def test_revenue_at(self):
+        task = Task(
+            task_id=1, period=0, origin=Point(0, 0), destination=Point(0, 2), distance=2.0
+        )
+        assert task.revenue_at(3.0) == pytest.approx(6.0)
+
+
+class TestWorker:
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            Worker(worker_id=1, period=0, location=Point(0, 0), radius=-1.0)
+
+    def test_invalid_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Worker(worker_id=1, period=0, location=Point(0, 0), radius=1.0, duration=0)
+
+    def test_can_serve_range_constraint(self):
+        worker = Worker(worker_id=1, period=0, location=Point(0, 0), radius=5.0)
+        near = Task(task_id=1, period=0, origin=Point(3, 4), destination=Point(3, 5))
+        far = Task(task_id=2, period=0, origin=Point(4, 4), destination=Point(4, 5))
+        assert worker.can_serve(near)       # distance exactly 5 (inclusive)
+        assert not worker.can_serve(far)    # distance ~5.66
+
+    def test_can_serve_other_metric(self):
+        worker = Worker(worker_id=1, period=0, location=Point(0, 0), radius=5.0)
+        task = Task(task_id=1, period=0, origin=Point(3, 3), destination=Point(3, 4))
+        assert worker.can_serve(task, metric="euclidean")
+        assert not worker.can_serve(task, metric="manhattan")
+
+    def test_availability_without_duration(self):
+        worker = Worker(worker_id=1, period=3, location=Point(0, 0), radius=1.0)
+        assert not worker.available_in(2)
+        assert worker.available_in(3)
+        assert worker.available_in(1000)
+
+    def test_availability_with_duration(self):
+        worker = Worker(worker_id=1, period=3, location=Point(0, 0), radius=1.0, duration=5)
+        assert worker.available_in(3)
+        assert worker.available_in(7)
+        assert not worker.available_in(8)
+
+    def test_relocated(self):
+        worker = Worker(worker_id=1, period=0, location=Point(0, 0), radius=2.0)
+        moved = worker.relocated(Point(5, 5), period=4)
+        assert moved.location == Point(5, 5)
+        assert moved.period == 4
+        assert worker.location == Point(0, 0)

@@ -1,0 +1,107 @@
+"""Tests for possible-world enumeration and expected revenue (Definition 6)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.market.entities import Task, Worker
+from repro.matching.bipartite import BipartiteGraph
+from repro.matching.possible_worlds import (
+    enumerate_possible_worlds,
+    exact_expected_revenue,
+    monte_carlo_expected_revenue,
+    optimal_prices_by_enumeration,
+)
+from repro.spatial.geometry import Point
+
+
+def _simple_graph():
+    """Two tasks sharing one worker (distances 2 and 1)."""
+    tasks = [
+        Task(task_id=1, period=0, origin=Point(0, 0), destination=Point(0, 2), distance=2.0),
+        Task(task_id=2, period=0, origin=Point(1, 0), destination=Point(1, 1), distance=1.0),
+    ]
+    workers = [Worker(worker_id=1, period=0, location=Point(0, 0), radius=5.0)]
+    graph = BipartiteGraph(tasks=tasks, workers=workers)
+    graph.add_edge(0, 0)
+    graph.add_edge(1, 0)
+    return graph
+
+
+class TestEnumeration:
+    def test_number_of_worlds_and_probability_sum(self):
+        graph = _simple_graph()
+        worlds = enumerate_possible_worlds(graph, [1.0, 1.0], [0.5, 0.5])
+        assert len(worlds) == 4
+        assert sum(w.probability for w in worlds) == pytest.approx(1.0)
+
+    def test_hand_computed_expectation(self):
+        """E = P(r1 accepts)*w1 + P(r1 rejects, r2 accepts)*w2 for one shared worker."""
+        graph = _simple_graph()
+        prices = [3.0, 3.0]
+        probabilities = [0.5, 0.8]
+        # weights: 6.0 and 3.0; worker serves the heavier accepted task.
+        expected = 0.5 * 6.0 + 0.5 * 0.8 * 3.0
+        assert exact_expected_revenue(graph, prices, probabilities) == pytest.approx(expected)
+
+    def test_degenerate_probabilities(self):
+        graph = _simple_graph()
+        assert exact_expected_revenue(graph, [2.0, 2.0], [0.0, 0.0]) == pytest.approx(0.0)
+        assert exact_expected_revenue(graph, [2.0, 2.0], [1.0, 1.0]) == pytest.approx(4.0)
+
+    def test_input_validation(self):
+        graph = _simple_graph()
+        with pytest.raises(ValueError):
+            enumerate_possible_worlds(graph, [1.0], [0.5, 0.5])
+        with pytest.raises(ValueError):
+            enumerate_possible_worlds(graph, [1.0, 1.0], [0.5, 1.5])
+
+    def test_enumeration_size_guard(self):
+        tasks = [
+            Task(task_id=i, period=0, origin=Point(i, 0), destination=Point(i, 1))
+            for i in range(21)
+        ]
+        graph = BipartiteGraph(tasks=tasks, workers=[])
+        with pytest.raises(ValueError):
+            enumerate_possible_worlds(graph, [1.0] * 21, [0.5] * 21)
+
+
+class TestMonteCarlo:
+    def test_agrees_with_exact(self):
+        graph = _simple_graph()
+        prices = [3.0, 2.0]
+        probabilities = [0.5, 0.8]
+        exact = exact_expected_revenue(graph, prices, probabilities)
+        estimate, stderr = monte_carlo_expected_revenue(
+            graph, prices, probabilities, num_samples=4000, rng=np.random.default_rng(0)
+        )
+        assert estimate == pytest.approx(exact, abs=4 * stderr + 0.05)
+
+    def test_invalid_sample_count(self):
+        graph = _simple_graph()
+        with pytest.raises(ValueError):
+            monte_carlo_expected_revenue(graph, [1.0, 1.0], [0.5, 0.5], num_samples=0)
+
+
+class TestBruteForceOptimum:
+    def test_two_task_optimum(self):
+        graph = _simple_graph()
+        table = {1.0: 0.9, 2.0: 0.8, 3.0: 0.5}
+
+        def ratio(_pos, price):
+            return table[price]
+
+        prices, value = optimal_prices_by_enumeration(graph, [1.0, 2.0, 3.0], ratio)
+        # Check the optimum dominates every candidate combination.
+        for p1 in (1.0, 2.0, 3.0):
+            for p2 in (1.0, 2.0, 3.0):
+                candidate = exact_expected_revenue(graph, [p1, p2], [table[p1], table[p2]])
+                assert value >= candidate - 1e-9
+        assert len(prices) == 2
+
+    def test_empty_graph(self):
+        graph = BipartiteGraph(tasks=[], workers=[])
+        prices, value = optimal_prices_by_enumeration(graph, [1.0], lambda pos, p: 0.5)
+        assert prices == []
+        assert value == 0.0

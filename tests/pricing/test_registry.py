@@ -1,0 +1,57 @@
+"""Tests for the strategy registry/factory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pricing.base_price import BasePriceStrategy
+from repro.pricing.capped_ucb import CappedUCBStrategy
+from repro.pricing.maps_strategy import MAPSStrategy
+from repro.pricing.registry import PAPER_STRATEGIES, available_strategies, create_strategy
+from repro.pricing.sde import SDEStrategy
+from repro.pricing.sdr import SDRStrategy
+
+
+class TestRegistry:
+    def test_paper_strategy_list(self):
+        assert available_strategies() == ["MAPS", "BaseP", "SDR", "SDE", "CappedUCB"]
+        # The returned list is a copy: mutating it must not affect the registry.
+        available_strategies().append("bogus")
+        assert "bogus" not in available_strategies()
+
+    @pytest.mark.parametrize(
+        "name, expected_type",
+        [
+            ("MAPS", MAPSStrategy),
+            ("maps", MAPSStrategy),
+            ("BaseP", BasePriceStrategy),
+            ("base", BasePriceStrategy),
+            ("SDR", SDRStrategy),
+            ("SDE", SDEStrategy),
+            ("CappedUCB", CappedUCBStrategy),
+            ("capped_ucb", CappedUCBStrategy),
+        ],
+    )
+    def test_create_by_name(self, name, expected_type):
+        strategy = create_strategy(name, base_price=2.0)
+        assert isinstance(strategy, expected_type)
+
+    def test_every_paper_strategy_constructible(self):
+        for name in PAPER_STRATEGIES:
+            strategy = create_strategy(name, base_price=2.0, p_min=1.0, p_max=5.0)
+            assert strategy.name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            create_strategy("Uber", base_price=2.0)
+
+    def test_overrides_forwarded(self):
+        sdr = create_strategy("SDR", base_price=2.0, coefficient=0.9)
+        assert sdr.coefficient == 0.9
+
+    def test_calibration_only_used_for_maps(self, tiny_calibration):
+        maps = create_strategy("MAPS", base_price=2.0, calibration=tiny_calibration)
+        some_grid = next(iter(tiny_calibration.estimators))
+        assert maps.estimator_for_grid(some_grid).total_offers > 0
+        base = create_strategy("BaseP", base_price=2.0, calibration=tiny_calibration)
+        assert isinstance(base, BasePriceStrategy)

@@ -1,0 +1,169 @@
+"""Tests for price caps and spatial smoothing (Section 4.2.3 practical notes)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.gdp import PeriodInstance
+from repro.market.entities import Task, Worker
+from repro.pricing.base_price import BasePriceStrategy
+from repro.pricing.maps_strategy import MAPSStrategy
+from repro.pricing.smoothing import (
+    PriceCap,
+    SmoothedStrategy,
+    SpatialSmoother,
+)
+from repro.pricing.strategy import PriceFeedback, PricingStrategy
+from repro.spatial.geometry import BoundingBox, Point
+from repro.spatial.grid import Grid
+
+
+class FixedPriceStrategy(PricingStrategy):
+    """Quotes a prescribed per-grid price vector (test double)."""
+
+    name = "Fixed"
+
+    def __init__(self, prices):
+        self.prices = dict(prices)
+        self.feedback = []
+        self.resets = 0
+
+    def price_period(self, instance):
+        return dict(self.prices)
+
+    def observe_feedback(self, feedback):
+        self.feedback.extend(feedback)
+
+    def reset(self):
+        self.resets += 1
+
+
+def _instance_covering_grids(grid_indices, grid_side=4, region=40.0):
+    grid = Grid(BoundingBox.square(region), grid_side, grid_side)
+    tasks = []
+    for i, index in enumerate(grid_indices):
+        center = grid.cell(index).center
+        tasks.append(
+            Task(task_id=i, period=0, origin=center, destination=center.translate(2.0, 0.0))
+        )
+    workers = [Worker(worker_id=0, period=0, location=grid.cell(1).center, radius=100.0)]
+    return PeriodInstance.build(0, grid, tasks, workers)
+
+
+class TestPriceCap:
+    def test_clamps_both_ends(self):
+        cap = PriceCap(cap=3.0, floor=1.5)
+        instance = _instance_covering_grids([1, 2])
+        adjusted = cap.apply({1: 5.0, 2: 1.0}, instance)
+        assert adjusted == {1: 3.0, 2: 1.5}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PriceCap(cap=0.0)
+        with pytest.raises(ValueError):
+            PriceCap(cap=2.0, floor=3.0)
+
+    def test_does_not_mutate_input(self):
+        cap = PriceCap(cap=3.0)
+        original = {1: 5.0}
+        cap.apply(original, _instance_covering_grids([1]))
+        assert original == {1: 5.0}
+
+
+class TestSpatialSmoother:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SpatialSmoother(weight=1.5)
+        with pytest.raises(ValueError):
+            SpatialSmoother(iterations=0)
+
+    def test_zero_weight_is_identity(self):
+        smoother = SpatialSmoother(weight=0.0)
+        instance = _instance_covering_grids([1, 2, 5])
+        prices = {1: 5.0, 2: 1.0, 5: 3.0}
+        assert smoother.apply(prices, instance) == prices
+
+    def test_smoothing_reduces_neighbour_gap(self):
+        instance = _instance_covering_grids([1, 2, 5, 6])
+        prices = {1: 5.0, 2: 1.0, 5: 1.0, 6: 1.0}
+        smoother = SpatialSmoother(weight=0.5)
+        smoothed = smoother.apply(prices, instance)
+        before = smoother.max_neighbour_gap(prices, instance.grid)
+        after = smoother.max_neighbour_gap(smoothed, instance.grid)
+        assert after < before
+        # The spiky grid comes down, its neighbours come up.
+        assert smoothed[1] < 5.0
+        assert smoothed[2] > 1.0
+
+    def test_full_weight_moves_to_neighbourhood_mean(self):
+        instance = _instance_covering_grids([1, 2])
+        prices = {1: 4.0, 2: 2.0}
+        smoothed = SpatialSmoother(weight=1.0).apply(prices, instance)
+        assert smoothed[1] == pytest.approx(2.0)
+        assert smoothed[2] == pytest.approx(4.0)
+
+    def test_isolated_grid_unchanged(self):
+        """A priced grid with no priced neighbours keeps its price."""
+        instance = _instance_covering_grids([1, 16])  # opposite corners of a 4x4 grid
+        prices = {1: 4.0, 16: 2.0}
+        smoothed = SpatialSmoother(weight=0.7).apply(prices, instance)
+        assert smoothed == pytest.approx(prices)
+
+    def test_multiple_iterations_smooth_more(self):
+        instance = _instance_covering_grids([1, 2, 3])
+        prices = {1: 5.0, 2: 1.0, 3: 1.0}
+        once = SpatialSmoother(weight=0.4, iterations=1).apply(prices, instance)
+        thrice = SpatialSmoother(weight=0.4, iterations=3).apply(prices, instance)
+        spread_once = max(once.values()) - min(once.values())
+        spread_thrice = max(thrice.values()) - min(thrice.values())
+        assert spread_thrice <= spread_once
+
+    def test_preserves_average_roughly(self):
+        """Smoothing redistributes prices; the mean stays within the range."""
+        instance = _instance_covering_grids([1, 2, 5, 6])
+        prices = {1: 5.0, 2: 1.0, 5: 2.0, 6: 4.0}
+        smoothed = SpatialSmoother(weight=0.5).apply(prices, instance)
+        assert min(prices.values()) <= sum(smoothed.values()) / 4 <= max(prices.values())
+
+
+class TestSmoothedStrategy:
+    def test_pipeline_applied_in_order(self):
+        inner = FixedPriceStrategy({1: 5.0, 2: 1.0})
+        strategy = SmoothedStrategy(
+            inner, [SpatialSmoother(weight=1.0), PriceCap(cap=2.5)]
+        )
+        instance = _instance_covering_grids([1, 2])
+        prices = strategy.price_period(instance)
+        # Smoother swaps towards neighbour means (1 -> 1.0->... ), then the
+        # cap clamps anything above 2.5.
+        assert all(price <= 2.5 for price in prices.values())
+
+    def test_feedback_and_reset_forwarded(self):
+        inner = FixedPriceStrategy({1: 2.0})
+        strategy = SmoothedStrategy(inner, [PriceCap(cap=3.0)])
+        feedback = [
+            PriceFeedback(period=0, grid_index=1, price=2.0, accepted=True, distance=1.0)
+        ]
+        strategy.observe_feedback(feedback)
+        strategy.reset()
+        assert inner.feedback == feedback
+        assert inner.resets == 1
+
+    def test_requires_processors(self):
+        with pytest.raises(ValueError):
+            SmoothedStrategy(FixedPriceStrategy({}), [])
+
+    def test_default_name(self):
+        strategy = SmoothedStrategy(BasePriceStrategy(base_price=2.0), [PriceCap(cap=3.0)])
+        assert strategy.name == "BaseP+smooth"
+
+    def test_smoothed_maps_runs_end_to_end(self, tiny_workload, tiny_engine, tiny_calibration):
+        from repro.simulation.engine import SimulationEngine
+
+        smoothed = SmoothedStrategy(
+            MAPSStrategy.from_calibration(tiny_calibration),
+            [SpatialSmoother(weight=0.3), PriceCap(cap=5.0, floor=1.0)],
+            name="MAPS+smooth",
+        )
+        result = tiny_engine.run(smoothed)
+        assert result.total_revenue > 0.0

@@ -1,0 +1,216 @@
+"""Tests for the pricing strategies of Section 5.1."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.gdp import PeriodInstance
+from repro.market.entities import Task, Worker
+from repro.market.valuation import TruncatedNormalValuation, UniformValuation
+from repro.pricing.base_price import BasePriceStrategy
+from repro.pricing.capped_ucb import CappedUCBStrategy
+from repro.pricing.maps_strategy import MAPSStrategy
+from repro.pricing.myerson import OracleMyersonStrategy
+from repro.pricing.sde import SDEStrategy
+from repro.pricing.sdr import SDRStrategy
+from repro.pricing.strategy import PriceFeedback
+from repro.spatial.geometry import BoundingBox, Point
+from repro.spatial.grid import Grid
+
+
+def _instance(task_cells, worker_cells, radius=30.0):
+    """Build an instance with one task/worker per requested cell center."""
+    grid = Grid(BoundingBox.square(100.0), 5, 5)
+    tasks = []
+    for i, cell_index in enumerate(task_cells):
+        center = grid.cell(cell_index).center
+        tasks.append(
+            Task(
+                task_id=i,
+                period=0,
+                origin=center,
+                destination=center.translate(3.0, 0.0),
+            )
+        )
+    workers = []
+    for j, cell_index in enumerate(worker_cells):
+        center = grid.cell(cell_index).center
+        workers.append(
+            Worker(worker_id=j, period=0, location=center, radius=radius)
+        )
+    return PeriodInstance.build(0, grid, tasks, workers)
+
+
+def _feedback(grid_index, price, accepted, period=0, distance=3.0):
+    return PriceFeedback(
+        period=period, grid_index=grid_index, price=price, accepted=accepted, distance=distance
+    )
+
+
+class TestBasePriceStrategy:
+    def test_constant_price_for_all_grids_with_tasks(self):
+        strategy = BasePriceStrategy(base_price=2.3)
+        instance = _instance([1, 1, 13, 25], [7])
+        prices = strategy.price_period(instance)
+        assert set(prices) == set(instance.grid_indices_with_tasks())
+        assert all(p == pytest.approx(2.3) for p in prices.values())
+
+    def test_price_clamped(self):
+        assert BasePriceStrategy(base_price=9.0).base_price == 5.0
+        assert BasePriceStrategy(base_price=0.2).base_price == 1.0
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            BasePriceStrategy(base_price=2.0, p_min=0.0)
+
+
+class TestSDRStrategy:
+    def test_balanced_grid_uses_base_price(self):
+        strategy = SDRStrategy(base_price=2.0)
+        instance = _instance([1], [1])
+        prices = strategy.price_period(instance)
+        assert prices[1] == pytest.approx(2.0)
+
+    def test_shortage_raises_price_by_ratio(self):
+        strategy = SDRStrategy(base_price=2.0, coefficient=0.5)
+        instance = _instance([1, 1, 1, 1], [1])   # 4 tasks, 1 worker in grid 1
+        prices = strategy.price_period(instance)
+        assert prices[1] == pytest.approx(min(5.0, 0.5 * 2.0 * 4 / 1))
+
+    def test_no_local_workers_hits_cap(self):
+        strategy = SDRStrategy(base_price=2.0)
+        instance = _instance([1, 1], [25])  # workers far away in another cell
+        prices = strategy.price_period(instance)
+        assert prices[1] == pytest.approx(5.0)
+
+    def test_invalid_coefficient(self):
+        with pytest.raises(ValueError):
+            SDRStrategy(base_price=2.0, coefficient=0.0)
+
+
+class TestSDEStrategy:
+    def test_balanced_grid_uses_base_price(self):
+        strategy = SDEStrategy(base_price=2.0)
+        instance = _instance([1], [1])
+        assert strategy.price_period(instance)[1] == pytest.approx(2.0)
+
+    def test_shortage_multiplier(self):
+        strategy = SDEStrategy(base_price=2.0, scale=2.0)
+        instance = _instance([1, 1, 1], [1])   # deficit of 2
+        expected = 2.0 * (1.0 + 2.0 * np.exp(1 - 3))
+        assert strategy.price_period(instance)[1] == pytest.approx(min(5.0, expected))
+
+    def test_larger_deficit_changes_price_less(self):
+        """SDE's multiplier shrinks as the deficit grows (its known weakness)."""
+        strategy = SDEStrategy(base_price=2.0)
+        small_deficit = strategy.price_period(_instance([1, 1], [1]))[1]
+        large_deficit = strategy.price_period(_instance([1] * 6, [1]))[1]
+        assert large_deficit <= small_deficit
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            SDEStrategy(base_price=2.0, scale=0.0)
+
+
+class TestCappedUCBStrategy:
+    def test_prices_on_ladder_and_learning(self):
+        strategy = CappedUCBStrategy(p_min=1.0, p_max=5.0, alpha=0.5)
+        instance = _instance([1, 1, 1], [1, 1])
+        prices = strategy.price_period(instance)
+        assert set(prices) == {1}
+        assert prices[1] in [1.0, 1.5, 2.25, 3.375, 5.0]
+        # Feed accept/reject feedback and re-price: still on the ladder.
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            strategy.observe_feedback(
+                [_feedback(1, prices[1], bool(rng.random() < 0.6))]
+            )
+            prices = strategy.price_period(instance)
+            assert prices[1] in [1.0, 1.5, 2.25, 3.375, 5.0]
+
+    def test_off_ladder_feedback_snapped(self):
+        strategy = CappedUCBStrategy()
+        strategy.observe_feedback([_feedback(3, 2.2, True)])
+        estimator = strategy._estimator_for(3)
+        assert estimator.total_offers == 1
+
+    def test_reset_clears_state(self):
+        strategy = CappedUCBStrategy()
+        strategy.observe_feedback([_feedback(3, 1.0, True)])
+        strategy.reset()
+        assert strategy._estimator_for(3).total_offers == 0
+
+    def test_converges_to_capped_optimum(self):
+        """With full supply and converged stats it picks the Myerson ladder price."""
+        strategy = CappedUCBStrategy(p_min=1.0, p_max=2.0, alpha=1.0)  # ladder 1, 2
+        table = {1.0: 0.9, 2.0: 0.8}
+        rng = np.random.default_rng(1)
+        instance = _instance([1, 1], [1, 1, 1])
+        for _ in range(400):
+            prices = strategy.price_period(instance)
+            price = prices[1]
+            accepted = bool(rng.random() < table[price])
+            strategy.observe_feedback([_feedback(1, price, accepted)])
+        # max p*S(p): 1*0.9 = 0.9 vs 2*0.8 = 1.6 -> 2 is optimal.
+        final_prices = strategy.price_period(instance)
+        assert final_prices[1] == pytest.approx(2.0)
+
+
+class TestMAPSStrategy:
+    def test_prices_every_grid_with_tasks(self):
+        strategy = MAPSStrategy(base_price=2.0)
+        instance = _instance([1, 1, 13], [1, 13])
+        prices = strategy.price_period(instance)
+        assert set(prices) == set(instance.grid_indices_with_tasks())
+        assert all(1.0 <= p <= 5.0 for p in prices.values())
+        assert strategy.last_plan is not None
+        assert strategy.last_plan.iterations > 0
+
+    def test_feedback_updates_estimators_and_reset(self):
+        strategy = MAPSStrategy(base_price=2.0, change_detection=True, change_window=10)
+        strategy.observe_feedback([_feedback(5, 1.5, True), _feedback(5, 1.5, False)])
+        assert strategy.estimator_for_grid(5).total_offers == 2
+        strategy.reset()
+        assert strategy.estimator_for_grid(5).total_offers == 0
+
+    def test_warm_start_from_calibration(self, tiny_engine, tiny_calibration):
+        strategy = MAPSStrategy.from_calibration(tiny_calibration)
+        some_grid = next(iter(tiny_calibration.estimators))
+        assert strategy.estimator_for_grid(some_grid).total_offers > 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            MAPSStrategy(base_price=2.0, p_min=0.0)
+        with pytest.raises(ValueError):
+            MAPSStrategy(base_price=2.0, alpha=0.0)
+
+
+class TestOracleMyersonStrategy:
+    def test_prices_at_true_reserve(self):
+        distribution = UniformValuation(1.0, 5.0)
+        strategy = OracleMyersonStrategy({}, default=distribution)
+        instance = _instance([1, 13], [1])
+        prices = strategy.price_period(instance)
+        for price in prices.values():
+            assert price == pytest.approx(2.5, abs=0.01)
+
+    def test_per_grid_distributions(self):
+        strategy = OracleMyersonStrategy(
+            {1: UniformValuation(1.0, 5.0)},
+            default=TruncatedNormalValuation(mean=3.0, std=0.5),
+        )
+        instance = _instance([1, 13], [1])
+        prices = strategy.price_period(instance)
+        assert prices[1] == pytest.approx(2.5, abs=0.01)
+        assert prices[13] != pytest.approx(2.5, abs=0.01)
+
+    def test_missing_distribution(self):
+        strategy = OracleMyersonStrategy({1: UniformValuation(1.0, 5.0)})
+        instance = _instance([13], [1])
+        with pytest.raises(KeyError):
+            strategy.price_period(instance)
+
+    def test_requires_some_distribution(self):
+        with pytest.raises(ValueError):
+            OracleMyersonStrategy({})

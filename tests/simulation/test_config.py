@@ -1,0 +1,118 @@
+"""Tests for simulation configuration objects (Tables 3 and 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation.config import BeijingConfig, SyntheticConfig, WorkloadBundle
+
+
+class TestSyntheticConfig:
+    def test_paper_defaults(self):
+        config = SyntheticConfig.paper_default()
+        assert config.num_workers == 5000
+        assert config.num_tasks == 20000
+        assert config.temporal_mu == 0.5
+        assert config.spatial_mean == 0.5
+        assert config.demand_mu == 2.0
+        assert config.demand_sigma == 1.0
+        assert config.num_periods == 400
+        assert config.num_grids == 100
+        assert config.worker_radius == 10.0
+        assert config.region_side == 100.0
+        assert config.valuation_bounds == (1.0, 5.0)
+
+    def test_build_grid(self):
+        grid = SyntheticConfig(grid_side=15).build_grid()
+        assert grid.num_cells == 225
+        assert grid.region.width == 100.0
+
+    def test_scaled(self):
+        config = SyntheticConfig().scaled(0.1)
+        assert config.num_workers == 500
+        assert config.num_tasks == 2000
+        assert config.num_periods == 400  # periods unchanged by scaled()
+        with pytest.raises(ValueError):
+            SyntheticConfig().scaled(0.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_workers": 0},
+            {"num_tasks": -1},
+            {"temporal_mu": 1.5},
+            {"spatial_mean": -0.1},
+            {"temporal_sigma": 0.0},
+            {"demand_sigma": 0.0},
+            {"demand_distribution": "pareto"},
+            {"num_periods": 0},
+            {"grid_side": 0},
+            {"worker_radius": 0.0},
+            {"valuation_bounds": (5.0, 1.0)},
+            {"price_bounds": (0.0, 5.0)},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            SyntheticConfig(**kwargs)
+
+
+class TestBeijingConfig:
+    def test_dataset_1_matches_table_4(self):
+        config = BeijingConfig.dataset_1()
+        assert config.variant == "rush_hour"
+        assert config.num_workers == 28210
+        assert config.num_tasks == 113372
+        assert config.num_periods == 120
+        assert config.worker_radius_km == 3.0
+        assert config.grid_cols * config.grid_rows == 80
+
+    def test_dataset_2_matches_table_4(self):
+        config = BeijingConfig.dataset_2()
+        assert config.variant == "late_night"
+        assert config.num_workers == 19006
+        assert config.num_tasks == 55659
+
+    def test_dataset_overrides(self):
+        config = BeijingConfig.dataset_1(worker_duration=25)
+        assert config.worker_duration == 25
+
+    def test_build_grid_covers_bounding_box(self):
+        grid = BeijingConfig.dataset_1().build_grid()
+        assert grid.num_cells == 80
+        assert grid.region.min_x == pytest.approx(116.30)
+        assert grid.region.max_y == pytest.approx(40.0)
+        assert grid.cell_width == pytest.approx(0.02)
+
+    def test_scaled(self):
+        config = BeijingConfig.dataset_1().scaled(0.01)
+        assert config.num_workers == 282
+        assert config.num_tasks == 1134
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BeijingConfig(variant="noon")
+        with pytest.raises(ValueError):
+            BeijingConfig(worker_duration=0)
+
+
+class TestWorkloadBundle:
+    def test_validate_detects_misplaced_tasks(self, tiny_workload):
+        tiny_workload.validate()  # the generated bundle must be consistent
+        assert tiny_workload.num_periods == len(tiny_workload.tasks_by_period)
+        assert tiny_workload.total_tasks == sum(
+            len(tasks) for tasks in tiny_workload.tasks_by_period
+        )
+        assert tiny_workload.total_workers == sum(
+            len(workers) for workers in tiny_workload.workers_by_period
+        )
+
+    def test_validate_raises_on_mismatched_lengths(self, tiny_workload):
+        broken = WorkloadBundle(
+            grid=tiny_workload.grid,
+            tasks_by_period=tiny_workload.tasks_by_period,
+            workers_by_period=tiny_workload.workers_by_period[:-1],
+            acceptance=tiny_workload.acceptance,
+        )
+        with pytest.raises(ValueError):
+            broken.validate()

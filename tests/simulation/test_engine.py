@@ -1,0 +1,208 @@
+"""Tests for the discrete-time simulation engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.pricing.base_price import BasePriceStrategy
+from repro.pricing.maps_strategy import MAPSStrategy
+from repro.pricing.strategy import PriceFeedback, PricingStrategy
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.metrics import MetricsCollector
+from repro.simulation.oracle import SimulatedProbeOracle
+
+
+class RecordingStrategy(PricingStrategy):
+    """Prices everything at a constant and records what it observes."""
+
+    name = "Recorder"
+
+    def __init__(self, price=2.0):
+        self.price = price
+        self.instances = []
+        self.feedback = []
+        self.reset_calls = 0
+
+    def price_period(self, instance):
+        self.instances.append(instance)
+        return {g: self.price for g in instance.grid_indices_with_tasks()}
+
+    def observe_feedback(self, feedback):
+        self.feedback.extend(feedback)
+
+    def reset(self):
+        self.reset_calls += 1
+
+
+class TestCalibration:
+    def test_calibration_produces_bounded_base_price(self, tiny_engine, tiny_calibration):
+        assert 1.0 <= tiny_calibration.base_price <= 5.0
+        assert tiny_calibration.total_probes > 0
+        assert len(tiny_calibration.grid_reserve_prices) > 0
+
+    def test_calibration_covers_every_grid_with_demand(self, tiny_workload, tiny_engine, tiny_calibration):
+        grids_with_tasks = {
+            task.grid_index
+            for tasks in tiny_workload.tasks_by_period
+            for task in tasks
+        }
+        assert set(tiny_calibration.grid_reserve_prices) == grids_with_tasks
+
+
+class TestSimulationRun:
+    def test_feedback_and_accounting(self, tiny_workload):
+        engine = SimulationEngine(tiny_workload, seed=1)
+        strategy = RecordingStrategy(price=2.0)
+        result = engine.run(strategy)
+
+        assert strategy.reset_calls == 1
+        # One feedback entry per task of the horizon.
+        assert len(strategy.feedback) == tiny_workload.total_tasks
+        assert result.metrics.total_tasks == tiny_workload.total_tasks
+        assert result.metrics.accepted_tasks <= result.metrics.total_tasks
+        assert result.metrics.served_tasks <= result.metrics.accepted_tasks
+        assert result.metrics.total_revenue >= 0.0
+        assert result.metrics.pricing_time_seconds >= 0.0
+
+    def test_acceptance_consistent_with_valuations(self, tiny_workload):
+        engine = SimulationEngine(tiny_workload, seed=1)
+        strategy = RecordingStrategy(price=2.0)
+        engine.run(strategy)
+        valuation_by_key = {
+            (task.period, task.grid_index, task.task_id): task.valuation
+            for tasks in tiny_workload.tasks_by_period
+            for task in tasks
+        }
+        # Every feedback acceptance decision must equal price <= valuation.
+        tasks_flat = [
+            task for tasks in tiny_workload.tasks_by_period for task in tasks
+        ]
+        assert len(strategy.feedback) == len(tasks_flat)
+        accepted_count = sum(1 for f in strategy.feedback if f.accepted)
+        expected_accepted = sum(1 for t in tasks_flat if t.valuation >= 2.0)
+        assert accepted_count == expected_accepted
+
+    def test_revenue_bounded_by_accepted_demand(self, tiny_workload):
+        engine = SimulationEngine(tiny_workload, seed=1)
+        strategy = RecordingStrategy(price=2.0)
+        result = engine.run(strategy)
+        upper_bound = sum(
+            task.distance * 2.0
+            for tasks in tiny_workload.tasks_by_period
+            for task in tasks
+            if task.valuation >= 2.0
+        )
+        assert result.metrics.total_revenue <= upper_bound + 1e-6
+
+    def test_deterministic_given_seed(self, tiny_workload):
+        engine = SimulationEngine(tiny_workload, seed=1)
+        first = engine.run(BasePriceStrategy(base_price=2.0))
+        second = engine.run(BasePriceStrategy(base_price=2.0))
+        assert first.total_revenue == pytest.approx(second.total_revenue)
+        assert first.metrics.served_tasks == second.metrics.served_tasks
+
+    def test_keep_details_records_periods(self, tiny_workload):
+        engine = SimulationEngine(tiny_workload, seed=1, keep_details=True)
+        result = engine.run(BasePriceStrategy(base_price=2.0))
+        non_empty_periods = sum(
+            1 for tasks in tiny_workload.tasks_by_period if tasks
+        )
+        assert len(result.outcomes) == non_empty_periods
+        for outcome in result.outcomes:
+            assert outcome.served_tasks <= outcome.accepted_tasks <= outcome.num_tasks
+            assert outcome.revenue >= 0.0
+
+    def test_matched_workers_leave_the_pool(self, tiny_workload):
+        """Total served tasks can never exceed the total number of workers."""
+        engine = SimulationEngine(tiny_workload, seed=1)
+        result = engine.run(BasePriceStrategy(base_price=1.0))
+        assert result.metrics.served_tasks <= tiny_workload.total_workers
+
+    def test_higher_prices_reduce_acceptance(self, tiny_workload):
+        engine = SimulationEngine(tiny_workload, seed=1)
+        cheap = engine.run(BasePriceStrategy(base_price=1.0))
+        expensive = engine.run(BasePriceStrategy(base_price=5.0))
+        assert expensive.metrics.accepted_tasks <= cheap.metrics.accepted_tasks
+
+    def test_run_many_runs_all_strategies(self, tiny_workload):
+        engine = SimulationEngine(tiny_workload, seed=1)
+        results = engine.run_many(
+            [BasePriceStrategy(base_price=2.0), RecordingStrategy(price=2.0)]
+        )
+        assert set(results) == {"BaseP", "Recorder"}
+
+    def test_maps_runs_and_beats_nothing_pathological(self, tiny_workload, tiny_engine, tiny_calibration):
+        maps_result = tiny_engine.run(MAPSStrategy.from_calibration(tiny_calibration))
+        assert maps_result.total_revenue > 0.0
+        assert maps_result.metrics.served_tasks > 0
+
+    def test_memory_tracking_optional(self, tiny_workload):
+        engine = SimulationEngine(tiny_workload, seed=1, track_memory=True)
+        result = engine.run(BasePriceStrategy(base_price=2.0))
+        assert result.metrics.peak_memory_bytes > 0
+
+
+class TestOracle:
+    def test_offer_counts_and_bounds(self, tiny_workload):
+        oracle = SimulatedProbeOracle(tiny_workload.acceptance, seed=0)
+        grid = next(
+            task.grid_index
+            for tasks in tiny_workload.tasks_by_period
+            for task in tasks
+        )
+        acceptances = oracle.offer(grid, 2.0, 500)
+        assert 0 <= acceptances <= 500
+        assert oracle.total_probes == 500
+        assert oracle.probes_for_grid(grid) == 500
+
+    def test_offer_respects_acceptance_probability(self, tiny_workload):
+        oracle = SimulatedProbeOracle(tiny_workload.acceptance, seed=1)
+        grid = next(
+            task.grid_index
+            for tasks in tiny_workload.tasks_by_period
+            for task in tasks
+        )
+        probability = tiny_workload.acceptance.acceptance_ratio(grid, 2.0)
+        acceptances = oracle.offer(grid, 2.0, 20000)
+        assert acceptances / 20000 == pytest.approx(probability, abs=0.02)
+
+    def test_invalid_count(self, tiny_workload):
+        oracle = SimulatedProbeOracle(tiny_workload.acceptance, seed=0)
+        with pytest.raises(ValueError):
+            oracle.offer(1, 2.0, 0)
+
+
+class TestMetricsCollector:
+    def test_timers_and_period_accounting(self):
+        collector = MetricsCollector("test")
+        collector.start()
+        with collector.time_pricing():
+            sum(range(1000))
+        with collector.time_matching():
+            sum(range(1000))
+        collector.record_period(revenue=5.0, served_tasks=2, accepted_tasks=3, total_tasks=4)
+        collector.record_period(revenue=1.0, served_tasks=1, accepted_tasks=1, total_tasks=2)
+        metrics = collector.finish()
+        assert metrics.total_revenue == pytest.approx(6.0)
+        assert metrics.revenue_by_period == [5.0, 1.0]
+        assert metrics.served_tasks == 3
+        assert metrics.accepted_tasks == 4
+        assert metrics.total_tasks == 6
+        assert metrics.acceptance_rate == pytest.approx(4 / 6)
+        assert metrics.service_rate == pytest.approx(0.5)
+        assert metrics.pricing_time_seconds > 0.0
+        assert metrics.matching_time_seconds > 0.0
+
+    def test_negative_revenue_rejected(self):
+        collector = MetricsCollector("test")
+        with pytest.raises(ValueError):
+            collector.record_period(revenue=-1.0, served_tasks=0, accepted_tasks=0, total_tasks=0)
+
+    def test_as_dict_keys(self):
+        collector = MetricsCollector("test")
+        metrics = collector.finish()
+        payload = metrics.as_dict()
+        assert payload["strategy"] == "test"
+        assert "total_revenue" in payload
+        assert "peak_memory_mb" in payload

@@ -1,0 +1,117 @@
+"""Tests for the synthetic workload generator (Table 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.market.acceptance import DistributionAcceptanceModel
+from repro.simulation.config import SyntheticConfig
+from repro.simulation.generator import SyntheticWorkloadGenerator
+
+
+def _generate(**overrides):
+    defaults = dict(
+        num_workers=200, num_tasks=800, num_periods=10, grid_side=5, seed=11
+    )
+    defaults.update(overrides)
+    return SyntheticWorkloadGenerator(SyntheticConfig(**defaults)).generate()
+
+
+class TestCountsAndStructure:
+    def test_total_counts(self):
+        workload = _generate()
+        assert workload.total_tasks == 800
+        assert workload.total_workers == 200
+        assert workload.num_periods == 10
+
+    def test_tasks_are_annotated_and_within_region(self):
+        workload = _generate()
+        for period, tasks in enumerate(workload.tasks_by_period):
+            for task in tasks:
+                assert task.period == period
+                assert task.grid_index == workload.grid.locate(task.origin)
+                assert 0.0 <= task.origin.x <= 100.0
+                assert 0.0 <= task.origin.y <= 100.0
+                assert 0.0 <= task.destination.x <= 100.0
+                assert task.distance >= 0.0
+
+    def test_valuations_within_bounds(self):
+        workload = _generate()
+        for tasks in workload.tasks_by_period:
+            for task in tasks:
+                assert task.valuation is not None
+                assert 1.0 <= task.valuation <= 5.0
+
+    def test_workers_have_configured_radius(self):
+        workload = _generate(worker_radius=17.0)
+        for workers in workload.workers_by_period:
+            for worker in workers:
+                assert worker.radius == 17.0
+
+    def test_reproducible_given_seed(self):
+        first = _generate(seed=3)
+        second = _generate(seed=3)
+        assert first.total_tasks == second.total_tasks
+        for tasks_a, tasks_b in zip(first.tasks_by_period, second.tasks_by_period):
+            for a, b in zip(tasks_a, tasks_b):
+                assert a.origin == b.origin
+                assert a.valuation == b.valuation
+
+    def test_different_seeds_differ(self):
+        first = _generate(seed=3)
+        second = _generate(seed=4)
+        origins_a = [t.origin for tasks in first.tasks_by_period for t in tasks]
+        origins_b = [t.origin for tasks in second.tasks_by_period for t in tasks]
+        assert origins_a != origins_b
+
+
+class TestDistributions:
+    def test_temporal_mean_shifts_task_periods(self):
+        early = _generate(temporal_mu=0.1, num_periods=20)
+        late = _generate(temporal_mu=0.9, num_periods=20)
+
+        def mean_period(workload):
+            periods = [t.period for tasks in workload.tasks_by_period for t in tasks]
+            return float(np.mean(periods))
+
+        assert mean_period(early) < mean_period(late)
+
+    def test_spatial_mean_shifts_origins(self):
+        corner = _generate(spatial_mean=0.1)
+        center = _generate(spatial_mean=0.9)
+
+        def mean_x(workload):
+            xs = [t.origin.x for tasks in workload.tasks_by_period for t in tasks]
+            return float(np.mean(xs))
+
+        assert mean_x(corner) < mean_x(center)
+
+    def test_demand_mu_shifts_valuations(self):
+        cheap = _generate(demand_mu=1.0)
+        rich = _generate(demand_mu=3.0)
+
+        def mean_valuation(workload):
+            values = [t.valuation for tasks in workload.tasks_by_period for t in tasks]
+            return float(np.mean(values))
+
+        assert mean_valuation(cheap) < mean_valuation(rich)
+
+    def test_exponential_demand_supported(self):
+        workload = _generate(demand_distribution="exponential", demand_rate=1.0)
+        values = [t.valuation for tasks in workload.tasks_by_period for t in tasks]
+        assert all(1.0 <= v <= 5.0 for v in values)
+        # Exponential demand skews towards the lower bound.
+        assert float(np.mean(values)) < 2.5
+
+    def test_acceptance_models_cover_every_grid(self):
+        workload = _generate()
+        for cell in workload.grid.cells():
+            model = workload.acceptance.model_for(cell.index)
+            assert isinstance(model, DistributionAcceptanceModel)
+            assert 0.0 <= model.acceptance_ratio(2.0) <= 1.0
+
+    def test_description_mentions_sizes(self):
+        workload = _generate()
+        assert "|W|=200" in workload.description
+        assert "|R|=800" in workload.description

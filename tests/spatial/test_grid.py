@@ -1,0 +1,156 @@
+"""Tests for the grid partitioning (Definition 1 / Example 2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spatial.geometry import BoundingBox, Point
+from repro.spatial.grid import Grid
+
+
+class TestConstruction:
+    def test_square_grid(self):
+        grid = Grid.square(100.0, 10)
+        assert grid.num_cells == 100
+        assert grid.rows == 10
+        assert grid.cols == 10
+        assert grid.cell_width == pytest.approx(10.0)
+        assert grid.cell_height == pytest.approx(10.0)
+
+    def test_rectangular_grid(self):
+        region = BoundingBox(116.30, 39.84, 116.50, 40.0)
+        grid = Grid(region, rows=8, cols=10)
+        assert grid.num_cells == 80
+        assert grid.cell_width == pytest.approx(0.02)
+        assert grid.cell_height == pytest.approx(0.02)
+
+    def test_from_cell_count(self):
+        grid = Grid.from_cell_count(BoundingBox.square(100.0), 225)
+        assert grid.rows == 15 and grid.cols == 15
+        with pytest.raises(ValueError):
+            Grid.from_cell_count(BoundingBox.square(100.0), 26)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            Grid(BoundingBox.square(10.0), 0, 5)
+
+    def test_len_and_iter(self):
+        grid = Grid.square(10.0, 3)
+        assert len(grid) == 9
+        indices = [cell.index for cell in grid]
+        assert indices == list(range(1, 10))
+
+
+class TestPaperExample2:
+    """Example 2: 8x8 region, side-2 cells, bottom-left row-major indexing."""
+
+    @pytest.fixture
+    def grid(self):
+        return Grid(BoundingBox.square(8.0), 4, 4)
+
+    def test_w3_is_in_grid_7(self, grid):
+        assert grid.locate(Point(5.0, 3.0)) == 7
+
+    def test_r2_is_in_grid_9(self, grid):
+        assert grid.locate(Point(1.0, 5.0)) == 9
+
+    def test_w1_is_in_grid_10(self, grid):
+        # (3, 5): row 2, col 1 -> 2*4 + 1 + 1 = 10
+        assert grid.locate(Point(3.0, 5.0)) == 10
+
+    def test_bottom_left_is_grid_1(self, grid):
+        assert grid.locate(Point(0.1, 0.1)) == 1
+
+    def test_top_right_is_last_grid(self, grid):
+        assert grid.locate(Point(7.9, 7.9)) == 16
+
+
+class TestLocate:
+    def test_cell_index_bounds(self):
+        grid = Grid.square(100.0, 5)
+        with pytest.raises(IndexError):
+            grid.cell(0)
+        with pytest.raises(IndexError):
+            grid.cell(26)
+        assert grid.cell(1).index == 1
+        assert grid.cell(25).index == 25
+
+    def test_points_outside_region_are_clamped(self):
+        grid = Grid.square(100.0, 10)
+        assert grid.locate(Point(-5.0, -5.0)) == 1
+        assert grid.locate(Point(150.0, 150.0)) == 100
+
+    def test_locate_cell_consistent_with_locate(self):
+        grid = Grid.square(100.0, 10)
+        point = Point(37.0, 81.0)
+        assert grid.locate_cell(point).index == grid.locate(point)
+
+    @given(
+        st.floats(min_value=0, max_value=100),
+        st.floats(min_value=0, max_value=100),
+        st.integers(min_value=1, max_value=20),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_located_cell_contains_point(self, x, y, side):
+        grid = Grid.square(100.0, side)
+        cell = grid.locate_cell(Point(x, y))
+        assert cell.box.contains(Point(x, y))
+
+    @given(st.integers(min_value=1, max_value=15))
+    @settings(max_examples=30, deadline=None)
+    def test_cell_centers_locate_to_their_own_cell(self, side):
+        grid = Grid.square(60.0, side)
+        for cell in grid:
+            assert grid.locate(cell.center) == cell.index
+
+
+class TestNeighbors:
+    def test_corner_cell_neighbors(self):
+        grid = Grid.square(30.0, 3)
+        assert sorted(grid.neighbors(1, diagonal=False)) == [2, 4]
+        assert sorted(grid.neighbors(1, diagonal=True)) == [2, 4, 5]
+
+    def test_center_cell_neighbors(self):
+        grid = Grid.square(30.0, 3)
+        assert sorted(grid.neighbors(5, diagonal=False)) == [2, 4, 6, 8]
+        assert sorted(grid.neighbors(5, diagonal=True)) == [1, 2, 3, 4, 6, 7, 8, 9]
+
+
+class TestCircleIntersection:
+    def test_small_circle_hits_one_cell(self):
+        grid = Grid.square(100.0, 10)
+        cells = grid.cells_intersecting_circle(Point(5.0, 5.0), 1.0)
+        assert cells == [1]
+
+    def test_large_circle_hits_all_cells(self):
+        grid = Grid.square(100.0, 4)
+        cells = grid.cells_intersecting_circle(Point(50.0, 50.0), 200.0)
+        assert len(cells) == 16
+
+    def test_negative_radius_rejected(self):
+        grid = Grid.square(100.0, 4)
+        with pytest.raises(ValueError):
+            grid.cells_intersecting_circle(Point(0, 0), -1.0)
+
+    @given(
+        st.floats(min_value=0, max_value=100),
+        st.floats(min_value=0, max_value=100),
+        st.floats(min_value=0.5, max_value=40.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_cell_of_center_always_included(self, x, y, radius):
+        grid = Grid.square(100.0, 8)
+        cells = grid.cells_intersecting_circle(Point(x, y), radius)
+        assert grid.locate(Point(x, y)) in cells
+
+
+class TestGroupByCell:
+    def test_grouping(self):
+        grid = Grid.square(10.0, 2)
+        points = [("a", Point(1, 1)), ("b", Point(9, 9)), ("c", Point(1, 2))]
+        buckets = grid.group_by_cell(points)
+        assert buckets[1] == ["a", "c"]
+        assert buckets[4] == ["b"]
+        assert 2 not in buckets

@@ -1,0 +1,131 @@
+"""Tests for the grid-bucketed spatial index."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.spatial.geometry import Point, euclidean_distance
+from repro.spatial.grid import Grid
+from repro.spatial.index import GridSpatialIndex
+
+
+@pytest.fixture
+def grid():
+    return Grid.square(100.0, 10)
+
+
+class TestInsertRemove:
+    def test_insert_and_contains(self, grid):
+        index = GridSpatialIndex(grid)
+        index.insert("a", Point(10, 10))
+        assert "a" in index
+        assert len(index) == 1
+        assert index.location_of("a") == Point(10, 10)
+
+    def test_duplicate_insert_rejected(self, grid):
+        index = GridSpatialIndex(grid)
+        index.insert("a", Point(10, 10))
+        with pytest.raises(KeyError):
+            index.insert("a", Point(20, 20))
+
+    def test_remove(self, grid):
+        index = GridSpatialIndex(grid)
+        index.insert("a", Point(10, 10))
+        removed = index.remove("a")
+        assert removed == Point(10, 10)
+        assert "a" not in index
+        assert len(index) == 0
+
+    def test_remove_missing(self, grid):
+        index = GridSpatialIndex(grid)
+        with pytest.raises(KeyError):
+            index.remove("missing")
+
+    def test_move(self, grid):
+        index = GridSpatialIndex(grid)
+        index.insert("a", Point(10, 10))
+        index.move("a", Point(90, 90))
+        assert index.location_of("a") == Point(90, 90)
+        assert [label for label, _ in index.query_circle(Point(90, 90), 2.0)] == ["a"]
+
+    def test_bulk_insert_and_clear(self, grid):
+        index = GridSpatialIndex(grid)
+        index.bulk_insert([(i, Point(i, i)) for i in range(10)])
+        assert len(index) == 10
+        index.clear()
+        assert len(index) == 0
+
+
+class TestQueries:
+    def test_query_circle_inclusive_boundary(self, grid):
+        index = GridSpatialIndex(grid)
+        index.insert("edge", Point(13.0, 10.0))
+        hits = index.query_circle(Point(10.0, 10.0), 3.0)
+        assert [label for label, _ in hits] == ["edge"]
+
+    def test_query_circle_sorted_by_distance(self, grid):
+        index = GridSpatialIndex(grid)
+        index.insert("far", Point(18.0, 10.0))
+        index.insert("near", Point(11.0, 10.0))
+        index.insert("mid", Point(14.0, 10.0))
+        labels = [label for label, _ in index.query_circle(Point(10, 10), 20.0)]
+        assert labels == ["near", "mid", "far"]
+
+    def test_query_negative_radius(self, grid):
+        index = GridSpatialIndex(grid)
+        with pytest.raises(ValueError):
+            index.query_circle(Point(0, 0), -1.0)
+
+    def test_query_cell(self, grid):
+        index = GridSpatialIndex(grid)
+        index.insert("a", Point(5, 5))
+        index.insert("b", Point(95, 95))
+        assert index.query_cell(grid.locate(Point(5, 5))) == ["a"]
+
+    def test_nearest(self, grid):
+        index = GridSpatialIndex(grid)
+        assert index.nearest(Point(0, 0)) is None
+        index.insert("a", Point(50, 50))
+        index.insert("b", Point(80, 80))
+        label, distance = index.nearest(Point(55, 55))
+        assert label == "a"
+        assert distance == pytest.approx(euclidean_distance(Point(55, 55), Point(50, 50)))
+
+    def test_nearest_with_max_radius(self, grid):
+        index = GridSpatialIndex(grid)
+        index.insert("a", Point(50, 50))
+        assert index.nearest(Point(0, 0), max_radius=10.0) is None
+
+    def test_counts_per_cell(self, grid):
+        index = GridSpatialIndex(grid)
+        index.insert("a", Point(5, 5))
+        index.insert("b", Point(6, 6))
+        index.insert("c", Point(95, 95))
+        counts = index.counts_per_cell()
+        assert counts[grid.locate(Point(5, 5))] == 2
+        assert counts[grid.locate(Point(95, 95))] == 1
+
+
+class TestAgainstBruteForce:
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_query_matches_brute_force(self, seed):
+        """The index must return exactly the points a brute-force scan finds."""
+        rng = np.random.default_rng(seed)
+        grid = Grid.square(100.0, 8)
+        index = GridSpatialIndex(grid)
+        points = {}
+        for i in range(60):
+            p = Point(float(rng.uniform(0, 100)), float(rng.uniform(0, 100)))
+            points[i] = p
+            index.insert(i, p)
+        center = Point(float(rng.uniform(0, 100)), float(rng.uniform(0, 100)))
+        radius = float(rng.uniform(1.0, 40.0))
+        expected = {
+            label for label, p in points.items() if euclidean_distance(center, p) <= radius
+        }
+        found = {label for label, _ in index.query_circle(center, radius)}
+        assert found == expected

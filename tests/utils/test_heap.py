@@ -1,0 +1,197 @@
+"""Unit and property-based tests for the addressable max-heap."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.heap import AddressableMaxHeap
+
+
+class TestBasicOperations:
+    def test_empty_heap(self):
+        heap = AddressableMaxHeap()
+        assert len(heap) == 0
+        assert not heap
+        with pytest.raises(IndexError):
+            heap.peek()
+        with pytest.raises(IndexError):
+            heap.pop()
+
+    def test_push_and_pop_single(self):
+        heap = AddressableMaxHeap()
+        heap.push("a", 1.5, payload="data")
+        assert len(heap) == 1
+        assert "a" in heap
+        entry = heap.pop()
+        assert entry.key == "a"
+        assert entry.priority == 1.5
+        assert entry.payload == "data"
+        assert "a" not in heap
+
+    def test_pop_order_is_descending(self):
+        heap = AddressableMaxHeap()
+        for key, priority in [("a", 3.0), ("b", 7.0), ("c", 1.0), ("d", 5.0)]:
+            heap.push(key, priority)
+        popped = [heap.pop().key for _ in range(4)]
+        assert popped == ["b", "d", "a", "c"]
+
+    def test_duplicate_key_rejected(self):
+        heap = AddressableMaxHeap()
+        heap.push("a", 1.0)
+        with pytest.raises(KeyError):
+            heap.push("a", 2.0)
+
+    def test_nan_priority_rejected(self):
+        heap = AddressableMaxHeap()
+        with pytest.raises(ValueError):
+            heap.push("a", float("nan"))
+
+    def test_infinite_priority_supported(self):
+        """Algorithm 2 initialises every grid's key to infinity."""
+        heap = AddressableMaxHeap()
+        heap.push("g1", math.inf)
+        heap.push("g2", 100.0)
+        assert heap.pop().key == "g1"
+
+    def test_peek_does_not_remove(self):
+        heap = AddressableMaxHeap()
+        heap.push("a", 2.0)
+        assert heap.peek().key == "a"
+        assert len(heap) == 1
+
+    def test_tie_break_insertion_order(self):
+        heap = AddressableMaxHeap()
+        heap.push("first", 1.0)
+        heap.push("second", 1.0)
+        heap.push("third", 1.0)
+        assert heap.pop().key == "first"
+        assert heap.pop().key == "second"
+        assert heap.pop().key == "third"
+
+
+class TestUpdate:
+    def test_update_increases_priority(self):
+        heap = AddressableMaxHeap()
+        heap.push("a", 1.0)
+        heap.push("b", 5.0)
+        heap.update("a", 10.0)
+        assert heap.pop().key == "a"
+
+    def test_update_decreases_priority(self):
+        heap = AddressableMaxHeap()
+        heap.push("a", 10.0)
+        heap.push("b", 5.0)
+        heap.update("a", 1.0)
+        assert heap.pop().key == "b"
+
+    def test_update_replaces_payload_by_default(self):
+        heap = AddressableMaxHeap()
+        heap.push("a", 1.0, payload="old")
+        heap.update("a", 2.0, payload="new")
+        assert heap.payload_of("a") == "new"
+
+    def test_update_keep_payload(self):
+        heap = AddressableMaxHeap()
+        heap.push("a", 1.0, payload="old")
+        heap.update("a", 2.0, keep_payload=True)
+        assert heap.payload_of("a") == "old"
+
+    def test_update_missing_key(self):
+        heap = AddressableMaxHeap()
+        with pytest.raises(KeyError):
+            heap.update("missing", 1.0)
+
+    def test_push_or_update(self):
+        heap = AddressableMaxHeap()
+        heap.push_or_update("a", 1.0)
+        heap.push_or_update("a", 3.0)
+        assert len(heap) == 1
+        assert heap.priority_of("a") == 3.0
+
+    def test_priority_of(self):
+        heap = AddressableMaxHeap()
+        heap.push("a", 4.5)
+        assert heap.priority_of("a") == 4.5
+        with pytest.raises(KeyError):
+            heap.priority_of("b")
+
+
+class TestRemoveAndClear:
+    def test_remove_middle_element(self):
+        heap = AddressableMaxHeap()
+        for key, priority in [("a", 3.0), ("b", 7.0), ("c", 1.0)]:
+            heap.push(key, priority)
+        removed = heap.remove("a")
+        assert removed.priority == 3.0
+        assert "a" not in heap
+        assert heap.is_valid()
+        assert [heap.pop().key for _ in range(2)] == ["b", "c"]
+
+    def test_remove_missing_key(self):
+        heap = AddressableMaxHeap()
+        with pytest.raises(KeyError):
+            heap.remove("nope")
+
+    def test_clear(self):
+        heap = AddressableMaxHeap()
+        heap.push("a", 1.0)
+        heap.clear()
+        assert len(heap) == 0
+        heap.push("a", 2.0)  # re-insertion after clear must work
+        assert heap.priority_of("a") == 2.0
+
+    def test_as_sorted_list(self):
+        heap = AddressableMaxHeap()
+        for key, priority in [("a", 3.0), ("b", 7.0), ("c", 1.0)]:
+            heap.push(key, priority)
+        assert heap.as_sorted_list() == [("b", 7.0), ("a", 3.0), ("c", 1.0)]
+
+
+class TestPropertyBased:
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=200))
+    @settings(max_examples=100, deadline=None)
+    def test_pop_sequence_is_sorted(self, priorities):
+        heap = AddressableMaxHeap()
+        for index, priority in enumerate(priorities):
+            heap.push(index, priority)
+        assert heap.is_valid()
+        popped = [heap.pop().priority for _ in range(len(priorities))]
+        assert popped == sorted(priorities, reverse=True)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=30), st.floats(min_value=0, max_value=1e4)),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_push_or_update_keeps_unique_keys_and_validity(self, operations):
+        heap = AddressableMaxHeap()
+        latest = {}
+        for key, priority in operations:
+            heap.push_or_update(key, priority)
+            latest[key] = priority
+        assert len(heap) == len(latest)
+        assert heap.is_valid()
+        for key, priority in latest.items():
+            assert heap.priority_of(key) == priority
+
+    @given(
+        st.lists(st.floats(min_value=0, max_value=100), min_size=2, max_size=50),
+        st.data(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_interleaved_pop_and_push_preserve_invariant(self, priorities, data):
+        heap = AddressableMaxHeap()
+        for index, priority in enumerate(priorities):
+            heap.push(index, priority)
+        removals = data.draw(st.integers(min_value=1, max_value=len(priorities) - 1))
+        for _ in range(removals):
+            heap.pop()
+        heap.push("extra", data.draw(st.floats(min_value=0, max_value=100)))
+        assert heap.is_valid()

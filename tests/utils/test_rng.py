@@ -1,0 +1,96 @@
+"""Tests for seeded randomness helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.rng import (
+    as_generator,
+    bernoulli,
+    choice_without_replacement,
+    derive_seed,
+    spawn_generators,
+)
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "workload") == derive_seed(42, "workload")
+
+    def test_different_labels_differ(self):
+        assert derive_seed(42, "workload") != derive_seed(42, "valuations")
+
+    def test_different_roots_differ(self):
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+    def test_multiple_labels(self):
+        assert derive_seed(7, "a", 1) != derive_seed(7, "a", 2)
+        assert derive_seed(7, "a", 1) == derive_seed(7, "a", 1)
+
+    def test_non_negative_and_in_range(self):
+        for label in range(100):
+            seed = derive_seed(123, label)
+            assert 0 <= seed < 2**63
+
+    @given(st.integers(min_value=0, max_value=2**31), st.text(max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_always_valid_numpy_seed(self, root, label):
+        seed = derive_seed(root, label)
+        np.random.default_rng(seed)  # must not raise
+
+
+class TestGenerators:
+    def test_as_generator_from_int(self):
+        gen_a = as_generator(5)
+        gen_b = as_generator(5)
+        assert gen_a.random() == gen_b.random()
+
+    def test_as_generator_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert as_generator(gen) is gen
+
+    def test_spawn_generators_independent_streams(self):
+        gens = spawn_generators(9, ["a", "b", "c"])
+        values = [g.random() for g in gens]
+        assert len(set(values)) == 3
+
+    def test_spawn_generators_reproducible(self):
+        first = [g.random() for g in spawn_generators(9, ["a", "b"])]
+        second = [g.random() for g in spawn_generators(9, ["a", "b"])]
+        assert first == second
+
+
+class TestBernoulli:
+    def test_extreme_probabilities(self):
+        rng = np.random.default_rng(0)
+        assert all(bernoulli(rng, 1.0) for _ in range(50))
+        assert not any(bernoulli(rng, 0.0) for _ in range(50))
+
+    def test_out_of_range_probability_clipped(self):
+        rng = np.random.default_rng(0)
+        assert bernoulli(rng, 1.7) is True
+        assert bernoulli(rng, -0.3) is False
+
+    def test_mean_close_to_probability(self):
+        rng = np.random.default_rng(1)
+        samples = [bernoulli(rng, 0.3) for _ in range(5000)]
+        assert abs(np.mean(samples) - 0.3) < 0.03
+
+
+class TestChoiceWithoutReplacement:
+    def test_returns_distinct_elements(self):
+        rng = np.random.default_rng(2)
+        population = list(range(20))
+        chosen = choice_without_replacement(rng, population, 5)
+        assert len(chosen) == 5
+        assert len(set(chosen)) == 5
+        assert all(item in population for item in chosen)
+
+    def test_size_larger_than_population(self):
+        rng = np.random.default_rng(2)
+        population = [1, 2, 3]
+        chosen = choice_without_replacement(rng, population, 10)
+        assert sorted(chosen) == [1, 2, 3]

@@ -1,0 +1,118 @@
+"""Tests for the running statistics helpers."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.statistics import (
+    OnlineMeanVariance,
+    confidence_interval,
+    summarize,
+)
+
+
+class TestOnlineMeanVariance:
+    def test_empty(self):
+        acc = OnlineMeanVariance()
+        assert acc.count == 0
+        assert math.isnan(acc.mean)
+        assert math.isnan(acc.variance)
+
+    def test_single_value(self):
+        acc = OnlineMeanVariance()
+        acc.add(5.0)
+        assert acc.mean == 5.0
+        assert math.isnan(acc.variance)
+        assert acc.minimum == 5.0
+        assert acc.maximum == 5.0
+
+    def test_matches_numpy(self):
+        values = [3.2, 1.1, 7.9, -2.0, 5.5, 0.0]
+        acc = OnlineMeanVariance()
+        acc.extend(values)
+        assert acc.count == len(values)
+        assert acc.mean == pytest.approx(np.mean(values))
+        assert acc.variance == pytest.approx(np.var(values, ddof=1))
+        assert acc.std == pytest.approx(np.std(values, ddof=1))
+        assert acc.minimum == min(values)
+        assert acc.maximum == max(values)
+
+    def test_merge_equivalent_to_single_stream(self):
+        left, right = [1.0, 2.0, 3.0], [10.0, 20.0]
+        acc_left = OnlineMeanVariance()
+        acc_left.extend(left)
+        acc_right = OnlineMeanVariance()
+        acc_right.extend(right)
+        merged = acc_left.merge(acc_right)
+        combined = OnlineMeanVariance()
+        combined.extend(left + right)
+        assert merged.count == combined.count
+        assert merged.mean == pytest.approx(combined.mean)
+        assert merged.variance == pytest.approx(combined.variance)
+
+    def test_merge_with_empty(self):
+        acc = OnlineMeanVariance()
+        acc.extend([1.0, 2.0])
+        empty = OnlineMeanVariance()
+        assert acc.merge(empty).mean == pytest.approx(1.5)
+        assert empty.merge(acc).mean == pytest.approx(1.5)
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=2, max_size=300))
+    @settings(max_examples=100, deadline=None)
+    def test_property_matches_numpy(self, values):
+        acc = OnlineMeanVariance()
+        acc.extend(values)
+        assert acc.mean == pytest.approx(np.mean(values), rel=1e-9, abs=1e-6)
+        assert acc.variance == pytest.approx(np.var(values, ddof=1), rel=1e-6, abs=1e-6)
+
+
+class TestConfidenceInterval:
+    def test_empty(self):
+        mean, lower, upper = confidence_interval([])
+        assert math.isnan(mean)
+
+    def test_single_sample_collapses(self):
+        mean, lower, upper = confidence_interval([4.2])
+        assert mean == lower == upper == 4.2
+
+    def test_interval_contains_mean_and_is_symmetric(self):
+        values = [10.0, 12.0, 9.0, 11.0, 13.0]
+        mean, lower, upper = confidence_interval(values)
+        assert lower <= mean <= upper
+        assert (mean - lower) == pytest.approx(upper - mean)
+
+    def test_higher_confidence_is_wider(self):
+        values = [10.0, 12.0, 9.0, 11.0, 13.0, 8.0]
+        _, low_95, high_95 = confidence_interval(values, 0.95)
+        _, low_99, high_99 = confidence_interval(values, 0.99)
+        assert (high_99 - low_99) > (high_95 - low_95)
+
+    def test_invalid_confidence(self):
+        with pytest.raises(ValueError):
+            confidence_interval([1.0, 2.0], confidence=1.5)
+
+    def test_coverage_roughly_correct(self):
+        """A 95% CI over normal samples should cover the true mean ~95% of the time."""
+        rng = np.random.default_rng(0)
+        covered = 0
+        trials = 300
+        for _ in range(trials):
+            values = rng.normal(5.0, 2.0, size=30)
+            _, lower, upper = confidence_interval(list(values), 0.95)
+            if lower <= 5.0 <= upper:
+                covered += 1
+        assert covered / trials > 0.88
+
+
+class TestSummarize:
+    def test_summarize_rows(self):
+        rows = summarize({"MAPS": [10.0, 12.0], "BaseP": [8.0, 9.0]})
+        assert set(rows) == {"MAPS", "BaseP"}
+        assert rows["MAPS"].mean == pytest.approx(11.0)
+        assert rows["MAPS"].count == 2
+        assert "MAPS" in rows["MAPS"].format()
