@@ -1,9 +1,9 @@
 """Setuptools shim.
 
-The project metadata lives in ``pyproject.toml``; this file exists so that
-``pip install -e .`` can fall back to the legacy editable install path in
-offline environments that lack the ``wheel`` package (PEP 660 editable
-wheels require it).
+All project metadata lives in ``pyproject.toml`` (PEP 621); this file
+exists so that ``pip install -e .`` can fall back to the legacy editable
+install path in offline environments that lack the ``wheel`` package
+(PEP 660 editable wheels require it).
 """
 
 from setuptools import setup

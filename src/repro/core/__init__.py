@@ -11,7 +11,7 @@
   marginal gains and an incrementally grown pre-matching.
 """
 
-from repro.core.gdp import GDPInstance, PeriodInstance
+from repro.core.gdp import GDPInstance, PeriodArrays, PeriodInstance
 from repro.core.base_pricing import (
     BasePricingConfig,
     BasePricingResult,
@@ -23,6 +23,7 @@ from repro.core.maps import MAPSPlan, MAPSPlanner
 
 __all__ = [
     "GDPInstance",
+    "PeriodArrays",
     "PeriodInstance",
     "BasePricingConfig",
     "BasePricingResult",

@@ -16,7 +16,10 @@ instances) or by Monte-Carlo sampling.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.market.acceptance import AcceptanceModel, PerGridAcceptance
 from repro.market.curves import GridMarket
@@ -29,6 +32,151 @@ from repro.matching.possible_worlds import (
 from repro.spatial.geometry import DistanceMetric
 from repro.spatial.grid import Grid
 from repro.utils.rng import RandomState
+
+
+# eq=False: ndarray fields make a generated __eq__ raise on multi-element
+# arrays; identity comparison (and identity hash) is the useful semantic
+# for a cached per-period view.
+@dataclass(frozen=True, eq=False)
+class PeriodArrays:
+    """Struct-of-arrays view of one period, built once alongside the objects.
+
+    The simulation hot path (vectorised acceptance decisions, per-task
+    weight computation, batched feedback) and the MAPS planner's per-grid
+    distance profiles all read from these arrays instead of re-walking the
+    per-task Python objects every stage.
+
+    Attributes:
+        task_grids: ``int64`` 1-based grid index per task position.
+        distances: ``float64`` travel distance ``d_r`` per task position.
+        valuations: ``float64`` private valuation per task position
+            (``NaN`` for tasks governed by an external acceptance model).
+        has_valuation: Boolean mask; ``False`` exactly where the task
+            carries no private valuation (``valuation is None``).  A task
+            with an explicit ``NaN`` valuation keeps ``True`` here and
+            rejects every price, as in the scalar engine.
+        worker_grids: ``int64`` 1-based grid index per worker position.
+    """
+
+    task_grids: np.ndarray
+    distances: np.ndarray
+    valuations: np.ndarray
+    has_valuation: np.ndarray
+    worker_grids: np.ndarray
+
+    @classmethod
+    def build(
+        cls,
+        tasks: Sequence["Task"],
+        workers: Sequence["Worker"],
+        grid: Grid,
+    ) -> "PeriodArrays":
+        """Extract the arrays from annotated tasks and workers.
+
+        Tasks must already carry their ``grid_index`` (as guaranteed by
+        :meth:`PeriodInstance.build`); worker grid cells are located with
+        the vectorised :meth:`repro.spatial.grid.Grid.locate_many`.
+        """
+        num_tasks = len(tasks)
+        for task in tasks:
+            if task.grid_index is None:
+                raise ValueError(
+                    f"task {task.task_id} has no grid index; "
+                    "annotate tasks before building period arrays"
+                )
+        task_grids = np.fromiter(
+            (task.grid_index for task in tasks), dtype=np.int64, count=num_tasks
+        )
+        distances = np.fromiter(
+            (task.distance for task in tasks), dtype=np.float64, count=num_tasks
+        )
+        valuations = np.fromiter(
+            (
+                np.nan if task.valuation is None else task.valuation
+                for task in tasks
+            ),
+            dtype=np.float64,
+            count=num_tasks,
+        )
+        # The mask comes from `is None`, not isnan: an explicit NaN
+        # valuation means "rejects every price" (price <= NaN is False),
+        # exactly as the scalar engine treated it, and must not be routed
+        # through the acceptance model's RNG draws.
+        has_valuation = np.fromiter(
+            (task.valuation is not None for task in tasks),
+            dtype=bool,
+            count=num_tasks,
+        )
+        if workers:
+            worker_grids = grid.locate_many(
+                [worker.location.x for worker in workers],
+                [worker.location.y for worker in workers],
+            )
+        else:
+            worker_grids = np.zeros(0, dtype=np.int64)
+        return cls(
+            task_grids=task_grids,
+            distances=distances,
+            valuations=valuations,
+            has_valuation=has_valuation,
+            worker_grids=worker_grids,
+        )
+
+    @property
+    def num_tasks(self) -> int:
+        return int(self.task_grids.shape[0])
+
+    @property
+    def num_workers(self) -> int:
+        return int(self.worker_grids.shape[0])
+
+    @cached_property
+    def tasks_by_grid(self) -> Dict[int, List[int]]:
+        """Grid index -> task positions (ascending), from the arrays."""
+        buckets: Dict[int, List[int]] = {}
+        for pos, grid_index in enumerate(self.task_grids.tolist()):
+            buckets.setdefault(grid_index, []).append(pos)
+        return buckets
+
+    @cached_property
+    def workers_by_grid(self) -> Dict[int, int]:
+        """Grid index -> number of co-located workers, from the arrays."""
+        if not self.num_workers:
+            return {}
+        cells, counts = np.unique(self.worker_grids, return_counts=True)
+        return dict(zip(cells.tolist(), counts.tolist()))
+
+    @cached_property
+    def _sorted_distances_by_grid(self) -> Dict[int, np.ndarray]:
+        return {
+            grid_index: -np.sort(-self.distances[positions])
+            for grid_index, positions in self.tasks_by_grid.items()
+        }
+
+    def distances_in_grid(self, grid_index: int) -> List[float]:
+        """Travel distances of the grid's tasks (non-increasing order)."""
+        profile = self._sorted_distances_by_grid.get(grid_index)
+        if profile is None:
+            return []
+        return profile.tolist()
+
+    def prices_per_task(
+        self,
+        grid_prices: Mapping[int, float],
+        p_min: float,
+        p_max: float,
+    ) -> np.ndarray:
+        """Clamped per-task price vector for a per-grid price mapping.
+
+        Grids absent from ``grid_prices`` default to ``p_min``, matching
+        the engine's defensive behaviour for unpriced grids.
+        """
+        prices = np.full(self.num_tasks, p_min, dtype=np.float64)
+        for grid_index, positions in self.tasks_by_grid.items():
+            quoted = grid_prices.get(grid_index)
+            if quoted is not None:
+                prices[positions] = min(p_max, max(p_min, float(quoted)))
+        return prices
 
 
 @dataclass
@@ -45,6 +193,9 @@ class PeriodInstance:
         workers_by_grid: Mapping grid index -> number of workers located in
             the grid (used by the SDR/SDE/CappedUCB baselines, which reason
             per grid rather than through the bipartite graph).
+        arrays: Struct-of-arrays view (:class:`PeriodArrays`) consumed by
+            the vectorised simulation pipeline and the MAPS planner; built
+            once by :meth:`build` (or lazily via :meth:`ensure_arrays`).
     """
 
     period: int
@@ -54,6 +205,9 @@ class PeriodInstance:
     graph: BipartiteGraph
     tasks_by_grid: Dict[int, List[int]] = field(default_factory=dict)
     workers_by_grid: Dict[int, int] = field(default_factory=dict)
+    # compare=False keeps PeriodInstance equality defined by the object
+    # fields, as before the cached view existed.
+    arrays: Optional[PeriodArrays] = field(default=None, compare=False)
 
     @classmethod
     def build(
@@ -74,21 +228,20 @@ class PeriodInstance:
         graph = build_bipartite_graph(
             annotated, list(workers), metric=metric, grid=grid, use_index=use_index
         )
-        tasks_by_grid: Dict[int, List[int]] = {}
-        for pos, task in enumerate(annotated):
-            tasks_by_grid.setdefault(task.grid_index, []).append(pos)  # type: ignore[arg-type]
-        workers_by_grid: Dict[int, int] = {}
-        for worker in workers:
-            cell = grid.locate(worker.location)
-            workers_by_grid[cell] = workers_by_grid.get(cell, 0) + 1
+        arrays = PeriodArrays.build(annotated, workers, grid)
         return cls(
             period=period,
             grid=grid,
             tasks=annotated,
             workers=list(workers),
             graph=graph,
-            tasks_by_grid=tasks_by_grid,
-            workers_by_grid=workers_by_grid,
+            # Instance-owned copies: the public dicts stay mutable without
+            # writing through to the arrays' internal caches.
+            tasks_by_grid={
+                g: list(positions) for g, positions in arrays.tasks_by_grid.items()
+            },
+            workers_by_grid=dict(arrays.workers_by_grid),
+            arrays=arrays,
         )
 
     # ------------------------------------------------------------------
@@ -105,8 +258,28 @@ class PeriodInstance:
     def grid_indices_with_tasks(self) -> List[int]:
         return sorted(self.tasks_by_grid.keys())
 
+    def ensure_arrays(self) -> PeriodArrays:
+        """The :class:`PeriodArrays` view, built lazily if missing.
+
+        Instances created through :meth:`build` carry the arrays already;
+        hand-constructed instances (tests, notebooks) get them on demand.
+        """
+        if self.arrays is None:
+            self.arrays = PeriodArrays.build(self.tasks, self.workers, self.grid)
+        return self.arrays
+
     def distances_in_grid(self, grid_index: int) -> List[float]:
-        """Travel distances of the grid's tasks (non-increasing order)."""
+        """Travel distances of the grid's tasks (non-increasing order).
+
+        Instances built through :meth:`build` serve this from the cached,
+        pre-sorted per-grid profiles of :class:`PeriodArrays` (the MAPS
+        planner queries every grid with demand each period).
+        Hand-constructed instances without arrays fall back to the
+        caller-supplied ``tasks_by_grid``, so unannotated tasks keep
+        working as before the arrays existed.
+        """
+        if self.arrays is not None:
+            return self.arrays.distances_in_grid(grid_index)
         positions = self.tasks_by_grid.get(grid_index, [])
         return sorted((self.tasks[pos].distance for pos in positions), reverse=True)
 
@@ -182,4 +355,4 @@ class GDPInstance:
         return estimate
 
 
-__all__ = ["PeriodInstance", "GDPInstance"]
+__all__ = ["PeriodArrays", "PeriodInstance", "GDPInstance"]

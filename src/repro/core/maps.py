@@ -117,6 +117,10 @@ class MAPSPlanner:
         supply: Dict[int, int] = {cell.index: 0 for cell in grid.cells()}
         approx_revenue: Dict[int, float] = {cell.index: 0.0 for cell in grid.cells()}
 
+        # Per-grid demand profiles: instances built by the engine serve
+        # these from the cached, pre-sorted PeriodArrays view, so the
+        # descending distance sort happens once per period rather than
+        # once per planning query.
         distances: Dict[int, List[float]] = {
             g: instance.distances_in_grid(g) for g in instance.grid_indices_with_tasks()
         }

@@ -6,10 +6,14 @@
 * :mod:`repro.experiments.figures` — the registry of experiments, one per
   table/figure of the paper (Figs. 6, 7, 8 and 10), each mapping a figure
   id to a parameter sweep over the appropriate workload generator;
+* :mod:`repro.experiments.parallel` — the :class:`ParallelRunner` that
+  fans (strategy, seed) simulation runs across processes with results
+  identical to a sequential sweep;
 * :mod:`repro.experiments.report` — plain-text table/series rendering used
   by the benchmark harness and EXPERIMENTS.md.
 """
 
+from repro.experiments.parallel import ParallelRunner, StrategySpec
 from repro.experiments.sweeps import (
     ExperimentResult,
     ParameterSweep,
@@ -34,6 +38,8 @@ __all__ = [
     "SweepCell",
     "ExperimentResult",
     "run_sweep",
+    "ParallelRunner",
+    "StrategySpec",
     "FigureSpec",
     "FIGURES",
     "figure_ids",

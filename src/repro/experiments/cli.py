@@ -73,6 +73,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable tracemalloc peak-memory tracking (faster)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the per-value strategy runs (1 = "
+        "sequential, 0 = executor default); results are identical to a "
+        "sequential run for the same seed",
+    )
     return parser
 
 
@@ -110,7 +118,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     print(f"# {spec.title}")
     print(f"# expectation: {spec.expectation}")
     print(f"# scale = {args.scale}, seed = {args.seed}")
-    result = run_sweep(sweep)
+    result = run_sweep(sweep, jobs=args.jobs)
     for metric in args.metrics:
         print()
         print(format_table(result, metric))

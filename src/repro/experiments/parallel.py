@@ -1,0 +1,254 @@
+"""Parallel multi-run executor for strategy / seed sweeps.
+
+The engine's per-strategy runs are embarrassingly parallel: every
+``(strategy, seed)`` cell simulates the same workload with an independent
+random stream (the engine derives its accept/reject stream as
+``derive_seed(seed, "acceptance", strategy.name)``, so the stream depends
+only on the cell, never on scheduling).  :class:`ParallelRunner` fans
+those cells across a ``ProcessPoolExecutor`` and is guaranteed to return
+*exactly* the results of running :meth:`SimulationEngine.run_many`
+sequentially for each seed — the determinism tests assert equality.
+
+Strategies are described by :class:`StrategySpec` (a name for
+:func:`repro.pricing.registry.create_strategy` plus keyword arguments)
+rather than live objects, so each worker process constructs its own
+strategy and no mutable learning state crosses process boundaries.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import warnings
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.pricing.registry import create_strategy
+from repro.simulation.config import WorkloadBundle
+from repro.simulation.engine import SimulationEngine, SimulationResult
+
+#: Key of one run: ``(strategy name, seed)``.
+RunKey = Tuple[str, int]
+
+
+@dataclass(frozen=True)
+class StrategySpec:
+    """A picklable recipe for one strategy.
+
+    Attributes:
+        name: Registry name (``MAPS``, ``BaseP``, ``SDR``, ``SDE``,
+            ``CappedUCB``).
+        kwargs: Keyword arguments forwarded to
+            :func:`repro.pricing.registry.create_strategy` (``base_price``
+            is required by most strategies; ``calibration`` warm-starts
+            MAPS).
+        label: Optional result key; defaults to ``name``.  Give two specs
+            of the same strategy (e.g. two MAPS hyperparameter settings)
+            distinct labels so both runs survive in the keyed results.
+    """
+
+    name: str
+    kwargs: Mapping[str, object] = field(default_factory=dict)
+    label: Optional[str] = None
+
+    @property
+    def key(self) -> str:
+        return self.label if self.label is not None else self.name
+
+    def build(self):
+        return create_strategy(self.name, **dict(self.kwargs))
+
+
+def _execute_run(
+    workload: WorkloadBundle,
+    spec: StrategySpec,
+    seed: int,
+    matching_backend: str,
+    track_memory: bool,
+    keep_details: bool,
+) -> Tuple[RunKey, SimulationResult]:
+    """Top-level worker function (must be picklable for process pools)."""
+    engine = SimulationEngine(
+        workload,
+        seed=seed,
+        matching_backend=matching_backend,
+        track_memory=track_memory,
+        keep_details=keep_details,
+    )
+    return (spec.key, seed), engine.run(spec.build())
+
+
+#: Per-worker-process workload, installed once by the pool initializer so
+#: the (potentially multi-megabyte) bundle is not re-pickled per job.
+_WORKER_WORKLOAD: Optional[WorkloadBundle] = None
+
+
+def _init_worker(workload: WorkloadBundle) -> None:
+    global _WORKER_WORKLOAD
+    _WORKER_WORKLOAD = workload
+
+
+def _execute_run_pooled(
+    spec: StrategySpec,
+    seed: int,
+    matching_backend: str,
+    track_memory: bool,
+    keep_details: bool,
+) -> Tuple[RunKey, SimulationResult]:
+    assert _WORKER_WORKLOAD is not None, "worker pool initializer did not run"
+    return _execute_run(
+        _WORKER_WORKLOAD, spec, seed, matching_backend, track_memory, keep_details
+    )
+
+
+class ParallelRunner:
+    """Fan ``(strategy, seed)`` simulation runs across processes.
+
+    Args:
+        workload: The workload every run simulates.
+        specs: Strategy recipes; plain strings are promoted to
+            :class:`StrategySpec` with ``shared_kwargs``.
+        seeds: Engine seeds; one full strategy sweep runs per seed.
+        shared_kwargs: Keyword arguments applied to every promoted string
+            spec (e.g. ``base_price`` / ``p_min`` / ``p_max``).
+        matching_backend: Matching backend name for every engine.
+        max_workers: Process count (``None`` = executor default).  ``1``
+            forces the in-process sequential path.
+        track_memory: Forwarded to the engines.  Peak-memory numbers are
+            per-process when running parallel.
+        keep_details: Forwarded to the engines.
+
+    Results are keyed by ``(strategy name, seed)`` and their order is
+    fixed by the spec/seed declaration order, independent of which process
+    finishes first.
+    """
+
+    def __init__(
+        self,
+        workload: WorkloadBundle,
+        specs: Sequence[object],
+        seeds: Sequence[int] = (0,),
+        shared_kwargs: Optional[Mapping[str, object]] = None,
+        matching_backend: str = "matroid",
+        max_workers: Optional[int] = None,
+        track_memory: bool = False,
+        keep_details: bool = False,
+    ) -> None:
+        if not specs:
+            raise ValueError("need at least one strategy spec")
+        if not seeds:
+            raise ValueError("need at least one seed")
+        shared = dict(shared_kwargs or {})
+        self.workload = workload
+        self.specs: List[StrategySpec] = [
+            spec if isinstance(spec, StrategySpec) else StrategySpec(str(spec), shared)
+            for spec in specs
+        ]
+        keys = [spec.key for spec in self.specs]
+        if len(set(keys)) != len(keys):
+            raise ValueError(
+                "duplicate strategy result keys; give specs sharing a name "
+                f"distinct labels: {keys}"
+            )
+        self.seeds = [int(seed) for seed in seeds]
+        if len(set(self.seeds)) != len(self.seeds):
+            raise ValueError(f"duplicate seeds would collapse results: {self.seeds}")
+        self.matching_backend = matching_backend
+        self.max_workers = max_workers
+        self.track_memory = bool(track_memory)
+        self.keep_details = bool(keep_details)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def _jobs(self) -> List[Tuple[StrategySpec, int]]:
+        return [(spec, seed) for seed in self.seeds for spec in self.specs]
+
+    def run_sequential(self) -> Dict[RunKey, SimulationResult]:
+        """Run every cell in this process (the reference order)."""
+        results: Dict[RunKey, SimulationResult] = {}
+        for spec, seed in self._jobs():
+            key, result = _execute_run(
+                self.workload,
+                spec,
+                seed,
+                self.matching_backend,
+                self.track_memory,
+                self.keep_details,
+            )
+            results[key] = result
+        return results
+
+    def run(self) -> Dict[RunKey, SimulationResult]:
+        """Run every cell, fanning across processes when it can help.
+
+        Falls back to :meth:`run_sequential` when only one worker (or one
+        job) is requested, or when the platform cannot start a process
+        pool — the results are identical either way.
+        """
+        jobs = self._jobs()
+        if self.max_workers == 1 or len(jobs) == 1:
+            return self.run_sequential()
+        # Unpicklable payloads are detected up front so the degradation is
+        # deterministic; exceptions raised *inside* a worker stay fatal and
+        # propagate with their original type rather than triggering a
+        # silent (and potentially expensive) sequential rerun.  Specs are
+        # tiny and always cross the job queue; the (potentially large)
+        # workload only needs pickling on non-fork start methods — forked
+        # workers inherit the initializer args without serialisation.
+        try:
+            pickle.dumps(self.specs)
+            if multiprocessing.get_start_method() != "fork":
+                pickle.dumps(self.workload)
+        except Exception as error:
+            warnings.warn(
+                f"ParallelRunner: payload is not picklable ({error!r}); "
+                "running all cells sequentially in-process",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return self.run_sequential()
+        try:
+            # The workload is shipped once per worker via the initializer;
+            # each job only pickles its (spec, seed) cell.
+            with ProcessPoolExecutor(
+                max_workers=self.max_workers,
+                initializer=_init_worker,
+                initargs=(self.workload,),
+            ) as executor:
+                outputs = list(
+                    executor.map(
+                        _execute_run_pooled,
+                        [spec for spec, _ in jobs],
+                        [seed for _, seed in jobs],
+                        [self.matching_backend] * len(jobs),
+                        [self.track_memory] * len(jobs),
+                        [self.keep_details] * len(jobs),
+                    )
+                )
+        except (
+            OSError,  # pool could not start (sandboxed / restricted hosts)
+            BrokenExecutor,  # pool died mid-run (e.g. a worker was OOM-killed)
+        ) as error:  # pragma: no cover - depends on host limits
+            warnings.warn(
+                f"ParallelRunner: process pool unavailable ({error!r}); "
+                "re-running all cells sequentially in-process",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return self.run_sequential()
+        return dict(outputs)
+
+    # ------------------------------------------------------------------
+    # convenience views
+    # ------------------------------------------------------------------
+    def run_by_strategy(self) -> Dict[str, Dict[int, SimulationResult]]:
+        """Results regrouped as ``{strategy: {seed: result}}``."""
+        grouped: Dict[str, Dict[int, SimulationResult]] = {}
+        for (name, seed), result in self.run().items():
+            grouped.setdefault(name, {})[seed] = result
+        return grouped
+
+
+__all__ = ["ParallelRunner", "StrategySpec", "RunKey"]

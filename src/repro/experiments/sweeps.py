@@ -10,10 +10,12 @@ carrying the three metrics the paper plots.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.base_pricing import BasePricingConfig, BasePricingResult
+from repro.experiments.parallel import ParallelRunner, StrategySpec
 from repro.pricing.registry import PAPER_STRATEGIES, create_strategy
 from repro.pricing.strategy import PricingStrategy
 from repro.simulation.config import WorkloadBundle
@@ -112,14 +114,32 @@ class ParameterSweep:
     calibration_config: Optional[BasePricingConfig] = None
 
 
-def run_sweep(sweep: ParameterSweep) -> ExperimentResult:
-    """Execute a sweep and collect metrics for every (value, strategy) pair."""
+def run_sweep(sweep: ParameterSweep, jobs: int = 1) -> ExperimentResult:
+    """Execute a sweep and collect metrics for every (value, strategy) pair.
+
+    Args:
+        sweep: The sweep specification.
+        jobs: Number of worker processes for the per-value strategy runs.
+            ``1`` (default) runs everything sequentially in-process; ``0``
+            lets the executor pick its default worker count.  Because each
+            run's randomness is derived solely from ``(seed, strategy)``,
+            parallel results are identical to sequential ones.
+    """
     result = ExperimentResult(
         experiment_id=sweep.experiment_id,
         parameter_name=sweep.parameter_name,
         parameter_values=list(sweep.parameter_values),
         strategies=list(sweep.strategies),
     )
+    # Distinct strategy names are required to key the fanned-out results.
+    use_parallel = jobs != 1 and len(set(sweep.strategies)) == len(sweep.strategies)
+    if jobs != 1 and not use_parallel:
+        warnings.warn(
+            "run_sweep: duplicate strategy names cannot be keyed apart; "
+            f"ignoring jobs={jobs} and running sequentially",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     for value in sweep.parameter_values:
         workload = sweep.workload_factory(value)
         engine = SimulationEngine(
@@ -131,15 +151,36 @@ def run_sweep(sweep: ParameterSweep) -> ExperimentResult:
         calibration = engine.calibrate_base_price(config=sweep.calibration_config)
         result.base_prices[value] = calibration.base_price
 
-        for strategy_name in sweep.strategies:
-            strategy = create_strategy(
-                strategy_name,
+        def _strategy_kwargs(strategy_name: str) -> dict:
+            return dict(
                 base_price=calibration.base_price,
                 p_min=p_min,
                 p_max=p_max,
                 calibration=calibration if strategy_name.lower() == "maps" else None,
             )
-            simulation = engine.run(strategy)
+
+        if use_parallel:
+            runner = ParallelRunner(
+                workload,
+                [
+                    StrategySpec(strategy_name, _strategy_kwargs(strategy_name))
+                    for strategy_name in sweep.strategies
+                ],
+                seeds=[sweep.seed],
+                max_workers=None if jobs <= 0 else jobs,
+                track_memory=sweep.track_memory,
+            )
+            # Results are keyed by the sweep's own strategy strings (the
+            # uniqueness guard above makes the keys collision-free), in
+            # declaration order.
+            simulations = list(runner.run().values())
+        else:
+            simulations = [
+                engine.run(create_strategy(strategy_name, **_strategy_kwargs(strategy_name)))
+                for strategy_name in sweep.strategies
+            ]
+
+        for strategy_name, simulation in zip(sweep.strategies, simulations):
             metrics = simulation.metrics
             result.cells.append(
                 SweepCell(

@@ -12,8 +12,12 @@ Modules:
 * :mod:`repro.matching.maximum_matching` — Hopcroft–Karp maximum
   cardinality matching (used as a reference for the incremental matcher);
 * :mod:`repro.matching.weighted` — maximum-weight bipartite matching with
-  three interchangeable backends (own Kuhn–Munkres, SciPy's
-  ``linear_sum_assignment``, and a greedy heuristic for very large graphs);
+  interchangeable backends (exact matroid greedy on the CSR view, own
+  Kuhn–Munkres, SciPy's ``linear_sum_assignment``, and a greedy heuristic
+  for very large graphs);
+* :mod:`repro.matching.registry` — the backend registry
+  :func:`max_weight_matching` dispatches through (backends register
+  themselves by name, mirroring :mod:`repro.pricing.registry`);
 * :mod:`repro.matching.incremental` — the incremental augmenting-path
   matcher MAPS uses to admit one more worker into a grid's supply;
 * :mod:`repro.matching.possible_worlds` — exact expected-revenue
@@ -21,13 +25,19 @@ Modules:
   the paper's running example, Fig. 2).
 """
 
-from repro.matching.bipartite import BipartiteGraph, build_bipartite_graph
+from repro.matching.bipartite import BipartiteGraph, CSRGraph, build_bipartite_graph
 from repro.matching.maximum_matching import hopcroft_karp_matching
+from repro.matching.registry import (
+    available_backends,
+    get_backend,
+    register_backend,
+)
 from repro.matching.weighted import (
     greedy_weight_matching,
     hungarian_matching,
     max_weight_matching,
     scipy_weight_matching,
+    task_weighted_matching,
 )
 from repro.matching.incremental import IncrementalMatcher
 from repro.matching.possible_worlds import (
@@ -38,12 +48,17 @@ from repro.matching.possible_worlds import (
 
 __all__ = [
     "BipartiteGraph",
+    "CSRGraph",
     "build_bipartite_graph",
     "hopcroft_karp_matching",
     "hungarian_matching",
     "scipy_weight_matching",
     "greedy_weight_matching",
+    "task_weighted_matching",
     "max_weight_matching",
+    "available_backends",
+    "get_backend",
+    "register_backend",
     "IncrementalMatcher",
     "enumerate_possible_worlds",
     "exact_expected_revenue",

@@ -15,12 +15,92 @@ simulator, which needs to scale to hundreds of thousands of nodes).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+import numpy as np
 
 from repro.market.entities import Task, Worker
 from repro.spatial.geometry import DistanceMetric, resolve_metric
 from repro.spatial.grid import Grid
 from repro.spatial.index import GridSpatialIndex
+
+
+# eq=False: ndarray fields would make a generated __eq__ raise; the view
+# is an identity-compared cache.
+@dataclass(frozen=True, eq=False)
+class CSRGraph:
+    """Compressed-sparse-row view of the task-side adjacency.
+
+    The neighbours of task position ``i`` are
+    ``indices[indptr[i]:indptr[i + 1]]`` in ascending worker order.  All
+    maximum-weight matching backends consume this representation (see
+    :mod:`repro.matching.weighted`): it is built once per period and avoids
+    re-walking Python list-of-list adjacency in the hot loop.
+
+    Attributes:
+        indptr: ``int64`` array of length ``num_tasks + 1``.
+        indices: ``int64`` array of length ``num_edges`` (worker positions).
+        num_tasks: Number of rows (task positions).
+        num_workers: Number of columns (worker positions).
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    num_tasks: int
+    num_workers: int
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.indices.shape[0])
+
+    def neighbors(self, task_pos: int) -> np.ndarray:
+        """Worker positions adjacent to ``task_pos`` (ascending)."""
+        return self.indices[self.indptr[task_pos] : self.indptr[task_pos + 1]]
+
+    def degrees(self) -> np.ndarray:
+        """Per-task neighbour counts."""
+        return np.diff(self.indptr)
+
+    # The augmenting-path inner loops iterate edges element-by-element in
+    # Python; plain ``int`` lists are markedly faster to index than numpy
+    # scalars there, so both views are cached alongside the arrays.
+    @cached_property
+    def indptr_list(self) -> List[int]:
+        return self.indptr.tolist()
+
+    @cached_property
+    def indices_list(self) -> List[int]:
+        return self.indices.tolist()
+
+    def to_dense_mask(self) -> np.ndarray:
+        """Boolean ``(num_tasks, num_workers)`` adjacency matrix."""
+        mask = np.zeros((self.num_tasks, self.num_workers), dtype=bool)
+        if self.num_edges:
+            rows = np.repeat(np.arange(self.num_tasks), self.degrees())
+            mask[rows, self.indices] = True
+        return mask
+
+    @classmethod
+    def from_adjacency(
+        cls, task_neighbors: Sequence[Sequence[int]], num_workers: int
+    ) -> "CSRGraph":
+        """Build a CSR view from (sorted) list-of-list adjacency."""
+        counts = [len(adjacency) for adjacency in task_neighbors]
+        indptr = np.zeros(len(task_neighbors) + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        if indptr[-1]:
+            indices = np.concatenate(
+                [np.asarray(adjacency, dtype=np.int64) for adjacency in task_neighbors if adjacency]
+            )
+        else:
+            indices = np.zeros(0, dtype=np.int64)
+        return cls(
+            indptr=indptr,
+            indices=indices,
+            num_tasks=len(task_neighbors),
+            num_workers=int(num_workers),
+        )
 
 
 @dataclass
@@ -40,6 +120,9 @@ class BipartiteGraph:
     workers: List[Worker]
     task_neighbors: List[List[int]] = field(default_factory=list)
     worker_neighbors: List[List[int]] = field(default_factory=list)
+    _csr: Optional[CSRGraph] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not self.task_neighbors:
@@ -81,6 +164,17 @@ class BipartiteGraph:
     def degree_of_worker(self, worker_pos: int) -> int:
         return len(self.worker_neighbors[worker_pos])
 
+    def csr(self) -> CSRGraph:
+        """The cached task-side CSR view consumed by matching backends.
+
+        Built lazily from ``task_neighbors`` and invalidated by
+        :meth:`add_edge`, so repeated matching calls on the same period
+        share one compact representation.
+        """
+        if self._csr is None:
+            self._csr = CSRGraph.from_adjacency(self.task_neighbors, self.num_workers)
+        return self._csr
+
     # ------------------------------------------------------------------
     # mutation
     # ------------------------------------------------------------------
@@ -93,6 +187,7 @@ class BipartiteGraph:
         if worker_pos not in self.task_neighbors[task_pos]:
             self.task_neighbors[task_pos].append(worker_pos)
             self.worker_neighbors[worker_pos].append(task_pos)
+            self._csr = None
 
     # ------------------------------------------------------------------
     # grid-level views
@@ -186,4 +281,4 @@ def build_bipartite_graph(
     return graph
 
 
-__all__ = ["BipartiteGraph", "build_bipartite_graph"]
+__all__ = ["BipartiteGraph", "CSRGraph", "build_bipartite_graph"]

@@ -12,15 +12,25 @@ greedy-with-augmentation algorithm is :func:`task_weighted_matching` and is
 what the simulation engine uses, since it runs in ``O(|R| * |E|)`` and
 scales to the paper's 500k-node scalability experiment.
 
-For generality (and for the ablation benchmark) the module also provides:
+All backends consume the CSR (``indptr``/``indices``) view of the graph
+(:meth:`repro.matching.bipartite.BipartiteGraph.csr`), built once per
+period: eligible tasks are ordered with one ``numpy`` lexsort and the
+augmenting-path search walks the flat CSR arrays iteratively with a
+stamp-based visited array instead of recursing over list-of-list adjacency
+with per-task ``set`` allocations.  The DFS visits workers in exactly the
+order of the original recursive implementation, so the produced matching —
+not just its weight — is unchanged.
 
-* :func:`hungarian_matching` — a self-contained Kuhn–Munkres implementation
-  on a dense matrix (edge weights may differ per worker), ``O(n^3)``;
-* :func:`scipy_weight_matching` — a thin wrapper over
-  ``scipy.optimize.linear_sum_assignment``;
-* :func:`greedy_weight_matching` — a fast heuristic that never augments
-  (used as a lower-bound baseline in the ablation);
-* :func:`max_weight_matching` — a dispatcher by backend name.
+Backends are registered in :mod:`repro.matching.registry` (mirroring
+:mod:`repro.pricing.registry`) and selected by name through
+:func:`max_weight_matching`:
+
+* ``matroid`` — :func:`task_weighted_matching`, exact, the default;
+* ``hungarian`` — a self-contained Kuhn–Munkres implementation on a dense
+  matrix (edge weights may differ per worker), ``O(n^3)``;
+* ``scipy`` — a thin wrapper over ``scipy.optimize.linear_sum_assignment``;
+* ``greedy`` — a fast heuristic that never augments (lower-bound baseline
+  in the ablation).
 """
 
 from __future__ import annotations
@@ -31,23 +41,42 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 from scipy.optimize import linear_sum_assignment
 
-from repro.matching.bipartite import BipartiteGraph
+from repro.matching.bipartite import BipartiteGraph, CSRGraph
 from repro.matching.maximum_matching import UNMATCHED
+from repro.matching.registry import (
+    available_backends,
+    get_backend,
+    register_backend,
+)
 
 EdgeWeightFn = Callable[[int, int], float]
 MatchingResult = Tuple[Dict[int, int], float]
 
 
-def _task_weight_matrix(
-    graph: BipartiteGraph,
+def _eligible_order(
+    num_tasks: int,
     task_weights: Sequence[float],
-) -> np.ndarray:
-    """Dense weight matrix with ``-inf`` marking missing edges."""
-    matrix = np.full((graph.num_tasks, graph.num_workers), -math.inf)
-    for task_pos, adjacency in enumerate(graph.task_neighbors):
-        for worker_pos in adjacency:
-            matrix[task_pos, worker_pos] = task_weights[task_pos]
-    return matrix
+    allowed_tasks: Optional[Sequence[int]],
+) -> Tuple[np.ndarray, List[int]]:
+    """Validated weights and eligible task positions in processing order.
+
+    Processing order is non-increasing weight with ties broken by task
+    position (the order the matroid greedy requires); tasks with
+    non-positive weight are dropped up front, which is equivalent to the
+    greedy skipping them.
+    """
+    weights = np.asarray(task_weights, dtype=float)
+    if weights.ndim != 1 or weights.shape[0] != num_tasks:
+        raise ValueError("task_weights length must match number of tasks")
+    if allowed_tasks is None:
+        eligible = np.flatnonzero(weights > 0.0)
+    else:
+        allowed = np.unique(np.asarray(list(allowed_tasks), dtype=np.int64))
+        if allowed.size and (allowed[0] < 0 or allowed[-1] >= num_tasks):
+            raise IndexError("allowed task position out of range")
+        eligible = allowed[weights[allowed] > 0.0]
+    order = eligible[np.lexsort((eligible, -weights[eligible]))]
+    return weights, order.tolist()
 
 
 # ---------------------------------------------------------------------------
@@ -74,35 +103,71 @@ def task_weighted_matching(
     guarantees the result is a maximum-weight matching because feasible
     task sets form a transversal matroid.
     """
-    if len(task_weights) != graph.num_tasks:
-        raise ValueError("task_weights length must match number of tasks")
-    eligible = (
-        list(range(graph.num_tasks)) if allowed_tasks is None else sorted(set(allowed_tasks))
-    )
-    order = sorted(eligible, key=lambda pos: (-float(task_weights[pos]), pos))
+    csr = graph.csr()
+    weights, order = _eligible_order(csr.num_tasks, task_weights, allowed_tasks)
+    weight_list = weights.tolist()
+    indptr = csr.indptr_list
+    indices = csr.indices_list
 
-    match_task: List[int] = [UNMATCHED] * graph.num_tasks
-    match_worker: List[int] = [UNMATCHED] * graph.num_workers
+    match_task: List[int] = [UNMATCHED] * csr.num_tasks
+    match_worker: List[int] = [UNMATCHED] * csr.num_workers
+    visited: List[int] = [0] * csr.num_workers
+    # Saturation pruning: when an augmentation fails, every worker its DFS
+    # visited lies in a frozen alternating component — all of them are
+    # matched and their owners' neighbourhoods stay inside the component,
+    # so no later augmenting path can succeed (or even usefully pass)
+    # through them.  Marking them dead turns the classic O(|R| * |E|)
+    # worst case into near-O(|E|) amortised on saturated instances while
+    # provably returning the exact same matching.
+    dead = bytearray(csr.num_workers)
+    stamp = 0
 
-    def try_augment(task_pos: int, visited_workers: set) -> bool:
-        for worker_pos in graph.task_neighbors[task_pos]:
-            if worker_pos in visited_workers:
-                continue
-            visited_workers.add(worker_pos)
-            current = match_worker[worker_pos]
-            if current == UNMATCHED or try_augment(current, visited_workers):
-                match_task[task_pos] = worker_pos
-                match_worker[worker_pos] = task_pos
-                return True
+    def augment(start: int) -> bool:
+        # Iterative DFS replicating the classic recursive augmenting-path
+        # search (same worker visiting order, hence the same matching).
+        tasks_stack = [start]
+        ptrs = [indptr[start]]
+        chosen = [UNMATCHED]
+        touched: List[int] = []
+        while tasks_stack:
+            depth = len(tasks_stack) - 1
+            task_pos = tasks_stack[depth]
+            ptr = ptrs[depth]
+            end = indptr[task_pos + 1]
+            descended = False
+            while ptr < end:
+                worker_pos = indices[ptr]
+                ptr += 1
+                if dead[worker_pos] or visited[worker_pos] == stamp:
+                    continue
+                visited[worker_pos] = stamp
+                touched.append(worker_pos)
+                ptrs[depth] = ptr
+                chosen[depth] = worker_pos
+                owner = match_worker[worker_pos]
+                if owner == UNMATCHED:
+                    for i in range(depth + 1):
+                        match_task[tasks_stack[i]] = chosen[i]
+                        match_worker[chosen[i]] = tasks_stack[i]
+                    return True
+                tasks_stack.append(owner)
+                ptrs.append(indptr[owner])
+                chosen.append(UNMATCHED)
+                descended = True
+                break
+            if not descended:
+                tasks_stack.pop()
+                ptrs.pop()
+                chosen.pop()
+        for worker_pos in touched:
+            dead[worker_pos] = 1
         return False
 
     total = 0.0
     for task_pos in order:
-        weight = float(task_weights[task_pos])
-        if weight <= 0.0:
-            continue
-        if try_augment(task_pos, set()):
-            total += weight
+        stamp += 1
+        if augment(task_pos):
+            total += weight_list[task_pos]
 
     task_to_worker = {
         pos: worker for pos, worker in enumerate(match_task) if worker != UNMATCHED
@@ -251,32 +316,99 @@ def greedy_weight_matching(
     free neighbouring worker.  Used in the ablation benchmark to quantify
     how much the exact augmentation-based matching gains.
     """
-    if len(task_weights) != graph.num_tasks:
-        raise ValueError("task_weights length must match number of tasks")
-    eligible = (
-        list(range(graph.num_tasks)) if allowed_tasks is None else sorted(set(allowed_tasks))
-    )
-    order = sorted(eligible, key=lambda pos: (-float(task_weights[pos]), pos))
-    used_workers: set = set()
+    csr = graph.csr()
+    weights, order = _eligible_order(csr.num_tasks, task_weights, allowed_tasks)
+    weight_list = weights.tolist()
+    indptr = csr.indptr_list
+    indices = csr.indices_list
+    worker_used = bytearray(csr.num_workers)
     task_to_worker: Dict[int, int] = {}
     total = 0.0
     for task_pos in order:
-        weight = float(task_weights[task_pos])
-        if weight <= 0.0:
-            continue
-        for worker_pos in graph.task_neighbors[task_pos]:
-            if worker_pos not in used_workers:
-                used_workers.add(worker_pos)
+        for ptr in range(indptr[task_pos], indptr[task_pos + 1]):
+            worker_pos = indices[ptr]
+            if not worker_used[worker_pos]:
+                worker_used[worker_pos] = 1
                 task_to_worker[task_pos] = worker_pos
-                total += weight
+                total += weight_list[task_pos]
                 break
     return task_to_worker, total
 
 
 # ---------------------------------------------------------------------------
-# dispatcher
+# dense-matrix helpers shared by the hungarian / scipy backends
 # ---------------------------------------------------------------------------
-_BACKENDS = ("matroid", "hungarian", "scipy", "greedy")
+def _task_weight_matrix(
+    graph: BipartiteGraph,
+    task_weights: Sequence[float],
+) -> np.ndarray:
+    """Dense weight matrix with ``-inf`` marking missing edges."""
+    csr = graph.csr()
+    matrix = np.full((csr.num_tasks, csr.num_workers), -math.inf)
+    if csr.num_edges:
+        rows = np.repeat(np.arange(csr.num_tasks), csr.degrees())
+        matrix[rows, csr.indices] = np.asarray(task_weights, dtype=float)[rows]
+    return matrix
+
+
+def _masked_weights(
+    num_tasks: int,
+    task_weights: Sequence[float],
+    allowed_tasks: Optional[Sequence[int]],
+) -> np.ndarray:
+    """Weights with disallowed task positions zeroed out."""
+    weights = np.asarray(task_weights, dtype=float).copy()
+    if weights.ndim != 1 or weights.shape[0] != num_tasks:
+        raise ValueError("task_weights length must match number of tasks")
+    if allowed_tasks is not None:
+        allowed = np.asarray(list(allowed_tasks), dtype=np.int64)
+        if allowed.size and (allowed.min() < 0 or allowed.max() >= num_tasks):
+            raise IndexError("allowed task position out of range")
+        mask = np.zeros(num_tasks, dtype=bool)
+        mask[allowed] = True
+        weights[~mask] = 0.0
+    return weights
+
+
+# ---------------------------------------------------------------------------
+# backend registrations + dispatcher
+# ---------------------------------------------------------------------------
+@register_backend("matroid")
+def _matroid_backend(
+    graph: BipartiteGraph,
+    task_weights: Sequence[float],
+    allowed_tasks: Optional[Sequence[int]] = None,
+) -> MatchingResult:
+    return task_weighted_matching(graph, task_weights, allowed_tasks)
+
+
+@register_backend("greedy")
+def _greedy_backend(
+    graph: BipartiteGraph,
+    task_weights: Sequence[float],
+    allowed_tasks: Optional[Sequence[int]] = None,
+) -> MatchingResult:
+    return greedy_weight_matching(graph, task_weights, allowed_tasks)
+
+
+@register_backend("hungarian")
+def _hungarian_backend(
+    graph: BipartiteGraph,
+    task_weights: Sequence[float],
+    allowed_tasks: Optional[Sequence[int]] = None,
+) -> MatchingResult:
+    weights = _masked_weights(graph.num_tasks, task_weights, allowed_tasks)
+    return hungarian_matching(_task_weight_matrix(graph, weights))
+
+
+@register_backend("scipy")
+def _scipy_backend(
+    graph: BipartiteGraph,
+    task_weights: Sequence[float],
+    allowed_tasks: Optional[Sequence[int]] = None,
+) -> MatchingResult:
+    weights = _masked_weights(graph.num_tasks, task_weights, allowed_tasks)
+    return scipy_weight_matching(_task_weight_matrix(graph, weights))
 
 
 def max_weight_matching(
@@ -291,30 +423,19 @@ def max_weight_matching(
         graph: Structural bipartite graph.
         task_weights: Per-task weights (``d_r * p_r``).
         allowed_tasks: Optional subset of task positions (accepted tasks).
-        backend: One of ``matroid`` (exact, default), ``hungarian`` (exact,
-            dense ``O(n^3)``), ``scipy`` (exact, dense) or ``greedy``
-            (heuristic).
+        backend: A backend name registered in
+            :mod:`repro.matching.registry` — ``matroid`` (exact, default),
+            ``hungarian`` (exact, dense ``O(n^3)``), ``scipy`` (exact,
+            dense) or ``greedy`` (heuristic).
 
     Returns:
         ``(task_to_worker, total_weight)``.
-    """
-    if backend not in _BACKENDS:
-        raise ValueError(f"unknown backend {backend!r}; expected one of {_BACKENDS}")
-    if backend == "matroid":
-        return task_weighted_matching(graph, task_weights, allowed_tasks)
-    if backend == "greedy":
-        return greedy_weight_matching(graph, task_weights, allowed_tasks)
 
-    weights = list(task_weights)
-    if allowed_tasks is not None:
-        allowed = set(allowed_tasks)
-        weights = [
-            weights[pos] if pos in allowed else 0.0 for pos in range(graph.num_tasks)
-        ]
-    matrix = _task_weight_matrix(graph, weights)
-    if backend == "hungarian":
-        return hungarian_matching(matrix)
-    return scipy_weight_matching(matrix)
+    Raises:
+        ValueError: for unknown backends; the error lists the registered
+            backend names (see :func:`repro.matching.registry.get_backend`).
+    """
+    return get_backend(backend)(graph, task_weights, allowed_tasks)
 
 
 __all__ = [
@@ -323,4 +444,5 @@ __all__ = [
     "scipy_weight_matching",
     "greedy_weight_matching",
     "max_weight_matching",
+    "available_backends",
 ]

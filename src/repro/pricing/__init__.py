@@ -23,7 +23,7 @@ Shipped strategies:
   price (requires ground-truth distributions; used in ablations).
 """
 
-from repro.pricing.strategy import PricingStrategy, PriceFeedback
+from repro.pricing.strategy import PricingStrategy, PriceFeedback, PriceFeedbackBatch
 from repro.pricing.base_price import BasePriceStrategy
 from repro.pricing.sdr import SDRStrategy
 from repro.pricing.sde import SDEStrategy
@@ -45,6 +45,7 @@ __all__ = [
     "SmoothedStrategy",
     "PricingStrategy",
     "PriceFeedback",
+    "PriceFeedbackBatch",
     "BasePriceStrategy",
     "SDRStrategy",
     "SDEStrategy",

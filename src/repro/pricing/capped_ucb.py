@@ -22,7 +22,7 @@ from repro.core.gdp import PeriodInstance
 from repro.learning.estimator import GridAcceptanceEstimator
 from repro.learning.sampling import price_ladder
 from repro.learning.ucb import ucb_index
-from repro.pricing.strategy import PriceFeedback, PricingStrategy
+from repro.pricing.strategy import PriceFeedback, PriceFeedbackBatch, PricingStrategy
 
 
 class CappedUCBStrategy(PricingStrategy):
@@ -74,15 +74,27 @@ class CappedUCBStrategy(PricingStrategy):
 
     def observe_feedback(self, feedback: Sequence[PriceFeedback]) -> None:
         for item in feedback:
-            estimator = self._estimator_for(item.grid_index)
-            try:
-                estimator.record(item.price, item.accepted)
-            except KeyError:
-                # Prices quoted by other mechanisms (e.g. during warm-up)
-                # may be off-ladder; nearest-ladder attribution keeps the
-                # statistics usable.
-                nearest = min(self._ladder, key=lambda p: abs(p - item.price))
-                estimator.record(nearest, item.accepted)
+            self._record_observation(item.grid_index, item.price, item.accepted)
+
+    def observe_feedback_batch(self, batch: PriceFeedbackBatch) -> None:
+        if self._item_feedback_overridden(CappedUCBStrategy):
+            super().observe_feedback_batch(batch)
+            return
+        for grid_index, price, accepted in zip(
+            batch.grid_indices.tolist(), batch.prices.tolist(), batch.accepted.tolist()
+        ):
+            self._record_observation(grid_index, price, accepted)
+
+    def _record_observation(self, grid_index: int, price: float, accepted: bool) -> None:
+        estimator = self._estimator_for(grid_index)
+        try:
+            estimator.record(price, accepted)
+        except KeyError:
+            # Prices quoted by other mechanisms (e.g. during warm-up)
+            # may be off-ladder; nearest-ladder attribution keeps the
+            # statistics usable.
+            nearest = min(self._ladder, key=lambda p: abs(p - price))
+            estimator.record(nearest, accepted)
 
     def reset(self) -> None:
         self._estimators.clear()

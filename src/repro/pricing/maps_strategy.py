@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from typing import Dict, Mapping, Optional, Sequence
 
+import numpy as np
+
 from repro.core.base_pricing import BasePricingResult
 from repro.core.gdp import PeriodInstance
 from repro.core.maps import MAPSPlan, MAPSPlanner, MaximizerFn
@@ -23,7 +25,7 @@ from repro.core.maximizer import calculate_maximizer
 from repro.learning.change import BinomialChangeDetector
 from repro.learning.estimator import GridAcceptanceEstimator
 from repro.learning.sampling import price_ladder
-from repro.pricing.strategy import PriceFeedback, PricingStrategy
+from repro.pricing.strategy import PriceFeedback, PriceFeedbackBatch, PricingStrategy
 
 
 class MAPSStrategy(PricingStrategy):
@@ -70,6 +72,7 @@ class MAPSStrategy(PricingStrategy):
         self.alpha = float(alpha)
         self.base_price = self.clamp_price(base_price, self.p_min, self.p_max)
         self._ladder = price_ladder(self.p_min, self.p_max, self.alpha)
+        self._ladder_array = np.asarray(self._ladder, dtype=np.float64)
         self._planner = MAPSPlanner(
             base_price=self.base_price,
             p_min=self.p_min,
@@ -123,18 +126,24 @@ class MAPSStrategy(PricingStrategy):
 
     def observe_feedback(self, feedback: Sequence[PriceFeedback]) -> None:
         for item in feedback:
-            estimator = self._estimator_for(item.grid_index)
-            price = self._snap_to_ladder(item.price)
-            estimator.record(price, item.accepted)
-            if self._change_detection:
-                detector = self._detectors.setdefault(
-                    item.grid_index,
-                    BinomialChangeDetector(window=self._change_window),
-                )
-                if detector.observe(price, item.accepted):
-                    # Demand shift detected: forget this price's history so
-                    # the UCB index re-explores it.
-                    estimator.reset_price(price)
+            self._record_observation(item.grid_index, item.price, item.accepted)
+
+    def observe_feedback_batch(self, batch: PriceFeedbackBatch) -> None:
+        if self._item_feedback_overridden(MAPSStrategy):
+            super().observe_feedback_batch(batch)
+            return
+        if not len(batch):
+            return
+        # Snap every offered price to the ladder in one array op; argmin
+        # returns the first minimal index, matching the per-item
+        # ``min(ladder, key=...)`` tie-breaking.
+        snapped = self._ladder_array[
+            np.abs(batch.prices[:, None] - self._ladder_array[None, :]).argmin(axis=1)
+        ]
+        for grid_index, price, accepted in zip(
+            batch.grid_indices.tolist(), snapped.tolist(), batch.accepted.tolist()
+        ):
+            self._record_observation(grid_index, price, accepted, snap=False)
 
     def reset(self) -> None:
         self._estimators.clear()
@@ -168,6 +177,23 @@ class MAPSStrategy(PricingStrategy):
                 if snapshot.offers > 0:
                     estimator.record_batch(price, snapshot.offers, acceptances)
             self._estimators[grid_index] = estimator
+
+    def _record_observation(
+        self, grid_index: int, price: float, accepted: bool, snap: bool = True
+    ) -> None:
+        estimator = self._estimator_for(grid_index)
+        if snap:
+            price = self._snap_to_ladder(price)
+        estimator.record(price, accepted)
+        if self._change_detection:
+            detector = self._detectors.setdefault(
+                grid_index,
+                BinomialChangeDetector(window=self._change_window),
+            )
+            if detector.observe(price, accepted):
+                # Demand shift detected: forget this price's history so
+                # the UCB index re-explores it.
+                estimator.reset_price(price)
 
     def _estimator_for(self, grid_index: int) -> GridAcceptanceEstimator:
         if grid_index not in self._estimators:

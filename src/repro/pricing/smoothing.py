@@ -158,6 +158,15 @@ class SmoothedStrategy(PricingStrategy):
     def observe_feedback(self, feedback: Sequence[PriceFeedback]) -> None:
         self.inner.observe_feedback(feedback)
 
+    def observe_feedback_batch(self, batch) -> None:
+        if self._item_feedback_overridden(SmoothedStrategy):
+            super().observe_feedback_batch(batch)
+            return
+        # Forward the arrays directly so a learning inner strategy keeps
+        # its vectorised fast path (the default would materialise one
+        # PriceFeedback object per task before delegating).
+        self.inner.observe_feedback_batch(batch)
+
     def reset(self) -> None:
         self.inner.reset()
 

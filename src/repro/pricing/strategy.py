@@ -21,6 +21,8 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
+import numpy as np
+
 from repro.core.gdp import PeriodInstance
 
 
@@ -47,6 +49,74 @@ class PriceFeedback:
     served: bool = False
 
 
+# eq=False: ndarray fields would make a generated __eq__ raise on
+# multi-task batches; compare batches via to_feedback_list() if needed.
+@dataclass(frozen=True, eq=False)
+class PriceFeedbackBatch:
+    """One period's feedback for *all* tasks, as parallel arrays.
+
+    The vectorised simulation pipeline produces this instead of one
+    :class:`PriceFeedback` object per task: position ``i`` of every array
+    describes task position ``i`` of the period.  Strategies that learn
+    from feedback can override
+    :meth:`PricingStrategy.observe_feedback_batch` to consume the arrays
+    directly; the default implementation materialises the per-item list
+    and delegates to :meth:`PricingStrategy.observe_feedback`, so existing
+    strategies keep working unchanged.
+
+    Attributes:
+        period: The time period of the offers.
+        grid_indices: ``int64`` grid cell per task.
+        prices: ``float64`` offered unit price per task.
+        accepted: Boolean accept/reject decision per task.
+        distances: ``float64`` travel distance per task.
+        served: Boolean served (accepted *and* matched) flag per task.
+    """
+
+    period: int
+    grid_indices: np.ndarray
+    prices: np.ndarray
+    accepted: np.ndarray
+    distances: np.ndarray
+    served: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.grid_indices.shape[0])
+
+    def to_feedback_list(self) -> List[PriceFeedback]:
+        """Materialise the equivalent per-task :class:`PriceFeedback` list."""
+        return [
+            PriceFeedback(
+                period=self.period,
+                grid_index=grid_index,
+                price=price,
+                accepted=accepted,
+                distance=distance,
+                served=served,
+            )
+            for grid_index, price, accepted, distance, served in zip(
+                self.grid_indices.tolist(),
+                self.prices.tolist(),
+                self.accepted.tolist(),
+                self.distances.tolist(),
+                self.served.tolist(),
+            )
+        ]
+
+    @classmethod
+    def from_feedback(cls, feedback: Sequence[PriceFeedback]) -> "PriceFeedbackBatch":
+        """Pack a per-item feedback list into a batch (for tests/adapters)."""
+        period = feedback[0].period if feedback else 0
+        return cls(
+            period=period,
+            grid_indices=np.array([item.grid_index for item in feedback], dtype=np.int64),
+            prices=np.array([item.price for item in feedback], dtype=np.float64),
+            accepted=np.array([item.accepted for item in feedback], dtype=bool),
+            distances=np.array([item.distance for item in feedback], dtype=np.float64),
+            served=np.array([item.served for item in feedback], dtype=bool),
+        )
+
+
 class PricingStrategy(ABC):
     """Abstract base class of every pricing strategy."""
 
@@ -64,6 +134,31 @@ class PricingStrategy(ABC):
         and SDE do not learn).
         """
 
+    def observe_feedback_batch(self, batch: "PriceFeedbackBatch") -> None:
+        """Receive one period's feedback as parallel arrays.
+
+        The default delegates to :meth:`observe_feedback` after
+        materialising the per-item list — unless the strategy never
+        overrode :meth:`observe_feedback`, in which case the feedback is
+        ignored without building any objects (the fast path for
+        non-learning strategies such as BaseP/SDR/SDE).  Learning
+        strategies may override this method to consume the arrays
+        directly.
+        """
+        if type(self).observe_feedback is PricingStrategy.observe_feedback:
+            return
+        self.observe_feedback(batch.to_feedback_list())
+
+    def _item_feedback_overridden(self, owner: type) -> bool:
+        """Whether a subclass customised :meth:`observe_feedback`.
+
+        Learning strategies that override :meth:`observe_feedback_batch`
+        with an array fast path call this first (passing their own class
+        as ``owner``) and delegate to the base default when it returns
+        True, so a subclass's per-item hook keeps receiving the feedback.
+        """
+        return type(self).observe_feedback is not owner.observe_feedback
+
     def reset(self) -> None:
         """Clear any learned state before a fresh simulation run."""
 
@@ -79,4 +174,4 @@ class PricingStrategy(ABC):
         return f"{type(self).__name__}(name={self.name!r})"
 
 
-__all__ = ["PricingStrategy", "PriceFeedback"]
+__all__ = ["PricingStrategy", "PriceFeedback", "PriceFeedbackBatch"]

@@ -14,7 +14,12 @@ pipeline:
   substituting the proprietary DiDi data (see DESIGN.md);
 * :mod:`repro.simulation.oracle` — the probe oracle backing Algorithm 1's
   calibration against the ground-truth acceptance models;
-* :mod:`repro.simulation.engine` — the period-by-period simulation loop;
+* :mod:`repro.simulation.pipeline` — the vectorised per-period stages
+  (quote → decide → match → feedback) over the struct-of-arrays view;
+* :mod:`repro.simulation.engine` — the period-by-period driver over the
+  pipeline (worker-pool dynamics, metrics);
+* :mod:`repro.simulation.legacy` — the seed scalar loop, kept as the
+  regression/benchmark reference;
 * :mod:`repro.simulation.metrics` — revenue / runtime / memory bookkeeping.
 """
 
@@ -27,6 +32,7 @@ from repro.simulation.generator import SyntheticWorkloadGenerator
 from repro.simulation.taxi import BeijingTaxiGenerator
 from repro.simulation.oracle import SimulatedProbeOracle
 from repro.simulation.engine import SimulationEngine, SimulationResult, PeriodOutcome
+from repro.simulation.pipeline import DecideResult, PeriodPipeline, PeriodResult
 from repro.simulation.metrics import MetricsCollector, StrategyMetrics
 
 __all__ = [
@@ -39,6 +45,9 @@ __all__ = [
     "SimulationEngine",
     "SimulationResult",
     "PeriodOutcome",
+    "PeriodPipeline",
+    "PeriodResult",
+    "DecideResult",
     "MetricsCollector",
     "StrategyMetrics",
 ]

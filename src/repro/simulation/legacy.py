@@ -1,0 +1,225 @@
+"""The seed (pre-vectorisation) simulation loop, preserved as a reference.
+
+The engine in :mod:`repro.simulation.engine` was refactored around a
+struct-of-arrays period pipeline (vectorised acceptance decisions, CSR
+matching backends, batched feedback).  This module keeps the original
+scalar implementation — per-task Python loops, recursive augmenting-path
+matching over list-of-list adjacency, and the double feedback pass that
+re-built every :class:`~repro.pricing.strategy.PriceFeedback` just to set
+``served`` — exactly as the seed shipped it.
+
+It exists for two purposes only:
+
+* the regression tests assert that the vectorised pipeline reproduces the
+  seed engine's revenue / served / accepted metrics bit-for-bit for fixed
+  seeds across all shipped strategies;
+* ``benchmarks/test_bench_pipeline.py`` measures the pipeline's speedup
+  against this implementation on the fig8-scale workload.
+
+It is not part of the public API and should not grow features.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.gdp import PeriodInstance
+from repro.market.acceptance import PerGridAcceptance
+from repro.market.entities import Worker
+from repro.matching.bipartite import BipartiteGraph
+from repro.matching.maximum_matching import UNMATCHED
+from repro.pricing.strategy import PriceFeedback, PricingStrategy
+from repro.simulation.config import WorkloadBundle
+from repro.simulation.metrics import MetricsCollector
+from repro.utils.rng import derive_seed
+
+
+def reference_task_weighted_matching(
+    graph: BipartiteGraph,
+    task_weights: Sequence[float],
+    allowed_tasks: Optional[Sequence[int]] = None,
+) -> Tuple[Dict[int, int], float]:
+    """The seed's recursive matroid-greedy matching (``matroid`` backend).
+
+    Verbatim pre-CSR implementation: Python ``sorted`` ordering, per-task
+    ``set`` of visited workers and recursive augmentation over the
+    list-of-list adjacency.
+    """
+    if len(task_weights) != graph.num_tasks:
+        raise ValueError("task_weights length must match number of tasks")
+    eligible = (
+        list(range(graph.num_tasks)) if allowed_tasks is None else sorted(set(allowed_tasks))
+    )
+    order = sorted(eligible, key=lambda pos: (-float(task_weights[pos]), pos))
+
+    match_task: List[int] = [UNMATCHED] * graph.num_tasks
+    match_worker: List[int] = [UNMATCHED] * graph.num_workers
+
+    def try_augment(task_pos: int, visited_workers: set) -> bool:
+        for worker_pos in graph.task_neighbors[task_pos]:
+            if worker_pos in visited_workers:
+                continue
+            visited_workers.add(worker_pos)
+            current = match_worker[worker_pos]
+            if current == UNMATCHED or try_augment(current, visited_workers):
+                match_task[task_pos] = worker_pos
+                match_worker[worker_pos] = task_pos
+                return True
+        return False
+
+    total = 0.0
+    for task_pos in order:
+        weight = float(task_weights[task_pos])
+        if weight <= 0.0:
+            continue
+        if try_augment(task_pos, set()):
+            total += weight
+
+    task_to_worker = {
+        pos: worker for pos, worker in enumerate(match_task) if worker != UNMATCHED
+    }
+    return task_to_worker, total
+
+
+def reference_decide(
+    instance: PeriodInstance,
+    grid_prices: Dict[int, float],
+    p_min: float,
+    p_max: float,
+    acceptance: PerGridAcceptance,
+    rng: np.random.Generator,
+) -> Tuple[List[float], List[int], List[PriceFeedback]]:
+    """The seed's scalar accept/reject loop (one Python iteration per task).
+
+    Returns:
+        ``(offered_prices, accepted_positions, feedback)`` exactly as the
+        seed engine computed them (``served`` still unset on the feedback).
+    """
+    offered_prices: List[float] = []
+    accepted_positions: List[int] = []
+    feedback: List[PriceFeedback] = []
+    for pos, task in enumerate(instance.tasks):
+        price = float(grid_prices.get(task.grid_index, p_min))
+        price = min(p_max, max(p_min, price))
+        offered_prices.append(price)
+        if task.valuation is not None:
+            accepted = price <= task.valuation
+        else:
+            probability = acceptance.acceptance_ratio(task.grid_index, price)
+            accepted = bool(rng.random() < probability)
+        if accepted:
+            accepted_positions.append(pos)
+        feedback.append(
+            PriceFeedback(
+                period=instance.period,
+                grid_index=task.grid_index,
+                price=price,
+                accepted=accepted,
+                distance=task.distance,
+            )
+        )
+    return offered_prices, accepted_positions, feedback
+
+
+def reference_set_served(
+    feedback: List[PriceFeedback], matching: Dict[int, int]
+) -> List[PriceFeedback]:
+    """The seed's second pass rebuilding the feedback list to set ``served``."""
+    served_positions = set(matching.keys())
+    return [
+        PriceFeedback(
+            period=item.period,
+            grid_index=item.grid_index,
+            price=item.price,
+            accepted=item.accepted,
+            distance=item.distance,
+            served=(pos in served_positions),
+        )
+        for pos, item in enumerate(feedback)
+    ]
+
+
+def run_reference(
+    workload: WorkloadBundle,
+    strategy: PricingStrategy,
+    seed: int = 0,
+) -> "SimulationResult":
+    """Run one strategy through the verbatim seed simulation loop.
+
+    Only the ``matroid`` matching backend is supported (it is what the
+    seed engine defaulted to and what the regression tests compare).
+    """
+    from repro.simulation.engine import PeriodOutcome, SimulationResult
+
+    workload.validate()
+    strategy.reset()
+    collector = MetricsCollector(strategy.name)
+    collector.start()
+    rng = np.random.default_rng(derive_seed(int(seed), "acceptance", strategy.name))
+
+    p_min, p_max = workload.price_bounds
+    available_workers: List[Worker] = []
+
+    for period in range(workload.num_periods):
+        available_workers.extend(workload.workers_by_period[period])
+        available_workers = [
+            worker for worker in available_workers if worker.available_in(period)
+        ]
+        tasks = workload.tasks_by_period[period]
+        if not tasks:
+            continue
+
+        instance = PeriodInstance.build(
+            period=period,
+            grid=workload.grid,
+            tasks=tasks,
+            workers=available_workers,
+            metric=workload.metric,
+        )
+
+        with collector.time_pricing():
+            grid_prices = strategy.price_period(instance)
+
+        offered_prices, accepted_positions, feedback = reference_decide(
+            instance, grid_prices, p_min, p_max, workload.acceptance, rng
+        )
+
+        weights = [
+            task.distance * price
+            for task, price in zip(instance.tasks, offered_prices)
+        ]
+        with collector.time_matching():
+            matching, revenue = reference_task_weighted_matching(
+                instance.graph, weights, allowed_tasks=accepted_positions
+            )
+
+        feedback = reference_set_served(feedback, matching)
+        with collector.time_pricing():
+            strategy.observe_feedback(feedback)
+
+        matched_worker_positions = set(matching.values())
+        available_workers = [
+            worker
+            for worker_pos, worker in enumerate(instance.workers)
+            if worker_pos not in matched_worker_positions
+        ]
+
+        collector.record_period(
+            revenue=revenue,
+            served_tasks=len(matching),
+            accepted_tasks=len(accepted_positions),
+            total_tasks=len(tasks),
+        )
+
+    metrics = collector.finish()
+    return SimulationResult(metrics=metrics, description=workload.description)
+
+
+__all__ = [
+    "reference_task_weighted_matching",
+    "reference_decide",
+    "reference_set_served",
+    "run_reference",
+]

@@ -28,6 +28,9 @@ class StrategyMetrics:
         total_revenue: Sum of realized revenue over all periods.
         pricing_time_seconds: Time spent inside the strategy (pricing +
             learning updates), summed over periods.
+        decide_time_seconds: Time spent realising the requesters'
+            accept/reject decisions and packing the feedback batch (the
+            platform-side vectorised decide/feedback stages).
         matching_time_seconds: Time spent computing the realized matching
             (the platform-side assignment; identical workload for every
             strategy).
@@ -43,6 +46,7 @@ class StrategyMetrics:
     strategy: str
     total_revenue: float = 0.0
     pricing_time_seconds: float = 0.0
+    decide_time_seconds: float = 0.0
     matching_time_seconds: float = 0.0
     peak_memory_bytes: int = 0
     served_tasks: int = 0
@@ -72,6 +76,7 @@ class StrategyMetrics:
             "strategy": self.strategy,
             "total_revenue": self.total_revenue,
             "pricing_time_seconds": self.pricing_time_seconds,
+            "decide_time_seconds": self.decide_time_seconds,
             "matching_time_seconds": self.matching_time_seconds,
             "peak_memory_mb": self.peak_memory_mb,
             "served_tasks": float(self.served_tasks),
@@ -123,6 +128,14 @@ class MetricsCollector:
             yield
         finally:
             self.metrics.pricing_time_seconds += time.perf_counter() - start
+
+    @contextmanager
+    def time_decide(self) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.metrics.decide_time_seconds += time.perf_counter() - start
 
     @contextmanager
     def time_matching(self) -> Iterator[None]:

@@ -1,0 +1,221 @@
+"""The vectorised per-period pipeline: quote → decide → match → feedback.
+
+The simulation engine used to interleave pricing, per-task accept/reject
+loops, matching and feedback bookkeeping inside one monolithic ``run``
+method.  This module decomposes one period into four composable stages
+driven by :class:`PeriodPipeline`:
+
+* **quote** — ask the strategy for one unit price per grid;
+* **decide** — realise the requesters' accept/reject decisions as array
+  ops over the period's :class:`~repro.core.gdp.PeriodArrays` view:
+  ``price <= valuation`` for tasks with private valuations and a single
+  batched RNG draw for tasks governed by an external acceptance model.
+  The RNG consumption is identical to the seed engine's per-task scalar
+  draws, so fixed seeds reproduce the exact same decisions;
+* **match** — compute the realized maximum-weight matching
+  (Definition 5) over the CSR graph through the backend registry;
+* **feedback** — pack one period's outcomes into a
+  :class:`~repro.pricing.strategy.PriceFeedbackBatch` (``served`` is set
+  in the same pass, not by rebuilding per-task objects) and hand it to
+  the strategy.
+
+Each stage is independently callable, which is what the equivalence tests
+and ``benchmarks/test_bench_pipeline.py`` rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.core.gdp import PeriodInstance
+from repro.market.acceptance import PerGridAcceptance
+from repro.matching.weighted import max_weight_matching
+from repro.pricing.strategy import PriceFeedbackBatch, PricingStrategy
+from repro.simulation.metrics import MetricsCollector
+
+
+# eq=False on both result holders: ndarray fields would make the generated
+# __eq__ raise; results are identity-compared.
+@dataclass(frozen=True, eq=False)
+class DecideResult:
+    """Output of the decide stage.
+
+    Attributes:
+        prices: ``float64`` clamped offered unit price per task position.
+        accepted: Boolean accept/reject decision per task position.
+    """
+
+    prices: np.ndarray
+    accepted: np.ndarray
+
+    @property
+    def accepted_positions(self) -> np.ndarray:
+        """Positions of accepted tasks, ascending."""
+        return np.flatnonzero(self.accepted)
+
+
+@dataclass(frozen=True, eq=False)
+class PeriodResult:
+    """Everything one pipeline pass produces for a period."""
+
+    instance: PeriodInstance
+    grid_prices: Dict[int, float]
+    decision: DecideResult
+    matching: Dict[int, int]
+    revenue: float
+    batch: PriceFeedbackBatch
+
+    @property
+    def accepted_tasks(self) -> int:
+        return int(self.decision.accepted.sum())
+
+    @property
+    def served_tasks(self) -> int:
+        return len(self.matching)
+
+
+class PeriodPipeline:
+    """Composable per-period stages over the struct-of-arrays view.
+
+    Args:
+        price_bounds: The quotable ``(p_min, p_max)`` interval.
+        acceptance: Ground-truth acceptance models used for tasks without
+            an attached private valuation.
+        matching_backend: Backend name resolved through
+            :mod:`repro.matching.registry` for the realized matching.
+    """
+
+    def __init__(
+        self,
+        price_bounds: Tuple[float, float],
+        acceptance: PerGridAcceptance,
+        matching_backend: str = "matroid",
+    ) -> None:
+        self.p_min, self.p_max = (float(price_bounds[0]), float(price_bounds[1]))
+        self.acceptance = acceptance
+        self.matching_backend = matching_backend
+
+    # ------------------------------------------------------------------
+    # stages
+    # ------------------------------------------------------------------
+    def quote(
+        self, strategy: PricingStrategy, instance: PeriodInstance
+    ) -> Dict[int, float]:
+        """Ask the strategy for the period's per-grid unit prices."""
+        return strategy.price_period(instance)
+
+    def decide(
+        self,
+        instance: PeriodInstance,
+        grid_prices: Mapping[int, float],
+        rng: np.random.Generator,
+    ) -> DecideResult:
+        """Realise the requesters' accept/reject decisions, vectorised.
+
+        Grids the strategy did not price default to ``p_min`` (defensive:
+        shipped strategies always price every grid that has tasks).  Tasks
+        carrying a private valuation accept iff ``price <= valuation``;
+        the remaining tasks draw once from ``rng`` each, in task order, so
+        the stream matches the seed engine's scalar loop exactly.
+        """
+        arrays = instance.ensure_arrays()
+        prices = arrays.prices_per_task(grid_prices, self.p_min, self.p_max)
+        accepted = np.zeros(arrays.num_tasks, dtype=bool)
+        has_valuation = arrays.has_valuation
+        accepted[has_valuation] = (
+            prices[has_valuation] <= arrays.valuations[has_valuation]
+        )
+        missing = np.flatnonzero(~has_valuation)
+        if missing.size:
+            acceptance_ratio = self.acceptance.acceptance_ratio
+            probabilities = np.fromiter(
+                (
+                    acceptance_ratio(grid_index, price)
+                    for grid_index, price in zip(
+                        arrays.task_grids[missing].tolist(),
+                        prices[missing].tolist(),
+                    )
+                ),
+                dtype=np.float64,
+                count=int(missing.size),
+            )
+            accepted[missing] = rng.random(missing.size) < probabilities
+        return DecideResult(prices=prices, accepted=accepted)
+
+    def match(
+        self, instance: PeriodInstance, decision: DecideResult
+    ) -> Tuple[Dict[int, int], float]:
+        """Maximum-weight matching of the accepted tasks (Definition 5)."""
+        arrays = instance.ensure_arrays()
+        weights = arrays.distances * decision.prices
+        return max_weight_matching(
+            instance.graph,
+            weights,
+            allowed_tasks=decision.accepted_positions,
+            backend=self.matching_backend,
+        )
+
+    def feedback(
+        self,
+        instance: PeriodInstance,
+        decision: DecideResult,
+        matching: Mapping[int, int],
+    ) -> PriceFeedbackBatch:
+        """Pack the period's outcomes into a batch, ``served`` included."""
+        arrays = instance.ensure_arrays()
+        served = np.zeros(arrays.num_tasks, dtype=bool)
+        if matching:
+            served[
+                np.fromiter(matching.keys(), dtype=np.int64, count=len(matching))
+            ] = True
+        return PriceFeedbackBatch(
+            period=instance.period,
+            grid_indices=arrays.task_grids,
+            prices=decision.prices,
+            accepted=decision.accepted,
+            distances=arrays.distances,
+            served=served,
+        )
+
+    # ------------------------------------------------------------------
+    # composition
+    # ------------------------------------------------------------------
+    def run_period(
+        self,
+        strategy: PricingStrategy,
+        instance: PeriodInstance,
+        rng: np.random.Generator,
+        collector: Optional[MetricsCollector] = None,
+    ) -> PeriodResult:
+        """Run all four stages for one period.
+
+        Timing attribution matches the seed engine: quoting and feedback
+        learning count as pricing time, the realized matching as matching
+        time; the decide stage gets its own timer.
+        """
+        if collector is None:
+            collector = MetricsCollector(strategy.name)
+        with collector.time_pricing():
+            grid_prices = self.quote(strategy, instance)
+        with collector.time_decide():
+            decision = self.decide(instance, grid_prices, rng)
+        with collector.time_matching():
+            matching, revenue = self.match(instance, decision)
+        with collector.time_decide():
+            batch = self.feedback(instance, decision, matching)
+        with collector.time_pricing():
+            strategy.observe_feedback_batch(batch)
+        return PeriodResult(
+            instance=instance,
+            grid_prices=dict(grid_prices),
+            decision=decision,
+            matching=matching,
+            revenue=revenue,
+            batch=batch,
+        )
+
+
+__all__ = ["PeriodPipeline", "PeriodResult", "DecideResult"]

@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.spatial.geometry import BoundingBox, Point
 
 
@@ -158,6 +160,30 @@ class Grid:
         row = int((clamped.y - self._region.min_y) / self._cell_height)
         col = min(col, self._cols - 1)
         row = min(row, self._rows - 1)
+        return row * self._cols + col + 1
+
+    def locate_many(self, xs: Sequence[float], ys: Sequence[float]) -> np.ndarray:
+        """Vectorised :meth:`locate` for coordinate arrays.
+
+        Args:
+            xs: x coordinates of the points.
+            ys: y coordinates of the points (same length).
+
+        Returns:
+            ``int64`` array of 1-based cell indices, elementwise equal to
+            calling :meth:`locate` on each point (clamping onto the region
+            and half-open cell assignment included).
+        """
+        x = np.clip(np.asarray(xs, dtype=float), self._region.min_x, self._region.max_x)
+        y = np.clip(np.asarray(ys, dtype=float), self._region.min_y, self._region.max_y)
+        if x.shape != y.shape:
+            raise ValueError("xs and ys must have the same length")
+        # After clamping the offsets are non-negative, so truncation towards
+        # zero (what ``locate`` does with int()) equals floor.
+        col = ((x - self._region.min_x) / self._cell_width).astype(np.int64)
+        row = ((y - self._region.min_y) / self._cell_height).astype(np.int64)
+        np.minimum(col, self._cols - 1, out=col)
+        np.minimum(row, self._rows - 1, out=row)
         return row * self._cols + col + 1
 
     def locate_cell(self, point: Point) -> GridCell:

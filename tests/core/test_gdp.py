@@ -112,3 +112,60 @@ class TestGDPInstance:
     def test_unknown_method_rejected(self, gdp):
         with pytest.raises(ValueError):
             gdp.expected_total_revenue({}, method="magic")
+
+
+class TestHandConstructedInstance:
+    """Direct ``PeriodInstance(...)`` construction (no ``build``) keeps
+    working without the arrays view — the documented tests/notebooks path."""
+
+    def _instance(self, grid_index=None):
+        grid = Grid(BoundingBox.square(8.0), 4, 4)
+        task = Task(
+            task_id=1,
+            period=0,
+            origin=Point(1.0, 1.0),
+            destination=Point(1.0, 4.0),
+            grid_index=grid_index,
+        )
+        from repro.matching.bipartite import BipartiteGraph
+
+        return PeriodInstance(
+            period=0,
+            grid=grid,
+            tasks=[task],
+            workers=[],
+            graph=BipartiteGraph(tasks=[task], workers=[]),
+            tasks_by_grid={5: [0]},
+        )
+
+    def test_distances_served_from_supplied_tasks_by_grid(self):
+        instance = self._instance(grid_index=None)
+        # Unannotated tasks: no arrays exist, the caller's dict is used.
+        assert instance.distances_in_grid(5) == [3.0]
+        assert instance.distances_in_grid(99) == []
+
+    def test_ensure_arrays_rejects_unannotated_tasks(self):
+        instance = self._instance(grid_index=None)
+        with pytest.raises(ValueError, match="no grid index"):
+            instance.ensure_arrays()
+
+    def test_ensure_arrays_builds_lazily_for_annotated_tasks(self):
+        instance = self._instance(grid_index=5)
+        assert instance.arrays is None
+        arrays = instance.ensure_arrays()
+        assert instance.arrays is arrays
+        assert instance.distances_in_grid(5) == [3.0]
+
+    def test_built_instances_support_equality(self):
+        """The cached arrays view must not leak into dataclass equality
+        (ndarray fields would make == raise on multi-task instances)."""
+        grid = Grid(BoundingBox.square(8.0), 4, 4)
+        tasks = [
+            Task(task_id=i, period=0, origin=Point(1.0 + i, 1.0), destination=Point(1.0 + i, 3.0))
+            for i in range(3)
+        ]
+        workers = [Worker(worker_id=1, period=0, location=Point(2.0, 2.0), radius=4.0)]
+        first = PeriodInstance.build(period=0, grid=grid, tasks=tasks, workers=workers)
+        second = PeriodInstance.build(period=0, grid=grid, tasks=tasks, workers=workers)
+        assert first == second
+        assert first != PeriodInstance.build(period=1, grid=grid, tasks=tasks, workers=workers)

@@ -1,0 +1,206 @@
+"""Tests for the parallel multi-run executor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.parallel import ParallelRunner, StrategySpec
+from repro.pricing.registry import create_strategy
+from repro.simulation.config import SyntheticConfig
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.generator import SyntheticWorkloadGenerator
+
+
+@pytest.fixture(scope="module")
+def small_workload():
+    config = SyntheticConfig(
+        num_workers=60,
+        num_tasks=240,
+        num_periods=5,
+        grid_side=4,
+        worker_radius=15.0,
+        seed=5,
+    )
+    return SyntheticWorkloadGenerator(config).generate()
+
+
+SHARED = dict(base_price=2.0, p_min=1.0, p_max=5.0)
+
+
+class TestParallelRunner:
+    def test_parallel_equals_sequential(self, small_workload):
+        runner = ParallelRunner(
+            small_workload,
+            ["BaseP", "SDR", "SDE"],
+            seeds=[0, 11],
+            shared_kwargs=SHARED,
+            max_workers=3,
+        )
+        parallel = runner.run()
+        sequential = runner.run_sequential()
+        assert list(parallel.keys()) == list(sequential.keys())
+        for key in parallel:
+            assert (
+                parallel[key].metrics.total_revenue
+                == sequential[key].metrics.total_revenue
+            )
+            assert (
+                parallel[key].metrics.revenue_by_period
+                == sequential[key].metrics.revenue_by_period
+            )
+            assert parallel[key].metrics.served_tasks == sequential[key].metrics.served_tasks
+
+    def test_parallel_equals_run_many(self, small_workload):
+        """Acceptance criterion: same results as sequential ``run_many``."""
+        names = ["BaseP", "SDR"]
+        seeds = [0, 3]
+        runner = ParallelRunner(
+            small_workload, names, seeds=seeds, shared_kwargs=SHARED, max_workers=2
+        )
+        results = runner.run()
+        for seed in seeds:
+            engine = SimulationEngine(small_workload, seed=seed)
+            many = engine.run_many([create_strategy(name, **SHARED) for name in names])
+            for name in names:
+                assert (
+                    results[(name, seed)].metrics.total_revenue
+                    == many[name].metrics.total_revenue
+                )
+                assert (
+                    results[(name, seed)].metrics.accepted_tasks
+                    == many[name].metrics.accepted_tasks
+                )
+
+    def test_result_order_is_declaration_order(self, small_workload):
+        runner = ParallelRunner(
+            small_workload,
+            ["SDR", "BaseP"],
+            seeds=[4, 1],
+            shared_kwargs=SHARED,
+            max_workers=2,
+        )
+        assert list(runner.run().keys()) == [
+            ("SDR", 4),
+            ("BaseP", 4),
+            ("SDR", 1),
+            ("BaseP", 1),
+        ]
+
+    def test_single_worker_runs_in_process(self, small_workload):
+        runner = ParallelRunner(
+            small_workload, ["BaseP"], seeds=[0], shared_kwargs=SHARED, max_workers=1
+        )
+        results = runner.run()
+        assert set(results) == {("BaseP", 0)}
+        assert results[("BaseP", 0)].metrics.total_revenue > 0.0
+
+    def test_explicit_specs(self, small_workload):
+        specs = [
+            StrategySpec("BaseP", dict(SHARED)),
+            StrategySpec("SDR", dict(SHARED, coefficient=0.8)),
+        ]
+        runner = ParallelRunner(small_workload, specs, seeds=[0], max_workers=1)
+        results = runner.run()
+        assert set(results) == {("BaseP", 0), ("SDR", 0)}
+
+    def test_labels_disambiguate_same_strategy(self, small_workload):
+        """Two hyperparameter settings of one strategy both survive when
+        given distinct labels."""
+        specs = [
+            StrategySpec("SDR", dict(SHARED, coefficient=0.5), label="SDR-0.5"),
+            StrategySpec("SDR", dict(SHARED, coefficient=0.9), label="SDR-0.9"),
+        ]
+        runner = ParallelRunner(small_workload, specs, seeds=[0], max_workers=2)
+        results = runner.run()
+        assert set(results) == {("SDR-0.5", 0), ("SDR-0.9", 0)}
+        assert (
+            results[("SDR-0.5", 0)].metrics.total_revenue
+            != results[("SDR-0.9", 0)].metrics.total_revenue
+        )
+
+    def test_duplicate_result_keys_rejected(self, small_workload):
+        specs = [
+            StrategySpec("SDR", dict(SHARED, coefficient=0.5)),
+            StrategySpec("SDR", dict(SHARED, coefficient=0.9)),
+        ]
+        with pytest.raises(ValueError, match="duplicate strategy result keys"):
+            ParallelRunner(small_workload, specs, seeds=[0])
+
+    def test_unpicklable_workload_still_returns_full_results(self, small_workload):
+        """A workload carrying a locally defined callable must not crash
+        run(): forked workers inherit it without pickling, and non-fork
+        platforms detect it up front and degrade to the in-process path.
+        Either way the results are complete and identical to sequential."""
+        import copy
+
+        workload = copy.copy(small_workload)
+        workload._unpicklable_marker = lambda: None  # breaks pickle.dumps
+        runner = ParallelRunner(
+            workload, ["SDR", "BaseP"], seeds=[0], shared_kwargs=SHARED, max_workers=2
+        )
+        results = runner.run()
+        assert set(results) == {("SDR", 0), ("BaseP", 0)}
+        expected = ParallelRunner(
+            small_workload, ["SDR", "BaseP"], seeds=[0], shared_kwargs=SHARED, max_workers=1
+        ).run()
+        for key in results:
+            assert results[key].metrics.total_revenue == expected[key].metrics.total_revenue
+
+    def test_run_by_strategy_grouping(self, small_workload):
+        runner = ParallelRunner(
+            small_workload,
+            ["BaseP"],
+            seeds=[0, 1, 2],
+            shared_kwargs=SHARED,
+            max_workers=1,
+        )
+        grouped = runner.run_by_strategy()
+        assert set(grouped) == {"BaseP"}
+        assert sorted(grouped["BaseP"]) == [0, 1, 2]
+
+    def test_validation(self, small_workload):
+        with pytest.raises(ValueError):
+            ParallelRunner(small_workload, [], seeds=[0])
+        with pytest.raises(ValueError):
+            ParallelRunner(small_workload, ["BaseP"], seeds=[])
+
+
+class TestParallelSweep:
+    def test_jobs_sweep_equals_sequential_sweep(self, small_workload):
+        from repro.experiments.sweeps import ParameterSweep, run_sweep
+
+        def make_sweep(strategies):
+            return ParameterSweep(
+                experiment_id="test",
+                parameter_name="setting",
+                parameter_values=["only"],
+                workload_factory=lambda _value: small_workload,
+                strategies=strategies,
+                seed=0,
+            )
+
+        sequential = run_sweep(make_sweep(["BaseP", "SDR"]), jobs=1)
+        parallel = run_sweep(make_sweep(["BaseP", "SDR"]), jobs=2)
+        for strategy in ("BaseP", "SDR"):
+            assert (
+                parallel.cell("only", strategy).revenue
+                == sequential.cell("only", strategy).revenue
+            )
+
+    def test_alias_strategy_names_keep_both_runs(self, small_workload):
+        """"BaseP" and "basep" resolve to the same strategy but are
+        distinct sweep names; results are keyed by the sweep's own
+        strings, so neither run is dropped or misattributed."""
+        from repro.experiments.sweeps import ParameterSweep, run_sweep
+
+        sweep = ParameterSweep(
+            experiment_id="test",
+            parameter_name="setting",
+            parameter_values=["only"],
+            workload_factory=lambda _value: small_workload,
+            strategies=["BaseP", "basep"],
+            seed=0,
+        )
+        result = run_sweep(sweep, jobs=2)
+        assert len(result.cells) == 2
+        assert result.cell("only", "BaseP").revenue == result.cell("only", "basep").revenue

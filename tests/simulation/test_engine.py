@@ -102,16 +102,19 @@ class TestSimulationRun:
         assert first.total_revenue == pytest.approx(second.total_revenue)
         assert first.metrics.served_tasks == second.metrics.served_tasks
 
-    def test_keep_details_records_periods(self, tiny_workload):
+    def test_keep_details_records_every_period(self, tiny_workload):
         engine = SimulationEngine(tiny_workload, seed=1, keep_details=True)
         result = engine.run(BasePriceStrategy(base_price=2.0))
-        non_empty_periods = sum(
-            1 for tasks in tiny_workload.tasks_by_period if tasks
-        )
-        assert len(result.outcomes) == non_empty_periods
-        for outcome in result.outcomes:
+        # Task-less periods are recorded too (as empty outcomes), so the
+        # outcome list always covers the whole horizon.
+        assert len(result.outcomes) == tiny_workload.num_periods
+        for outcome, tasks in zip(result.outcomes, tiny_workload.tasks_by_period):
+            assert outcome.num_tasks == len(tasks)
             assert outcome.served_tasks <= outcome.accepted_tasks <= outcome.num_tasks
             assert outcome.revenue >= 0.0
+            if not tasks:
+                assert outcome.prices == {}
+                assert outcome.revenue == 0.0
 
     def test_matched_workers_leave_the_pool(self, tiny_workload):
         """Total served tasks can never exceed the total number of workers."""
