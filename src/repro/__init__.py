@@ -53,13 +53,23 @@ from repro.pricing import (
     create_strategy,
 )
 from repro.simulation import (
+    ArrivalStream,
     BeijingConfig,
     BeijingTaxiGenerator,
+    Scenario,
     SimulationEngine,
     SimulationResult,
+    StreamingEngine,
     SyntheticConfig,
     SyntheticWorkloadGenerator,
+    TaskArrival,
+    WorkerArrival,
     WorkloadBundle,
+    available_scenarios,
+    get_scenario,
+    register_scenario,
+    stream_to_workload,
+    workload_to_stream,
 )
 from repro.spatial import BoundingBox, Grid, Point
 from repro.experiments import (
@@ -107,6 +117,16 @@ __all__ = [
     "BeijingTaxiGenerator",
     "SimulationEngine",
     "SimulationResult",
+    "StreamingEngine",
+    "ArrivalStream",
+    "TaskArrival",
+    "WorkerArrival",
+    "stream_to_workload",
+    "workload_to_stream",
+    "Scenario",
+    "available_scenarios",
+    "get_scenario",
+    "register_scenario",
     # spatial
     "Point",
     "BoundingBox",

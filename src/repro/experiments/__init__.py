@@ -13,7 +13,7 @@
   by the benchmark harness and EXPERIMENTS.md.
 """
 
-from repro.experiments.parallel import ParallelRunner, StrategySpec
+from repro.experiments.parallel import ParallelRunner, StrategySpec, StreamSpec
 from repro.experiments.sweeps import (
     ExperimentResult,
     ParameterSweep,
@@ -40,6 +40,7 @@ __all__ = [
     "run_sweep",
     "ParallelRunner",
     "StrategySpec",
+    "StreamSpec",
     "FigureSpec",
     "FIGURES",
     "figure_ids",

@@ -1,15 +1,21 @@
 """Command-line interface for the experiment harness.
 
-Regenerate any figure of the paper's evaluation from a shell::
+Regenerate any figure of the paper's evaluation, or run any registered
+scenario in batch or streaming mode, from a shell::
 
     python -m repro.experiments.cli --list
     python -m repro.experiments.cli --figure fig6-W --scale 0.02
     python -m repro.experiments.cli --figure fig8-real2 --scale 0.005 \
-        --strategies MAPS BaseP --metric revenue time
+        --strategies MAPS BaseP --metrics revenue time
+    python -m repro.experiments.cli --scenario hotspot_burst --streaming \
+        --window 0.5 --jobs 4
 
-The output is the same plain-text tables the benchmark harness prints
+Figure runs print the same plain-text tables the benchmark harness prints
 (one row per swept parameter value, one column per strategy, one table per
-metric), plus a one-line revenue-winner summary.
+metric) plus a one-line revenue-winner summary; scenario runs print one
+row per strategy.  The ``--help`` epilog enumerates the registered
+pricing strategies, matching backends and scenarios straight from their
+registries.
 """
 
 from __future__ import annotations
@@ -19,19 +25,43 @@ import sys
 from typing import List, Optional, Sequence
 
 from repro.experiments.figures import FIGURES, figure_ids, get_figure
+from repro.experiments.parallel import ParallelRunner, StrategySpec, StreamSpec
 from repro.experiments.report import format_table, format_winner_summary
 from repro.experiments.sweeps import run_sweep
-from repro.pricing.registry import PAPER_STRATEGIES
+from repro.matching.registry import available_backends
+from repro.pricing.registry import available_strategies, calibrated_kwargs
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.scenarios import available_scenarios, get_scenario
+
+# Importing the backend implementations registers them; keep this import
+# even though nothing references the module directly.
+import repro.matching.weighted  # noqa: F401
+
+
+def _registry_epilog() -> str:
+    """The ``--help`` epilog, sourced from the live registries."""
+    return "\n".join(
+        [
+            "registered pricing strategies: " + ", ".join(available_strategies()),
+            "registered matching backends:  " + ", ".join(available_backends()),
+            "registered scenarios:          " + ", ".join(available_scenarios()),
+        ]
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the evaluation figures of the SIGMOD'18 dynamic "
-        "pricing paper at a configurable scale.",
+        "pricing paper at a configurable scale, or run a registered scenario "
+        "in batch or streaming mode.",
+        epilog=_registry_epilog(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument(
-        "--list", action="store_true", help="list the available experiment ids and exit"
+        "--list",
+        action="store_true",
+        help="list the available experiment ids and scenarios, then exit",
     )
     parser.add_argument(
         "--figure",
@@ -39,34 +69,60 @@ def build_parser() -> argparse.ArgumentParser:
         help="experiment id to run (see --list)",
     )
     parser.add_argument(
-        "--scale",
-        type=float,
-        default=0.01,
-        help="fraction of the paper-sized workload to generate (default 0.01; "
-        "1.0 reproduces the paper's instance sizes)",
+        "--scenario",
+        choices=available_scenarios(),
+        help="registered scenario to run (single setting, every strategy)",
     )
     parser.add_argument(
-        "--seed", type=int, default=0, help="root random seed for the sweep"
+        "--streaming",
+        action="store_true",
+        help="dispatch the scenario through the event-driven streaming "
+        "engine instead of the batch engine (requires --scenario)",
+    )
+    parser.add_argument(
+        "--window",
+        type=float,
+        default=None,
+        help="streaming dispatch window length in period units (requires "
+        "--streaming; default 1.0 = the paper's one-minute period)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="fraction of the paper-sized workload to generate (figure "
+        "default 0.01; scenario default varies per scenario; 1.0 "
+        "reproduces the nominal instance sizes)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="root random seed for the run"
     )
     parser.add_argument(
         "--strategies",
         nargs="+",
         default=None,
         metavar="NAME",
-        help=f"strategies to compare (default: {' '.join(PAPER_STRATEGIES)})",
+        help=f"strategies to compare (default: {' '.join(available_strategies())})",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default="matroid",
+        help="matching backend for the realized matching (default matroid)",
     )
     parser.add_argument(
         "--metrics",
         nargs="+",
-        default=["revenue", "time", "memory"],
+        default=None,
         choices=["revenue", "time", "total_time", "memory", "served", "accepted"],
-        help="metrics to print (default: revenue time memory)",
+        help="metrics to print in figure mode (default: revenue time "
+        "memory); scenario runs always print the full per-strategy table",
     )
     parser.add_argument(
         "--values",
         nargs="+",
         default=None,
-        help="override the swept parameter values (numbers)",
+        help="override the swept parameter values in figure mode (numbers)",
     )
     parser.add_argument(
         "--no-memory-tracking",
@@ -94,6 +150,88 @@ def _parse_values(raw_values: Optional[Sequence[str]]) -> Optional[List[float]]:
     return parsed
 
 
+def _run_figure(args: argparse.Namespace) -> int:
+    spec = get_figure(args.figure)
+    scale = 0.01 if args.scale is None else args.scale
+    sweep = spec.build_sweep(
+        scale=scale,
+        strategies=args.strategies,
+        values=_parse_values(args.values),
+        seed=args.seed,
+        track_memory=not args.no_memory_tracking,
+    )
+    print(f"# {spec.title}")
+    print(f"# expectation: {spec.expectation}")
+    print(f"# scale = {scale}, seed = {args.seed}")
+    result = run_sweep(sweep, jobs=args.jobs)
+    for metric in args.metrics or ["revenue", "time", "memory"]:
+        print()
+        print(format_table(result, metric))
+    print()
+    print(format_winner_summary(result))
+    return 0
+
+
+def _run_scenario(args: argparse.Namespace) -> int:
+    scenario = get_scenario(args.scenario)
+    scale = scenario.default_scale if args.scale is None else args.scale
+    window = 1.0 if args.window is None else args.window
+    workload = scenario.bundle(scale=scale, seed=args.seed)
+    p_min, p_max = workload.price_bounds
+
+    # Calibrate once on the batch bundle (Algorithm 1 probes the same
+    # ground-truth acceptance models either mode dispatches against).
+    calibration = SimulationEngine(workload, seed=args.seed).calibrate_base_price()
+    strategies = args.strategies or available_strategies()
+    specs = [
+        StrategySpec(name, calibrated_kwargs(name, calibration, p_min=p_min, p_max=p_max))
+        for name in strategies
+    ]
+    mode = f"streaming (window={window:g})" if args.streaming else "batch"
+    print(f"# scenario {args.scenario}: {scenario.description}")
+    print(f"# workload: {workload.description}")
+    print(
+        f"# mode = {mode}, scale = {scale:g}, seed = {args.seed}, "
+        f"backend = {args.backend}, base price = {calibration.base_price:.3f}"
+    )
+    runner = ParallelRunner(
+        workload=None if args.streaming else workload,
+        specs=specs,
+        seeds=[args.seed],
+        matching_backend=args.backend,
+        max_workers=None if args.jobs <= 0 else args.jobs,
+        track_memory=not args.no_memory_tracking,
+        stream=(
+            StreamSpec(
+                scenario=args.scenario,
+                scale=scale,
+                seed=args.seed,
+                window=window,
+            )
+            if args.streaming
+            else None
+        ),
+    )
+    results = runner.run()
+    print()
+    print(
+        f"{'strategy':>10s} {'revenue':>12s} {'served':>8s} {'accepted':>9s} "
+        f"{'accept %':>9s} {'pricing s':>10s} {'matching s':>11s} {'peak MB':>8s}"
+    )
+    for (name, _seed), result in results.items():
+        metrics = result.metrics
+        print(
+            f"{name:>10s} {metrics.total_revenue:12.1f} {metrics.served_tasks:8d} "
+            f"{metrics.accepted_tasks:9d} {100 * metrics.acceptance_rate:9.1f} "
+            f"{metrics.pricing_time_seconds:10.3f} {metrics.matching_time_seconds:11.3f} "
+            f"{metrics.peak_memory_mb:8.1f}"
+        )
+    best = max(results.items(), key=lambda item: item[1].metrics.total_revenue)
+    print()
+    print(f"revenue winner: {best[0][0]} ({best[1].metrics.total_revenue:.1f})")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -102,29 +240,35 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for figure_id in figure_ids():
             spec = FIGURES[figure_id]
             print(f"{figure_id:12s}  {spec.title}")
+        for name in available_scenarios():
+            scenario = get_scenario(name)
+            modes = "batch+streaming"
+            print(f"{name:12s}  [scenario, {modes}] {scenario.description}")
         return 0
 
-    if args.figure is None:
-        parser.error("--figure is required unless --list is given")
+    if args.figure is not None and args.scenario is not None:
+        parser.error("--figure and --scenario are mutually exclusive")
+    if args.streaming and args.scenario is None:
+        parser.error("--streaming requires --scenario")
+    if args.window is not None and not args.streaming:
+        parser.error("--window requires --streaming")
+    if args.window is not None and args.window <= 0:
+        parser.error("--window must be positive")
+    if args.scenario is None and args.backend != "matroid":
+        parser.error("--backend is only honored with --scenario")
+    if args.scenario is not None and args.values is not None:
+        parser.error("--values is only honored with --figure")
+    if args.scenario is not None and args.metrics is not None:
+        parser.error(
+            "--metrics is only honored with --figure "
+            "(scenario runs print the full per-strategy table)"
+        )
 
-    spec = get_figure(args.figure)
-    sweep = spec.build_sweep(
-        scale=args.scale,
-        strategies=args.strategies,
-        values=_parse_values(args.values),
-        seed=args.seed,
-        track_memory=not args.no_memory_tracking,
-    )
-    print(f"# {spec.title}")
-    print(f"# expectation: {spec.expectation}")
-    print(f"# scale = {args.scale}, seed = {args.seed}")
-    result = run_sweep(sweep, jobs=args.jobs)
-    for metric in args.metrics:
-        print()
-        print(format_table(result, metric))
-    print()
-    print(format_winner_summary(result))
-    return 0
+    if args.scenario is not None:
+        return _run_scenario(args)
+    if args.figure is None:
+        parser.error("--figure or --scenario is required unless --list is given")
+    return _run_figure(args)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via main() in tests

@@ -13,6 +13,14 @@ Strategies are described by :class:`StrategySpec` (a name for
 :func:`repro.pricing.registry.create_strategy` plus keyword arguments)
 rather than live objects, so each worker process constructs its own
 strategy and no mutable learning state crosses process boundaries.
+
+Streaming runs follow the same recipe-based design: an arrival stream is
+usually backed by a generator (unpicklable), so :class:`StreamSpec` names
+a registered scenario (see :mod:`repro.simulation.scenarios`) plus its
+parameters, and every worker process rebuilds the stream locally before
+driving a :class:`~repro.simulation.streaming.StreamingEngine` through it.
+Because scenario streams are deterministic in their seed, parallel
+streaming results are identical to sequential ones too.
 """
 
 from __future__ import annotations
@@ -27,9 +35,38 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.pricing.registry import create_strategy
 from repro.simulation.config import WorkloadBundle
 from repro.simulation.engine import SimulationEngine, SimulationResult
+from repro.simulation.streaming import ArrivalStream, StreamingEngine
 
 #: Key of one run: ``(strategy name, seed)``.
 RunKey = Tuple[str, int]
+
+
+@dataclass(frozen=True)
+class StreamSpec:
+    """A picklable recipe for one scenario-backed arrival stream.
+
+    Attributes:
+        scenario: Name registered in :mod:`repro.simulation.scenarios`.
+        scale: Scale factor forwarded to the scenario.
+        seed: Scenario (workload) seed; ``None`` keeps the scenario default.
+        window: Dispatch window length for the streaming engine, in period
+            units.
+        params: Extra scenario parameters (must be picklable).
+    """
+
+    scenario: str
+    scale: float = 1.0
+    seed: Optional[int] = None
+    window: float = 1.0
+    params: Mapping[str, object] = field(default_factory=dict)
+
+    def build(self) -> ArrivalStream:
+        """Rebuild the arrival stream (called in each worker process)."""
+        from repro.simulation.scenarios import get_scenario
+
+        return get_scenario(self.scenario).stream(
+            scale=self.scale, seed=self.seed, **dict(self.params)
+        )
 
 
 @dataclass(frozen=True)
@@ -79,6 +116,26 @@ def _execute_run(
     return (spec.key, seed), engine.run(spec.build())
 
 
+def _execute_stream_run(
+    stream_spec: StreamSpec,
+    spec: StrategySpec,
+    seed: int,
+    matching_backend: str,
+    track_memory: bool,
+    keep_details: bool,
+) -> Tuple[RunKey, SimulationResult]:
+    """Streaming counterpart of :func:`_execute_run` (also picklable)."""
+    engine = StreamingEngine(
+        stream_spec.build(),
+        seed=seed,
+        window=stream_spec.window,
+        matching_backend=matching_backend,
+        track_memory=track_memory,
+        keep_details=keep_details,
+    )
+    return (spec.key, seed), engine.run(spec.build())
+
+
 #: Per-worker-process workload, installed once by the pool initializer so
 #: the (potentially multi-megabyte) bundle is not re-pickled per job.
 _WORKER_WORKLOAD: Optional[WorkloadBundle] = None
@@ -106,7 +163,8 @@ class ParallelRunner:
     """Fan ``(strategy, seed)`` simulation runs across processes.
 
     Args:
-        workload: The workload every run simulates.
+        workload: The workload every run simulates (batch mode).  Pass
+            ``None`` and give ``stream`` instead for streaming mode.
         specs: Strategy recipes; plain strings are promoted to
             :class:`StrategySpec` with ``shared_kwargs``.
         seeds: Engine seeds; one full strategy sweep runs per seed.
@@ -118,6 +176,11 @@ class ParallelRunner:
         track_memory: Forwarded to the engines.  Peak-memory numbers are
             per-process when running parallel.
         keep_details: Forwarded to the engines.
+        stream: A :class:`StreamSpec` switching every run to the
+            event-driven :class:`~repro.simulation.streaming.StreamingEngine`
+            over the named scenario's arrival stream (rebuilt inside each
+            worker process; exactly one of ``workload`` / ``stream`` must
+            be given).
 
     Results are keyed by ``(strategy name, seed)`` and their order is
     fixed by the spec/seed declaration order, independent of which process
@@ -126,7 +189,7 @@ class ParallelRunner:
 
     def __init__(
         self,
-        workload: WorkloadBundle,
+        workload: Optional[WorkloadBundle],
         specs: Sequence[object],
         seeds: Sequence[int] = (0,),
         shared_kwargs: Optional[Mapping[str, object]] = None,
@@ -134,13 +197,17 @@ class ParallelRunner:
         max_workers: Optional[int] = None,
         track_memory: bool = False,
         keep_details: bool = False,
+        stream: Optional[StreamSpec] = None,
     ) -> None:
         if not specs:
             raise ValueError("need at least one strategy spec")
         if not seeds:
             raise ValueError("need at least one seed")
+        if (workload is None) == (stream is None):
+            raise ValueError("give exactly one of workload (batch) or stream (streaming)")
         shared = dict(shared_kwargs or {})
         self.workload = workload
+        self.stream = stream
         self.specs: List[StrategySpec] = [
             spec if isinstance(spec, StrategySpec) else StrategySpec(str(spec), shared)
             for spec in specs
@@ -165,18 +232,31 @@ class ParallelRunner:
     def _jobs(self) -> List[Tuple[StrategySpec, int]]:
         return [(spec, seed) for seed in self.seeds for spec in self.specs]
 
-    def run_sequential(self) -> Dict[RunKey, SimulationResult]:
-        """Run every cell in this process (the reference order)."""
-        results: Dict[RunKey, SimulationResult] = {}
-        for spec, seed in self._jobs():
-            key, result = _execute_run(
-                self.workload,
+    def _run_cell(self, spec: StrategySpec, seed: int) -> Tuple[RunKey, SimulationResult]:
+        if self.stream is not None:
+            return _execute_stream_run(
+                self.stream,
                 spec,
                 seed,
                 self.matching_backend,
                 self.track_memory,
                 self.keep_details,
             )
+        assert self.workload is not None
+        return _execute_run(
+            self.workload,
+            spec,
+            seed,
+            self.matching_backend,
+            self.track_memory,
+            self.keep_details,
+        )
+
+    def run_sequential(self) -> Dict[RunKey, SimulationResult]:
+        """Run every cell in this process (the reference order)."""
+        results: Dict[RunKey, SimulationResult] = {}
+        for spec, seed in self._jobs():
+            key, result = self._run_cell(spec, seed)
             results[key] = result
         return results
 
@@ -199,7 +279,8 @@ class ParallelRunner:
         # workers inherit the initializer args without serialisation.
         try:
             pickle.dumps(self.specs)
-            if multiprocessing.get_start_method() != "fork":
+            pickle.dumps(self.stream)
+            if self.workload is not None and multiprocessing.get_start_method() != "fork":
                 pickle.dumps(self.workload)
         except Exception as error:
             warnings.warn(
@@ -210,23 +291,39 @@ class ParallelRunner:
             )
             return self.run_sequential()
         try:
-            # The workload is shipped once per worker via the initializer;
-            # each job only pickles its (spec, seed) cell.
-            with ProcessPoolExecutor(
-                max_workers=self.max_workers,
-                initializer=_init_worker,
-                initargs=(self.workload,),
-            ) as executor:
-                outputs = list(
-                    executor.map(
-                        _execute_run_pooled,
-                        [spec for spec, _ in jobs],
-                        [seed for _, seed in jobs],
-                        [self.matching_backend] * len(jobs),
-                        [self.track_memory] * len(jobs),
-                        [self.keep_details] * len(jobs),
+            if self.stream is not None:
+                # Stream recipes are tiny; each job pickles its own cell
+                # and rebuilds the arrival stream inside the worker.
+                with ProcessPoolExecutor(max_workers=self.max_workers) as executor:
+                    outputs = list(
+                        executor.map(
+                            _execute_stream_run,
+                            [self.stream] * len(jobs),
+                            [spec for spec, _ in jobs],
+                            [seed for _, seed in jobs],
+                            [self.matching_backend] * len(jobs),
+                            [self.track_memory] * len(jobs),
+                            [self.keep_details] * len(jobs),
+                        )
                     )
-                )
+            else:
+                # The workload is shipped once per worker via the
+                # initializer; each job only pickles its (spec, seed) cell.
+                with ProcessPoolExecutor(
+                    max_workers=self.max_workers,
+                    initializer=_init_worker,
+                    initargs=(self.workload,),
+                ) as executor:
+                    outputs = list(
+                        executor.map(
+                            _execute_run_pooled,
+                            [spec for spec, _ in jobs],
+                            [seed for _, seed in jobs],
+                            [self.matching_backend] * len(jobs),
+                            [self.track_memory] * len(jobs),
+                            [self.keep_details] * len(jobs),
+                        )
+                    )
         except (
             OSError,  # pool could not start (sandboxed / restricted hosts)
             BrokenExecutor,  # pool died mid-run (e.g. a worker was OOM-killed)
@@ -251,4 +348,4 @@ class ParallelRunner:
         return grouped
 
 
-__all__ = ["ParallelRunner", "StrategySpec", "RunKey"]
+__all__ = ["ParallelRunner", "StrategySpec", "StreamSpec", "RunKey"]

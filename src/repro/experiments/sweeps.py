@@ -16,7 +16,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.base_pricing import BasePricingConfig, BasePricingResult
 from repro.experiments.parallel import ParallelRunner, StrategySpec
-from repro.pricing.registry import PAPER_STRATEGIES, create_strategy
+from repro.pricing.registry import PAPER_STRATEGIES, calibrated_kwargs, create_strategy
 from repro.pricing.strategy import PricingStrategy
 from repro.simulation.config import WorkloadBundle
 from repro.simulation.engine import SimulationEngine
@@ -152,12 +152,7 @@ def run_sweep(sweep: ParameterSweep, jobs: int = 1) -> ExperimentResult:
         result.base_prices[value] = calibration.base_price
 
         def _strategy_kwargs(strategy_name: str) -> dict:
-            return dict(
-                base_price=calibration.base_price,
-                p_min=p_min,
-                p_max=p_max,
-                calibration=calibration if strategy_name.lower() == "maps" else None,
-            )
+            return calibrated_kwargs(strategy_name, calibration, p_min=p_min, p_max=p_max)
 
         if use_parallel:
             runner = ParallelRunner(

@@ -12,6 +12,29 @@ where ``graph`` is a :class:`~repro.matching.bipartite.BipartiteGraph`
 (backends consume its CSR view via :meth:`BipartiteGraph.csr`),
 ``task_weights`` is a per-task-position weight sequence and
 ``allowed_tasks`` optionally restricts the eligible task positions.
+
+Registering a custom backend is one decorator (re-registering a name
+overwrites it, so tests can swap in instrumented variants)::
+
+    @register_backend("mine")
+    def my_backend(graph, task_weights, allowed_tasks=None):
+        ...
+        return task_to_worker, total_weight
+
+Runnable doctest (also exercised by the CI docs job; importing
+:mod:`repro.matching.weighted` is what registers the shipped backends):
+
+>>> import repro.matching.weighted
+>>> from repro.matching.registry import available_backends, get_backend
+>>> available_backends()
+['greedy', 'hungarian', 'matroid', 'scipy']
+>>> get_backend("MATROID") is get_backend("matroid")  # case-insensitive
+True
+>>> get_backend("simplex")
+Traceback (most recent call last):
+    ...
+ValueError: unknown matching backend 'simplex'; registered backends: \
+greedy, hungarian, matroid, scipy
 """
 
 from __future__ import annotations

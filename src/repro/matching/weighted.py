@@ -53,7 +53,7 @@ EdgeWeightFn = Callable[[int, int], float]
 MatchingResult = Tuple[Dict[int, int], float]
 
 
-def _eligible_order(
+def eligible_order(
     num_tasks: int,
     task_weights: Sequence[float],
     allowed_tasks: Optional[Sequence[int]],
@@ -63,7 +63,9 @@ def _eligible_order(
     Processing order is non-increasing weight with ties broken by task
     position (the order the matroid greedy requires); tasks with
     non-positive weight are dropped up front, which is equivalent to the
-    greedy skipping them.
+    greedy skipping them.  Exported because the streaming engine's
+    incremental window matcher must insert tasks in exactly this order to
+    reproduce the matroid backend's matching bit-for-bit.
     """
     weights = np.asarray(task_weights, dtype=float)
     if weights.ndim != 1 or weights.shape[0] != num_tasks:
@@ -104,7 +106,7 @@ def task_weighted_matching(
     task sets form a transversal matroid.
     """
     csr = graph.csr()
-    weights, order = _eligible_order(csr.num_tasks, task_weights, allowed_tasks)
+    weights, order = eligible_order(csr.num_tasks, task_weights, allowed_tasks)
     weight_list = weights.tolist()
     indptr = csr.indptr_list
     indices = csr.indices_list
@@ -317,7 +319,7 @@ def greedy_weight_matching(
     how much the exact augmentation-based matching gains.
     """
     csr = graph.csr()
-    weights, order = _eligible_order(csr.num_tasks, task_weights, allowed_tasks)
+    weights, order = eligible_order(csr.num_tasks, task_weights, allowed_tasks)
     weight_list = weights.tolist()
     indptr = csr.indptr_list
     indices = csr.indices_list
@@ -439,6 +441,7 @@ def max_weight_matching(
 
 
 __all__ = [
+    "eligible_order",
     "task_weighted_matching",
     "hungarian_matching",
     "scipy_weight_matching",

@@ -4,7 +4,31 @@ The benchmark harness iterates over strategy names ("MAPS", "BaseP", ...)
 and needs to instantiate each with a consistent set of shared parameters
 (base price, price bounds, ladder step).  :func:`create_strategy` is the
 single factory the harness uses; :func:`available_strategies` lists the
-names of the five strategies compared in the paper.
+names of the five strategies compared in the paper (Section 5.1), in the
+paper's plotting order.
+
+This registry predates the decorator-based ones
+(:mod:`repro.matching.registry`, :mod:`repro.simulation.scenarios`) and
+keeps an explicit factory instead, because the five strategies share a
+calibration hand-off: ``create_strategy`` threads the Algorithm 1 result
+into MAPS as a UCB warm start while the heuristics only consume its base
+price.  Name matching is case-insensitive and tolerant of common aliases
+(``base_price``, ``capped-ucb``, ...).
+
+Runnable doctest (also exercised by the CI docs job):
+
+>>> from repro.pricing.registry import available_strategies, create_strategy
+>>> available_strategies()
+['MAPS', 'BaseP', 'SDR', 'SDE', 'CappedUCB']
+>>> strategy = create_strategy("BaseP", base_price=2.0)
+>>> strategy.name
+'BaseP'
+>>> create_strategy("sdr", base_price=2.0).name  # case-insensitive
+'SDR'
+>>> create_strategy("martingale", base_price=2.0)
+Traceback (most recent call last):
+    ...
+ValueError: unknown strategy 'martingale'; available: MAPS, BaseP, SDR, SDE, CappedUCB
 """
 
 from __future__ import annotations
@@ -75,4 +99,31 @@ def create_strategy(
     )
 
 
-__all__ = ["PAPER_STRATEGIES", "available_strategies", "create_strategy"]
+def calibrated_kwargs(
+    name: str,
+    calibration: BasePricingResult,
+    p_min: float = 1.0,
+    p_max: float = 5.0,
+) -> Dict[str, object]:
+    """Shared :func:`create_strategy` kwargs after an Algorithm 1 run.
+
+    The single place encoding the calibration hand-off the paper's
+    evaluation uses: every strategy receives the calibrated base price and
+    the price bounds, and MAPS alone is warm-started from the full
+    calibration statistics.  Used by the figure sweeps, the CLI scenario
+    runner and the examples so the recipe cannot drift between surfaces.
+    """
+    return dict(
+        base_price=calibration.base_price,
+        p_min=p_min,
+        p_max=p_max,
+        calibration=calibration if name.strip().lower() == "maps" else None,
+    )
+
+
+__all__ = [
+    "PAPER_STRATEGIES",
+    "available_strategies",
+    "calibrated_kwargs",
+    "create_strategy",
+]

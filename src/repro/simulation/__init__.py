@@ -18,6 +18,13 @@ pipeline:
   (quote → decide → match → feedback) over the struct-of-arrays view;
 * :mod:`repro.simulation.engine` — the period-by-period driver over the
   pipeline (worker-pool dynamics, metrics);
+* :mod:`repro.simulation.streaming` — the event-driven streaming engine:
+  timestamped arrival streams, configurable dispatch windows, and an
+  incremental cross-window matching that reproduces the batch engine
+  bit-identically when binned at the period length;
+* :mod:`repro.simulation.scenarios` — the scenario registry putting every
+  workload family (synthetic, Beijing taxi, food delivery, hotspot burst)
+  behind one name, each producing both a batch bundle and a stream;
 * :mod:`repro.simulation.legacy` — the seed scalar loop, kept as the
   regression/benchmark reference;
 * :mod:`repro.simulation.metrics` — revenue / runtime / memory bookkeeping.
@@ -34,6 +41,20 @@ from repro.simulation.oracle import SimulatedProbeOracle
 from repro.simulation.engine import SimulationEngine, SimulationResult, PeriodOutcome
 from repro.simulation.pipeline import DecideResult, PeriodPipeline, PeriodResult
 from repro.simulation.metrics import MetricsCollector, StrategyMetrics
+from repro.simulation.streaming import (
+    ArrivalStream,
+    StreamingEngine,
+    TaskArrival,
+    WorkerArrival,
+    stream_to_workload,
+    workload_to_stream,
+)
+from repro.simulation.scenarios import (
+    Scenario,
+    available_scenarios,
+    get_scenario,
+    register_scenario,
+)
 
 __all__ = [
     "SyntheticConfig",
@@ -50,4 +71,14 @@ __all__ = [
     "DecideResult",
     "MetricsCollector",
     "StrategyMetrics",
+    "ArrivalStream",
+    "StreamingEngine",
+    "TaskArrival",
+    "WorkerArrival",
+    "stream_to_workload",
+    "workload_to_stream",
+    "Scenario",
+    "available_scenarios",
+    "get_scenario",
+    "register_scenario",
 ]

@@ -1,0 +1,511 @@
+"""Unified scenario registry: every workload family behind one name.
+
+The repository grew three workload families wired up ad hoc — the
+synthetic Table-3 generator, the Beijing-style taxi generator and the
+hand-assembled food-delivery example.  This module puts them (plus a
+natively streaming flash-crowd scenario) behind one decorator-based
+registry, mirroring :mod:`repro.matching.registry` and
+:mod:`repro.pricing.registry`: the CLI, :class:`ParallelRunner` and the
+docs all enumerate the same single source of truth.
+
+Every scenario produces **both** execution modes:
+
+* :meth:`Scenario.bundle` — a pre-materialised :class:`WorkloadBundle`
+  for the batch :class:`~repro.simulation.engine.SimulationEngine`;
+* :meth:`Scenario.stream` — a timestamped
+  :class:`~repro.simulation.streaming.ArrivalStream` for the
+  :class:`~repro.simulation.streaming.StreamingEngine`.
+
+Batch-first scenarios derive their stream by unrolling the bundle
+(:func:`~repro.simulation.streaming.workload_to_stream`); stream-first
+scenarios derive their bundle by binning the stream
+(:func:`~repro.simulation.streaming.stream_to_workload`).
+
+Registering a new scenario takes one class::
+
+    @register_scenario
+    class MyScenario(Scenario):
+        name = "my_scenario"
+        description = "what it models"
+        paper_ref = "none (original)"
+
+        def bundle(self, scale=1.0, seed=None, **params):
+            ...build and return a WorkloadBundle...
+
+Keep ``docs/scenarios.md`` in sync — ``tests/docs`` fails if a registered
+name is missing from the doc.
+
+Runnable doctest (the registry itself, no workload generation):
+
+>>> from repro.simulation.scenarios import available_scenarios, get_scenario
+>>> available_scenarios()
+['beijing_night', 'beijing_rush', 'food_delivery', 'hotspot_burst', 'synthetic']
+>>> get_scenario("synthetic").paper_ref
+'Table 3'
+>>> get_scenario("hotspot_burst").native_stream
+True
+>>> get_scenario("no_such_scenario")
+Traceback (most recent call last):
+    ...
+ValueError: unknown scenario 'no_such_scenario'; registered scenarios: \
+beijing_night, beijing_rush, food_delivery, hotspot_burst, synthetic
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Dict, Iterator, List, Optional, Type
+
+import numpy as np
+
+from repro.market.acceptance import DistributionAcceptanceModel, PerGridAcceptance
+from repro.market.entities import Task, Worker
+from repro.market.valuation import TruncatedNormalValuation
+from repro.simulation.config import BeijingConfig, SyntheticConfig, WorkloadBundle
+from repro.simulation.generator import SyntheticWorkloadGenerator
+from repro.simulation.streaming import (
+    ArrivalEvent,
+    ArrivalStream,
+    TaskArrival,
+    WorkerArrival,
+    stream_to_workload,
+    workload_to_stream,
+)
+from repro.simulation.taxi import BeijingTaxiGenerator
+from repro.spatial.geometry import BoundingBox, Point
+from repro.spatial.grid import Grid
+from repro.utils.rng import derive_seed
+
+
+class Scenario:
+    """Base class for registered scenarios.
+
+    Subclasses set the class attributes and implement :meth:`bundle`
+    and/or :meth:`stream`; whichever mode is not implemented natively is
+    derived from the other, so every scenario supports both.
+
+    Attributes:
+        name: Registry key (``--scenario`` value).
+        description: One-line summary for ``--help`` and the docs.
+        paper_ref: Paper provenance (table/figure/section, or
+            ``"none (original)"`` for scenarios beyond the paper).
+        native_stream: Whether the scenario generates arrivals as a true
+            event stream (as opposed to unrolling a batch workload).
+        default_scale: Scale used when the caller does not pick one; the
+            paper-sized families default small so CLI runs stay tractable.
+        parameters: Extra keyword parameters accepted by
+            :meth:`bundle`/:meth:`stream`, documented name -> meaning.
+    """
+
+    name: str = ""
+    description: str = ""
+    paper_ref: str = ""
+    native_stream: bool = False
+    default_scale: float = 1.0
+    parameters: Dict[str, str] = {}
+
+    def bundle(
+        self, scale: float = 1.0, seed: Optional[int] = None, **params: object
+    ) -> WorkloadBundle:
+        """Pre-materialised workload (bin the native stream by default)."""
+        if type(self).stream is Scenario.stream:
+            raise NotImplementedError(
+                f"scenario {self.name!r} must implement bundle() or stream()"
+            )
+        return stream_to_workload(self.stream(scale=scale, seed=seed, **params))
+
+    def stream(
+        self, scale: float = 1.0, seed: Optional[int] = None, **params: object
+    ) -> ArrivalStream:
+        """Arrival stream (unroll the batch workload by default)."""
+        if type(self).bundle is Scenario.bundle:
+            raise NotImplementedError(
+                f"scenario {self.name!r} must implement bundle() or stream()"
+            )
+        return workload_to_stream(self.bundle(scale=scale, seed=seed, **params))
+
+
+_SCENARIOS: Dict[str, Type[Scenario]] = {}
+
+
+def register_scenario(cls: Type[Scenario]) -> Type[Scenario]:
+    """Class decorator registering a :class:`Scenario` under ``cls.name``.
+
+    Re-registering a name overwrites the previous scenario, which lets
+    tests swap in instrumented variants.
+    """
+    key = cls.name.strip().lower()
+    if not key:
+        raise ValueError("scenario name must be non-empty")
+    _SCENARIOS[key] = cls
+    return cls
+
+
+def get_scenario(name: str) -> Scenario:
+    """Instantiate a registered scenario by (case-insensitive) name.
+
+    Raises:
+        ValueError: for unknown names; the message lists the registered
+            scenarios so callers can self-correct.
+    """
+    key = str(name).strip().lower()
+    if key not in _SCENARIOS:
+        raise ValueError(
+            f"unknown scenario {name!r}; "
+            f"registered scenarios: {', '.join(available_scenarios())}"
+        )
+    return _SCENARIOS[key]()
+
+
+def available_scenarios() -> List[str]:
+    """Names of all registered scenarios, sorted alphabetically."""
+    return sorted(_SCENARIOS)
+
+
+# ---------------------------------------------------------------------------
+# paper workload families
+# ---------------------------------------------------------------------------
+@register_scenario
+class SyntheticScenario(Scenario):
+    """The paper's synthetic setup (bold entries of Table 3)."""
+
+    name = "synthetic"
+    description = "Table-3 synthetic market (Gaussian spatiotemporal demand)"
+    paper_ref = "Table 3"
+    default_scale = 0.01
+    parameters = {
+        "temporal_mu": "mean of the tasks' start-time distribution (fraction of horizon)",
+        "demand_distribution": "'normal' (default) or 'exponential' (Appendix D)",
+    }
+
+    def bundle(
+        self, scale: float = 1.0, seed: Optional[int] = None, **params: object
+    ) -> WorkloadBundle:
+        base = SyntheticConfig.paper_default()
+        overrides = dict(
+            num_workers=max(10, int(round(base.num_workers * scale))),
+            num_tasks=max(20, int(round(base.num_tasks * scale))),
+            num_periods=max(5, int(round(base.num_periods * scale))),
+        )
+        if seed is not None:
+            overrides["seed"] = int(seed)
+        overrides.update(params)
+        return SyntheticWorkloadGenerator(replace(base, **overrides)).generate()
+
+
+class _BeijingScenario(Scenario):
+    """Shared machinery of the two Table-4 taxi variants."""
+
+    variant_dataset: int = 1
+    default_scale = 0.01
+    parameters = {
+        "worker_duration": "delta_w, periods a driver stays available (Fig. 8c-8d sweep)",
+    }
+
+    def bundle(
+        self, scale: float = 1.0, seed: Optional[int] = None, **params: object
+    ) -> WorkloadBundle:
+        base = (
+            BeijingConfig.dataset_1() if self.variant_dataset == 1 else BeijingConfig.dataset_2()
+        )
+        config = base.scaled(scale)
+        overrides = dict(
+            num_periods=max(10, int(round(base.num_periods * min(1.0, max(4 * scale, 0.25)))))
+        )
+        if seed is not None:
+            overrides["seed"] = int(seed)
+        overrides.update(params)
+        return BeijingTaxiGenerator(replace(config, **overrides)).generate()
+
+
+@register_scenario
+class BeijingRushScenario(_BeijingScenario):
+    name = "beijing_rush"
+    description = "Beijing taxi rush hour, heavy hotspot demand (Table 4 #1)"
+    paper_ref = "Table 4, dataset #1 (5-7 pm)"
+    variant_dataset = 1
+
+
+@register_scenario
+class BeijingNightScenario(_BeijingScenario):
+    name = "beijing_night"
+    description = "Beijing taxi late night, sparse scattered demand (Table 4 #2)"
+    paper_ref = "Table 4, dataset #2 (0-2 am)"
+    variant_dataset = 2
+
+
+# ---------------------------------------------------------------------------
+# beyond-the-paper scenarios
+# ---------------------------------------------------------------------------
+@register_scenario
+class FoodDeliveryScenario(Scenario):
+    """A food-delivery lunch rush (the paper's Section 1 motivation).
+
+    Demand concentrates around office districts mid-window and is highly
+    price-sensitive; couriers start near restaurant clusters with a short
+    service radius.  A library-level port of
+    ``examples/food_delivery_campaign.py``.
+    """
+
+    name = "food_delivery"
+    description = "lunch-rush food delivery: office-district demand, courier supply"
+    paper_ref = "Section 1 motivation (Seamless-style platform); none (original workload)"
+    parameters = {
+        "num_periods": "delivery batches in the 90-minute rush (default 24)",
+    }
+
+    CITY_SIDE_KM = 12.0
+    NUM_ORDERS = 1800
+    NUM_COURIERS = 260
+    OFFICE_DISTRICTS = (Point(3.0, 9.0), Point(8.5, 8.0), Point(6.0, 4.0))
+    RESTAURANT_CLUSTERS = (
+        Point(3.5, 8.0),
+        Point(8.0, 7.0),
+        Point(6.5, 5.0),
+        Point(2.0, 3.0),
+    )
+
+    def bundle(
+        self, scale: float = 1.0, seed: Optional[int] = None, **params: object
+    ) -> WorkloadBundle:
+        num_periods = int(params.pop("num_periods", 24))
+        if params:
+            raise TypeError(f"unexpected scenario parameters: {sorted(params)}")
+        if num_periods <= 0 or scale <= 0:
+            raise ValueError("num_periods and scale must be positive")
+        side = self.CITY_SIDE_KM
+        num_orders = max(40, int(round(self.NUM_ORDERS * scale)))
+        num_couriers = max(8, int(round(self.NUM_COURIERS * scale)))
+        rng = np.random.default_rng(derive_seed(23 if seed is None else int(seed), "food"))
+        grid = Grid(BoundingBox.square(side), 6, 6)
+
+        models = {}
+        for cell in grid.cells():
+            distance_to_center = cell.center.distance_to(Point(side / 2, side / 2))
+            mean = 2.4 - 0.08 * distance_to_center + float(rng.normal(0.0, 0.05))
+            models[cell.index] = DistributionAcceptanceModel(
+                TruncatedNormalValuation(mean=float(np.clip(mean, 1.2, 3.5)), std=0.8)
+            )
+        acceptance = PerGridAcceptance(
+            models=models,
+            default=DistributionAcceptanceModel(TruncatedNormalValuation(mean=2.0, std=0.8)),
+        )
+
+        tasks_by_period: List[List[Task]] = [[] for _ in range(num_periods)]
+        order_periods = np.clip(
+            rng.normal(num_periods * 0.55, num_periods * 0.2, size=num_orders),
+            0,
+            num_periods - 1,
+        ).astype(int)
+        for order_id in range(num_orders):
+            district = self.OFFICE_DISTRICTS[int(rng.integers(len(self.OFFICE_DISTRICTS)))]
+            origin = Point(
+                float(np.clip(district.x + rng.normal(0, 0.8), 0, side)),
+                float(np.clip(district.y + rng.normal(0, 0.8), 0, side)),
+            )
+            hop = rng.uniform(0.5, 3.0)
+            angle = rng.uniform(0, 2 * np.pi)
+            destination = Point(
+                float(np.clip(origin.x + hop * np.cos(angle), 0, side)),
+                float(np.clip(origin.y + hop * np.sin(angle), 0, side)),
+            )
+            grid_index = grid.locate(origin)
+            period = int(order_periods[order_id])
+            tasks_by_period[period].append(
+                Task(
+                    task_id=order_id,
+                    period=period,
+                    origin=origin,
+                    destination=destination,
+                    valuation=acceptance.model_for(grid_index).sample_valuation(rng),
+                    grid_index=grid_index,
+                )
+            )
+
+        workers_by_period: List[List[Worker]] = [[] for _ in range(num_periods)]
+        courier_periods = np.clip(
+            rng.normal(num_periods * 0.3, num_periods * 0.25, size=num_couriers),
+            0,
+            num_periods - 1,
+        ).astype(int)
+        for courier_id in range(num_couriers):
+            cluster = self.RESTAURANT_CLUSTERS[int(rng.integers(len(self.RESTAURANT_CLUSTERS)))]
+            location = Point(
+                float(np.clip(cluster.x + rng.normal(0, 1.0), 0, side)),
+                float(np.clip(cluster.y + rng.normal(0, 1.0), 0, side)),
+            )
+            period = int(courier_periods[courier_id])
+            workers_by_period[period].append(
+                Worker(
+                    worker_id=courier_id,
+                    period=period,
+                    location=location,
+                    radius=2.0,
+                    duration=10,
+                )
+            )
+
+        return WorkloadBundle(
+            grid=grid,
+            tasks_by_period=tasks_by_period,
+            workers_by_period=workers_by_period,
+            acceptance=acceptance,
+            metric="euclidean",
+            price_bounds=(1.0, 4.0),
+            description=f"food-delivery(|orders|={num_orders}, |couriers|={num_couriers})",
+        )
+
+
+@register_scenario
+class HotspotBurstScenario(Scenario):
+    """A flash crowd: quiet baseline arrivals, then a demand burst.
+
+    A concert lets out / a storm hits: task arrivals multiply around one
+    hotspot cell for a contiguous stretch of the horizon while worker
+    supply reacts with a lag.  Natively streaming — events are generated
+    on the fly with per-event timestamps — and exposed in batch mode by
+    binning the stream at the period length.
+    """
+
+    name = "hotspot_burst"
+    description = "flash-crowd stream: baseline arrivals with a hotspot demand burst"
+    paper_ref = "none (original; stresses the heavy-traffic north star)"
+    native_stream = True
+    parameters = {
+        "num_periods": "horizon length in periods (default 60)",
+        "burst_factor": "task-rate multiplier during the burst (default 6.0)",
+    }
+
+    REGION_SIDE = 100.0
+    GRID_SIDE = 8
+    BASE_TASK_RATE = 60.0  # per period at scale 1.0
+    BASE_WORKER_RATE = 18.0
+    WORKER_RADIUS = 12.0
+    WORKER_DURATION = 15
+
+    def stream(
+        self, scale: float = 1.0, seed: Optional[int] = None, **params: object
+    ) -> ArrivalStream:
+        num_periods = int(params.pop("num_periods", 60))
+        burst_factor = float(params.pop("burst_factor", 6.0))
+        if params:
+            raise TypeError(f"unexpected scenario parameters: {sorted(params)}")
+        if num_periods <= 0 or burst_factor <= 0 or scale <= 0:
+            raise ValueError("num_periods, burst_factor and scale must be positive")
+        root_seed = 31 if seed is None else int(seed)
+        side = self.REGION_SIDE
+        grid = Grid(BoundingBox.square(side), self.GRID_SIDE, self.GRID_SIDE)
+
+        setup_rng = np.random.default_rng(derive_seed(root_seed, "burst-setup"))
+        hotspot = Point(
+            float(setup_rng.uniform(0.25 * side, 0.75 * side)),
+            float(setup_rng.uniform(0.25 * side, 0.75 * side)),
+        )
+        models = {}
+        for cell in grid.cells():
+            distance = cell.center.distance_to(hotspot)
+            # Captive demand near the hotspot tolerates higher prices.
+            mean = 2.0 + 1.2 * np.exp(-distance / (0.3 * side))
+            mean = float(np.clip(mean + setup_rng.normal(0.0, 0.1), 1.0, 5.0))
+            models[cell.index] = DistributionAcceptanceModel(
+                TruncatedNormalValuation(mean=mean, std=1.0, lower=1.0, upper=5.0)
+            )
+        acceptance = PerGridAcceptance(
+            models=models,
+            default=DistributionAcceptanceModel(
+                TruncatedNormalValuation(mean=2.0, std=1.0, lower=1.0, upper=5.0)
+            ),
+        )
+
+        burst_start = int(num_periods * 0.4)
+        burst_end = int(num_periods * 0.6)
+        task_rate = self.BASE_TASK_RATE * scale
+        worker_rate = self.BASE_WORKER_RATE * scale
+
+        def _events() -> Iterator[ArrivalEvent]:
+            rng = np.random.default_rng(derive_seed(root_seed, "burst-events"))
+            task_id = 0
+            worker_id = 0
+            for period in range(num_periods):
+                bursting = burst_start <= period < burst_end
+                lagged_burst = burst_start + 2 <= period < burst_end + 4
+                num_tasks = int(rng.poisson(task_rate * (burst_factor if bursting else 1.0)))
+                num_workers = int(
+                    rng.poisson(worker_rate * (1.0 + 0.5 * burst_factor if lagged_burst else 1.0))
+                )
+                stamped: List[ArrivalEvent] = []
+                for _ in range(num_workers):
+                    location = Point(
+                        float(rng.uniform(0.0, side)), float(rng.uniform(0.0, side))
+                    )
+                    stamped.append(
+                        WorkerArrival(
+                            time=period + float(rng.uniform(0.0, 1.0)),
+                            worker=Worker(
+                                worker_id=worker_id,
+                                period=period,
+                                location=location,
+                                radius=self.WORKER_RADIUS,
+                                duration=self.WORKER_DURATION,
+                            ),
+                        )
+                    )
+                    worker_id += 1
+                for _ in range(num_tasks):
+                    # During the burst, 80% of demand erupts near the hotspot.
+                    if bursting and rng.random() < 0.8:
+                        origin = Point(
+                            float(np.clip(hotspot.x + rng.normal(0.0, 0.05 * side), 0.0, side)),
+                            float(np.clip(hotspot.y + rng.normal(0.0, 0.05 * side), 0.0, side)),
+                        )
+                    else:
+                        origin = Point(
+                            float(rng.uniform(0.0, side)), float(rng.uniform(0.0, side))
+                        )
+                    destination = Point(
+                        float(rng.uniform(0.0, side)), float(rng.uniform(0.0, side))
+                    )
+                    grid_index = grid.locate(origin)
+                    stamped.append(
+                        TaskArrival(
+                            time=period + float(rng.uniform(0.0, 1.0)),
+                            task=Task(
+                                task_id=task_id,
+                                period=period,
+                                origin=origin,
+                                destination=destination,
+                                valuation=acceptance.model_for(grid_index).sample_valuation(rng),
+                                grid_index=grid_index,
+                            ),
+                        )
+                    )
+                    task_id += 1
+                stamped.sort(key=lambda event: event.time)
+                for event in stamped:
+                    yield event
+
+        return ArrivalStream(
+            grid=grid,
+            acceptance=acceptance,
+            events=_events,
+            metric="euclidean",
+            price_bounds=(1.0, 5.0),
+            description=(
+                f"hotspot-burst(T={num_periods}, rate={task_rate:.1f}/period, "
+                f"burst x{burst_factor:g})"
+            ),
+            horizon=float(num_periods),
+        )
+
+
+__all__ = [
+    "Scenario",
+    "available_scenarios",
+    "get_scenario",
+    "register_scenario",
+    "BeijingNightScenario",
+    "BeijingRushScenario",
+    "FoodDeliveryScenario",
+    "HotspotBurstScenario",
+    "SyntheticScenario",
+]

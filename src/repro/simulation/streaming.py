@@ -1,0 +1,510 @@
+"""Event-driven streaming dispatch engine.
+
+The paper's setting is inherently online: tasks and workers arrive
+continuously and the platform quotes prices and dispatches in short
+windows.  The batch :class:`~repro.simulation.engine.SimulationEngine`
+approximates this by pre-materialising per-period task/worker lists; this
+module removes that restriction.  :class:`StreamingEngine` consumes an
+*arrival stream* — a generator yielding timestamped
+:class:`TaskArrival` / :class:`WorkerArrival` events — buffers arrivals
+into dispatch windows of configurable length, and dispatches each window
+through the same quote → decide → match → feedback stages as the batch
+engine.
+
+Time is measured in *periods* (the paper's one-minute unit): an event at
+time ``7.3`` happens during period 7, and a window of length ``1.0``
+reproduces the paper's per-minute batching exactly.  Shorter windows
+dispatch more eagerly (lower latency, less pooling); longer windows pool
+more arrivals per matching.
+
+**Incremental dispatch.**  Committed assignments are physical actions —
+once a worker is dispatched to a task, the pair cannot be re-routed when
+later arrivals would prefer a different plan.  The engine grows one
+monotone matching over the whole stream instead of re-solving a global
+(whole-horizon) problem: commitment is enforced by the worker pool
+(dispatched workers leave it forever, freezing their pairs for every
+later window), and each window *augments* the committed matching with
+only its own accepted tasks over the free frontier.  The window
+subproblem itself is solved by inserting tasks in non-increasing weight
+order and searching augmenting paths with
+:class:`~repro.matching.incremental.IncrementalMatcher` — re-routing is
+possible among the window's tentative assignments, never across the
+committed frontier.  Because the per-window weights depend only on the
+task (``d_r * p_r``), this greedy-with-augmentation insertion is the
+transversal-matroid greedy and yields exactly the matching the batch
+engine's ``matroid`` backend computes for the window — which is what
+makes the equivalence guarantee below possible (and is asserted directly
+by the tests, so the two implementations cannot silently drift).
+
+**Equivalence guarantee.**  For a stream binned at the batch period length
+(``window=1.0`` with events ordered as the batch lists, e.g. via
+:func:`workload_to_stream`), the engine reproduces the batch engine's
+revenue / served / accepted metrics *bit-identically* for fixed seeds: the
+RNG stream, the per-window instances, the worker-pool evolution and the
+matching all coincide.  ``tests/simulation/test_streaming.py`` asserts
+this across all five pricing strategies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+import numpy as np
+
+from repro.core.gdp import PeriodInstance
+from repro.market.acceptance import PerGridAcceptance
+from repro.market.entities import Task, Worker
+from repro.matching.incremental import IncrementalMatcher
+from repro.matching.weighted import eligible_order
+from repro.pricing.strategy import PricingStrategy
+from repro.simulation.config import WorkloadBundle
+from repro.simulation.engine import PeriodOutcome, SimulationResult
+from repro.simulation.metrics import MetricsCollector
+from repro.simulation.pipeline import DecideResult, PeriodPipeline
+from repro.spatial.grid import Grid
+from repro.utils.rng import derive_seed
+
+
+# ---------------------------------------------------------------------------
+# events and streams
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class TaskArrival:
+    """A task entering the platform at ``time`` (in period units)."""
+
+    time: float
+    task: Task
+
+
+@dataclass(frozen=True)
+class WorkerArrival:
+    """A worker coming online at ``time`` (in period units)."""
+
+    time: float
+    worker: Worker
+
+
+ArrivalEvent = Union[TaskArrival, WorkerArrival]
+#: Either a re-iterable collection of events or a zero-argument factory
+#: returning a fresh iterator (so one stream can back several runs).
+EventSource = Union[Iterable[ArrivalEvent], Callable[[], Iterator[ArrivalEvent]]]
+
+
+@dataclass
+class ArrivalStream:
+    """An arrival stream plus the market context needed to dispatch it.
+
+    Attributes:
+        grid: The pricing grid.
+        acceptance: Ground-truth per-grid acceptance models (used for tasks
+            without a private valuation and by base-price calibration).
+        events: The arrival events, ordered by non-decreasing ``time``.
+            Either a re-iterable collection or a zero-argument callable
+            returning a fresh iterator; a plain one-shot generator supports
+            a single run only.
+        metric: Distance metric of the range constraint.
+        price_bounds: Quotable ``(p_min, p_max)`` interval.
+        description: Human-readable label for reports.
+        horizon: Optional end of the stream in period units (used when
+            binning the stream into a :class:`WorkloadBundle` so trailing
+            empty periods are preserved).
+    """
+
+    grid: Grid
+    acceptance: PerGridAcceptance
+    events: EventSource
+    metric: str = "euclidean"
+    price_bounds: Tuple[float, float] = (1.0, 5.0)
+    description: str = "stream"
+    horizon: Optional[float] = None
+
+    def iter_events(self) -> Iterator[ArrivalEvent]:
+        """A fresh iterator over the events (calls the factory if given)."""
+        if callable(self.events):
+            return iter(self.events())
+        return iter(self.events)
+
+
+def _validated_events(stream: ArrivalStream) -> Iterator[ArrivalEvent]:
+    """Iterate a stream's events while enforcing the time contract.
+
+    Shared by the engine's window formation and the batch binning so both
+    consumers reject malformed streams identically: times must be
+    non-negative and non-decreasing.
+    """
+    last_time = -math.inf
+    for event in stream.iter_events():
+        if event.time < last_time:
+            raise ValueError(
+                f"arrival stream is not time-ordered: {event.time} after {last_time}"
+            )
+        if event.time < 0:
+            raise ValueError("arrival times must be non-negative")
+        last_time = event.time
+        yield event
+
+
+def workload_to_stream(workload: WorkloadBundle) -> ArrivalStream:
+    """Unroll a pre-materialised workload into an arrival stream.
+
+    Within each period the period's workers arrive first, then its tasks,
+    at evenly spaced timestamps inside ``[p, p + 1)`` that preserve the
+    batch lists' order — so binning the stream back at ``window=1.0``
+    reproduces the batch engine's per-period lists exactly, while
+    non-integer windows still see genuinely spread arrivals.
+    """
+
+    def _events() -> Iterator[ArrivalEvent]:
+        for period in range(workload.num_periods):
+            workers = workload.workers_by_period[period]
+            tasks = workload.tasks_by_period[period]
+            count = len(workers) + len(tasks)
+            if not count:
+                continue
+            step = 1.0 / count
+            offset = 0
+            for worker in workers:
+                yield WorkerArrival(time=period + offset * step, worker=worker)
+                offset += 1
+            for task in tasks:
+                yield TaskArrival(time=period + offset * step, task=task)
+                offset += 1
+
+    return ArrivalStream(
+        grid=workload.grid,
+        acceptance=workload.acceptance,
+        events=_events,
+        metric=workload.metric,
+        price_bounds=workload.price_bounds,
+        description=workload.description,
+        horizon=float(workload.num_periods),
+    )
+
+
+def stream_to_workload(
+    stream: ArrivalStream, period_length: float = 1.0
+) -> WorkloadBundle:
+    """Bin an arrival stream into a batch :class:`WorkloadBundle`.
+
+    Events landing in ``[k * period_length, (k + 1) * period_length)`` form
+    period ``k``; entities are re-labelled with their bin so the bundle
+    validates.  Worker ``duration`` is carried in *stream* period units, so
+    for ``period_length != 1`` it is rescaled to ``ceil(duration /
+    period_length)`` bins — the availability wall-time is preserved up to
+    one bin of rounding (exact at the default ``period_length=1.0``).
+    This is how natively streaming scenarios (e.g. ``hotspot_burst``)
+    expose a batch workload.
+    """
+    if period_length <= 0:
+        raise ValueError("period_length must be positive")
+    tasks_by_period: Dict[int, List[Task]] = {}
+    workers_by_period: Dict[int, List[Worker]] = {}
+    max_bin = -1
+    for event in _validated_events(stream):
+        bin_index = int(event.time // period_length)
+        max_bin = max(max_bin, bin_index)
+        if isinstance(event, TaskArrival):
+            task = event.task
+            if task.period != bin_index:
+                task = replace(task, period=bin_index)
+            tasks_by_period.setdefault(bin_index, []).append(task)
+        else:
+            worker = event.worker
+            duration = worker.duration
+            if duration is not None and period_length != 1.0:
+                duration = max(1, int(math.ceil(duration / period_length)))
+            if worker.period != bin_index or duration != worker.duration:
+                worker = replace(worker, period=bin_index, duration=duration)
+            workers_by_period.setdefault(bin_index, []).append(worker)
+    num_periods = max_bin + 1
+    if stream.horizon is not None:
+        num_periods = max(num_periods, int(math.ceil(stream.horizon / period_length)))
+    if num_periods <= 0:
+        raise ValueError("stream yielded no events and has no horizon")
+    bundle = WorkloadBundle(
+        grid=stream.grid,
+        tasks_by_period=[tasks_by_period.get(p, []) for p in range(num_periods)],
+        workers_by_period=[workers_by_period.get(p, []) for p in range(num_periods)],
+        acceptance=stream.acceptance,
+        metric=stream.metric,
+        price_bounds=stream.price_bounds,
+        description=stream.description,
+    )
+    bundle.validate()
+    return bundle
+
+
+# ---------------------------------------------------------------------------
+# the engine
+# ---------------------------------------------------------------------------
+class StreamingEngine:
+    """Dispatches an arrival stream in fixed-length windows.
+
+    Args:
+        stream: The arrival stream (events plus market context).
+        seed: Seed for accept/reject randomness of tasks without a private
+            valuation; derived exactly as in the batch engine, so a stream
+            binned at the batch period length consumes the identical RNG
+            stream.
+        window: Dispatch window length in period units.  ``1.0`` (default)
+            reproduces the paper's one-minute batching.
+        matching_backend: Realized-matching backend.  ``matroid`` (default)
+            runs through the incremental cross-window matcher; any other
+            registered backend re-solves each window via
+            :func:`repro.matching.weighted.max_weight_matching`.
+        track_memory: Enable peak-memory tracking in the metrics.
+        keep_details: Store a :class:`PeriodOutcome` per dispatched window
+            (``period`` holds the window index).  Unlike the batch engine,
+            which emits an empty outcome for every period of its fixed
+            horizon, the streaming engine cannot see event-less windows
+            (there is no horizon, only events), so those are absent from
+            ``outcomes`` — join batch and streaming outcome lists on their
+            ``period`` field, not by position.  The *metrics* are
+            unaffected: both engines record metric rows only for
+            task-bearing periods/windows.
+
+    The result is the same :class:`SimulationResult` the batch engine
+    returns, so reports, sweeps and tests consume both interchangeably.
+    """
+
+    def __init__(
+        self,
+        stream: ArrivalStream,
+        seed: int = 0,
+        window: float = 1.0,
+        matching_backend: str = "matroid",
+        track_memory: bool = False,
+        keep_details: bool = False,
+    ) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.stream = stream
+        self.seed = int(seed)
+        self.window = float(window)
+        # Normalised like the registry lookup, so "MATROID" selects the
+        # incremental window matcher exactly like "matroid" does.
+        self.matching_backend = str(matching_backend).strip().lower()
+        self.track_memory = bool(track_memory)
+        self.keep_details = bool(keep_details)
+
+    # ------------------------------------------------------------------
+    # window formation
+    # ------------------------------------------------------------------
+    def _windows(self) -> Iterator[Tuple[int, List[Task], List[Worker]]]:
+        """Group the event stream into ``(window_index, tasks, workers)``.
+
+        Windows without any event are skipped: worker-pool expiry is a
+        monotone filter, so applying it lazily at the next dispatched
+        window leaves the pool identical.
+        """
+        current_index: Optional[int] = None
+        tasks: List[Task] = []
+        workers: List[Worker] = []
+        for event in _validated_events(self.stream):
+            index = int(event.time // self.window)
+            if current_index is not None and index != current_index:
+                yield current_index, tasks, workers
+                tasks, workers = [], []
+            current_index = index
+            if isinstance(event, TaskArrival):
+                tasks.append(event.task)
+            else:
+                workers.append(event.worker)
+        if current_index is not None:
+            yield current_index, tasks, workers
+
+    @staticmethod
+    def _worker_active(worker: Worker, time: float) -> bool:
+        """Whether the worker's availability covers period-time ``time``.
+
+        Mirrors :meth:`repro.market.entities.Worker.available_in` on the
+        continuous axis: a worker arriving at period ``p`` with duration
+        ``d`` is active while ``time < p + d`` (forever when ``d`` is
+        ``None``).  Evaluated at window *start*, which coincides with the
+        batch engine's per-period check when ``window == 1.0``.
+        """
+        if worker.duration is None:
+            return True
+        return time < worker.period + worker.duration
+
+    # ------------------------------------------------------------------
+    # incremental window matching
+    # ------------------------------------------------------------------
+    def _match_window(
+        self, instance: PeriodInstance, decision: "DecideResult"
+    ) -> Tuple[Dict[int, int], float]:
+        """Grow the committed matching with this window's accepted tasks.
+
+        Inserts eligible tasks in non-increasing weight order and augments
+        with :class:`IncrementalMatcher` — the transversal-matroid greedy,
+        bit-identical to the batch ``matroid`` backend on the window
+        subgraph.  Workers matched here are removed from the pool by the
+        caller, freezing the assignment for all later windows.  Plugged
+        into :meth:`PeriodPipeline.run_period` as its ``match_fn``.
+        """
+        arrays = instance.ensure_arrays()
+        weights = arrays.distances * decision.prices
+        weight_arr, order = eligible_order(
+            instance.num_tasks, weights, decision.accepted_positions
+        )
+        matcher = IncrementalMatcher(instance.graph)
+        weight_list = weight_arr.tolist()
+        total = 0.0
+        for task_pos in order:
+            if matcher.augment_task(task_pos):
+                total += weight_list[task_pos]
+        return matcher.matching(), total
+
+    # ------------------------------------------------------------------
+    # calibration
+    # ------------------------------------------------------------------
+    def calibrate_base_price(self, grids: Optional[Sequence[int]] = None, **kwargs):
+        """Run Algorithm 1 against the stream's acceptance ground truth.
+
+        Unlike the batch engine, the stream cannot be pre-scanned for grids
+        with demand without consuming it, so calibration defaults to every
+        grid cell.  Delegates to the batch engine's calibration on an
+        empty-horizon bundle sharing this stream's market context.
+        """
+        from repro.simulation.engine import SimulationEngine
+
+        shell = WorkloadBundle(
+            grid=self.stream.grid,
+            tasks_by_period=[[]],
+            workers_by_period=[[]],
+            acceptance=self.stream.acceptance,
+            metric=self.stream.metric,
+            price_bounds=self.stream.price_bounds,
+            description=self.stream.description,
+        )
+        engine = SimulationEngine(shell, seed=self.seed)
+        if grids is None:
+            grids = sorted(cell.index for cell in self.stream.grid.cells())
+        return engine.calibrate_base_price(grids=grids, **kwargs)
+
+    # ------------------------------------------------------------------
+    # simulation
+    # ------------------------------------------------------------------
+    def run(self, strategy: PricingStrategy) -> SimulationResult:
+        """Dispatch the full stream with one pricing strategy.
+
+        Window loop (same stage order and timing attribution as the batch
+        engine): new workers join the pool, expired workers leave, the
+        window's tasks and the free pool form a :class:`PeriodInstance`
+        (``period`` = window index), the pipeline quotes and realises
+        accept/reject decisions, the accepted tasks augment the committed
+        matching, and matched workers leave the pool for good.
+        """
+        strategy.reset()
+        collector = MetricsCollector(strategy.name, track_memory=self.track_memory)
+        collector.start()
+        rng = np.random.default_rng(derive_seed(self.seed, "acceptance", strategy.name))
+        pipeline = PeriodPipeline(
+            price_bounds=self.stream.price_bounds,
+            acceptance=self.stream.acceptance,
+            matching_backend=self.matching_backend,
+        )
+
+        outcomes: List[PeriodOutcome] = []
+        pool: List[Worker] = []
+
+        for window_index, tasks, arriving_workers in self._windows():
+            window_start = window_index * self.window
+            pool.extend(arriving_workers)
+            pool = [worker for worker in pool if self._worker_active(worker, window_start)]
+            if not tasks:
+                if self.keep_details:
+                    outcomes.append(
+                        PeriodOutcome(
+                            period=window_index,
+                            num_tasks=0,
+                            num_workers=len(pool),
+                            prices={},
+                            accepted_tasks=0,
+                            served_tasks=0,
+                            revenue=0.0,
+                        )
+                    )
+                continue
+
+            instance = PeriodInstance.build(
+                period=window_index,
+                grid=self.stream.grid,
+                tasks=tasks,
+                workers=pool,
+                metric=self.stream.metric,
+            )
+
+            result = pipeline.run_period(
+                strategy,
+                instance,
+                rng,
+                collector,
+                match_fn=(
+                    self._match_window if self.matching_backend == "matroid" else None
+                ),
+            )
+
+            # Dispatched workers leave the pool forever: the committed
+            # matching only ever grows across windows.
+            matched_worker_positions = set(result.matching.values())
+            pool = [
+                worker
+                for worker_pos, worker in enumerate(instance.workers)
+                if worker_pos not in matched_worker_positions
+            ]
+
+            collector.record_period(
+                revenue=result.revenue,
+                served_tasks=result.served_tasks,
+                accepted_tasks=result.accepted_tasks,
+                total_tasks=len(tasks),
+            )
+            if self.keep_details:
+                outcomes.append(
+                    PeriodOutcome(
+                        period=window_index,
+                        num_tasks=len(tasks),
+                        num_workers=len(instance.workers),
+                        prices=result.grid_prices,
+                        accepted_tasks=result.accepted_tasks,
+                        served_tasks=result.served_tasks,
+                        revenue=result.revenue,
+                    )
+                )
+
+        metrics = collector.finish()
+        return SimulationResult(
+            metrics=metrics, outcomes=outcomes, description=self.stream.description
+        )
+
+    def run_many(self, strategies: Sequence[PricingStrategy]) -> Dict[str, SimulationResult]:
+        """Run several strategies over the same stream (same randomness).
+
+        Requires a re-iterable event source (a collection or a factory
+        callable); one-shot generators are consumed by the first run.
+        """
+        return {strategy.name: self.run(strategy) for strategy in strategies}
+
+
+__all__ = [
+    "ArrivalEvent",
+    "ArrivalStream",
+    "StreamingEngine",
+    "TaskArrival",
+    "WorkerArrival",
+    "stream_to_workload",
+    "workload_to_stream",
+]

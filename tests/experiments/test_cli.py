@@ -5,6 +5,9 @@ from __future__ import annotations
 import pytest
 
 from repro.experiments.cli import build_parser, main
+from repro.matching.registry import available_backends
+from repro.pricing.registry import available_strategies
+from repro.simulation.scenarios import available_scenarios
 
 
 class TestParser:
@@ -14,6 +17,8 @@ class TestParser:
         assert "fig6-W" in output
         assert "fig8-real2" in output
         assert "fig10-alpha" in output
+        for scenario in available_scenarios():
+            assert scenario in output
 
     def test_figure_required_without_list(self):
         with pytest.raises(SystemExit):
@@ -25,9 +30,53 @@ class TestParser:
 
     def test_parser_defaults(self):
         args = build_parser().parse_args(["--figure", "fig6-W"])
-        assert args.scale == 0.01
-        assert args.metrics == ["revenue", "time", "memory"]
+        assert args.scale is None  # resolved per mode (figure: 0.01)
+        assert args.metrics is None  # figure mode resolves to revenue/time/memory
         assert args.strategies is None
+        assert args.window is None  # resolved to 1.0 in streaming mode
+        assert args.backend == "matroid"
+        assert not args.streaming
+
+    def test_epilog_sources_the_registries(self):
+        """--help lists the actually registered strategies, backends and
+        scenarios (no hardcoded strings)."""
+        epilog = build_parser().epilog
+        for strategy in available_strategies():
+            assert strategy in epilog
+        for backend in available_backends():
+            assert backend in epilog
+        for scenario in available_scenarios():
+            assert scenario in epilog
+
+    def test_figure_and_scenario_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            main(["--figure", "fig6-W", "--scenario", "synthetic"])
+
+    def test_streaming_requires_scenario(self):
+        with pytest.raises(SystemExit):
+            main(["--figure", "fig6-W", "--streaming"])
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--scenario", "metaverse"])
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            main(["--scenario", "synthetic", "--streaming", "--window", "0"])
+
+    def test_window_requires_streaming(self):
+        with pytest.raises(SystemExit):
+            main(["--scenario", "synthetic", "--window", "0.5"])
+
+    def test_backend_requires_scenario_mode(self):
+        with pytest.raises(SystemExit):
+            main(["--figure", "fig6-W", "--backend", "scipy"])
+
+    def test_figure_only_flags_rejected_in_scenario_mode(self):
+        with pytest.raises(SystemExit):
+            main(["--scenario", "synthetic", "--values", "3", "4"])
+        with pytest.raises(SystemExit):
+            main(["--scenario", "synthetic", "--metrics", "served"])
 
 
 class TestExecution:
@@ -78,3 +127,68 @@ class TestExecution:
         assert exit_code == 0
         output = capsys.readouterr().out
         assert "0.5" in output
+
+
+class TestScenarioExecution:
+    def test_batch_scenario_run(self, capsys):
+        exit_code = main(
+            [
+                "--scenario",
+                "synthetic",
+                "--scale",
+                "0.004",
+                "--strategies",
+                "BaseP",
+                "SDR",
+                "--no-memory-tracking",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "mode = batch" in output
+        assert "BaseP" in output and "SDR" in output
+        assert "revenue winner" in output
+
+    def test_streaming_scenario_run(self, capsys):
+        exit_code = main(
+            [
+                "--scenario",
+                "hotspot_burst",
+                "--scale",
+                "0.05",
+                "--streaming",
+                "--window",
+                "2",
+                "--strategies",
+                "BaseP",
+                "--no-memory-tracking",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "mode = streaming (window=2)" in output
+        assert "revenue winner" in output
+
+    def test_streaming_matches_batch_at_period_window(self, capsys):
+        """--streaming --window 1.0 prints the exact batch numbers."""
+        common = [
+            "--scenario",
+            "synthetic",
+            "--scale",
+            "0.004",
+            "--strategies",
+            "BaseP",
+            "--no-memory-tracking",
+        ]
+        assert main(common) == 0
+        batch_out = capsys.readouterr().out
+        assert main(common + ["--streaming", "--window", "1.0"]) == 0
+        stream_out = capsys.readouterr().out
+
+        def revenue_row(output):
+            for line in output.splitlines():
+                if line.strip().startswith("BaseP"):
+                    return line.split()[1:5]  # revenue/served/accepted/accept%
+            raise AssertionError(f"no BaseP row in:\n{output}")
+
+        assert revenue_row(batch_out) == revenue_row(stream_out)

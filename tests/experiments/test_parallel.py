@@ -4,11 +4,13 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments.parallel import ParallelRunner, StrategySpec
+from repro.experiments.parallel import ParallelRunner, StrategySpec, StreamSpec
 from repro.pricing.registry import create_strategy
 from repro.simulation.config import SyntheticConfig
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.generator import SyntheticWorkloadGenerator
+from repro.simulation.scenarios import get_scenario
+from repro.simulation.streaming import StreamingEngine
 
 
 @pytest.fixture(scope="module")
@@ -163,6 +165,61 @@ class TestParallelRunner:
             ParallelRunner(small_workload, [], seeds=[0])
         with pytest.raises(ValueError):
             ParallelRunner(small_workload, ["BaseP"], seeds=[])
+
+    def test_exactly_one_of_workload_and_stream(self, small_workload):
+        spec = StreamSpec("synthetic", scale=0.004, seed=1)
+        with pytest.raises(ValueError, match="exactly one"):
+            ParallelRunner(None, ["BaseP"], shared_kwargs=SHARED)
+        with pytest.raises(ValueError, match="exactly one"):
+            ParallelRunner(
+                small_workload, ["BaseP"], shared_kwargs=SHARED, stream=spec
+            )
+
+
+class TestStreamingRunner:
+    STREAM = StreamSpec("synthetic", scale=0.004, seed=5, window=1.0)
+
+    def test_parallel_streaming_equals_sequential(self):
+        runner = ParallelRunner(
+            None,
+            ["BaseP", "SDR"],
+            seeds=[0, 7],
+            shared_kwargs=SHARED,
+            max_workers=2,
+            stream=self.STREAM,
+        )
+        parallel = runner.run()
+        sequential = runner.run_sequential()
+        assert list(parallel.keys()) == list(sequential.keys())
+        for key in parallel:
+            assert (
+                parallel[key].metrics.total_revenue
+                == sequential[key].metrics.total_revenue
+            )
+            assert parallel[key].metrics.served_tasks == sequential[key].metrics.served_tasks
+
+    def test_streaming_runner_matches_direct_engine(self):
+        runner = ParallelRunner(
+            None,
+            ["BaseP"],
+            seeds=[3],
+            shared_kwargs=SHARED,
+            max_workers=1,
+            stream=self.STREAM,
+        )
+        results = runner.run()
+        stream = get_scenario("synthetic").stream(scale=0.004, seed=5)
+        direct = StreamingEngine(stream, seed=3, window=1.0).run(
+            create_strategy("BaseP", **SHARED)
+        )
+        assert (
+            results[("BaseP", 3)].metrics.total_revenue
+            == direct.metrics.total_revenue
+        )
+        assert (
+            results[("BaseP", 3)].metrics.revenue_by_period
+            == direct.metrics.revenue_by_period
+        )
 
 
 class TestParallelSweep:

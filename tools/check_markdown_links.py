@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Check that intra-repository Markdown links resolve.
+
+Scans ``README.md`` and every ``docs/*.md`` file for inline links
+(``[text](target)``), skips external targets (``http(s)://``,
+``mailto:``) and pure in-page anchors (``#...``), and verifies that each
+remaining target — resolved relative to the file containing the link,
+with any ``#fragment`` stripped — exists on disk.
+
+Used by the CI docs job and wrapped by ``tests/docs/test_docs.py``.
+Exit code 0 when every link resolves; 1 otherwise, with one line per
+broken link.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+#: Inline Markdown links, excluding images; target is group 1.
+_LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def iter_markdown_files(root: Path) -> Iterator[Path]:
+    readme = root / "README.md"
+    if readme.exists():
+        yield readme
+    docs = root / "docs"
+    if docs.is_dir():
+        yield from sorted(docs.glob("*.md"))
+
+
+def check_file(path: Path, root: Path) -> List[Tuple[int, str]]:
+    """Broken links of one file as ``(line_number, target)`` pairs."""
+    broken: List[Tuple[int, str]] = []
+    for line_number, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        for match in _LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(_EXTERNAL_PREFIXES) or target.startswith("#"):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            resolved = (path.parent / relative).resolve()
+            try:
+                resolved.relative_to(root.resolve())
+            except ValueError:
+                broken.append((line_number, f"{target} (escapes the repository)"))
+                continue
+            if not resolved.exists():
+                broken.append((line_number, target))
+    return broken
+
+
+def main(root: Path) -> int:
+    failures = 0
+    checked = 0
+    for path in iter_markdown_files(root):
+        checked += 1
+        for line_number, target in check_file(path, root):
+            failures += 1
+            print(f"{path.relative_to(root)}:{line_number}: broken link -> {target}")
+    if not checked:
+        print("no Markdown files found", file=sys.stderr)
+        return 1
+    if failures:
+        print(f"{failures} broken link(s)", file=sys.stderr)
+        return 1
+    print(f"all intra-repo links resolve across {checked} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    repo_root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(__file__).resolve().parents[1]
+    sys.exit(main(repo_root))
