@@ -1,0 +1,72 @@
+"""Benchmark: sharded engine vs the global per-period solve.
+
+Measures end-to-end ``city_scale`` throughput (lazy generation included)
+at 1, 4 and 8 shards and asserts the sharding acceptance criteria:
+
+* 8 shards must be at least ``REPRO_SHARDED_SPEEDUP_MIN`` (default 2x)
+  faster than the global solve — the speedup is algorithmic, not
+  parallel: shard-local graphs drop cross-region edges and confine
+  augmenting paths, so it holds on a single core;
+* the sharded revenue must stay within
+  ``REPRO_SHARDED_REVENUE_TOLERANCE`` (default 10%) of the global
+  solve's, i.e. the halo exchange actually reconciles the boundaries.
+
+The committed ``BENCH_sharded.json`` records the same measurement at the
+full 1M-task horizon (``tools/bench_to_json.py``); this test runs a
+CI-sized horizon with identical per-period density.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import pytest
+
+from repro.experiments.bench_sharded import measure_sharded_throughput
+
+#: Horizon scale of the CI-sized measurement (the per-period density is
+#: fixed by the scenario, so this only shortens the run).
+BENCH_SCALE = float(os.environ.get("REPRO_SHARDED_BENCH_SCALE", "0.01"))
+
+#: Acceptance criterion of the sharding work; noisy shared CI runners can
+#: lower the gate via the environment instead of flaking the suite.
+REQUIRED_SPEEDUP = float(os.environ.get("REPRO_SHARDED_SPEEDUP_MIN", "2.0"))
+
+#: Allowed relative revenue gap of the 8-shard solve vs the global one.
+REVENUE_TOLERANCE = float(
+    os.environ.get("REPRO_SHARDED_REVENUE_TOLERANCE", "0.10")
+)
+
+
+@pytest.mark.benchmark(group="sharded")
+def test_sharded_throughput_on_city_scale(benchmark):
+    """8 shards must beat the global solve by >= 2x at bounded revenue loss."""
+    holder: Dict[str, Dict[str, object]] = {}
+
+    def run_once() -> None:
+        holder["payload"] = measure_sharded_throughput(
+            scale=BENCH_SCALE, shard_counts=(1, 4, 8), halo=1, seed=0
+        )
+
+    benchmark.pedantic(run_once, rounds=1, iterations=1)
+    payload = holder["payload"]
+    print()
+    print("### sharded engine vs global solve (city_scale)")
+    for point in payload["results"]:
+        print(
+            f"shards={point['shards']}: {point['seconds']:.2f}s  "
+            f"{point['tasks_per_second']:.0f} tasks/s  "
+            f"revenue={point['revenue']:.0f}  served={point['served']}"
+        )
+    speedup = payload["speedup_vs_single_shard"]["8"]
+    revenue_ratio = payload["revenue_ratio_vs_single_shard"]["8"]
+    print(f"speedup 8-vs-1: {speedup:.2f}x  revenue ratio: {revenue_ratio:.3f}")
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"sharded speedup {speedup:.2f}x below the required "
+        f"{REQUIRED_SPEEDUP:.1f}x"
+    )
+    assert abs(1.0 - revenue_ratio) <= REVENUE_TOLERANCE, (
+        f"sharded revenue drifted {abs(1.0 - revenue_ratio):.1%} from the "
+        f"global solve (allowed {REVENUE_TOLERANCE:.0%})"
+    )

@@ -56,7 +56,9 @@ from repro.simulation import (
     ArrivalStream,
     BeijingConfig,
     BeijingTaxiGenerator,
+    ChunkedWorkload,
     Scenario,
+    ShardedEngine,
     SimulationEngine,
     SimulationResult,
     StreamingEngine,
@@ -117,6 +119,8 @@ __all__ = [
     "BeijingTaxiGenerator",
     "SimulationEngine",
     "SimulationResult",
+    "ShardedEngine",
+    "ChunkedWorkload",
     "StreamingEngine",
     "ArrivalStream",
     "TaskArrival",

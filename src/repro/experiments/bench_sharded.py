@@ -1,0 +1,121 @@
+"""Sharded-engine throughput measurement, shared by bench and tooling.
+
+One measurement protocol feeds two consumers:
+
+* ``benchmarks/test_bench_sharded.py`` — the tier-1 gate asserting that
+  8 shards deliver at least the required speedup over the global solve
+  (small horizon, CI-sized);
+* ``tools/bench_to_json.py`` — the writer that records the full-size
+  trajectory point (``BENCH_sharded.json``), so future perf PRs have a
+  baseline to be measured against.
+
+The measured quantity is end-to-end system throughput in **tasks per
+second**: lazy chunk generation, partitioning, quoting, deciding,
+matching and halo reconciliation all count.  The workload is the
+``city_scale`` scenario, whose ``scale`` parameter stretches the horizon
+while keeping the per-period density fixed — so a short CI run and the
+1M-task record exercise the same per-period market.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.pricing.registry import create_strategy
+from repro.simulation.scenarios import get_scenario
+from repro.simulation.sharded import ShardedEngine
+
+
+@dataclass(frozen=True)
+class ShardBenchPoint:
+    """One measured configuration of the sharded engine."""
+
+    shards: int
+    halo: int
+    seconds: float
+    total_tasks: int
+    tasks_per_second: float
+    revenue: float
+    served: int
+
+
+def measure_sharded_throughput(
+    scale: float,
+    shard_counts: Sequence[int] = (1, 4, 8),
+    halo: int = 1,
+    seed: int = 0,
+    strategy: str = "BaseP",
+    base_price: float = 2.0,
+    num_periods: Optional[int] = None,
+) -> Dict[str, object]:
+    """Measure city-scale throughput across shard counts.
+
+    Args:
+        scale: ``city_scale`` horizon scale (1.0 = the 1M-task horizon).
+        shard_counts: Shard counts to measure, e.g. ``(1, 4, 8)``;
+            ``1`` is the global (batch-equivalent) solve.
+        halo: Halo band width used for every multi-shard configuration.
+        seed: Workload and engine seed.
+        strategy: Pricing strategy name (a cheap non-learning strategy
+            keeps the measurement matching-dominated).
+        base_price: Base price handed to the strategy.
+        num_periods: Optional horizon override forwarded to the scenario.
+
+    Returns:
+        A JSON-ready payload: the per-configuration measurements plus
+        speedup and revenue ratios relative to the single-shard solve.
+    """
+    scenario = get_scenario("city_scale")
+    params = {} if num_periods is None else {"num_periods": num_periods}
+    results: List[ShardBenchPoint] = []
+    for shards in shard_counts:
+        workload = scenario.chunked(scale=scale, seed=seed, **params)
+        engine = ShardedEngine(
+            workload,
+            num_shards=shards,
+            halo=halo if shards > 1 else 0,
+            seed=seed,
+        )
+        start = time.perf_counter()
+        run = engine.run(create_strategy(strategy, base_price=base_price))
+        elapsed = time.perf_counter() - start
+        results.append(
+            ShardBenchPoint(
+                shards=int(shards),
+                halo=int(halo if shards > 1 else 0),
+                seconds=elapsed,
+                total_tasks=run.metrics.total_tasks,
+                tasks_per_second=run.metrics.total_tasks / elapsed,
+                revenue=run.metrics.total_revenue,
+                served=run.metrics.served_tasks,
+            )
+        )
+
+    baseline = next((point for point in results if point.shards == 1), results[0])
+    speedups = {
+        str(point.shards): point.tasks_per_second / baseline.tasks_per_second
+        for point in results
+    }
+    revenue_ratios = {
+        str(point.shards): (
+            point.revenue / baseline.revenue if baseline.revenue else 1.0
+        )
+        for point in results
+    }
+    return {
+        "benchmark": "sharded_engine_throughput",
+        "scenario": "city_scale",
+        "scale": float(scale),
+        "seed": int(seed),
+        "strategy": strategy,
+        "halo": int(halo),
+        "total_tasks": baseline.total_tasks,
+        "results": [asdict(point) for point in results],
+        "speedup_vs_single_shard": speedups,
+        "revenue_ratio_vs_single_shard": revenue_ratios,
+    }
+
+
+__all__ = ["ShardBenchPoint", "measure_sharded_throughput"]

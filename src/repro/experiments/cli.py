@@ -9,6 +9,8 @@ scenario in batch or streaming mode, from a shell::
         --strategies MAPS BaseP --metrics revenue time
     python -m repro.experiments.cli --scenario hotspot_burst --streaming \
         --window 0.5 --jobs 4
+    python -m repro.experiments.cli --scenario city_scale --scale 0.02 \
+        --shards 8 --halo 1 --strategies BaseP
 
 Figure runs print the same plain-text tables the benchmark harness prints
 (one row per swept parameter value, one column per strategy, one table per
@@ -25,13 +27,19 @@ import sys
 from typing import List, Optional, Sequence
 
 from repro.experiments.figures import FIGURES, figure_ids, get_figure
-from repro.experiments.parallel import ParallelRunner, StrategySpec, StreamSpec
+from repro.experiments.parallel import (
+    ParallelRunner,
+    ShardSpec,
+    StrategySpec,
+    StreamSpec,
+)
 from repro.experiments.report import format_table, format_winner_summary
 from repro.experiments.sweeps import run_sweep
 from repro.matching.registry import available_backends
 from repro.pricing.registry import available_strategies, calibrated_kwargs
 from repro.simulation.engine import SimulationEngine
 from repro.simulation.scenarios import available_scenarios, get_scenario
+from repro.simulation.sharded import ShardedEngine
 
 # Importing the backend implementations registers them; keep this import
 # even though nothing references the module directly.
@@ -85,6 +93,22 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="streaming dispatch window length in period units (requires "
         "--streaming; default 1.0 = the paper's one-minute period)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="partition the grid into this many rectangular shards and "
+        "dispatch them through the sharded engine (batch --scenario runs "
+        "only; 1 reproduces the batch engine bit-for-bit)",
+    )
+    parser.add_argument(
+        "--halo",
+        type=int,
+        default=None,
+        help="width, in grid cells, of the halo-exchange reconciliation "
+        "band between shards (requires --shards; default 1, 0 disables "
+        "reconciliation)",
     )
     parser.add_argument(
         "--scale",
@@ -176,43 +200,85 @@ def _run_scenario(args: argparse.Namespace) -> int:
     scenario = get_scenario(args.scenario)
     scale = scenario.default_scale if args.scale is None else args.scale
     window = 1.0 if args.window is None else args.window
-    workload = scenario.bundle(scale=scale, seed=args.seed)
+    halo = 1 if args.halo is None else args.halo
+    # Sharded runs over a lazily chunked scenario stay chunked end to end:
+    # materialising a city-scale horizon is exactly what ChunkedWorkload
+    # exists to avoid, and the sharded engine consumes it natively.
+    use_chunked = args.shards is not None and hasattr(scenario, "chunked")
+    if use_chunked:
+        workload = scenario.chunked(scale=scale, seed=args.seed)
+    else:
+        workload = scenario.bundle(scale=scale, seed=args.seed)
     p_min, p_max = workload.price_bounds
 
-    # Calibrate once on the batch bundle (Algorithm 1 probes the same
-    # ground-truth acceptance models either mode dispatches against).
-    calibration = SimulationEngine(workload, seed=args.seed).calibrate_base_price()
+    # Calibrate once (Algorithm 1 probes the same ground-truth acceptance
+    # models either mode dispatches against).  Chunked workloads calibrate
+    # every grid cell; bundles calibrate the grids that have demand.
+    if use_chunked:
+        calibration = ShardedEngine(
+            workload, num_shards=args.shards, halo=halo, seed=args.seed
+        ).calibrate_base_price()
+    else:
+        calibration = SimulationEngine(workload, seed=args.seed).calibrate_base_price()
     strategies = args.strategies or available_strategies()
     specs = [
         StrategySpec(name, calibrated_kwargs(name, calibration, p_min=p_min, p_max=p_max))
         for name in strategies
     ]
-    mode = f"streaming (window={window:g})" if args.streaming else "batch"
+    if args.streaming:
+        mode = f"streaming (window={window:g})"
+    elif args.shards is not None:
+        mode = f"sharded (shards={args.shards}, halo={halo})"
+    else:
+        mode = "batch"
     print(f"# scenario {args.scenario}: {scenario.description}")
     print(f"# workload: {workload.description}")
     print(
         f"# mode = {mode}, scale = {scale:g}, seed = {args.seed}, "
         f"backend = {args.backend}, base price = {calibration.base_price:.3f}"
     )
-    runner = ParallelRunner(
-        workload=None if args.streaming else workload,
-        specs=specs,
-        seeds=[args.seed],
-        matching_backend=args.backend,
-        max_workers=None if args.jobs <= 0 else args.jobs,
-        track_memory=not args.no_memory_tracking,
-        stream=(
-            StreamSpec(
-                scenario=args.scenario,
-                scale=scale,
-                seed=args.seed,
-                window=window,
-            )
-            if args.streaming
-            else None
-        ),
-    )
-    results = runner.run()
+    if use_chunked:
+        # Chunk factories are process-local (unpicklable closures), so the
+        # strategies run sequentially through one sharded engine; results
+        # are identical to fanned-out runs for the same seed anyway.
+        if args.jobs not in (0, 1):
+            print("# note: --jobs is ignored for chunked sharded runs")
+        engine = ShardedEngine(
+            workload,
+            num_shards=args.shards,
+            halo=halo,
+            seed=args.seed,
+            matching_backend=args.backend,
+            track_memory=not args.no_memory_tracking,
+        )
+        results = {
+            (spec.key, args.seed): engine.run(spec.build()) for spec in specs
+        }
+    else:
+        runner = ParallelRunner(
+            workload=None if args.streaming else workload,
+            specs=specs,
+            seeds=[args.seed],
+            matching_backend=args.backend,
+            max_workers=None if args.jobs <= 0 else args.jobs,
+            track_memory=not args.no_memory_tracking,
+            stream=(
+                StreamSpec(
+                    scenario=args.scenario,
+                    scale=scale,
+                    seed=args.seed,
+                    window=window,
+                )
+                if args.streaming
+                else None
+            ),
+            shards=(
+                ShardSpec(num_shards=args.shards, halo=halo)
+                if args.shards is not None
+                else None
+            ),
+        )
+        results = runner.run()
     print()
     print(
         f"{'strategy':>10s} {'revenue':>12s} {'served':>8s} {'accepted':>9s} "
@@ -254,6 +320,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error("--window requires --streaming")
     if args.window is not None and args.window <= 0:
         parser.error("--window must be positive")
+    if args.shards is not None and args.scenario is None:
+        parser.error("--shards requires --scenario")
+    if args.shards is not None and args.streaming:
+        parser.error("--shards is batch-mode; drop --streaming")
+    if args.shards is not None and args.shards < 1:
+        parser.error("--shards must be >= 1")
+    if args.halo is not None and args.shards is None:
+        parser.error("--halo requires --shards")
+    if args.halo is not None and args.halo < 0:
+        parser.error("--halo must be non-negative")
     if args.scenario is None and args.backend != "matroid":
         parser.error("--backend is only honored with --scenario")
     if args.scenario is not None and args.values is not None:

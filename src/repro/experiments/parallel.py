@@ -21,6 +21,13 @@ parameters, and every worker process rebuilds the stream locally before
 driving a :class:`~repro.simulation.streaming.StreamingEngine` through it.
 Because scenario streams are deterministic in their seed, parallel
 streaming results are identical to sequential ones too.
+
+Sharded runs follow the same pattern: a picklable :class:`ShardSpec`
+carries the shard count and halo width, and each worker process builds a
+:class:`~repro.simulation.sharded.ShardedEngine` for its cell.  A spec
+may also request process-per-shard execution *within* a run
+(``shard_jobs``), which the sharded engine implements by splitting the
+workload spatially and running one full-horizon process per shard.
 """
 
 from __future__ import annotations
@@ -35,10 +42,51 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.pricing.registry import create_strategy
 from repro.simulation.config import WorkloadBundle
 from repro.simulation.engine import SimulationEngine, SimulationResult
+from repro.simulation.sharded import ShardedEngine
 from repro.simulation.streaming import ArrivalStream, StreamingEngine
 
 #: Key of one run: ``(strategy name, seed)``.
 RunKey = Tuple[str, int]
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """A picklable recipe for spatially sharded execution.
+
+    Attributes:
+        num_shards: Rectangular shards the grid is tiled into (``1``
+            reproduces the batch engine bit-for-bit).
+        halo: Boundary band width, in grid cells, of the halo-exchange
+            reconciliation pass (``0`` disables it).
+        shard_jobs: Worker processes for process-per-shard execution
+            *inside one run* (requires ``halo=0``).  Leave at ``1`` when
+            the :class:`ParallelRunner` already fans cells across
+            processes — nesting pools multiplies workers.
+    """
+
+    num_shards: int = 1
+    halo: int = 1
+    shard_jobs: int = 1
+
+    def build_engine(
+        self,
+        workload: WorkloadBundle,
+        seed: int,
+        matching_backend: str,
+        track_memory: bool,
+        keep_details: bool,
+    ) -> ShardedEngine:
+        """Construct the sharded engine for one ``(strategy, seed)`` cell."""
+        return ShardedEngine(
+            workload,
+            num_shards=self.num_shards,
+            halo=self.halo,
+            seed=seed,
+            matching_backend=matching_backend,
+            track_memory=track_memory,
+            keep_details=keep_details,
+            shard_jobs=self.shard_jobs,
+        )
 
 
 @dataclass(frozen=True)
@@ -104,15 +152,21 @@ def _execute_run(
     matching_backend: str,
     track_memory: bool,
     keep_details: bool,
+    shards: Optional[ShardSpec] = None,
 ) -> Tuple[RunKey, SimulationResult]:
     """Top-level worker function (must be picklable for process pools)."""
-    engine = SimulationEngine(
-        workload,
-        seed=seed,
-        matching_backend=matching_backend,
-        track_memory=track_memory,
-        keep_details=keep_details,
-    )
+    if shards is not None:
+        engine = shards.build_engine(
+            workload, seed, matching_backend, track_memory, keep_details
+        )
+    else:
+        engine = SimulationEngine(
+            workload,
+            seed=seed,
+            matching_backend=matching_backend,
+            track_memory=track_memory,
+            keep_details=keep_details,
+        )
     return (spec.key, seed), engine.run(spec.build())
 
 
@@ -152,10 +206,17 @@ def _execute_run_pooled(
     matching_backend: str,
     track_memory: bool,
     keep_details: bool,
+    shards: Optional[ShardSpec] = None,
 ) -> Tuple[RunKey, SimulationResult]:
     assert _WORKER_WORKLOAD is not None, "worker pool initializer did not run"
     return _execute_run(
-        _WORKER_WORKLOAD, spec, seed, matching_backend, track_memory, keep_details
+        _WORKER_WORKLOAD,
+        spec,
+        seed,
+        matching_backend,
+        track_memory,
+        keep_details,
+        shards,
     )
 
 
@@ -181,6 +242,11 @@ class ParallelRunner:
             over the named scenario's arrival stream (rebuilt inside each
             worker process; exactly one of ``workload`` / ``stream`` must
             be given).
+        shards: A :class:`ShardSpec` switching every batch run to the
+            spatially sharded
+            :class:`~repro.simulation.sharded.ShardedEngine` (batch mode
+            only; the spec is picklable, so sharded cells fan across
+            processes like plain ones).
 
     Results are keyed by ``(strategy name, seed)`` and their order is
     fixed by the spec/seed declaration order, independent of which process
@@ -198,6 +264,7 @@ class ParallelRunner:
         track_memory: bool = False,
         keep_details: bool = False,
         stream: Optional[StreamSpec] = None,
+        shards: Optional[ShardSpec] = None,
     ) -> None:
         if not specs:
             raise ValueError("need at least one strategy spec")
@@ -205,9 +272,12 @@ class ParallelRunner:
             raise ValueError("need at least one seed")
         if (workload is None) == (stream is None):
             raise ValueError("give exactly one of workload (batch) or stream (streaming)")
+        if shards is not None and stream is not None:
+            raise ValueError("sharded execution is batch-mode; drop stream or shards")
         shared = dict(shared_kwargs or {})
         self.workload = workload
         self.stream = stream
+        self.shards = shards
         self.specs: List[StrategySpec] = [
             spec if isinstance(spec, StrategySpec) else StrategySpec(str(spec), shared)
             for spec in specs
@@ -250,6 +320,7 @@ class ParallelRunner:
             self.matching_backend,
             self.track_memory,
             self.keep_details,
+            self.shards,
         )
 
     def run_sequential(self) -> Dict[RunKey, SimulationResult]:
@@ -280,6 +351,7 @@ class ParallelRunner:
         try:
             pickle.dumps(self.specs)
             pickle.dumps(self.stream)
+            pickle.dumps(self.shards)
             if self.workload is not None and multiprocessing.get_start_method() != "fork":
                 pickle.dumps(self.workload)
         except Exception as error:
@@ -322,6 +394,7 @@ class ParallelRunner:
                             [self.matching_backend] * len(jobs),
                             [self.track_memory] * len(jobs),
                             [self.keep_details] * len(jobs),
+                            [self.shards] * len(jobs),
                         )
                     )
         except (
@@ -348,4 +421,4 @@ class ParallelRunner:
         return grouped
 
 
-__all__ = ["ParallelRunner", "StrategySpec", "StreamSpec", "RunKey"]
+__all__ = ["ParallelRunner", "ShardSpec", "StrategySpec", "StreamSpec", "RunKey"]

@@ -38,6 +38,17 @@ class IncrementalMatcher:
         self._match_worker: List[int] = [UNMATCHED] * graph.num_workers
         # Task positions grouped by grid, computed lazily on first use.
         self._grid_tasks: Optional[Dict[int, List[int]]] = None
+        # Stamp-based visited array for the iterative augmenting-path
+        # search plus saturation pruning: when a search fails, every
+        # worker it visited lies in a frozen alternating component (all
+        # matched, owner neighbourhoods closed within the component), so
+        # no later augmenting path can pass through them — the matching
+        # only ever grows, which keeps the marking sound.  Mirrors the
+        # batch matroid backend in :mod:`repro.matching.weighted`.
+        # Assumes the graph gains no edges after the first search.
+        self._visited: List[int] = [0] * graph.num_workers
+        self._dead = bytearray(graph.num_workers)
+        self._stamp = 0
 
     # ------------------------------------------------------------------
     # read-only views
@@ -145,27 +156,63 @@ class IncrementalMatcher:
         return None
 
     def _find_augmenting_path(self, start_task: int) -> Optional[List[Tuple[int, int]]]:
-        """DFS for an augmenting path; returns the (task, worker) pairs to set.
+        """Iterative DFS for an augmenting path.
 
-        The returned list alternates along the path so that applying every
-        pair (in order) flips matched/unmatched edges correctly.
+        Returns the (task, worker) pairs to set, deepest first, so that
+        applying every pair (in order) flips matched/unmatched edges
+        correctly.  Visits workers in exactly the order the original
+        recursive search did (hence the same path), but walks an explicit
+        stack: city-scale dispatch windows produce augmenting chains far
+        deeper than the interpreter's recursion limit, which used to blow
+        the stack with ``RecursionError``.  Failed searches additionally
+        mark every visited worker as saturated (see ``__init__``), which
+        keeps repeated infeasible queries — e.g. a saturated grid probed
+        every period — near-linear instead of quadratic.
         """
-        visited_workers: Set[int] = set()
-        path: List[Tuple[int, int]] = []
+        neighbors = self._graph.task_neighbors
+        match_worker = self._match_worker
+        visited = self._visited
+        dead = self._dead
+        self._stamp += 1
+        stamp = self._stamp
 
-        def dfs(task_pos: int) -> bool:
-            for worker_pos in self._graph.task_neighbors[task_pos]:
-                if worker_pos in visited_workers:
+        tasks_stack = [start_task]
+        iters = [0]
+        chosen = [UNMATCHED]
+        touched: List[int] = []
+        while tasks_stack:
+            depth = len(tasks_stack) - 1
+            task_pos = tasks_stack[depth]
+            adjacency = neighbors[task_pos]
+            pointer = iters[depth]
+            descended = False
+            while pointer < len(adjacency):
+                worker_pos = adjacency[pointer]
+                pointer += 1
+                if dead[worker_pos] or visited[worker_pos] == stamp:
                     continue
-                visited_workers.add(worker_pos)
-                current_task = self._match_worker[worker_pos]
-                if current_task == UNMATCHED or dfs(current_task):
-                    path.append((task_pos, worker_pos))
-                    return True
-            return False
-
-        if dfs(start_task):
-            return path
+                visited[worker_pos] = stamp
+                touched.append(worker_pos)
+                iters[depth] = pointer
+                chosen[depth] = worker_pos
+                owner = match_worker[worker_pos]
+                if owner == UNMATCHED:
+                    # Deepest pair first, matching the recursive unwind.
+                    return [
+                        (tasks_stack[level], chosen[level])
+                        for level in range(depth, -1, -1)
+                    ]
+                tasks_stack.append(owner)
+                iters.append(0)
+                chosen.append(UNMATCHED)
+                descended = True
+                break
+            if not descended:
+                tasks_stack.pop()
+                iters.pop()
+                chosen.pop()
+        for worker_pos in touched:
+            dead[worker_pos] = 1
         return None
 
     def _apply_path(self, path: Iterable[Tuple[int, int]]) -> None:

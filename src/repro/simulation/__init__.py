@@ -22,9 +22,15 @@ pipeline:
   timestamped arrival streams, configurable dispatch windows, and an
   incremental cross-window matching that reproduces the batch engine
   bit-identically when binned at the period length;
+* :mod:`repro.simulation.sharded` — the spatially sharded engine: the grid
+  tiled into rectangular regions matched independently per period, with a
+  halo-exchange reconciliation pass at shard boundaries (bit-identical to
+  the batch engine at one shard) and support for lazily chunked
+  city-scale workloads;
 * :mod:`repro.simulation.scenarios` — the scenario registry putting every
-  workload family (synthetic, Beijing taxi, food delivery, hotspot burst)
-  behind one name, each producing both a batch bundle and a stream;
+  workload family (synthetic, Beijing taxi, food delivery, hotspot burst,
+  city scale) behind one name, each producing both a batch bundle and a
+  stream;
 * :mod:`repro.simulation.legacy` — the seed scalar loop, kept as the
   regression/benchmark reference;
 * :mod:`repro.simulation.metrics` — revenue / runtime / memory bookkeeping.
@@ -32,6 +38,7 @@ pipeline:
 
 from repro.simulation.config import (
     BeijingConfig,
+    ChunkedWorkload,
     SyntheticConfig,
     WorkloadBundle,
 )
@@ -39,6 +46,7 @@ from repro.simulation.generator import SyntheticWorkloadGenerator
 from repro.simulation.taxi import BeijingTaxiGenerator
 from repro.simulation.oracle import SimulatedProbeOracle
 from repro.simulation.engine import SimulationEngine, SimulationResult, PeriodOutcome
+from repro.simulation.sharded import ShardedEngine
 from repro.simulation.pipeline import DecideResult, PeriodPipeline, PeriodResult
 from repro.simulation.metrics import MetricsCollector, StrategyMetrics
 from repro.simulation.streaming import (
@@ -60,11 +68,13 @@ __all__ = [
     "SyntheticConfig",
     "BeijingConfig",
     "WorkloadBundle",
+    "ChunkedWorkload",
     "SyntheticWorkloadGenerator",
     "BeijingTaxiGenerator",
     "SimulatedProbeOracle",
     "SimulationEngine",
     "SimulationResult",
+    "ShardedEngine",
     "PeriodOutcome",
     "PeriodPipeline",
     "PeriodResult",

@@ -15,7 +15,7 @@ demand) and the 0–2 am window (light demand).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.market.acceptance import PerGridAcceptance
 from repro.market.entities import Task, Worker
@@ -249,5 +249,111 @@ class WorkloadBundle:
                         f"task {task.task_id} stored in period {period} but labelled {task.period}"
                     )
 
+    def iter_periods(self) -> Iterator[Tuple[List[Task], List[Worker]]]:
+        """Yield ``(tasks, workers)`` per period, in period order.
 
-__all__ = ["SyntheticConfig", "BeijingConfig", "WorkloadBundle"]
+        The shared consumption protocol of pre-materialised and lazily
+        generated workloads: the sharded engine drives either through
+        this single method (see :class:`ChunkedWorkload`).
+        """
+        for tasks, workers in zip(self.tasks_by_period, self.workers_by_period):
+            yield tasks, workers
+
+
+#: Factory returning a fresh per-period ``(tasks, workers)`` iterator.
+PeriodChunkSource = Callable[[], Iterator[Tuple[List[Task], List[Worker]]]]
+
+
+@dataclass
+class ChunkedWorkload:
+    """A workload generated lazily, one period chunk at a time.
+
+    City-scale horizons (millions of tasks) cannot be pre-materialised the
+    way :class:`WorkloadBundle` stores them without holding every task
+    object in memory at once.  A chunked workload instead carries a
+    *factory* of per-period ``(tasks, workers)`` chunks: each call to
+    :meth:`iter_periods` re-generates the horizon deterministically, and
+    only one period chunk (plus the engine's worker pool) is alive at any
+    time.  It exposes the same market-context fields as
+    :class:`WorkloadBundle`, so the sharded engine consumes both
+    interchangeably.
+
+    Attributes:
+        grid: The pricing grid.
+        periods: Zero-argument factory returning a fresh iterator of
+            ``(tasks, workers)`` chunks, one per period, in period order.
+            Must be deterministic for reproducible runs.
+        num_periods: Horizon length (the factory must yield exactly this
+            many chunks).
+        acceptance: Ground-truth per-grid acceptance models.
+        metric: Distance metric name.
+        price_bounds: The quotable price interval.
+        description: Human-readable label for reports.
+        total_tasks_hint: Optional advertised total task count (used by
+            throughput reports; the true count is only known after a full
+            pass).
+    """
+
+    grid: Grid
+    periods: PeriodChunkSource
+    num_periods: int
+    acceptance: PerGridAcceptance
+    metric: str = "euclidean"
+    price_bounds: Tuple[float, float] = (1.0, 5.0)
+    description: str = "chunked workload"
+    total_tasks_hint: Optional[int] = None
+
+    def validate(self) -> None:
+        """Cheap structural checks (the chunks themselves stay lazy)."""
+        if self.num_periods <= 0:
+            raise ValueError("num_periods must be positive")
+        if not callable(self.periods):
+            raise ValueError("periods must be a zero-argument factory")
+
+    def iter_periods(self) -> Iterator[Tuple[List[Task], List[Worker]]]:
+        """Yield ``(tasks, workers)`` per period from a fresh generator pass.
+
+        Raises:
+            ValueError: if the factory yields a different number of chunks
+                than ``num_periods`` advertises.
+        """
+        produced = 0
+        for chunk in self.periods():
+            tasks, workers = chunk
+            produced += 1
+            if produced > self.num_periods:
+                raise ValueError(
+                    f"chunk source yielded more than num_periods={self.num_periods} chunks"
+                )
+            yield tasks, workers
+        if produced != self.num_periods:
+            raise ValueError(
+                f"chunk source yielded {produced} chunks, expected {self.num_periods}"
+            )
+
+    def materialize(self) -> WorkloadBundle:
+        """Expand into a pre-materialised :class:`WorkloadBundle`.
+
+        Intended for small scales (tests, CLI batch runs); at city scale
+        this holds the entire horizon in memory, which is exactly what
+        chunked generation avoids.
+        """
+        tasks_by_period: List[List[Task]] = []
+        workers_by_period: List[List[Worker]] = []
+        for tasks, workers in self.iter_periods():
+            tasks_by_period.append(list(tasks))
+            workers_by_period.append(list(workers))
+        bundle = WorkloadBundle(
+            grid=self.grid,
+            tasks_by_period=tasks_by_period,
+            workers_by_period=workers_by_period,
+            acceptance=self.acceptance,
+            metric=self.metric,
+            price_bounds=self.price_bounds,
+            description=self.description,
+        )
+        bundle.validate()
+        return bundle
+
+
+__all__ = ["SyntheticConfig", "BeijingConfig", "WorkloadBundle", "ChunkedWorkload"]

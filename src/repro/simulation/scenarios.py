@@ -39,7 +39,7 @@ Runnable doctest (the registry itself, no workload generation):
 
 >>> from repro.simulation.scenarios import available_scenarios, get_scenario
 >>> available_scenarios()
-['beijing_night', 'beijing_rush', 'food_delivery', 'hotspot_burst', 'synthetic']
+['beijing_night', 'beijing_rush', 'city_scale', 'food_delivery', 'hotspot_burst', 'synthetic']
 >>> get_scenario("synthetic").paper_ref
 'Table 3'
 >>> get_scenario("hotspot_burst").native_stream
@@ -48,7 +48,7 @@ True
 Traceback (most recent call last):
     ...
 ValueError: unknown scenario 'no_such_scenario'; registered scenarios: \
-beijing_night, beijing_rush, food_delivery, hotspot_burst, synthetic
+beijing_night, beijing_rush, city_scale, food_delivery, hotspot_burst, synthetic
 """
 
 from __future__ import annotations
@@ -61,7 +61,12 @@ import numpy as np
 from repro.market.acceptance import DistributionAcceptanceModel, PerGridAcceptance
 from repro.market.entities import Task, Worker
 from repro.market.valuation import TruncatedNormalValuation
-from repro.simulation.config import BeijingConfig, SyntheticConfig, WorkloadBundle
+from repro.simulation.config import (
+    BeijingConfig,
+    ChunkedWorkload,
+    SyntheticConfig,
+    WorkloadBundle,
+)
 from repro.simulation.generator import SyntheticWorkloadGenerator
 from repro.simulation.streaming import (
     ArrivalEvent,
@@ -498,6 +503,217 @@ class HotspotBurstScenario(Scenario):
         )
 
 
+@register_scenario
+class CityScaleScenario(Scenario):
+    """A city-scale horizon: one million tasks at scale 1.0.
+
+    The ROADMAP's "heavy traffic" north star made concrete: a dense city
+    where every period carries thousands of tasks whose demand mixes a
+    uniform background with a handful of hotspot districts (captive
+    demand near hotspots tolerates higher prices).  Per-period *density*
+    is a property of the city, so ``scale`` stretches or shrinks the
+    **horizon length** instead of thinning the traffic — benchmarks at
+    any scale exercise the same per-period market the sharded engine is
+    built for.
+
+    The workload is generated **lazily in period chunks**
+    (:meth:`chunked` returns a
+    :class:`~repro.simulation.config.ChunkedWorkload`): each period
+    derives its own RNG stream from ``(seed, "city-period", period)``,
+    so a full 1M-task pass holds only one chunk plus the worker pool in
+    memory and any chunk can be regenerated independently.
+    :meth:`bundle` materialises the chunks (small scales only) and
+    :meth:`stream` unrolls them into timestamped arrivals without ever
+    materialising the horizon.
+    """
+
+    name = "city_scale"
+    description = "city-scale dense market, ~1M tasks at scale 1.0 (sharding stress)"
+    paper_ref = "none (original; the ROADMAP 'heavy traffic' north star)"
+    default_scale = 0.01
+    parameters = {
+        "num_periods": "horizon override in periods (default round(400 * scale))",
+        "tasks_per_period": "mean task arrivals per period (default 2500)",
+        "workers_per_period": "mean worker arrivals per period (default 1200)",
+    }
+
+    REGION_SIDE = 100.0
+    GRID_SIDE = 16
+    NUM_PERIODS = 400
+    TASKS_PER_PERIOD = 2500
+    WORKERS_PER_PERIOD = 1200
+    WORKER_RADIUS = 15.0
+    WORKER_DURATION = 8
+    NUM_HOTSPOTS = 12
+
+    def chunked(
+        self, scale: float = 1.0, seed: Optional[int] = None, **params: object
+    ) -> ChunkedWorkload:
+        """The lazily generated workload (the sharded engine's native input)."""
+        tasks_per_period = int(params.pop("tasks_per_period", self.TASKS_PER_PERIOD))
+        workers_per_period = int(
+            params.pop("workers_per_period", self.WORKERS_PER_PERIOD)
+        )
+        num_periods = params.pop("num_periods", None)
+        if params:
+            raise TypeError(f"unexpected scenario parameters: {sorted(params)}")
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        if num_periods is None:
+            num_periods = max(2, int(round(self.NUM_PERIODS * scale)))
+        num_periods = int(num_periods)
+        if num_periods <= 0 or tasks_per_period <= 0 or workers_per_period <= 0:
+            raise ValueError(
+                "num_periods, tasks_per_period and workers_per_period must be positive"
+            )
+        root_seed = 47 if seed is None else int(seed)
+        side = self.REGION_SIDE
+        grid = Grid(BoundingBox.square(side), self.GRID_SIDE, self.GRID_SIDE)
+
+        setup_rng = np.random.default_rng(derive_seed(root_seed, "city-setup"))
+        hotspots = [
+            Point(
+                float(setup_rng.uniform(0.15 * side, 0.85 * side)),
+                float(setup_rng.uniform(0.15 * side, 0.85 * side)),
+            )
+            for _ in range(self.NUM_HOTSPOTS)
+        ]
+        models = {}
+        for cell in grid.cells():
+            distance = min(cell.center.distance_to(spot) for spot in hotspots)
+            mean = 2.0 + 1.0 * np.exp(-distance / (0.25 * side))
+            mean = float(np.clip(mean + setup_rng.normal(0.0, 0.08), 1.2, 4.5))
+            models[cell.index] = DistributionAcceptanceModel(
+                TruncatedNormalValuation(mean=mean, std=1.0, lower=1.0, upper=5.0)
+            )
+        acceptance = PerGridAcceptance(
+            models=models,
+            default=DistributionAcceptanceModel(
+                TruncatedNormalValuation(mean=2.0, std=1.0, lower=1.0, upper=5.0)
+            ),
+        )
+        hotspot_xs = np.array([spot.x for spot in hotspots])
+        hotspot_ys = np.array([spot.y for spot in hotspots])
+        radius = self.WORKER_RADIUS
+        duration = self.WORKER_DURATION
+
+        def _chunks() -> Iterator[tuple]:
+            for period in range(num_periods):
+                rng = np.random.default_rng(
+                    derive_seed(root_seed, "city-period", period)
+                )
+                num_tasks = int(rng.poisson(tasks_per_period))
+                num_workers = int(rng.poisson(workers_per_period))
+                # Half the demand erupts around the hotspot districts,
+                # the rest is uniform background traffic: dense everywhere
+                # (the whole city is busy), denser near the districts.
+                spot_choice = rng.integers(len(hotspots), size=num_tasks)
+                near_spot = rng.random(num_tasks) < 0.5
+                xs = np.where(
+                    near_spot,
+                    hotspot_xs[spot_choice] + rng.normal(0.0, 0.12 * side, num_tasks),
+                    rng.uniform(0.0, side, num_tasks),
+                )
+                ys = np.where(
+                    near_spot,
+                    hotspot_ys[spot_choice] + rng.normal(0.0, 0.12 * side, num_tasks),
+                    rng.uniform(0.0, side, num_tasks),
+                )
+                xs = np.clip(xs, 0.0, side)
+                ys = np.clip(ys, 0.0, side)
+                hops = rng.uniform(0.5, 8.0, num_tasks)
+                angles = rng.uniform(0.0, 2.0 * np.pi, num_tasks)
+                dest_xs = np.clip(xs + hops * np.cos(angles), 0.0, side)
+                dest_ys = np.clip(ys + hops * np.sin(angles), 0.0, side)
+                cells = grid.locate_many(xs, ys)
+                # Valuations are batch-sampled per cell (ascending cell
+                # order, so the draw order is deterministic): one scipy
+                # truncnorm call per demanded cell instead of one per
+                # task, which is what keeps 1M-task generation tractable.
+                valuations = np.empty(num_tasks, dtype=np.float64)
+                for grid_index in np.unique(cells).tolist():
+                    positions = np.flatnonzero(cells == grid_index)
+                    valuations[positions] = models[grid_index].distribution.sample(
+                        rng, size=int(positions.size)
+                    )
+                tasks = []
+                task_base = period * 10_000_000
+                for pos in range(num_tasks):
+                    tasks.append(
+                        Task(
+                            task_id=task_base + pos,
+                            period=period,
+                            origin=Point(float(xs[pos]), float(ys[pos])),
+                            destination=Point(float(dest_xs[pos]), float(dest_ys[pos])),
+                            valuation=float(valuations[pos]),
+                            grid_index=int(cells[pos]),
+                        )
+                    )
+                worker_xs = rng.uniform(0.0, side, num_workers)
+                worker_ys = rng.uniform(0.0, side, num_workers)
+                workers = [
+                    Worker(
+                        worker_id=task_base + pos,
+                        period=period,
+                        location=Point(float(worker_xs[pos]), float(worker_ys[pos])),
+                        radius=radius,
+                        duration=duration,
+                    )
+                    for pos in range(num_workers)
+                ]
+                yield tasks, workers
+
+        return ChunkedWorkload(
+            grid=grid,
+            periods=_chunks,
+            num_periods=num_periods,
+            acceptance=acceptance,
+            metric="euclidean",
+            price_bounds=(1.0, 5.0),
+            description=(
+                f"city-scale(T={num_periods}, ~{tasks_per_period}/period, "
+                f"~{num_periods * tasks_per_period} tasks)"
+            ),
+            total_tasks_hint=num_periods * tasks_per_period,
+        )
+
+    def bundle(
+        self, scale: float = 1.0, seed: Optional[int] = None, **params: object
+    ) -> WorkloadBundle:
+        """Materialised chunks — small scales only (1M tasks won't fit)."""
+        return self.chunked(scale=scale, seed=seed, **params).materialize()
+
+    def stream(
+        self, scale: float = 1.0, seed: Optional[int] = None, **params: object
+    ) -> ArrivalStream:
+        """Unroll the chunks into timestamped arrivals, staying lazy."""
+        chunked = self.chunked(scale=scale, seed=seed, **params)
+
+        def _events() -> Iterator[ArrivalEvent]:
+            for period, (tasks, workers) in enumerate(chunked.iter_periods()):
+                count = len(workers) + len(tasks)
+                if not count:
+                    continue
+                step = 1.0 / count
+                offset = 0
+                for worker in workers:
+                    yield WorkerArrival(time=period + offset * step, worker=worker)
+                    offset += 1
+                for task in tasks:
+                    yield TaskArrival(time=period + offset * step, task=task)
+                    offset += 1
+
+        return ArrivalStream(
+            grid=chunked.grid,
+            acceptance=chunked.acceptance,
+            events=_events,
+            metric=chunked.metric,
+            price_bounds=chunked.price_bounds,
+            description=chunked.description,
+            horizon=float(chunked.num_periods),
+        )
+
+
 __all__ = [
     "Scenario",
     "available_scenarios",
@@ -505,6 +721,7 @@ __all__ = [
     "register_scenario",
     "BeijingNightScenario",
     "BeijingRushScenario",
+    "CityScaleScenario",
     "FoodDeliveryScenario",
     "HotspotBurstScenario",
     "SyntheticScenario",

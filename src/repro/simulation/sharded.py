@@ -1,0 +1,663 @@
+"""Spatially sharded simulation engine for city-scale workloads.
+
+The batch :class:`~repro.simulation.engine.SimulationEngine` solves one
+global bipartite problem per period, which caps it at tens of thousands of
+tasks: augmenting paths wander across the whole city, and the per-period
+graph grows with the full worker pool.  Most task–worker edges are
+spatially local, though — a courier three districts away is outside every
+nearby task's service radius — so the grid can be partitioned into
+rectangular shards (:class:`~repro.spatial.grid.GridTiling`) that quote,
+decide and match *independently*, reconciling only at shard boundaries.
+
+Per period the :class:`ShardedEngine`:
+
+1. **partitions** the period's tasks and the live worker pool by shard
+   (a task belongs to the shard owning its origin cell, a worker to the
+   shard owning its location cell);
+2. **dispatches** each shard with tasks through the same
+   :class:`~repro.simulation.pipeline.PeriodPipeline` stages as the batch
+   engine — quote → decide → match — over the shard-local instance;
+3. **reconciles** across boundaries with one halo-exchange pass: accepted
+   tasks left unmatched within ``halo`` cells of a shard border are
+   re-offered, together with the residual (still unmatched) workers of
+   the halo band, as one small reconciliation instance solved with the
+   same matching backend.  Matches found here recover revenue the
+   partition's dropped cross-border edges would otherwise lose;
+4. **feeds back** one batch per shard (halo-served tasks included) and
+   lets matched workers leave the pool, exactly like the batch engine.
+
+**Equivalence guarantees.**  With ``num_shards=1`` the single shard *is*
+the global problem: the instance, the RNG stream, the matching and the
+feedback coincide with the batch engine's bit-for-bit, which
+``tests/simulation/test_sharded.py`` asserts across all five pricing
+strategies.  With ``num_shards>1`` the solve is a restriction of the
+global edge set, so per-period revenue can only be lost at boundaries;
+the tests bound the total-revenue gap on every registered scenario.
+
+**Consistency trade-off.**  Shards never see each other's supply inside a
+period: a boundary task may go unserved even though an adjacent shard had
+a reachable idle worker, unless the halo pass catches it.  Larger
+``halo`` values recover more of those matches at the cost of a larger
+reconciliation instance; ``halo=0`` disables reconciliation entirely.
+See ``docs/sharding.md`` for the full design discussion.
+
+**Process-per-shard execution.**  For multi-core hosts,
+``shard_jobs > 1`` splits a pre-materialised workload spatially up front
+and runs each shard's *entire horizon* in its own process (each with its
+own strategy replica), merging metrics at the end.  This requires
+``halo=0`` — processes cannot reconcile boundaries mid-period — and is
+exact for the shipped strategies, whose learned state is keyed by grid
+cell and therefore never crosses shard borders.  The lazily generated
+:class:`~repro.simulation.config.ChunkedWorkload` is sequential-only.
+"""
+
+from __future__ import annotations
+
+import pickle
+import warnings
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.base_pricing import BasePricingConfig, BasePricingResult
+from repro.core.gdp import PeriodInstance
+from repro.market.entities import Task, Worker
+from repro.matching.weighted import max_weight_matching
+from repro.pricing.strategy import PricingStrategy
+from repro.simulation.config import ChunkedWorkload, WorkloadBundle
+from repro.simulation.engine import (
+    PeriodOutcome,
+    SimulationEngine,
+    SimulationResult,
+    calibrate_base_price_for_context,
+)
+from repro.simulation.metrics import MetricsCollector, StrategyMetrics
+from repro.simulation.pipeline import DecideResult, PeriodPipeline
+from repro.spatial.grid import GridTiling
+from repro.utils.rng import derive_seed
+
+#: Workload types the engine consumes interchangeably.
+ShardableWorkload = Union[WorkloadBundle, ChunkedWorkload]
+
+#: Sentinel worker position marking a task served by the halo pass in the
+#: served-map handed to the feedback stage (only the keys are read there).
+_HALO_SERVED = -1
+
+
+@dataclass
+class _ShardDispatch:
+    """Working state of one shard for one period."""
+
+    shard: int
+    instance: PeriodInstance
+    grid_prices: Dict[int, float]
+    decision: DecideResult
+    matching: Dict[int, int]
+    revenue: float
+    #: Task positions matched by the halo-exchange pass (local positions).
+    halo_served: List[int] = field(default_factory=list)
+    #: Worker positions taken from this shard by the halo-exchange pass.
+    halo_taken: List[int] = field(default_factory=list)
+
+
+def _execute_shard_horizon(
+    sub_workload: WorkloadBundle,
+    strategy: PricingStrategy,
+    seed: int,
+    matching_backend: str,
+    track_memory: bool,
+) -> SimulationResult:
+    """Run one shard's full horizon (top-level: picklable for pools)."""
+    engine = ShardedEngine(
+        sub_workload,
+        num_shards=1,
+        halo=0,
+        seed=seed,
+        matching_backend=matching_backend,
+        track_memory=track_memory,
+        keep_details=True,
+    )
+    return engine.run(strategy)
+
+
+class ShardedEngine:
+    """Runs pricing strategies over a spatially sharded workload.
+
+    Args:
+        workload: A :class:`WorkloadBundle` or lazily generated
+            :class:`ChunkedWorkload` to simulate.
+        num_shards: Number of rectangular shards the grid is tiled into
+            (``1`` reproduces the batch engine exactly).
+        halo: Width, in grid cells, of the boundary band taking part in
+            the halo-exchange reconciliation pass (``0`` disables it).
+        seed: Accept/reject randomness seed, derived exactly as in the
+            batch engine.  With one shard the stream is consumed
+            identically; with several shards it is consumed in shard
+            order within each period (still fully deterministic).
+        matching_backend: Matching backend for both the shard-local and
+            the reconciliation matchings, resolved by name through
+            :mod:`repro.matching.registry`.
+        track_memory: Enable peak-memory tracking in the metrics.
+        keep_details: Store a :class:`PeriodOutcome` per period (shard
+            results merged).
+        shard_jobs: Worker processes for process-per-shard execution
+            (``1`` = sequential in-process shards).  Requires ``halo=0``,
+            ``num_shards > 1`` and a pre-materialised workload; see the
+            module docstring.
+    """
+
+    def __init__(
+        self,
+        workload: ShardableWorkload,
+        num_shards: int = 1,
+        halo: int = 1,
+        seed: int = 0,
+        matching_backend: str = "matroid",
+        track_memory: bool = False,
+        keep_details: bool = False,
+        shard_jobs: int = 1,
+    ) -> None:
+        workload.validate()
+        if halo < 0:
+            raise ValueError("halo must be non-negative")
+        if shard_jobs < 1:
+            raise ValueError("shard_jobs must be >= 1")
+        self.workload = workload
+        self.tiling = GridTiling(workload.grid, num_shards)
+        self.halo = int(halo)
+        self.seed = int(seed)
+        self.matching_backend = matching_backend
+        self.track_memory = bool(track_memory)
+        self.keep_details = bool(keep_details)
+        self.shard_jobs = int(shard_jobs)
+        if self.shard_jobs > 1 and self.num_shards > 1:
+            if self.halo > 0:
+                raise ValueError(
+                    "process-per-shard execution cannot reconcile halo "
+                    "boundaries; construct with halo=0"
+                )
+            if not isinstance(workload, WorkloadBundle):
+                raise ValueError(
+                    "process-per-shard execution needs a pre-materialised "
+                    "WorkloadBundle; chunked workloads run sequentially"
+                )
+        # Boolean mask over 0-based cell positions of the halo band.
+        self._boundary = self.tiling.boundary_cells(self.halo)
+
+    @property
+    def num_shards(self) -> int:
+        return self.tiling.num_shards
+
+    # ------------------------------------------------------------------
+    # calibration
+    # ------------------------------------------------------------------
+    def calibrate_base_price(
+        self,
+        config: Optional[BasePricingConfig] = None,
+        grids: Optional[Sequence[int]] = None,
+        seed: Optional[int] = None,
+    ) -> BasePricingResult:
+        """Run Algorithm 1 against the workload's ground-truth demand.
+
+        Pre-materialised workloads delegate to the batch engine's
+        calibration.  Chunked workloads would need a full generation pass
+        just to find the demanded grids, so they default to calibrating
+        every grid cell instead, through the same shared
+        :func:`~repro.simulation.engine.calibrate_base_price_for_context`
+        the streaming engine uses.
+        """
+        if isinstance(self.workload, WorkloadBundle):
+            return SimulationEngine(self.workload, seed=self.seed).calibrate_base_price(
+                config=config, grids=grids, seed=seed
+            )
+        if grids is None:
+            grids = [cell.index for cell in self.workload.grid.cells()]
+        return calibrate_base_price_for_context(
+            acceptance=self.workload.acceptance,
+            price_bounds=self.workload.price_bounds,
+            seed=self.seed if seed is None else seed,
+            grids=grids,
+            config=config,
+        )
+
+    # ------------------------------------------------------------------
+    # simulation
+    # ------------------------------------------------------------------
+    def run(self, strategy: PricingStrategy) -> SimulationResult:
+        """Simulate the full horizon with one pricing strategy.
+
+        Dispatch order inside a period is deterministic (ascending shard
+        id), so fixed seeds always reproduce the same run.  See the class
+        docstring for the ``num_shards=1`` bit-equivalence guarantee.
+        """
+        if self.shard_jobs > 1 and self.num_shards > 1:
+            return self._run_process_per_shard(strategy)
+        return self._run_sequential(strategy)
+
+    def run_many(self, strategies: Sequence[PricingStrategy]) -> Dict[str, SimulationResult]:
+        """Run several strategies over the same workload (same randomness)."""
+        return {strategy.name: self.run(strategy) for strategy in strategies}
+
+    # ------------------------------------------------------------------
+    # sequential shard loop
+    # ------------------------------------------------------------------
+    def _run_sequential(self, strategy: PricingStrategy) -> SimulationResult:
+        strategy.reset()
+        collector = MetricsCollector(strategy.name, track_memory=self.track_memory)
+        collector.start()
+        rng = np.random.default_rng(derive_seed(self.seed, "acceptance", strategy.name))
+        pipeline = PeriodPipeline(
+            price_bounds=self.workload.price_bounds,
+            acceptance=self.workload.acceptance,
+            matching_backend=self.matching_backend,
+        )
+
+        outcomes: List[PeriodOutcome] = []
+        pool: List[Worker] = []
+
+        for period, (tasks, arriving) in enumerate(self.workload.iter_periods()):
+            pool.extend(arriving)
+            pool = [worker for worker in pool if worker.available_in(period)]
+            if not tasks:
+                if self.keep_details:
+                    outcomes.append(
+                        PeriodOutcome(
+                            period=period,
+                            num_tasks=0,
+                            num_workers=len(pool),
+                            prices={},
+                            accepted_tasks=0,
+                            served_tasks=0,
+                            revenue=0.0,
+                        )
+                    )
+                continue
+
+            num_workers = len(pool)
+            dispatches, leftover = self._dispatch_shards(
+                period, tasks, pool, strategy, rng, pipeline, collector
+            )
+
+            halo_revenue = 0.0
+            if self.num_shards > 1 and self.halo > 0:
+                with collector.time_matching():
+                    halo_revenue, leftover = self._reconcile_halo(
+                        period, dispatches, leftover
+                    )
+
+            # Feedback per shard, halo-served tasks included, then the
+            # strategy learns — same stage order as the batch engine.
+            for dispatch in dispatches:
+                served_map = dict(dispatch.matching)
+                for task_pos in dispatch.halo_served:
+                    served_map[task_pos] = _HALO_SERVED
+                with collector.time_decide():
+                    batch = pipeline.feedback(
+                        dispatch.instance, dispatch.decision, served_map
+                    )
+                with collector.time_pricing():
+                    strategy.observe_feedback_batch(batch)
+
+            # Matched workers (local and halo) leave the pool.
+            pool = []
+            for dispatch in dispatches:
+                taken = set(dispatch.matching.values())
+                taken.update(dispatch.halo_taken)
+                pool.extend(
+                    worker
+                    for worker_pos, worker in enumerate(dispatch.instance.workers)
+                    if worker_pos not in taken
+                )
+            pool.extend(worker for worker, _cell in leftover)
+
+            revenue = 0.0
+            served = 0
+            accepted = 0
+            for dispatch in dispatches:
+                revenue += dispatch.revenue
+                served += len(dispatch.matching) + len(dispatch.halo_served)
+                accepted += int(dispatch.decision.accepted.sum())
+            revenue += halo_revenue
+
+            collector.record_period(
+                revenue=revenue,
+                served_tasks=served,
+                accepted_tasks=accepted,
+                total_tasks=len(tasks),
+            )
+            if self.keep_details:
+                prices: Dict[int, float] = {}
+                for dispatch in dispatches:
+                    prices.update(dispatch.grid_prices)
+                outcomes.append(
+                    PeriodOutcome(
+                        period=period,
+                        num_tasks=len(tasks),
+                        num_workers=num_workers,
+                        prices=prices,
+                        accepted_tasks=accepted,
+                        served_tasks=served,
+                        revenue=revenue,
+                    )
+                )
+
+        metrics = collector.finish()
+        return SimulationResult(
+            metrics=metrics, outcomes=outcomes, description=self.workload.description
+        )
+
+    def _dispatch_shards(
+        self,
+        period: int,
+        tasks: Sequence[Task],
+        pool: Sequence[Worker],
+        strategy: PricingStrategy,
+        rng: np.random.Generator,
+        pipeline: PeriodPipeline,
+        collector: MetricsCollector,
+    ) -> Tuple[List[_ShardDispatch], List[Tuple[Worker, int]]]:
+        """Quote → decide → match every shard that has tasks this period.
+
+        Returns the per-shard dispatch states plus the ``(worker, cell)``
+        pairs of workers whose shard had no tasks (they idle through the
+        period but may still serve boundary tasks in the halo pass).
+        """
+        grid = self.workload.grid
+        num_shards = self.num_shards
+        if num_shards == 1:
+            shard_tasks: Dict[int, List[Task]] = {0: list(tasks)}
+            shard_workers: Dict[int, List[Worker]] = {0: list(pool)}
+            worker_cells: Dict[int, List[int]] = {}
+        else:
+            annotated = [
+                task
+                if task.grid_index is not None
+                else task.with_grid(grid.locate(task.origin))
+                for task in tasks
+            ]
+            task_shards = self.tiling.shards_of_cells(
+                [task.grid_index for task in annotated]
+            ).tolist()
+            shard_tasks = {}
+            for task, shard in zip(annotated, task_shards):
+                shard_tasks.setdefault(shard, []).append(task)
+            shard_workers = {}
+            worker_cells = {}
+            if pool:
+                cells = grid.locate_many(
+                    [worker.location.x for worker in pool],
+                    [worker.location.y for worker in pool],
+                )
+                worker_shards = self.tiling.shards_of_cells(cells).tolist()
+                for worker, shard, cell in zip(pool, worker_shards, cells.tolist()):
+                    shard_workers.setdefault(shard, []).append(worker)
+                    worker_cells.setdefault(shard, []).append(cell)
+
+        dispatches: List[_ShardDispatch] = []
+        leftover: List[Tuple[Worker, int]] = []
+        for shard in range(num_shards):
+            shard_task_list = shard_tasks.get(shard)
+            if not shard_task_list:
+                for worker, cell in zip(
+                    shard_workers.get(shard, []), worker_cells.get(shard, [])
+                ):
+                    leftover.append((worker, cell))
+                continue
+            instance = PeriodInstance.build(
+                period=period,
+                grid=grid,
+                tasks=shard_task_list,
+                workers=shard_workers.get(shard, []),
+                metric=self.workload.metric,
+            )
+            with collector.time_pricing():
+                grid_prices = pipeline.quote(strategy, instance)
+            with collector.time_decide():
+                decision = pipeline.decide(instance, grid_prices, rng)
+            with collector.time_matching():
+                matching, revenue = pipeline.match(instance, decision)
+            dispatches.append(
+                _ShardDispatch(
+                    shard=shard,
+                    instance=instance,
+                    grid_prices=dict(grid_prices),
+                    decision=decision,
+                    matching=matching,
+                    revenue=revenue,
+                )
+            )
+        return dispatches, leftover
+
+    def _reconcile_halo(
+        self,
+        period: int,
+        dispatches: List[_ShardDispatch],
+        leftover: List[Tuple[Worker, int]],
+    ) -> Tuple[float, List[Tuple[Worker, int]]]:
+        """One halo-exchange pass over the boundary band.
+
+        Accepted-but-unmatched tasks in halo cells are re-offered to the
+        residual workers of the halo band (of *any* shard — a worker just
+        across the border is the common case; an own-shard worker freed
+        differently by the reconciliation matching is a harmless bonus).
+        Mutates the dispatch states (``halo_served`` / ``halo_taken``) and
+        returns the recovered revenue plus the leftover workers that
+        remain unmatched.
+        """
+        boundary = self._boundary
+        tasks: List[Task] = []
+        task_refs: List[Tuple[int, int]] = []
+        weights: List[float] = []
+        for dispatch_pos, dispatch in enumerate(dispatches):
+            arrays = dispatch.instance.ensure_arrays()
+            cells = arrays.task_grids.tolist()
+            prices = dispatch.decision.prices
+            distances = arrays.distances
+            for task_pos in dispatch.decision.accepted_positions.tolist():
+                if task_pos in dispatch.matching:
+                    continue
+                if boundary[cells[task_pos] - 1]:
+                    tasks.append(dispatch.instance.tasks[task_pos])
+                    task_refs.append((dispatch_pos, task_pos))
+                    weights.append(float(distances[task_pos] * prices[task_pos]))
+        if not tasks:
+            return 0.0, leftover
+
+        workers: List[Worker] = []
+        worker_refs: List[Tuple[int, int]] = []
+        for dispatch_pos, dispatch in enumerate(dispatches):
+            matched_workers = set(dispatch.matching.values())
+            cells = dispatch.instance.ensure_arrays().worker_grids.tolist()
+            for worker_pos, worker in enumerate(dispatch.instance.workers):
+                if worker_pos in matched_workers:
+                    continue
+                if boundary[cells[worker_pos] - 1]:
+                    workers.append(worker)
+                    worker_refs.append((dispatch_pos, worker_pos))
+        leftover_taken: set = set()
+        for leftover_pos, (worker, cell) in enumerate(leftover):
+            if boundary[cell - 1]:
+                workers.append(worker)
+                worker_refs.append((-1, leftover_pos))
+        if not workers:
+            return 0.0, leftover
+
+        instance = PeriodInstance.build(
+            period=period,
+            grid=self.workload.grid,
+            tasks=tasks,
+            workers=workers,
+            metric=self.workload.metric,
+        )
+        matching, revenue = max_weight_matching(
+            instance.graph, weights, backend=self.matching_backend
+        )
+        for reconcile_task, reconcile_worker in matching.items():
+            dispatch_pos, task_pos = task_refs[reconcile_task]
+            dispatches[dispatch_pos].halo_served.append(task_pos)
+            owner, worker_pos = worker_refs[reconcile_worker]
+            if owner >= 0:
+                dispatches[owner].halo_taken.append(worker_pos)
+            else:
+                leftover_taken.add(worker_pos)
+        remaining = [
+            pair for pos, pair in enumerate(leftover) if pos not in leftover_taken
+        ]
+        return revenue, remaining
+
+    # ------------------------------------------------------------------
+    # process-per-shard execution
+    # ------------------------------------------------------------------
+    def _split_bundle(self) -> List[WorkloadBundle]:
+        """Split the bundle into one spatial sub-workload per shard."""
+        assert isinstance(self.workload, WorkloadBundle)
+        grid = self.workload.grid
+        num_shards = self.num_shards
+        tasks_split: List[List[List[Task]]] = [
+            [[] for _ in range(self.workload.num_periods)] for _ in range(num_shards)
+        ]
+        workers_split: List[List[List[Worker]]] = [
+            [[] for _ in range(self.workload.num_periods)] for _ in range(num_shards)
+        ]
+        for period, (tasks, workers) in enumerate(self.workload.iter_periods()):
+            if tasks:
+                annotated = [
+                    task
+                    if task.grid_index is not None
+                    else task.with_grid(grid.locate(task.origin))
+                    for task in tasks
+                ]
+                task_shards = self.tiling.shards_of_cells(
+                    [task.grid_index for task in annotated]
+                ).tolist()
+                for task, shard in zip(annotated, task_shards):
+                    tasks_split[shard][period].append(task)
+            if workers:
+                cells = grid.locate_many(
+                    [worker.location.x for worker in workers],
+                    [worker.location.y for worker in workers],
+                )
+                worker_shards = self.tiling.shards_of_cells(cells).tolist()
+                for worker, shard in zip(workers, worker_shards):
+                    workers_split[shard][period].append(worker)
+        return [
+            WorkloadBundle(
+                grid=grid,
+                tasks_by_period=tasks_split[shard],
+                workers_by_period=workers_split[shard],
+                acceptance=self.workload.acceptance,
+                metric=self.workload.metric,
+                price_bounds=self.workload.price_bounds,
+                description=f"{self.workload.description} [shard {shard}]",
+            )
+            for shard in range(num_shards)
+        ]
+
+    def _run_process_per_shard(self, strategy: PricingStrategy) -> SimulationResult:
+        """Run each shard's full horizon in its own process and merge.
+
+        Every process gets its own strategy replica.  This is exact for
+        the shipped strategies (learned state is grid-keyed and grids
+        never cross shards) whenever every task carries a private
+        valuation; valuationless tasks draw from per-shard RNG streams,
+        so their runs are statistically — not bitwise — equivalent to the
+        sequential shard loop.  Hosts that cannot start process pools
+        fall back to running the same per-shard horizons sequentially
+        in-process, producing identical results.
+        """
+        subs = self._split_bundle()
+        seeds = [derive_seed(self.seed, "shard", shard) for shard in range(len(subs))]
+        jobs = list(zip(subs, seeds))
+        results: Optional[List[SimulationResult]] = None
+        try:
+            pickle.dumps(strategy)
+        except Exception as error:
+            warnings.warn(
+                f"ShardedEngine: strategy is not picklable ({error!r}); "
+                "running all shards sequentially in-process",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        else:
+            try:
+                with ProcessPoolExecutor(max_workers=self.shard_jobs) as executor:
+                    results = list(
+                        executor.map(
+                            _execute_shard_horizon,
+                            [sub for sub, _ in jobs],
+                            [strategy] * len(jobs),
+                            [seed for _, seed in jobs],
+                            [self.matching_backend] * len(jobs),
+                            [self.track_memory] * len(jobs),
+                        )
+                    )
+            except (OSError, BrokenExecutor) as error:  # pragma: no cover - host-dependent
+                warnings.warn(
+                    f"ShardedEngine: process pool unavailable ({error!r}); "
+                    "re-running all shards sequentially in-process",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+        if results is None:
+            results = [
+                _execute_shard_horizon(
+                    sub, strategy, seed, self.matching_backend, self.track_memory
+                )
+                for sub, seed in jobs
+            ]
+        return self._merge_shard_results(results)
+
+    def _merge_shard_results(
+        self, results: Sequence[SimulationResult]
+    ) -> SimulationResult:
+        """Merge per-shard horizon results into one global result.
+
+        Stage timings are summed across shards (CPU seconds, not wall
+        clock); peak memory is the per-process maximum.
+        """
+        metrics = StrategyMetrics(strategy=results[0].metrics.strategy)
+        outcomes: List[PeriodOutcome] = []
+        for period in range(self.workload.num_periods):
+            rows = [result.outcomes[period] for result in results]
+            num_tasks = sum(row.num_tasks for row in rows)
+            revenue = 0.0
+            served = accepted = 0
+            prices: Dict[int, float] = {}
+            for row in rows:
+                revenue += row.revenue
+                served += row.served_tasks
+                accepted += row.accepted_tasks
+                prices.update(row.prices)
+            if num_tasks:
+                metrics.total_revenue += revenue
+                metrics.revenue_by_period.append(revenue)
+                metrics.served_tasks += served
+                metrics.accepted_tasks += accepted
+                metrics.total_tasks += num_tasks
+            if self.keep_details:
+                outcomes.append(
+                    PeriodOutcome(
+                        period=period,
+                        num_tasks=num_tasks,
+                        num_workers=sum(row.num_workers for row in rows),
+                        prices=prices,
+                        accepted_tasks=accepted,
+                        served_tasks=served,
+                        revenue=revenue,
+                    )
+                )
+        for result in results:
+            metrics.pricing_time_seconds += result.metrics.pricing_time_seconds
+            metrics.decide_time_seconds += result.metrics.decide_time_seconds
+            metrics.matching_time_seconds += result.metrics.matching_time_seconds
+            metrics.peak_memory_bytes = max(
+                metrics.peak_memory_bytes, result.metrics.peak_memory_bytes
+            )
+        return SimulationResult(
+            metrics=metrics, outcomes=outcomes, description=self.workload.description
+        )
+
+
+__all__ = ["ShardedEngine", "ShardableWorkload"]

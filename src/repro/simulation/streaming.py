@@ -131,10 +131,27 @@ class ArrivalStream:
     horizon: Optional[float] = None
 
     def iter_events(self) -> Iterator[ArrivalEvent]:
-        """A fresh iterator over the events (calls the factory if given)."""
+        """A fresh iterator over the events (calls the factory if given).
+
+        Raises:
+            ValueError: when the event source is a one-shot iterator (a
+                plain generator) that an earlier pass already consumed.
+                A second pass over an exhausted generator would silently
+                yield nothing — a zero-revenue "result" that looks valid —
+                so the reuse fails loudly instead.
+        """
         if callable(self.events):
             return iter(self.events())
-        return iter(self.events)
+        iterator = iter(self.events)
+        if iterator is self.events:
+            if getattr(self, "_consumed", False):
+                raise ValueError(
+                    "arrival stream's one-shot event source was already "
+                    "consumed; back the stream with a re-iterable collection "
+                    "or a zero-argument factory to iterate it again"
+                )
+            self._consumed = True
+        return iterator
 
 
 def _validated_events(stream: ArrivalStream) -> Iterator[ArrivalEvent]:
@@ -370,29 +387,30 @@ class StreamingEngine:
     # ------------------------------------------------------------------
     # calibration
     # ------------------------------------------------------------------
-    def calibrate_base_price(self, grids: Optional[Sequence[int]] = None, **kwargs):
+    def calibrate_base_price(
+        self,
+        grids: Optional[Sequence[int]] = None,
+        config=None,
+        seed: Optional[int] = None,
+    ):
         """Run Algorithm 1 against the stream's acceptance ground truth.
 
         Unlike the batch engine, the stream cannot be pre-scanned for grids
         with demand without consuming it, so calibration defaults to every
-        grid cell.  Delegates to the batch engine's calibration on an
-        empty-horizon bundle sharing this stream's market context.
+        grid cell (via the shared
+        :func:`~repro.simulation.engine.calibrate_base_price_for_context`).
         """
-        from repro.simulation.engine import SimulationEngine
+        from repro.simulation.engine import calibrate_base_price_for_context
 
-        shell = WorkloadBundle(
-            grid=self.stream.grid,
-            tasks_by_period=[[]],
-            workers_by_period=[[]],
-            acceptance=self.stream.acceptance,
-            metric=self.stream.metric,
-            price_bounds=self.stream.price_bounds,
-            description=self.stream.description,
-        )
-        engine = SimulationEngine(shell, seed=self.seed)
         if grids is None:
             grids = sorted(cell.index for cell in self.stream.grid.cells())
-        return engine.calibrate_base_price(grids=grids, **kwargs)
+        return calibrate_base_price_for_context(
+            acceptance=self.stream.acceptance,
+            price_bounds=self.stream.price_bounds,
+            seed=self.seed if seed is None else seed,
+            grids=grids,
+            config=config,
+        )
 
     # ------------------------------------------------------------------
     # simulation
@@ -494,7 +512,9 @@ class StreamingEngine:
         """Run several strategies over the same stream (same randomness).
 
         Requires a re-iterable event source (a collection or a factory
-        callable); one-shot generators are consumed by the first run.
+        callable); a one-shot generator is consumed by the first run and
+        the second run raises :class:`ValueError` (see
+        :meth:`ArrivalStream.iter_events`).
         """
         return {strategy.name: self.run(strategy) for strategy in strategies}
 

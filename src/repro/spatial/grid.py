@@ -258,4 +258,143 @@ class Grid:
         return buckets
 
 
-__all__ = ["Grid", "GridCell"]
+class GridTiling:
+    """A rectangular tiling of a grid's cells into ``num_shards`` shards.
+
+    The sharded engine partitions the city into contiguous rectangular
+    regions so most task–worker edges stay shard-local: ``num_shards`` is
+    factored into ``shard_rows x shard_cols`` bands (the feasible pair
+    whose shards are closest to square in cell units), and every grid cell
+    belongs to exactly one shard.  Shards are numbered row-major from the
+    bottom-left, mirroring the paper's cell numbering.
+
+    Args:
+        grid: The grid whose cells are tiled.
+        num_shards: Number of shards (``>= 1``).  Must admit a
+            factorisation ``a x b = num_shards`` with ``a <= grid.rows``
+            and ``b <= grid.cols`` so every shard owns at least one full
+            row band and column band of cells.
+
+    Raises:
+        ValueError: if no such factorisation exists.
+    """
+
+    def __init__(self, grid: Grid, num_shards: int) -> None:
+        num_shards = int(num_shards)
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        self._grid = grid
+        self._num_shards = num_shards
+        self._shard_rows, self._shard_cols = self._choose_bands(
+            grid.rows, grid.cols, num_shards
+        )
+        # 0-based shard id per 0-based cell position (index - 1), row-major.
+        row_band = np.arange(grid.rows, dtype=np.int64) * self._shard_rows // grid.rows
+        col_band = np.arange(grid.cols, dtype=np.int64) * self._shard_cols // grid.cols
+        self._cell_shards = (
+            row_band[:, None] * self._shard_cols + col_band[None, :]
+        ).reshape(-1)
+
+    @staticmethod
+    def _choose_bands(rows: int, cols: int, num_shards: int) -> Tuple[int, int]:
+        """Pick the feasible ``(shard_rows, shard_cols)`` factor pair.
+
+        Among all factorisations that fit the grid, prefer the one whose
+        shards are closest to square in cell units (ties go to the fewer
+        row bands, keeping the choice deterministic).
+        """
+        best: Optional[Tuple[float, int, int]] = None
+        for a in range(1, num_shards + 1):
+            if num_shards % a:
+                continue
+            b = num_shards // a
+            if a > rows or b > cols:
+                continue
+            squareness = abs(rows / a - cols / b)
+            if best is None or (squareness, a) < (best[0], best[1]):
+                best = (squareness, a, b)
+        if best is None:
+            raise ValueError(
+                f"cannot tile a {rows}x{cols} grid into {num_shards} "
+                "rectangular shards; pick a shard count with a factor pair "
+                f"(a, b) where a <= {rows} and b <= {cols}"
+            )
+        return best[1], best[2]
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def grid(self) -> Grid:
+        return self._grid
+
+    @property
+    def num_shards(self) -> int:
+        return self._num_shards
+
+    @property
+    def shard_rows(self) -> int:
+        """Number of horizontal shard bands."""
+        return self._shard_rows
+
+    @property
+    def shard_cols(self) -> int:
+        """Number of vertical shard bands."""
+        return self._shard_cols
+
+    # ------------------------------------------------------------------
+    # cell -> shard mapping
+    # ------------------------------------------------------------------
+    def shard_of_cell(self, index: int) -> int:
+        """0-based shard id of the cell with 1-based ``index``."""
+        if not 1 <= index <= self._grid.num_cells:
+            raise IndexError(
+                f"grid index {index} outside [1, {self._grid.num_cells}]"
+            )
+        return int(self._cell_shards[index - 1])
+
+    def shards_of_cells(self, indices: Sequence[int]) -> np.ndarray:
+        """Vectorised :meth:`shard_of_cell` for 1-based cell index arrays."""
+        cells = np.asarray(indices, dtype=np.int64)
+        if cells.size and (cells.min() < 1 or cells.max() > self._grid.num_cells):
+            raise IndexError("grid index outside the grid")
+        return self._cell_shards[cells - 1]
+
+    def cells_of_shard(self, shard: int) -> List[int]:
+        """1-based cell indices owned by ``shard``, ascending."""
+        if not 0 <= shard < self._num_shards:
+            raise IndexError(f"shard {shard} outside [0, {self._num_shards})")
+        return (np.flatnonzero(self._cell_shards == shard) + 1).tolist()
+
+    # ------------------------------------------------------------------
+    # boundary / halo queries
+    # ------------------------------------------------------------------
+    def boundary_cells(self, halo: int = 1) -> np.ndarray:
+        """Boolean mask (by 0-based cell position) of halo-boundary cells.
+
+        A cell is a boundary cell when some cell within Chebyshev distance
+        ``halo`` (in cell units) belongs to a *different* shard — exactly
+        the cells whose tasks and workers take part in the sharded
+        engine's halo-exchange reconciliation.  ``halo=0`` (or a single
+        shard) marks nothing.
+        """
+        if halo < 0:
+            raise ValueError("halo must be non-negative")
+        rows, cols = self._grid.rows, self._grid.cols
+        shards = self._cell_shards.reshape(rows, cols)
+        boundary = np.zeros((rows, cols), dtype=bool)
+        if halo == 0 or self._num_shards == 1:
+            return boundary.reshape(-1)
+        for dr in range(-halo, halo + 1):
+            for dc in range(-halo, halo + 1):
+                if dr == 0 and dc == 0:
+                    continue
+                src_r = slice(max(0, -dr), rows - max(0, dr))
+                src_c = slice(max(0, -dc), cols - max(0, dc))
+                dst_r = slice(max(0, dr), rows - max(0, -dr))
+                dst_c = slice(max(0, dc), cols - max(0, -dc))
+                boundary[dst_r, dst_c] |= shards[dst_r, dst_c] != shards[src_r, src_c]
+        return boundary.reshape(-1)
+
+
+__all__ = ["Grid", "GridCell", "GridTiling"]

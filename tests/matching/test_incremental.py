@@ -141,3 +141,48 @@ class TestAgainstHopcroftKarp:
         for task_pos, worker_pos in matching.items():
             assert matcher.task_of(worker_pos) == task_pos
             assert matcher.worker_of(task_pos) == worker_pos
+
+
+class TestDeepChainRegression:
+    def test_augmenting_chain_beyond_the_recursion_limit(self):
+        """A 1500-deep alternating chain used to raise RecursionError.
+
+        Task ``i`` prefers worker ``i + 1`` (insertion order), so after
+        inserting tasks 0..n-1 the final task — whose only edge is the
+        last worker — must re-route the entire chain in one augmentation.
+        """
+        n = 1500
+        edges = []
+        for i in range(n):
+            edges.append((i, i + 1))
+            edges.append((i, i))
+        edges.append((n, n))
+        graph = _graph_with_grids(edges, [1] * (n + 1), n + 1)
+        matcher = IncrementalMatcher(graph)
+        for i in range(n):
+            assert matcher.augment_task(i)
+        assert matcher.augment_task(n)
+        assert matcher.size == n + 1
+        assert matcher.is_valid_matching()
+
+
+class TestSaturationPruning:
+    def test_failed_searches_do_not_change_later_results(self):
+        """Saturation pruning must be invisible to callers.
+
+        Repeated infeasible grid queries (the planner probing a saturated
+        grid every period) mark workers dead; later augmentations must
+        still reach exactly the maximum matching.
+        """
+        # Grid 1 tasks share one worker; grid 2 task has its own.
+        edges = [(0, 0), (1, 0), (2, 0), (3, 1)]
+        graph = _graph_with_grids(edges, [1, 1, 1, 2], 2)
+        matcher = IncrementalMatcher(graph)
+        assert matcher.augment_grid(1) is not None
+        for _ in range(5):  # saturated: every retry fails and prunes
+            assert matcher.augment_grid(1) is None
+            assert not matcher.can_augment_grid(1)
+        # The pruning must not leak into grid 2's feasible augmentation.
+        assert matcher.augment_grid(2) is not None
+        assert matcher.size == maximum_matching_size(graph)
+        assert matcher.is_valid_matching()

@@ -1,0 +1,40 @@
+"""Hypothesis profiles for the property-based suites.
+
+Three profiles:
+
+* ``default`` — modest example counts so the tier-1 run stays fast;
+* ``ci`` — the fixed, derandomized profile the ``tests-property`` CI job
+  runs with (``HYPOTHESIS_PROFILE=ci``): reproducible examples, no
+  deadline flakes on shared runners;
+* ``thorough`` — a larger budget for local bug hunts
+  (``HYPOTHESIS_PROFILE=thorough``).
+"""
+
+from __future__ import annotations
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "default",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "ci",
+    max_examples=50,
+    deadline=None,
+    derandomize=True,
+    print_blob=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "thorough",
+    max_examples=400,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))

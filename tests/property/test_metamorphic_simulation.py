@@ -1,0 +1,149 @@
+"""Metamorphic tests of the simulation engine, for every pricing strategy.
+
+Three transformations with known output relations:
+
+* **task permutation** — shuffling the order of tasks within each period
+  changes nothing the market can observe, so the served / accepted counts
+  are invariant and the revenue unchanged (up to float summation order in
+  the learning updates);
+* **translation** — shifting the whole city (region, tasks, workers) by a
+  constant vector preserves every distance, cell assignment and
+  valuation, so the run is invariant;
+* **valuation scaling** — multiplying every valuation, the price bounds
+  and the base price by a constant ``c`` rescales the quoted prices by
+  ``c`` and leaves each accept/reject comparison unchanged, so the served
+  count is invariant and the revenue scales linearly.
+
+The workloads exercised carry private valuations on every task (as all
+shipped generators do), so runs are deterministic and the relations can
+be checked tightly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.market.entities import Task, Worker
+from repro.pricing.registry import PAPER_STRATEGIES, create_strategy
+from repro.simulation.config import WorkloadBundle
+from repro.simulation.engine import SimulationEngine
+from repro.spatial.geometry import BoundingBox, Point
+from repro.spatial.grid import Grid
+
+#: Scaling factor of the valuation-scaling relation.  A power of two, so
+#: the rescaled comparisons and revenues stay exact in floating point.
+SCALE = 2.0
+
+
+def run_metrics(workload: WorkloadBundle, name: str, base_price: float = 2.0, price_scale: float = 1.0):
+    p_min, p_max = workload.price_bounds
+    strategy = create_strategy(
+        name, base_price=base_price * price_scale, p_min=p_min, p_max=p_max
+    )
+    return SimulationEngine(workload, seed=11).run(strategy).metrics
+
+
+def permuted_workload(workload: WorkloadBundle, seed: int) -> WorkloadBundle:
+    rng = np.random.default_rng(seed)
+    tasks_by_period = []
+    for tasks in workload.tasks_by_period:
+        order = rng.permutation(len(tasks)).tolist()
+        tasks_by_period.append([tasks[pos] for pos in order])
+    return replace(workload, tasks_by_period=tasks_by_period)
+
+
+def translated_workload(workload: WorkloadBundle, dx: float, dy: float) -> WorkloadBundle:
+    def shift(point: Point) -> Point:
+        return Point(point.x + dx, point.y + dy)
+
+    region = workload.grid.region
+    grid = Grid(
+        BoundingBox(
+            region.min_x + dx, region.min_y + dy, region.max_x + dx, region.max_y + dy
+        ),
+        workload.grid.rows,
+        workload.grid.cols,
+    )
+    tasks_by_period = [
+        [
+            # The travel distance is carried over verbatim (it is
+            # translation-invariant by definition), keeping revenue exact.
+            replace(task, origin=shift(task.origin), destination=shift(task.destination))
+            for task in tasks
+        ]
+        for tasks in workload.tasks_by_period
+    ]
+    workers_by_period = [
+        [replace(worker, location=shift(worker.location)) for worker in workers]
+        for workers in workload.workers_by_period
+    ]
+    return replace(
+        workload,
+        grid=grid,
+        tasks_by_period=tasks_by_period,
+        workers_by_period=workers_by_period,
+    )
+
+
+def scaled_workload(workload: WorkloadBundle, factor: float) -> WorkloadBundle:
+    tasks_by_period = [
+        [
+            task
+            if task.valuation is None
+            else replace(task, valuation=task.valuation * factor)
+            for task in tasks
+        ]
+        for tasks in workload.tasks_by_period
+    ]
+    p_min, p_max = workload.price_bounds
+    return replace(
+        workload,
+        tasks_by_period=tasks_by_period,
+        price_bounds=(p_min * factor, p_max * factor),
+    )
+
+
+@pytest.mark.parametrize("name", PAPER_STRATEGIES)
+class TestTaskPermutation:
+    @pytest.mark.parametrize("perm_seed", [1, 2])
+    def test_served_count_is_order_invariant(self, name, perm_seed, tiny_workload):
+        base = run_metrics(tiny_workload, name)
+        shuffled = run_metrics(permuted_workload(tiny_workload, perm_seed), name)
+        assert shuffled.served_tasks == base.served_tasks
+        assert shuffled.accepted_tasks == base.accepted_tasks
+        assert shuffled.total_tasks == base.total_tasks
+        assert np.isclose(shuffled.total_revenue, base.total_revenue, rtol=1e-9)
+        assert np.allclose(
+            shuffled.revenue_by_period, base.revenue_by_period, rtol=1e-9
+        )
+
+
+@pytest.mark.parametrize("name", PAPER_STRATEGIES)
+class TestTranslation:
+    @pytest.mark.parametrize("offset", [(13.0, 7.0), (-5.5, 21.25)])
+    def test_run_is_translation_invariant(self, name, offset, tiny_workload):
+        base = run_metrics(tiny_workload, name)
+        moved = run_metrics(translated_workload(tiny_workload, *offset), name)
+        assert moved.served_tasks == base.served_tasks
+        assert moved.accepted_tasks == base.accepted_tasks
+        assert np.isclose(moved.total_revenue, base.total_revenue, rtol=1e-9)
+
+
+@pytest.mark.parametrize("name", PAPER_STRATEGIES)
+class TestValuationScaling:
+    def test_revenue_scales_linearly_and_served_is_invariant(self, name, tiny_workload):
+        base = run_metrics(tiny_workload, name)
+        scaled = run_metrics(
+            scaled_workload(tiny_workload, SCALE), name, price_scale=SCALE
+        )
+        assert scaled.served_tasks == base.served_tasks
+        assert scaled.accepted_tasks == base.accepted_tasks
+        assert np.isclose(scaled.total_revenue, SCALE * base.total_revenue, rtol=1e-12)
+        assert np.allclose(
+            scaled.revenue_by_period,
+            [SCALE * revenue for revenue in base.revenue_by_period],
+            rtol=1e-12,
+        )

@@ -16,6 +16,7 @@ from repro.simulation.streaming import TaskArrival, WorkerArrival, stream_to_wor
 EXPECTED_SCENARIOS = [
     "beijing_night",
     "beijing_rush",
+    "city_scale",
     "food_delivery",
     "hotspot_burst",
     "synthetic",
@@ -26,6 +27,7 @@ FAST_SCALE = {
     "synthetic": 0.004,
     "beijing_rush": 0.002,
     "beijing_night": 0.003,
+    "city_scale": 0.005,
     "food_delivery": 0.05,
     "hotspot_burst": 0.05,
 }

@@ -1,0 +1,254 @@
+"""Tests for the spatially sharded engine.
+
+Headline guarantees:
+
+* ``num_shards=1`` reproduces the batch engine **bit-identically** for
+  fixed seeds, across all five pricing strategies;
+* ``num_shards>1`` stays within a tested revenue tolerance of the global
+  solve on every registered scenario;
+* the halo-exchange pass only ever recovers matches;
+* chunked (lazy) workloads produce exactly the same run as their
+  materialised counterparts;
+* process-per-shard execution equals the sequential shard loop.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.experiments.parallel import ParallelRunner, ShardSpec, StrategySpec
+from repro.pricing.registry import PAPER_STRATEGIES, calibrated_kwargs, create_strategy
+from repro.simulation.config import ChunkedWorkload
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.scenarios import available_scenarios, get_scenario
+from repro.simulation.sharded import ShardedEngine
+
+#: Small-but-dense scales per scenario for the cross-scenario tolerance
+#: sweep (city_scale's scale stretches the horizon, not the density).
+TOLERANCE_SCALE = {
+    "synthetic": 0.008,
+    "beijing_rush": 0.002,
+    "beijing_night": 0.003,
+    "city_scale": 0.005,
+    "food_delivery": 0.05,
+    "hotspot_burst": 0.05,
+}
+
+#: Allowed relative total-revenue gap between the sharded and the global
+#: solve.  Boundary losses at these tiny scales run a few percent; the
+#: band leaves room for workload randomness without letting a broken
+#: reconciliation slip through.
+REVENUE_TOLERANCE = 0.15
+
+
+def _strategy(name, calibration, price_bounds):
+    p_min, p_max = price_bounds
+    return create_strategy(
+        name, **calibrated_kwargs(name, calibration, p_min=p_min, p_max=p_max)
+    )
+
+
+def _assert_identical(batch, sharded):
+    assert sharded.metrics.total_revenue == batch.metrics.total_revenue
+    assert sharded.metrics.served_tasks == batch.metrics.served_tasks
+    assert sharded.metrics.accepted_tasks == batch.metrics.accepted_tasks
+    assert sharded.metrics.total_tasks == batch.metrics.total_tasks
+    assert sharded.metrics.revenue_by_period == batch.metrics.revenue_by_period
+
+
+class TestSingleShardBitEquivalence:
+    @pytest.mark.parametrize("name", PAPER_STRATEGIES)
+    def test_one_shard_reproduces_batch_engine(
+        self, name, tiny_workload, tiny_engine, tiny_calibration
+    ):
+        batch = tiny_engine.run(
+            _strategy(name, tiny_calibration, tiny_workload.price_bounds)
+        )
+        sharded = ShardedEngine(tiny_workload, num_shards=1, seed=3).run(
+            _strategy(name, tiny_calibration, tiny_workload.price_bounds)
+        )
+        _assert_identical(batch, sharded)
+
+    def test_one_shard_outcomes_match_batch(self, tiny_workload, tiny_calibration):
+        batch = SimulationEngine(tiny_workload, seed=3, keep_details=True).run(
+            _strategy("BaseP", tiny_calibration, tiny_workload.price_bounds)
+        )
+        sharded = ShardedEngine(
+            tiny_workload, num_shards=1, seed=3, keep_details=True
+        ).run(_strategy("BaseP", tiny_calibration, tiny_workload.price_bounds))
+        assert len(sharded.outcomes) == len(batch.outcomes)
+        for ours, theirs in zip(sharded.outcomes, batch.outcomes):
+            assert (ours.period, ours.num_tasks, ours.num_workers) == (
+                theirs.period,
+                theirs.num_tasks,
+                theirs.num_workers,
+            )
+            assert ours.prices == theirs.prices
+            assert (ours.accepted_tasks, ours.served_tasks, ours.revenue) == (
+                theirs.accepted_tasks,
+                theirs.served_tasks,
+                theirs.revenue,
+            )
+
+
+class TestShardedTolerance:
+    @pytest.mark.parametrize("name", sorted(TOLERANCE_SCALE))
+    def test_revenue_within_tolerance_on_every_registered_scenario(self, name):
+        assert sorted(TOLERANCE_SCALE) == available_scenarios(), (
+            "TOLERANCE_SCALE out of sync with the scenario registry"
+        )
+        workload = get_scenario(name).bundle(scale=TOLERANCE_SCALE[name], seed=7)
+        strategy = create_strategy("BaseP", base_price=2.0)
+        batch = SimulationEngine(workload, seed=5).run(strategy)
+        sharded = ShardedEngine(workload, num_shards=4, halo=1, seed=5).run(strategy)
+        assert sharded.metrics.total_tasks == batch.metrics.total_tasks
+        gap = abs(sharded.metrics.total_revenue - batch.metrics.total_revenue)
+        assert gap <= REVENUE_TOLERANCE * batch.metrics.total_revenue, (
+            f"sharded revenue {sharded.metrics.total_revenue:.1f} drifts "
+            f"more than {REVENUE_TOLERANCE:.0%} from the global solve "
+            f"{batch.metrics.total_revenue:.1f} on scenario {name!r}"
+        )
+
+    def test_halo_recovers_boundary_matches(self):
+        """On a single period the halo pass can only add matches."""
+        workload = get_scenario("city_scale").bundle(
+            scale=1.0, seed=3, num_periods=1
+        )
+        strategy = create_strategy("BaseP", base_price=2.0)
+        without = ShardedEngine(workload, num_shards=8, halo=0, seed=5).run(strategy)
+        with_halo = ShardedEngine(workload, num_shards=8, halo=1, seed=5).run(strategy)
+        assert with_halo.metrics.served_tasks >= without.metrics.served_tasks
+        assert with_halo.metrics.total_revenue >= without.metrics.total_revenue
+        # The accepted set is decided before matching, so it is identical.
+        assert with_halo.metrics.accepted_tasks == without.metrics.accepted_tasks
+
+    def test_shard_without_workers_is_handled(self, tiny_workload):
+        """Workers squeezed into one corner leave most shards worker-less."""
+        from dataclasses import replace
+
+        from repro.spatial.geometry import Point
+
+        # All supply piles into the bottom-left shard (but stays within
+        # service range of the central demand cluster); the other three
+        # shards must run their periods with zero workers.
+        corner = [
+            [
+                replace(worker, location=Point(38.0, 38.0))
+                for worker in workers
+            ]
+            for workers in tiny_workload.workers_by_period
+        ]
+        workload = replace(tiny_workload, workers_by_period=corner)
+        result = ShardedEngine(workload, num_shards=4, halo=1, seed=5).run(
+            create_strategy("BaseP", base_price=2.0)
+        )
+        assert result.metrics.total_tasks == workload.total_tasks
+        assert 0 < result.metrics.served_tasks <= result.metrics.accepted_tasks
+
+
+class TestChunkedWorkloads:
+    def test_chunked_run_equals_materialised_run(self):
+        chunked = get_scenario("city_scale").chunked(scale=0.005, seed=2)
+        bundle = chunked.materialize()
+        strategy = create_strategy("BaseP", base_price=2.0)
+        lazy = ShardedEngine(chunked, num_shards=4, halo=1, seed=9).run(strategy)
+        eager = ShardedEngine(bundle, num_shards=4, halo=1, seed=9).run(strategy)
+        _assert_identical(eager, lazy)
+
+    def test_chunk_count_mismatch_is_rejected(self, tiny_workload):
+        def two_chunks():
+            yield [], []
+            yield [], []
+
+        wrong = ChunkedWorkload(
+            grid=tiny_workload.grid,
+            periods=two_chunks,
+            num_periods=3,
+            acceptance=tiny_workload.acceptance,
+            price_bounds=tiny_workload.price_bounds,
+        )
+        with pytest.raises(ValueError, match="expected 3"):
+            list(wrong.iter_periods())
+
+    def test_calibration_on_chunked_workloads(self):
+        chunked = get_scenario("city_scale").chunked(scale=0.005, seed=2)
+        engine = ShardedEngine(chunked, num_shards=2, seed=1)
+        result = engine.calibrate_base_price(grids=[1, 2, 3])
+        assert result.base_price > 0
+
+
+class TestProcessPerShard:
+    @pytest.mark.parametrize("name", ["BaseP", "MAPS"])
+    def test_process_per_shard_equals_sequential(self, name, tiny_workload, tiny_calibration):
+        sequential = ShardedEngine(tiny_workload, num_shards=4, halo=0, seed=3).run(
+            _strategy(name, tiny_calibration, tiny_workload.price_bounds)
+        )
+        with warnings.catch_warnings():
+            # Hosts that cannot start process pools fall back in-process;
+            # either way the merged result must be identical.
+            warnings.simplefilter("ignore", RuntimeWarning)
+            fanned = ShardedEngine(
+                tiny_workload, num_shards=4, halo=0, seed=3, shard_jobs=4
+            ).run(_strategy(name, tiny_calibration, tiny_workload.price_bounds))
+        _assert_identical(sequential, fanned)
+
+    def test_process_per_shard_rejects_halo(self, tiny_workload):
+        with pytest.raises(ValueError, match="halo"):
+            ShardedEngine(tiny_workload, num_shards=4, halo=1, shard_jobs=2)
+
+    def test_process_per_shard_rejects_chunked_workloads(self):
+        chunked = get_scenario("city_scale").chunked(scale=0.005, seed=2)
+        with pytest.raises(ValueError, match="pre-materialised"):
+            ShardedEngine(chunked, num_shards=4, halo=0, shard_jobs=2)
+
+
+class TestParallelRunnerIntegration:
+    def test_shard_spec_cells_match_direct_engine_runs(self, tiny_workload, tiny_calibration):
+        p_min, p_max = tiny_workload.price_bounds
+        specs = [
+            StrategySpec(
+                name, calibrated_kwargs(name, tiny_calibration, p_min=p_min, p_max=p_max)
+            )
+            for name in ("BaseP", "SDR")
+        ]
+        runner = ParallelRunner(
+            tiny_workload,
+            specs,
+            seeds=[3],
+            shards=ShardSpec(num_shards=4, halo=1),
+            max_workers=1,
+        )
+        results = runner.run()
+        for name in ("BaseP", "SDR"):
+            direct = ShardedEngine(tiny_workload, num_shards=4, halo=1, seed=3).run(
+                _strategy(name, tiny_calibration, tiny_workload.price_bounds)
+            )
+            _assert_identical(direct, results[(name, 3)])
+
+    def test_shard_spec_is_batch_only(self, tiny_workload):
+        from repro.experiments.parallel import StreamSpec
+
+        with pytest.raises(ValueError, match="batch-mode"):
+            ParallelRunner(
+                None,
+                ["BaseP"],
+                shared_kwargs={"base_price": 2.0},
+                stream=StreamSpec(scenario="synthetic"),
+                shards=ShardSpec(num_shards=2),
+            )
+
+
+class TestValidation:
+    def test_invalid_shard_counts_are_rejected(self, tiny_workload):
+        with pytest.raises(ValueError):
+            ShardedEngine(tiny_workload, num_shards=0)
+        with pytest.raises(ValueError, match="tile"):
+            # 7 shards cannot tile a 4x4 grid into rectangles.
+            ShardedEngine(tiny_workload, num_shards=7)
+
+    def test_negative_halo_rejected(self, tiny_workload):
+        with pytest.raises(ValueError):
+            ShardedEngine(tiny_workload, num_shards=2, halo=-1)

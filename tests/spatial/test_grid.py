@@ -154,3 +154,97 @@ class TestGroupByCell:
         assert buckets[1] == ["a", "c"]
         assert buckets[4] == ["b"]
         assert 2 not in buckets
+
+
+class TestGridTiling:
+    def test_single_shard_covers_everything(self):
+        from repro.spatial.grid import GridTiling
+
+        grid = Grid.square(100.0, 4)
+        tiling = GridTiling(grid, 1)
+        assert tiling.num_shards == 1
+        assert tiling.cells_of_shard(0) == list(range(1, 17))
+        assert not tiling.boundary_cells(halo=3).any()
+
+    def test_shards_partition_the_cells(self):
+        from repro.spatial.grid import GridTiling
+
+        grid = Grid.square(100.0, 16)
+        for num_shards in (2, 4, 8):
+            tiling = GridTiling(grid, num_shards)
+            seen = []
+            for shard in range(num_shards):
+                cells = tiling.cells_of_shard(shard)
+                assert cells, f"shard {shard} owns no cells"
+                seen.extend(cells)
+            assert sorted(seen) == list(range(1, grid.num_cells + 1))
+
+    def test_shards_are_rectangular_bands(self):
+        from repro.spatial.grid import GridTiling
+
+        grid = Grid.square(100.0, 8)
+        tiling = GridTiling(grid, 4)
+        assert tiling.shard_rows * tiling.shard_cols == 4
+        for shard in range(4):
+            cells = [grid.cell(index) for index in tiling.cells_of_shard(shard)]
+            rows = sorted({cell.row for cell in cells})
+            cols = sorted({cell.col for cell in cells})
+            assert rows == list(range(rows[0], rows[-1] + 1))
+            assert cols == list(range(cols[0], cols[-1] + 1))
+            assert len(cells) == len(rows) * len(cols)
+
+    def test_vectorised_mapping_matches_scalar(self):
+        from repro.spatial.grid import GridTiling
+
+        grid = Grid.square(100.0, 10)
+        tiling = GridTiling(grid, 4)
+        indices = list(range(1, grid.num_cells + 1))
+        vectorised = tiling.shards_of_cells(indices).tolist()
+        assert vectorised == [tiling.shard_of_cell(index) for index in indices]
+
+    def test_boundary_cells_touch_a_foreign_shard(self):
+        from repro.spatial.grid import GridTiling
+
+        grid = Grid.square(100.0, 8)
+        tiling = GridTiling(grid, 4)
+        boundary = tiling.boundary_cells(halo=1)
+        for index in range(1, grid.num_cells + 1):
+            cell = grid.cell(index)
+            shard = tiling.shard_of_cell(index)
+            foreign = any(
+                tiling.shard_of_cell(neighbor) != shard
+                for neighbor in grid.neighbors(index, diagonal=True)
+            )
+            assert bool(boundary[index - 1]) == foreign
+
+    def test_wider_halo_marks_more_cells(self):
+        from repro.spatial.grid import GridTiling
+
+        tiling = GridTiling(Grid.square(100.0, 16), 8)
+        narrow = tiling.boundary_cells(halo=1)
+        wide = tiling.boundary_cells(halo=3)
+        assert wide[narrow].all()
+        assert wide.sum() > narrow.sum()
+
+    def test_infeasible_shard_counts_are_rejected(self):
+        from repro.spatial.grid import GridTiling
+
+        grid = Grid.square(100.0, 4)
+        with pytest.raises(ValueError):
+            GridTiling(grid, 0)
+        with pytest.raises(ValueError, match="tile"):
+            GridTiling(grid, 7)  # 7 = 1x7 does not fit a 4x4 grid
+        with pytest.raises(ValueError):
+            tiling = GridTiling(grid, 2)
+            tiling.boundary_cells(halo=-1)
+
+    def test_out_of_range_indices_are_rejected(self):
+        from repro.spatial.grid import GridTiling
+
+        tiling = GridTiling(Grid.square(100.0, 4), 4)
+        with pytest.raises(IndexError):
+            tiling.shard_of_cell(0)
+        with pytest.raises(IndexError):
+            tiling.shards_of_cells([1, 17])
+        with pytest.raises(IndexError):
+            tiling.cells_of_shard(4)

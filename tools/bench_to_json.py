@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Record the sharded-engine throughput trajectory as ``BENCH_*.json``.
+
+Runs the same measurement protocol as ``benchmarks/test_bench_sharded.py``
+(see :mod:`repro.experiments.bench_sharded`) — by default at the full
+``city_scale`` horizon (~1M tasks) — and writes the machine-readable
+baseline future perf PRs are compared against::
+
+    PYTHONPATH=src python tools/bench_to_json.py                 # full 1M run
+    PYTHONPATH=src python tools/bench_to_json.py --scale 0.05    # quick look
+    PYTHONPATH=src python tools/bench_to_json.py --shards 1 8 --halo 2
+
+The output (default ``BENCH_sharded.json`` at the repository root)
+contains tasks/sec per shard count, the speedups and revenue ratios
+against the single-shard global solve, and the host context needed to
+interpret them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments.bench_sharded import measure_sharded_throughput  # noqa: E402
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="Measure city_scale sharded throughput and write BENCH_sharded.json"
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="city_scale horizon scale (1.0 = the ~1M-task horizon)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        nargs="+",
+        default=[1, 4, 8],
+        help="shard counts to measure (1 = the global solve baseline)",
+    )
+    parser.add_argument("--halo", type=int, default=1, help="halo band width in cells")
+    parser.add_argument("--seed", type=int, default=0, help="workload and engine seed")
+    parser.add_argument(
+        "--strategy", default="BaseP", help="pricing strategy to drive the runs"
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_sharded.json",
+        help="output path (default: BENCH_sharded.json at the repo root)",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    print(
+        f"measuring city_scale at scale {args.scale:g} "
+        f"(shards {args.shards}, halo {args.halo}) ..."
+    )
+    payload = measure_sharded_throughput(
+        scale=args.scale,
+        shard_counts=tuple(args.shards),
+        halo=args.halo,
+        seed=args.seed,
+        strategy=args.strategy,
+    )
+    payload["host"] = {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+    }
+    payload["created"] = datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
+    args.output.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    for point in payload["results"]:
+        print(
+            f"shards={point['shards']}: {point['seconds']:.1f}s  "
+            f"{point['tasks_per_second']:.0f} tasks/s  "
+            f"revenue={point['revenue']:.0f}"
+        )
+    print(
+        f"speedup 8-vs-1: {payload['speedup_vs_single_shard'].get('8', 1.0):.2f}x  "
+        f"-> {args.output}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
