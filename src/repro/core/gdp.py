@@ -218,15 +218,27 @@ class PeriodInstance:
         workers: Sequence[Worker],
         metric: Union[str, DistanceMetric] = "euclidean",
         use_index: bool = True,
+        max_degree: Optional[int] = None,
     ) -> "PeriodInstance":
-        """Annotate tasks with their grid cell and build the bipartite graph."""
+        """Annotate tasks with their grid cell and build the bipartite graph.
+
+        ``max_degree`` optionally caps each task's adjacency at its
+        ``max_degree`` nearest workers (see
+        :func:`repro.matching.bipartite.build_bipartite_graph`); ``None``
+        keeps the exact range-constrained graph.
+        """
         annotated: List[Task] = []
         for task in tasks:
             if task.grid_index is None:
                 task = task.with_grid(grid.locate(task.origin))
             annotated.append(task)
         graph = build_bipartite_graph(
-            annotated, list(workers), metric=metric, grid=grid, use_index=use_index
+            annotated,
+            list(workers),
+            metric=metric,
+            grid=grid,
+            use_index=use_index,
+            max_degree=max_degree,
         )
         arrays = PeriodArrays.build(annotated, workers, grid)
         return cls(

@@ -107,7 +107,12 @@ class MAPSPlanner:
             The :class:`MAPSPlan` with prices, supply and the pre-matching.
         """
         grid = instance.grid
-        matcher = IncrementalMatcher(instance.graph)
+        # Sharing the instance's grid buckets (and, inside the matcher,
+        # the graph's cached CSR view) keeps the pre-matching from
+        # re-deriving per-period structure the pipeline already built.
+        matcher = IncrementalMatcher(
+            instance.graph, grid_tasks=instance.tasks_by_grid
+        )
 
         # Every grid starts at the base price; grids with demand may be
         # re-priced below.

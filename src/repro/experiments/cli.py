@@ -119,6 +119,34 @@ def build_parser() -> argparse.ArgumentParser:
         "reproduces the nominal instance sizes)",
     )
     parser.add_argument(
+        "--max-degree",
+        type=int,
+        default=None,
+        metavar="K",
+        help="keep only the K nearest workers per task in the bipartite "
+        "graph (scenario runs only; speeds dense periods at a small, "
+        "bounded revenue cost — see docs/performance.md; default: exact "
+        "uncapped graph)",
+    )
+    parser.add_argument(
+        "--warm-start",
+        action="store_true",
+        help="seed each period's matching from the previous period's "
+        "matching restricted to still-present workers (scenario runs "
+        "only; each period's matching weight equals a cold solve's — "
+        "see docs/performance.md)",
+    )
+    parser.add_argument(
+        "--profile",
+        type=int,
+        nargs="?",
+        const=25,
+        default=None,
+        metavar="N",
+        help="run under cProfile and print the top N cumulative hotspots "
+        "after the tables (default N=25; see also tools/profile_run.py)",
+    )
+    parser.add_argument(
         "--seed", type=int, default=0, help="root random seed for the run"
     )
     parser.add_argument(
@@ -231,6 +259,10 @@ def _run_scenario(args: argparse.Namespace) -> int:
         mode = f"sharded (shards={args.shards}, halo={halo})"
     else:
         mode = "batch"
+    if args.max_degree is not None:
+        mode += f", max-degree={args.max_degree}"
+    if args.warm_start:
+        mode += ", warm-start"
     print(f"# scenario {args.scenario}: {scenario.description}")
     print(f"# workload: {workload.description}")
     print(
@@ -250,6 +282,8 @@ def _run_scenario(args: argparse.Namespace) -> int:
             seed=args.seed,
             matching_backend=args.backend,
             track_memory=not args.no_memory_tracking,
+            max_degree=args.max_degree,
+            warm_start=args.warm_start,
         )
         results = {
             (spec.key, args.seed): engine.run(spec.build()) for spec in specs
@@ -277,6 +311,8 @@ def _run_scenario(args: argparse.Namespace) -> int:
                 if args.shards is not None
                 else None
             ),
+            max_degree=args.max_degree,
+            warm_start=args.warm_start,
         )
         results = runner.run()
     print()
@@ -339,12 +375,38 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "--metrics is only honored with --figure "
             "(scenario runs print the full per-strategy table)"
         )
+    if args.max_degree is not None and args.scenario is None:
+        parser.error("--max-degree requires --scenario")
+    if args.max_degree is not None and args.max_degree < 1:
+        parser.error("--max-degree must be a positive integer")
+    if args.warm_start and args.scenario is None:
+        parser.error("--warm-start requires --scenario")
+    if args.profile is not None and args.profile < 1:
+        parser.error("--profile must be a positive integer")
 
     if args.scenario is not None:
-        return _run_scenario(args)
-    if args.figure is None:
+        runner = _run_scenario
+    elif args.figure is not None:
+        runner = _run_figure
+    else:
         parser.error("--figure or --scenario is required unless --list is given")
-    return _run_figure(args)
+
+    if args.profile is None:
+        return runner(args)
+
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        status = runner(args)
+    finally:
+        profiler.disable()
+        print()
+        print(f"# top {args.profile} hotspots (cumulative time)")
+        pstats.Stats(profiler).sort_stats("cumulative").print_stats(args.profile)
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via main() in tests

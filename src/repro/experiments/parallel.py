@@ -75,6 +75,8 @@ class ShardSpec:
         matching_backend: str,
         track_memory: bool,
         keep_details: bool,
+        max_degree: Optional[int] = None,
+        warm_start: bool = False,
     ) -> ShardedEngine:
         """Construct the sharded engine for one ``(strategy, seed)`` cell."""
         return ShardedEngine(
@@ -86,6 +88,8 @@ class ShardSpec:
             track_memory=track_memory,
             keep_details=keep_details,
             shard_jobs=self.shard_jobs,
+            max_degree=max_degree,
+            warm_start=warm_start,
         )
 
 
@@ -153,11 +157,19 @@ def _execute_run(
     track_memory: bool,
     keep_details: bool,
     shards: Optional[ShardSpec] = None,
+    max_degree: Optional[int] = None,
+    warm_start: bool = False,
 ) -> Tuple[RunKey, SimulationResult]:
     """Top-level worker function (must be picklable for process pools)."""
     if shards is not None:
         engine = shards.build_engine(
-            workload, seed, matching_backend, track_memory, keep_details
+            workload,
+            seed,
+            matching_backend,
+            track_memory,
+            keep_details,
+            max_degree,
+            warm_start,
         )
     else:
         engine = SimulationEngine(
@@ -166,6 +178,8 @@ def _execute_run(
             matching_backend=matching_backend,
             track_memory=track_memory,
             keep_details=keep_details,
+            max_degree=max_degree,
+            warm_start=warm_start,
         )
     return (spec.key, seed), engine.run(spec.build())
 
@@ -177,6 +191,8 @@ def _execute_stream_run(
     matching_backend: str,
     track_memory: bool,
     keep_details: bool,
+    max_degree: Optional[int] = None,
+    warm_start: bool = False,
 ) -> Tuple[RunKey, SimulationResult]:
     """Streaming counterpart of :func:`_execute_run` (also picklable)."""
     engine = StreamingEngine(
@@ -186,6 +202,8 @@ def _execute_stream_run(
         matching_backend=matching_backend,
         track_memory=track_memory,
         keep_details=keep_details,
+        max_degree=max_degree,
+        warm_start=warm_start,
     )
     return (spec.key, seed), engine.run(spec.build())
 
@@ -207,6 +225,8 @@ def _execute_run_pooled(
     track_memory: bool,
     keep_details: bool,
     shards: Optional[ShardSpec] = None,
+    max_degree: Optional[int] = None,
+    warm_start: bool = False,
 ) -> Tuple[RunKey, SimulationResult]:
     assert _WORKER_WORKLOAD is not None, "worker pool initializer did not run"
     return _execute_run(
@@ -217,6 +237,8 @@ def _execute_run_pooled(
         track_memory,
         keep_details,
         shards,
+        max_degree,
+        warm_start,
     )
 
 
@@ -247,6 +269,10 @@ class ParallelRunner:
             :class:`~repro.simulation.sharded.ShardedEngine` (batch mode
             only; the spec is picklable, so sharded cells fan across
             processes like plain ones).
+        max_degree: Optional per-task adjacency cap (nearest workers
+            only) forwarded to every engine; ``None`` keeps exact graphs.
+        warm_start: Forward cross-period warm-start hints to every
+            engine's matching (weight-preserving; off by default).
 
     Results are keyed by ``(strategy name, seed)`` and their order is
     fixed by the spec/seed declaration order, independent of which process
@@ -265,6 +291,8 @@ class ParallelRunner:
         keep_details: bool = False,
         stream: Optional[StreamSpec] = None,
         shards: Optional[ShardSpec] = None,
+        max_degree: Optional[int] = None,
+        warm_start: bool = False,
     ) -> None:
         if not specs:
             raise ValueError("need at least one strategy spec")
@@ -295,6 +323,8 @@ class ParallelRunner:
         self.max_workers = max_workers
         self.track_memory = bool(track_memory)
         self.keep_details = bool(keep_details)
+        self.max_degree = None if max_degree is None else int(max_degree)
+        self.warm_start = bool(warm_start)
 
     # ------------------------------------------------------------------
     # execution
@@ -311,6 +341,8 @@ class ParallelRunner:
                 self.matching_backend,
                 self.track_memory,
                 self.keep_details,
+                self.max_degree,
+                self.warm_start,
             )
         assert self.workload is not None
         return _execute_run(
@@ -321,6 +353,8 @@ class ParallelRunner:
             self.track_memory,
             self.keep_details,
             self.shards,
+            self.max_degree,
+            self.warm_start,
         )
 
     def run_sequential(self) -> Dict[RunKey, SimulationResult]:
@@ -376,6 +410,8 @@ class ParallelRunner:
                             [self.matching_backend] * len(jobs),
                             [self.track_memory] * len(jobs),
                             [self.keep_details] * len(jobs),
+                            [self.max_degree] * len(jobs),
+                            [self.warm_start] * len(jobs),
                         )
                     )
             else:
@@ -395,6 +431,8 @@ class ParallelRunner:
                             [self.track_memory] * len(jobs),
                             [self.keep_details] * len(jobs),
                             [self.shards] * len(jobs),
+                            [self.max_degree] * len(jobs),
+                            [self.warm_start] * len(jobs),
                         )
                     )
         except (

@@ -13,8 +13,9 @@ Modules:
   cardinality matching (used as a reference for the incremental matcher);
 * :mod:`repro.matching.weighted` — maximum-weight bipartite matching with
   interchangeable backends (exact matroid greedy on the CSR view, own
-  Kuhn–Munkres, SciPy's ``linear_sum_assignment``, and a greedy heuristic
-  for very large graphs);
+  Kuhn–Munkres, SciPy's ``linear_sum_assignment``, and sequential /
+  numpy-vectorised greedy heuristics for very large graphs), all
+  accepting optional cross-period warm-start hints;
 * :mod:`repro.matching.registry` — the backend registry
   :func:`max_weight_matching` dispatches through (backends register
   themselves by name, mirroring :mod:`repro.pricing.registry`);
@@ -38,6 +39,7 @@ from repro.matching.weighted import (
     max_weight_matching,
     scipy_weight_matching,
     task_weighted_matching,
+    vectorized_greedy_matching,
 )
 from repro.matching.incremental import IncrementalMatcher
 from repro.matching.possible_worlds import (
@@ -54,6 +56,7 @@ __all__ = [
     "hungarian_matching",
     "scipy_weight_matching",
     "greedy_weight_matching",
+    "vectorized_greedy_matching",
     "task_weighted_matching",
     "max_weight_matching",
     "available_backends",

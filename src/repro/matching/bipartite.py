@@ -7,23 +7,50 @@ lies within worker ``w``'s service radius.  The instantiation of the graph
 with the structural graph, which is what MAPS needs for its pre-matching
 and what the simulator needs to compute realized revenue.
 
-Edges can be built either by a brute-force scan (fine for tests and small
-instances) or through the grid spatial index (the default for the
-simulator, which needs to scale to hundreds of thousands of nodes).
+Edges can be built three ways, all producing the identical edge set
+(for the ``haversine`` metric, identical up to platform transcendental
+rounding at the exact radius boundary — see
+:func:`repro.spatial.geometry.haversine_distances_batch`):
+
+* **vectorised** (the default when a grid and a named metric are given) —
+  tasks are bucketed per grid cell once
+  (:class:`repro.spatial.index.GridBuckets`), every worker's candidate
+  cells are enumerated with one ragged numpy expansion, and a single
+  batched distance filter keeps the true edges.  The builder emits the
+  CSR arrays **directly** — the Python list-of-list adjacency is only
+  materialised lazily if some consumer asks for it — and reuses grow-only
+  scratch buffers across periods;
+* **indexed scalar** — per-worker :meth:`GridSpatialIndex.query_circle`
+  loops (the pre-vectorisation behaviour, kept as the fallback for
+  caller-supplied metric callables and as the reference implementation
+  the property tests compare against);
+* **brute force** — an all-pairs scan (fine for tests and tiny instances).
+
+An optional **degree cap** keeps only the ``max_degree`` nearest workers
+per task (ties broken by ascending worker position): dense city-scale
+periods produce average task degrees in the dozens, and the augmenting
+search cost scales with edge count.  The cap is *off by default* — exact
+backends stay bit-identical to the uncapped graph — and both builder
+paths apply the identical capping rule, which the regression tests pin.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from contextlib import contextmanager
+from dataclasses import dataclass
 from functools import cached_property
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.market.entities import Task, Worker
-from repro.spatial.geometry import DistanceMetric, resolve_metric
+from repro.spatial.geometry import (
+    DistanceMetric,
+    resolve_batch_metric,
+    resolve_metric,
+)
 from repro.spatial.grid import Grid
-from repro.spatial.index import GridSpatialIndex
+from repro.spatial.index import GridBuckets, GridSpatialIndex
 
 
 # eq=False: ndarray fields would make a generated __eq__ raise; the view
@@ -102,10 +129,36 @@ class CSRGraph:
             num_workers=int(num_workers),
         )
 
+    @classmethod
+    def from_edge_arrays(
+        cls,
+        task_idx: np.ndarray,
+        worker_idx: np.ndarray,
+        num_tasks: int,
+        num_workers: int,
+    ) -> "CSRGraph":
+        """Build a CSR view from flat edge arrays sorted by (task, worker)."""
+        indptr = np.zeros(num_tasks + 1, dtype=np.int64)
+        if task_idx.size:
+            np.cumsum(np.bincount(task_idx, minlength=num_tasks), out=indptr[1:])
+        return cls(
+            indptr=indptr,
+            indices=np.ascontiguousarray(worker_idx, dtype=np.int64),
+            num_tasks=int(num_tasks),
+            num_workers=int(num_workers),
+        )
 
-@dataclass
+
 class BipartiteGraph:
     """Adjacency structure between tasks (left) and workers (right).
+
+    The graph can be backed either by Python list-of-list adjacency (the
+    historical representation, still what :meth:`add_edge` mutates) or
+    directly by a :class:`CSRGraph` produced by the vectorised builder.
+    In the latter case ``task_neighbors`` / ``worker_neighbors`` are
+    materialised **lazily** on first access, so the hot path — which only
+    ever touches the CSR arrays — never pays for building millions of
+    Python list entries.
 
     Attributes:
         tasks: The tasks, indexed by their position in this list.
@@ -116,23 +169,104 @@ class BipartiteGraph:
             task positions adjacent to worker ``j``.
     """
 
-    tasks: List[Task]
-    workers: List[Worker]
-    task_neighbors: List[List[int]] = field(default_factory=list)
-    worker_neighbors: List[List[int]] = field(default_factory=list)
-    _csr: Optional[CSRGraph] = field(
-        default=None, init=False, repr=False, compare=False
-    )
-
-    def __post_init__(self) -> None:
-        if not self.task_neighbors:
-            self.task_neighbors = [[] for _ in self.tasks]
-        if not self.worker_neighbors:
-            self.worker_neighbors = [[] for _ in self.workers]
-        if len(self.task_neighbors) != len(self.tasks):
+    def __init__(
+        self,
+        tasks: Sequence[Task],
+        workers: Sequence[Worker],
+        task_neighbors: Optional[List[List[int]]] = None,
+        worker_neighbors: Optional[List[List[int]]] = None,
+    ) -> None:
+        self.tasks: List[Task] = tasks if isinstance(tasks, list) else list(tasks)
+        self.workers: List[Worker] = (
+            workers if isinstance(workers, list) else list(workers)
+        )
+        # An empty list means "not provided" (matching the historical
+        # dataclass default-factory behaviour).
+        if not task_neighbors:
+            task_neighbors = [[] for _ in self.tasks]
+        if not worker_neighbors:
+            worker_neighbors = [[] for _ in self.workers]
+        if len(task_neighbors) != len(self.tasks):
             raise ValueError("task_neighbors length must match tasks")
-        if len(self.worker_neighbors) != len(self.workers):
+        if len(worker_neighbors) != len(self.workers):
             raise ValueError("worker_neighbors length must match workers")
+        self._task_neighbors: Optional[List[List[int]]] = task_neighbors
+        self._worker_neighbors: Optional[List[List[int]]] = worker_neighbors
+        self._csr: Optional[CSRGraph] = None
+
+    @classmethod
+    def from_csr(
+        cls, tasks: Sequence[Task], workers: Sequence[Worker], csr: CSRGraph
+    ) -> "BipartiteGraph":
+        """Wrap a pre-built CSR view without materialising Python lists."""
+        if csr.num_tasks != len(tasks) or csr.num_workers != len(workers):
+            raise ValueError("CSR dimensions must match tasks and workers")
+        graph = cls.__new__(cls)
+        graph.tasks = tasks if isinstance(tasks, list) else list(tasks)
+        graph.workers = workers if isinstance(workers, list) else list(workers)
+        graph._task_neighbors = None
+        graph._worker_neighbors = None
+        graph._csr = csr
+        return graph
+
+    # ------------------------------------------------------------------
+    # lazily materialised adjacency views
+    # ------------------------------------------------------------------
+    @property
+    def task_neighbors(self) -> List[List[int]]:
+        if self._task_neighbors is None:
+            csr = self._csr
+            assert csr is not None
+            if not self.tasks:
+                # np.split(arr, []) would yield one (empty) segment, not
+                # zero, breaking the length == num_tasks invariant.
+                self._task_neighbors = []
+            else:
+                self._task_neighbors = [
+                    segment.tolist()
+                    for segment in np.split(csr.indices, csr.indptr[1:-1])
+                ]
+        return self._task_neighbors
+
+    @property
+    def worker_neighbors(self) -> List[List[int]]:
+        if self._worker_neighbors is None:
+            csr = self._csr
+            assert csr is not None
+            adjacency: List[List[int]] = [[] for _ in self.workers]
+            if csr.num_edges:
+                rows = np.repeat(np.arange(csr.num_tasks), csr.degrees())
+                # Stable sort by worker keeps tasks ascending within each
+                # worker (rows are already ascending).
+                order = np.argsort(csr.indices, kind="stable")
+                sorted_workers = csr.indices[order]
+                sorted_tasks = rows[order]
+                boundaries = np.flatnonzero(np.diff(sorted_workers)) + 1
+                groups = np.split(sorted_tasks, boundaries)
+                for worker_pos, group in zip(
+                    sorted_workers[np.concatenate(([0], boundaries))].tolist(), groups
+                ):
+                    adjacency[worker_pos] = group.tolist()
+            self._worker_neighbors = adjacency
+        return self._worker_neighbors
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BipartiteGraph):
+            return NotImplemented
+        return (
+            self.tasks == other.tasks
+            and self.workers == other.workers
+            and self.task_neighbors == other.task_neighbors
+            and self.worker_neighbors == other.worker_neighbors
+        )
+
+    __hash__ = None  # type: ignore[assignment]  # mutable container semantics
+
+    def __repr__(self) -> str:
+        return (
+            f"BipartiteGraph(num_tasks={self.num_tasks}, "
+            f"num_workers={self.num_workers}, num_edges={self.num_edges})"
+        )
 
     # ------------------------------------------------------------------
     # basic properties
@@ -147,9 +281,15 @@ class BipartiteGraph:
 
     @property
     def num_edges(self) -> int:
+        if self._csr is not None:
+            return self._csr.num_edges
         return sum(len(adj) for adj in self.task_neighbors)
 
     def has_edge(self, task_pos: int, worker_pos: int) -> bool:
+        if self._task_neighbors is None and self._csr is not None:
+            neighbors = self._csr.neighbors(task_pos)
+            at = int(np.searchsorted(neighbors, worker_pos))
+            return at < neighbors.shape[0] and int(neighbors[at]) == worker_pos
         return worker_pos in self.task_neighbors[task_pos]
 
     def edges(self) -> Iterable[Tuple[int, int]]:
@@ -159,6 +299,10 @@ class BipartiteGraph:
                 yield (task_pos, worker_pos)
 
     def degree_of_task(self, task_pos: int) -> int:
+        if self._task_neighbors is None and self._csr is not None:
+            return int(
+                self._csr.indptr[task_pos + 1] - self._csr.indptr[task_pos]
+            )
         return len(self.task_neighbors[task_pos])
 
     def degree_of_worker(self, worker_pos: int) -> int:
@@ -167,9 +311,10 @@ class BipartiteGraph:
     def csr(self) -> CSRGraph:
         """The cached task-side CSR view consumed by matching backends.
 
-        Built lazily from ``task_neighbors`` and invalidated by
-        :meth:`add_edge`, so repeated matching calls on the same period
-        share one compact representation.
+        Either attached directly by the vectorised builder, or built
+        lazily from ``task_neighbors`` and invalidated by
+        :meth:`add_edge`, so a period's match stage, halo reconciliation
+        and incremental matcher all share one compact representation.
         """
         if self._csr is None:
             self._csr = CSRGraph.from_adjacency(self.task_neighbors, self.num_workers)
@@ -184,9 +329,13 @@ class BipartiteGraph:
             raise IndexError(f"task position {task_pos} out of range")
         if not 0 <= worker_pos < self.num_workers:
             raise IndexError(f"worker position {worker_pos} out of range")
-        if worker_pos not in self.task_neighbors[task_pos]:
-            self.task_neighbors[task_pos].append(worker_pos)
-            self.worker_neighbors[worker_pos].append(task_pos)
+        # Materialise both adjacency views before mutating a CSR-backed
+        # graph, then drop the now-stale CSR cache.
+        task_neighbors = self.task_neighbors
+        worker_neighbors = self.worker_neighbors
+        if worker_pos not in task_neighbors[task_pos]:
+            task_neighbors[task_pos].append(worker_pos)
+            worker_neighbors[worker_pos].append(task_pos)
             self._csr = None
 
     # ------------------------------------------------------------------
@@ -232,12 +381,129 @@ class BipartiteGraph:
         )
 
 
+# ---------------------------------------------------------------------------
+# construction
+# ---------------------------------------------------------------------------
+#: When True, ``vectorize=None`` resolves to the scalar loop path.  Only
+#: flipped through :func:`force_loop_builder`.
+_FORCE_LOOP_BUILDER = False
+
+
+@contextmanager
+def force_loop_builder() -> Iterator[None]:
+    """Temporarily make ``vectorize=None`` resolve to the scalar loop path.
+
+    Used by the hot-path benchmark (to measure the pre-vectorisation
+    baseline through unmodified engine code) and by the equivalence tests
+    (to run whole simulations on both builders).  Explicit
+    ``vectorize=True`` still wins inside the block.
+    """
+    global _FORCE_LOOP_BUILDER
+    previous = _FORCE_LOOP_BUILDER
+    _FORCE_LOOP_BUILDER = True
+    try:
+        yield
+    finally:
+        _FORCE_LOOP_BUILDER = previous
+
+
+def _cap_edge_arrays(
+    task_idx: np.ndarray,
+    worker_idx: np.ndarray,
+    distances: np.ndarray,
+    num_tasks: int,
+    max_degree: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Keep the ``max_degree`` nearest workers per task (vectorised).
+
+    Ties on distance break by ascending worker position, so the kept set
+    is deterministic and identical to the scalar capping rule.  Inputs
+    must be sorted by (task, worker); outputs preserve that order.
+    """
+    order = np.lexsort((worker_idx, distances, task_idx))
+    sorted_tasks = task_idx[order]
+    counts = np.bincount(sorted_tasks, minlength=num_tasks)
+    starts = np.repeat(np.cumsum(counts) - counts, counts)
+    rank = np.arange(sorted_tasks.size, dtype=np.int64) - starts
+    keep = order[rank < max_degree]
+    keep.sort()  # restore the original (task, worker) ordering
+    return task_idx[keep], worker_idx[keep]
+
+
+def _cap_adjacency(
+    graph: BipartiteGraph,
+    metric_fn: DistanceMetric,
+    max_degree: int,
+) -> None:
+    """Scalar-path degree cap, identical in semantics to the array one."""
+    new_task_neighbors: List[List[int]] = []
+    for task_pos, adjacency in enumerate(graph.task_neighbors):
+        if len(adjacency) <= max_degree:
+            new_task_neighbors.append(adjacency)
+            continue
+        origin = graph.tasks[task_pos].origin
+        ranked = sorted(
+            adjacency,
+            key=lambda worker_pos: (
+                metric_fn(graph.workers[worker_pos].location, origin),
+                worker_pos,
+            ),
+        )
+        new_task_neighbors.append(sorted(ranked[:max_degree]))
+    new_worker_neighbors: List[List[int]] = [[] for _ in graph.workers]
+    for task_pos, adjacency in enumerate(new_task_neighbors):
+        for worker_pos in adjacency:
+            new_worker_neighbors[worker_pos].append(task_pos)
+    graph._task_neighbors = new_task_neighbors
+    graph._worker_neighbors = new_worker_neighbors
+    graph._csr = None
+
+
+def _build_vectorized(
+    tasks: List[Task],
+    workers: List[Worker],
+    metric: Union[str, DistanceMetric],
+    grid: Grid,
+    max_degree: Optional[int],
+) -> BipartiteGraph:
+    """Array-native graph construction emitting the CSR view directly."""
+    task_x = np.fromiter((task.origin.x for task in tasks), dtype=np.float64, count=len(tasks))
+    task_y = np.fromiter((task.origin.y for task in tasks), dtype=np.float64, count=len(tasks))
+    worker_x = np.fromiter(
+        (worker.location.x for worker in workers), dtype=np.float64, count=len(workers)
+    )
+    worker_y = np.fromiter(
+        (worker.location.y for worker in workers), dtype=np.float64, count=len(workers)
+    )
+    radii = np.fromiter(
+        (worker.radius for worker in workers), dtype=np.float64, count=len(workers)
+    )
+
+    buckets = GridBuckets(grid, task_x, task_y)
+    worker_idx, task_idx, distances = buckets.query_circles(
+        worker_x, worker_y, radii, metric=metric
+    )
+
+    # Canonical CSR order: ascending (task, worker).
+    order = np.lexsort((worker_idx, task_idx))
+    task_idx = task_idx[order]
+    worker_idx = worker_idx[order]
+    if max_degree is not None and task_idx.size:
+        task_idx, worker_idx = _cap_edge_arrays(
+            task_idx, worker_idx, distances[order], len(tasks), int(max_degree)
+        )
+    csr = CSRGraph.from_edge_arrays(task_idx, worker_idx, len(tasks), len(workers))
+    return BipartiteGraph.from_csr(tasks, workers, csr)
+
+
 def build_bipartite_graph(
     tasks: Sequence[Task],
     workers: Sequence[Worker],
     metric: Union[str, DistanceMetric] = "euclidean",
     grid: Optional[Grid] = None,
     use_index: bool = True,
+    max_degree: Optional[int] = None,
+    vectorize: Optional[bool] = None,
 ) -> BipartiteGraph:
     """Build the range-constrained bipartite graph.
 
@@ -247,16 +513,51 @@ def build_bipartite_graph(
         metric: Distance metric for the range constraint.
         grid: Optional grid for spatial-index acceleration.  Required when
             ``use_index`` is True and there is at least one task.
-        use_index: When True (and ``grid`` is given) tasks are bucketed in a
-            :class:`GridSpatialIndex` and each worker issues a circular
-            range query; otherwise an all-pairs scan is used.
+        use_index: When True (and ``grid`` is given) tasks are bucketed by
+            grid cell and workers issue circular range queries; otherwise
+            an all-pairs scan is used.
+        max_degree: Optional cap on the number of workers kept per task —
+            only the ``max_degree`` *nearest* workers survive (ties broken
+            by ascending worker position).  ``None`` (the default) keeps
+            every edge, so exact matching backends are unaffected.
+        vectorize: ``None`` (default) picks the array-native builder
+            whenever it applies (grid given, ``use_index``, named metric);
+            ``False`` forces the scalar loop path (used by the equivalence
+            tests and the benchmark baseline); ``True`` insists on the
+            vectorised path and raises :class:`ValueError` when it cannot
+            be used.
 
     Returns:
         The :class:`BipartiteGraph` with an edge for every
-        ``(task, worker)`` pair satisfying the range constraint.
+        ``(task, worker)`` pair satisfying the range constraint (capped
+        per task when ``max_degree`` is given).  Both builder paths
+        produce the identical graph, which the property tests fuzz.
     """
-    graph = BipartiteGraph(tasks=list(tasks), workers=list(workers))
-    if not tasks or not workers:
+    if max_degree is not None and max_degree < 1:
+        raise ValueError("max_degree must be a positive integer when given")
+
+    task_list = list(tasks)
+    worker_list = list(workers)
+    vector_ok = (
+        use_index
+        and grid is not None
+        and resolve_batch_metric(metric) is not None
+        and bool(task_list)
+        and bool(worker_list)
+    )
+    if vectorize is True and not vector_ok:
+        raise ValueError(
+            "vectorize=True requires use_index, a grid, a named metric and "
+            "non-empty tasks and workers"
+        )
+    if vector_ok and (
+        vectorize is True or (vectorize is None and not _FORCE_LOOP_BUILDER)
+    ):
+        assert grid is not None
+        return _build_vectorized(task_list, worker_list, metric, grid, max_degree)
+
+    graph = BipartiteGraph(tasks=task_list, workers=worker_list)
+    if not task_list or not worker_list:
         return graph
     metric_fn = resolve_metric(metric)
 
@@ -278,7 +579,14 @@ def build_bipartite_graph(
         adjacency.sort()
     for adjacency in graph.worker_neighbors:
         adjacency.sort()
+    if max_degree is not None:
+        _cap_adjacency(graph, metric_fn, int(max_degree))
     return graph
 
 
-__all__ = ["BipartiteGraph", "CSRGraph", "build_bipartite_graph"]
+__all__ = [
+    "BipartiteGraph",
+    "CSRGraph",
+    "build_bipartite_graph",
+    "force_loop_builder",
+]

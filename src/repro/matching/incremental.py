@@ -15,7 +15,8 @@ when the planner admits the supply increase.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.matching.bipartite import BipartiteGraph
 from repro.matching.maximum_matching import UNMATCHED
@@ -28,16 +29,39 @@ class IncrementalMatcher:
     one augmenting path at a time, which mirrors lines 10 and 16 of
     Algorithm 2.
 
+    The augmenting search walks the graph's cached CSR view
+    (:meth:`BipartiteGraph.csr`) — the same arrays the batch matching
+    backends consume — so one period's CSR is built once and shared by
+    the match stage, the halo reconciliation and this matcher, instead of
+    re-walking (or re-materialising) list-of-list adjacency per consumer.
+    The CSR is snapshotted at construction: the graph must not gain edges
+    while the matcher is alive.
+
     Args:
         graph: Structural bipartite graph of the current period.
+        grid_tasks: Optional pre-computed ``{grid_index: task positions}``
+            buckets (e.g. :attr:`PeriodInstance.tasks_by_grid`); passing
+            them avoids re-walking every task's grid annotation here.
     """
 
-    def __init__(self, graph: BipartiteGraph) -> None:
+    def __init__(
+        self,
+        graph: BipartiteGraph,
+        grid_tasks: Optional[Mapping[int, Sequence[int]]] = None,
+    ) -> None:
         self._graph = graph
+        csr = graph.csr()
+        self._indptr: List[int] = csr.indptr_list
+        self._indices: List[int] = csr.indices_list
         self._match_task: List[int] = [UNMATCHED] * graph.num_tasks
         self._match_worker: List[int] = [UNMATCHED] * graph.num_workers
-        # Task positions grouped by grid, computed lazily on first use.
-        self._grid_tasks: Optional[Dict[int, List[int]]] = None
+        # Task positions grouped by grid; taken from the caller when
+        # available, otherwise computed lazily on first use.
+        self._grid_tasks: Optional[Dict[int, List[int]]] = (
+            {g: list(positions) for g, positions in grid_tasks.items()}
+            if grid_tasks is not None
+            else None
+        )
         # Stamp-based visited array for the iterative augmenting-path
         # search plus saturation pruning: when a search fails, every
         # worker it visited lies in a frozen alternating component (all
@@ -45,7 +69,6 @@ class IncrementalMatcher:
         # no later augmenting path can pass through them — the matching
         # only ever grows, which keeps the marking sound.  Mirrors the
         # batch matroid backend in :mod:`repro.matching.weighted`.
-        # Assumes the graph gains no edges after the first search.
         self._visited: List[int] = [0] * graph.num_workers
         self._dead = bytearray(graph.num_workers)
         self._stamp = 0
@@ -120,10 +143,36 @@ class IncrementalMatcher:
         self._apply_path(path)
         return start_task
 
-    def augment_task(self, task_pos: int) -> bool:
-        """Try to match a specific task (used by tests and by baselines)."""
+    def augment_task(
+        self, task_pos: int, preferred_worker: Optional[int] = None
+    ) -> bool:
+        """Try to match a specific task, optionally via a warm-start hint.
+
+        Args:
+            task_pos: The task to match (no-op if already matched).
+            preferred_worker: Optional worker-position hint (e.g. from the
+                previous window's matching).  Consumed only when the hint
+                is adjacent and still free — a length-one augmenting path
+                — so the matched task set (and hence any task-weighted
+                total) is exactly what the hint-free search would have
+                produced; otherwise the normal augmenting DFS runs.
+
+        Returns:
+            Whether the task is matched after the call.
+        """
         if self.is_task_matched(task_pos):
             return True
+        if (
+            preferred_worker is not None
+            and 0 <= preferred_worker < len(self._match_worker)
+            and self._match_worker[preferred_worker] == UNMATCHED
+        ):
+            lo, hi = self._indptr[task_pos], self._indptr[task_pos + 1]
+            at = bisect_left(self._indices, preferred_worker, lo, hi)
+            if at < hi and self._indices[at] == preferred_worker:
+                self._match_task[task_pos] = preferred_worker
+                self._match_worker[preferred_worker] = task_pos
+                return True
         path = self._find_augmenting_path(task_pos)
         if path is None:
             return False
@@ -169,7 +218,8 @@ class IncrementalMatcher:
         keeps repeated infeasible queries — e.g. a saturated grid probed
         every period — near-linear instead of quadratic.
         """
-        neighbors = self._graph.task_neighbors
+        indptr = self._indptr
+        indices = self._indices
         match_worker = self._match_worker
         visited = self._visited
         dead = self._dead
@@ -177,17 +227,17 @@ class IncrementalMatcher:
         stamp = self._stamp
 
         tasks_stack = [start_task]
-        iters = [0]
+        iters = [indptr[start_task]]
         chosen = [UNMATCHED]
         touched: List[int] = []
         while tasks_stack:
             depth = len(tasks_stack) - 1
             task_pos = tasks_stack[depth]
-            adjacency = neighbors[task_pos]
+            end = indptr[task_pos + 1]
             pointer = iters[depth]
             descended = False
-            while pointer < len(adjacency):
-                worker_pos = adjacency[pointer]
+            while pointer < end:
+                worker_pos = indices[pointer]
                 pointer += 1
                 if dead[worker_pos] or visited[worker_pos] == stamp:
                     continue
@@ -203,7 +253,7 @@ class IncrementalMatcher:
                         for level in range(depth, -1, -1)
                     ]
                 tasks_stack.append(owner)
-                iters.append(0)
+                iters.append(indptr[owner])
                 chosen.append(UNMATCHED)
                 descended = True
                 break

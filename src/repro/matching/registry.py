@@ -12,6 +12,10 @@ where ``graph`` is a :class:`~repro.matching.bipartite.BipartiteGraph`
 (backends consume its CSR view via :meth:`BipartiteGraph.csr`),
 ``task_weights`` is a per-task-position weight sequence and
 ``allowed_tasks`` optionally restricts the eligible task positions.
+Backends may additionally accept a fourth ``warm_start`` mapping of
+``{task_position: worker_position}`` hints; the dispatcher only forwards
+it when the caller actually supplied hints, so three-argument custom
+backends keep working for warm-start-free calls.
 
 Registering a custom backend is one decorator (re-registering a name
 overwrites it, so tests can swap in instrumented variants)::
@@ -27,14 +31,14 @@ Runnable doctest (also exercised by the CI docs job; importing
 >>> import repro.matching.weighted
 >>> from repro.matching.registry import available_backends, get_backend
 >>> available_backends()
-['greedy', 'hungarian', 'matroid', 'scipy']
+['greedy', 'hungarian', 'matroid', 'scipy', 'vgreedy']
 >>> get_backend("MATROID") is get_backend("matroid")  # case-insensitive
 True
 >>> get_backend("simplex")
 Traceback (most recent call last):
     ...
 ValueError: unknown matching backend 'simplex'; registered backends: \
-greedy, hungarian, matroid, scipy
+greedy, hungarian, matroid, scipy, vgreedy
 """
 
 from __future__ import annotations

@@ -30,13 +30,32 @@ Backends are registered in :mod:`repro.matching.registry` (mirroring
   matrix (edge weights may differ per worker), ``O(n^3)``;
 * ``scipy`` — a thin wrapper over ``scipy.optimize.linear_sum_assignment``;
 * ``greedy`` — a fast heuristic that never augments (lower-bound baseline
-  in the ablation).
+  in the ablation);
+* ``vgreedy`` — a numpy-vectorised round-based greedy (proposals resolved
+  by weight-order priority), the fast approximate backend for huge dense
+  periods where even the flat-list greedy loop is the bottleneck.
+
+**Warm starts.**  Every backend accepts a ``warm_start`` mapping of
+``{task_position: worker_position}`` hints (e.g. the previous period's
+matching restricted to still-present workers).  The ``matroid`` backend
+uses a hint only when it is *provably free*: tasks are still processed in
+the canonical non-increasing weight order, and a task whose hinted worker
+is currently unmatched (and adjacent) takes it directly instead of
+running the augmenting DFS.  Because independence in a transversal
+matroid depends only on the *set* of matched tasks — never on which
+worker certificate represents it — the matched task set and the total
+weight are **identical** to the cold start's; only the task→worker pairing
+may differ, and only for tasks that actually consumed a hint.  The dense
+exact backends re-solve and trivially preserve the weight; the greedy
+heuristics ignore hints entirely (applying them could change the greedy
+weight, breaking the warm == cold guarantee the property tests pin).
 """
 
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from bisect import bisect_left
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy.optimize import linear_sum_assignment
@@ -88,6 +107,7 @@ def task_weighted_matching(
     graph: BipartiteGraph,
     task_weights: Sequence[float],
     allowed_tasks: Optional[Sequence[int]] = None,
+    warm_start: Optional[Mapping[int, int]] = None,
 ) -> MatchingResult:
     """Maximum-weight matching when the weight depends only on the task.
 
@@ -96,6 +116,15 @@ def task_weighted_matching(
         task_weights: Weight (``d_r * p_r``) of each task position.
         allowed_tasks: Optional subset of task positions eligible for
             matching (e.g. only the accepted tasks).
+        warm_start: Optional ``{task_position: worker_position}`` hints
+            (e.g. the previous period's matching restricted to workers
+            still present).  A hint is consumed only when the hinted
+            worker is adjacent and still free at the task's turn in the
+            canonical weight order, replacing that task's augmenting DFS
+            with an O(log degree) check.  The matched task set and total
+            weight are provably identical to the cold start (transversal-
+            matroid independence is representation-free); with no hints
+            the produced pairing is bit-identical too.
 
     Returns:
         ``(task_to_worker, total_weight)``.
@@ -110,6 +139,7 @@ def task_weighted_matching(
     weight_list = weights.tolist()
     indptr = csr.indptr_list
     indices = csr.indices_list
+    hints = _validated_hints(csr.num_tasks, csr.num_workers, warm_start)
 
     match_task: List[int] = [UNMATCHED] * csr.num_tasks
     match_worker: List[int] = [UNMATCHED] * csr.num_workers
@@ -167,6 +197,20 @@ def task_weighted_matching(
 
     total = 0.0
     for task_pos in order:
+        if hints:
+            hinted = hints.get(task_pos, UNMATCHED)
+            if hinted != UNMATCHED and match_worker[hinted] == UNMATCHED:
+                # A free adjacent worker is itself an augmenting path of
+                # length one, so the cold-start greedy would also keep
+                # this task — taking the hint changes the certificate,
+                # never the matched set or the weight.
+                lo, hi = indptr[task_pos], indptr[task_pos + 1]
+                at = bisect_left(indices, hinted, lo, hi)
+                if at < hi and indices[at] == hinted:
+                    match_task[task_pos] = hinted
+                    match_worker[hinted] = task_pos
+                    total += weight_list[task_pos]
+                    continue
         stamp += 1
         if augment(task_pos):
             total += weight_list[task_pos]
@@ -175,6 +219,32 @@ def task_weighted_matching(
         pos: worker for pos, worker in enumerate(match_task) if worker != UNMATCHED
     }
     return task_to_worker, total
+
+
+def _validated_hints(
+    num_tasks: int,
+    num_workers: int,
+    warm_start: Optional[Mapping[int, int]],
+) -> Dict[int, int]:
+    """Sanitised warm-start hints: in-range pairs, one worker per task.
+
+    Out-of-range or duplicated-worker hints are dropped rather than
+    rejected — a stale hint (e.g. from a previous period whose entities
+    are gone) is expected operation, not an error.
+    """
+    if not warm_start:
+        return {}
+    hints: Dict[int, int] = {}
+    seen_workers: set = set()
+    for task_pos, worker_pos in warm_start.items():
+        task_pos, worker_pos = int(task_pos), int(worker_pos)
+        if not 0 <= task_pos < num_tasks or not 0 <= worker_pos < num_workers:
+            continue
+        if worker_pos in seen_workers:
+            continue
+        seen_workers.add(worker_pos)
+        hints[task_pos] = worker_pos
+    return hints
 
 
 # ---------------------------------------------------------------------------
@@ -338,6 +408,80 @@ def greedy_weight_matching(
 
 
 # ---------------------------------------------------------------------------
+# numpy-vectorised greedy (round-based proposals)
+# ---------------------------------------------------------------------------
+def vectorized_greedy_matching(
+    graph: BipartiteGraph,
+    task_weights: Sequence[float],
+    allowed_tasks: Optional[Sequence[int]] = None,
+) -> MatchingResult:
+    """Round-based greedy matching over the flat CSR arrays (approximate).
+
+    Each round, every still-unmatched eligible task *proposes* to its
+    first still-free neighbouring worker (lowest worker position); when
+    several tasks propose to the same worker, the task ranked earliest in
+    the canonical weight order wins, and losers re-propose next round.
+    Every round is a handful of numpy passes over the surviving candidate
+    edges with **no Python per-edge work**, and at least one proposal
+    (the globally best-ranked active task's) succeeds per round, so the
+    loop terminates in at most ``min(|R|, |W|)`` rounds — in practice a
+    few, since the candidate set collapses geometrically.
+
+    The result is a *maximal* matching of the eligible tasks: every
+    unmatched eligible task has all its neighbours taken, which bounds
+    the cardinality at no less than half the exact backend's.  The total
+    weight is generally close to, but not the same as, the sequential
+    ``greedy`` heuristic — conflict losers may settle for workers a
+    sequential pass would have given to someone else — which is why this
+    is registered as the separate ``vgreedy`` backend.
+    """
+    csr = graph.csr()
+    weights, order = eligible_order(csr.num_tasks, task_weights, allowed_tasks)
+    if not order or not csr.num_edges:
+        return {}, 0.0
+    order_arr = np.asarray(order, dtype=np.int64)
+    # rank[t]: position in the canonical processing order (lower wins).
+    rank = np.full(csr.num_tasks, np.iinfo(np.int64).max, dtype=np.int64)
+    rank[order_arr] = np.arange(order_arr.size, dtype=np.int64)
+
+    eligible = np.zeros(csr.num_tasks, dtype=bool)
+    eligible[order_arr] = True
+    edge_tasks = np.repeat(np.arange(csr.num_tasks, dtype=np.int64), csr.degrees())
+    keep = eligible[edge_tasks]
+    cand_t = edge_tasks[keep]
+    cand_w = csr.indices[keep]
+
+    task_match = np.full(csr.num_tasks, UNMATCHED, dtype=np.int64)
+    worker_owner = np.full(csr.num_workers, UNMATCHED, dtype=np.int64)
+    sentinel = np.iinfo(np.int64).max
+    while cand_t.size:
+        live = (task_match[cand_t] == UNMATCHED) & (worker_owner[cand_w] == UNMATCHED)
+        cand_t, cand_w = cand_t[live], cand_w[live]
+        if not cand_t.size:
+            break
+        # First surviving candidate per task: candidates stay sorted by
+        # (task, worker), so it is the first row of each task run.
+        first = np.ones(cand_t.size, dtype=bool)
+        first[1:] = cand_t[1:] != cand_t[:-1]
+        proposer = cand_t[first]
+        proposed = cand_w[first]
+        # Conflict resolution: the best (lowest) rank per worker wins.
+        best = np.full(csr.num_workers, sentinel, dtype=np.int64)
+        np.minimum.at(best, proposed, rank[proposer])
+        winner = best[proposed] == rank[proposer]
+        matched_tasks = proposer[winner]
+        matched_workers = proposed[winner]
+        task_match[matched_tasks] = matched_workers
+        worker_owner[matched_workers] = matched_tasks
+
+    matched = np.flatnonzero(task_match != UNMATCHED)
+    task_to_worker = dict(
+        zip(matched.tolist(), task_match[matched].tolist())
+    )
+    return task_to_worker, float(weights[matched].sum())
+
+
+# ---------------------------------------------------------------------------
 # dense-matrix helpers shared by the hungarian / scipy backends
 # ---------------------------------------------------------------------------
 def _task_weight_matrix(
@@ -380,8 +524,9 @@ def _matroid_backend(
     graph: BipartiteGraph,
     task_weights: Sequence[float],
     allowed_tasks: Optional[Sequence[int]] = None,
+    warm_start: Optional[Mapping[int, int]] = None,
 ) -> MatchingResult:
-    return task_weighted_matching(graph, task_weights, allowed_tasks)
+    return task_weighted_matching(graph, task_weights, allowed_tasks, warm_start)
 
 
 @register_backend("greedy")
@@ -389,8 +534,23 @@ def _greedy_backend(
     graph: BipartiteGraph,
     task_weights: Sequence[float],
     allowed_tasks: Optional[Sequence[int]] = None,
+    warm_start: Optional[Mapping[int, int]] = None,
 ) -> MatchingResult:
+    # Hints are deliberately ignored: rerouting the greedy's first-free
+    # choice can change which later tasks find a free neighbour, so the
+    # warm == cold weight guarantee would not hold.
     return greedy_weight_matching(graph, task_weights, allowed_tasks)
+
+
+@register_backend("vgreedy")
+def _vgreedy_backend(
+    graph: BipartiteGraph,
+    task_weights: Sequence[float],
+    allowed_tasks: Optional[Sequence[int]] = None,
+    warm_start: Optional[Mapping[int, int]] = None,
+) -> MatchingResult:
+    # Hints ignored for the same reason as the sequential greedy.
+    return vectorized_greedy_matching(graph, task_weights, allowed_tasks)
 
 
 @register_backend("hungarian")
@@ -398,7 +558,10 @@ def _hungarian_backend(
     graph: BipartiteGraph,
     task_weights: Sequence[float],
     allowed_tasks: Optional[Sequence[int]] = None,
+    warm_start: Optional[Mapping[int, int]] = None,
 ) -> MatchingResult:
+    # Dense exact solve; re-solving from scratch trivially preserves the
+    # warm == cold weight guarantee.
     weights = _masked_weights(graph.num_tasks, task_weights, allowed_tasks)
     return hungarian_matching(_task_weight_matrix(graph, weights))
 
@@ -408,6 +571,7 @@ def _scipy_backend(
     graph: BipartiteGraph,
     task_weights: Sequence[float],
     allowed_tasks: Optional[Sequence[int]] = None,
+    warm_start: Optional[Mapping[int, int]] = None,
 ) -> MatchingResult:
     weights = _masked_weights(graph.num_tasks, task_weights, allowed_tasks)
     return scipy_weight_matching(_task_weight_matrix(graph, weights))
@@ -418,6 +582,7 @@ def max_weight_matching(
     task_weights: Sequence[float],
     allowed_tasks: Optional[Sequence[int]] = None,
     backend: str = "matroid",
+    warm_start: Optional[Mapping[int, int]] = None,
 ) -> MatchingResult:
     """Maximum-weight matching with a selectable backend.
 
@@ -428,7 +593,11 @@ def max_weight_matching(
         backend: A backend name registered in
             :mod:`repro.matching.registry` — ``matroid`` (exact, default),
             ``hungarian`` (exact, dense ``O(n^3)``), ``scipy`` (exact,
-            dense) or ``greedy`` (heuristic).
+            dense), ``greedy`` (heuristic) or ``vgreedy`` (vectorised
+            heuristic).
+        warm_start: Optional ``{task_position: worker_position}`` hints;
+            see the module docstring for the per-backend semantics and
+            the weight-preservation guarantee.
 
     Returns:
         ``(task_to_worker, total_weight)``.
@@ -437,7 +606,12 @@ def max_weight_matching(
         ValueError: for unknown backends; the error lists the registered
             backend names (see :func:`repro.matching.registry.get_backend`).
     """
-    return get_backend(backend)(graph, task_weights, allowed_tasks)
+    backend_fn = get_backend(backend)
+    if warm_start:
+        # Only forwarded when given, so three-argument custom backends
+        # registered by callers keep working for warm-start-free calls.
+        return backend_fn(graph, task_weights, allowed_tasks, warm_start)
+    return backend_fn(graph, task_weights, allowed_tasks)
 
 
 __all__ = [
@@ -446,6 +620,7 @@ __all__ = [
     "hungarian_matching",
     "scipy_weight_matching",
     "greedy_weight_matching",
+    "vectorized_greedy_matching",
     "max_weight_matching",
     "available_backends",
 ]

@@ -74,7 +74,11 @@ from repro.simulation.engine import (
     calibrate_base_price_for_context,
 )
 from repro.simulation.metrics import MetricsCollector, StrategyMetrics
-from repro.simulation.pipeline import DecideResult, PeriodPipeline
+from repro.simulation.pipeline import (
+    CrossPeriodWarmStart,
+    DecideResult,
+    PeriodPipeline,
+)
 from repro.spatial.grid import GridTiling
 from repro.utils.rng import derive_seed
 
@@ -108,6 +112,8 @@ def _execute_shard_horizon(
     seed: int,
     matching_backend: str,
     track_memory: bool,
+    max_degree: Optional[int] = None,
+    warm_start: bool = False,
 ) -> SimulationResult:
     """Run one shard's full horizon (top-level: picklable for pools)."""
     engine = ShardedEngine(
@@ -118,6 +124,8 @@ def _execute_shard_horizon(
         matching_backend=matching_backend,
         track_memory=track_memory,
         keep_details=True,
+        max_degree=max_degree,
+        warm_start=warm_start,
     )
     return engine.run(strategy)
 
@@ -146,6 +154,14 @@ class ShardedEngine:
             (``1`` = sequential in-process shards).  Requires ``halo=0``,
             ``num_shards > 1`` and a pre-materialised workload; see the
             module docstring.
+        max_degree: Optional per-task adjacency cap (nearest workers
+            only), applied to shard-local instances *and* the halo
+            reconciliation instance.  ``None`` keeps the exact graphs.
+        warm_start: Seed each period's shard matchings with hints from
+            the previous period's matchings restricted to still-present
+            workers; per-period weight-preserving (see
+            :class:`~repro.simulation.pipeline.CrossPeriodWarmStart`)
+            and off by default.
     """
 
     def __init__(
@@ -158,6 +174,8 @@ class ShardedEngine:
         track_memory: bool = False,
         keep_details: bool = False,
         shard_jobs: int = 1,
+        max_degree: Optional[int] = None,
+        warm_start: bool = False,
     ) -> None:
         workload.validate()
         if halo < 0:
@@ -172,6 +190,8 @@ class ShardedEngine:
         self.track_memory = bool(track_memory)
         self.keep_details = bool(keep_details)
         self.shard_jobs = int(shard_jobs)
+        self.max_degree = None if max_degree is None else int(max_degree)
+        self.warm_start = bool(warm_start)
         if self.shard_jobs > 1 and self.num_shards > 1:
             if self.halo > 0:
                 raise ValueError(
@@ -256,6 +276,11 @@ class ShardedEngine:
 
         outcomes: List[PeriodOutcome] = []
         pool: List[Worker] = []
+        # One warm-start cache per shard: shards own disjoint grid cells,
+        # so their (grid -> served workers) associations never collide.
+        warm_caches: Optional[Dict[int, CrossPeriodWarmStart]] = (
+            {} if self.warm_start else None
+        )
 
         for period, (tasks, arriving) in enumerate(self.workload.iter_periods()):
             pool.extend(arriving)
@@ -277,7 +302,7 @@ class ShardedEngine:
 
             num_workers = len(pool)
             dispatches, leftover = self._dispatch_shards(
-                period, tasks, pool, strategy, rng, pipeline, collector
+                period, tasks, pool, strategy, rng, pipeline, collector, warm_caches
             )
 
             halo_revenue = 0.0
@@ -357,6 +382,7 @@ class ShardedEngine:
         rng: np.random.Generator,
         pipeline: PeriodPipeline,
         collector: MetricsCollector,
+        warm_caches: Optional[Dict[int, CrossPeriodWarmStart]] = None,
     ) -> Tuple[List[_ShardDispatch], List[Tuple[Worker, int]]]:
         """Quote → decide → match every shard that has tasks this period.
 
@@ -411,13 +437,20 @@ class ShardedEngine:
                 tasks=shard_task_list,
                 workers=shard_workers.get(shard, []),
                 metric=self.workload.metric,
+                max_degree=self.max_degree,
             )
+            warm_cache = None
+            if warm_caches is not None:
+                warm_cache = warm_caches.setdefault(shard, CrossPeriodWarmStart())
             with collector.time_pricing():
                 grid_prices = pipeline.quote(strategy, instance)
             with collector.time_decide():
                 decision = pipeline.decide(instance, grid_prices, rng)
             with collector.time_matching():
-                matching, revenue = pipeline.match(instance, decision)
+                hints = warm_cache.hints(instance) if warm_cache is not None else None
+                matching, revenue = pipeline.match(instance, decision, hints)
+            if warm_cache is not None:
+                warm_cache.update(instance, matching)
             dispatches.append(
                 _ShardDispatch(
                     shard=shard,
@@ -490,6 +523,7 @@ class ShardedEngine:
             tasks=tasks,
             workers=workers,
             metric=self.workload.metric,
+            max_degree=self.max_degree,
         )
         matching, revenue = max_weight_matching(
             instance.graph, weights, backend=self.matching_backend
@@ -591,6 +625,8 @@ class ShardedEngine:
                             [seed for _, seed in jobs],
                             [self.matching_backend] * len(jobs),
                             [self.track_memory] * len(jobs),
+                            [self.max_degree] * len(jobs),
+                            [self.warm_start] * len(jobs),
                         )
                     )
             except (OSError, BrokenExecutor) as error:  # pragma: no cover - host-dependent
@@ -603,7 +639,13 @@ class ShardedEngine:
         if results is None:
             results = [
                 _execute_shard_horizon(
-                    sub, strategy, seed, self.matching_backend, self.track_memory
+                    sub,
+                    strategy,
+                    seed,
+                    self.matching_backend,
+                    self.track_memory,
+                    self.max_degree,
+                    self.warm_start,
                 )
                 for sub, seed in jobs
             ]

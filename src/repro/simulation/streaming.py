@@ -72,7 +72,11 @@ from repro.pricing.strategy import PricingStrategy
 from repro.simulation.config import WorkloadBundle
 from repro.simulation.engine import PeriodOutcome, SimulationResult
 from repro.simulation.metrics import MetricsCollector
-from repro.simulation.pipeline import DecideResult, PeriodPipeline
+from repro.simulation.pipeline import (
+    CrossPeriodWarmStart,
+    DecideResult,
+    PeriodPipeline,
+)
 from repro.spatial.grid import Grid
 from repro.utils.rng import derive_seed
 
@@ -291,6 +295,14 @@ class StreamingEngine:
             ``period`` field, not by position.  The *metrics* are
             unaffected: both engines record metric rows only for
             task-bearing periods/windows.
+        max_degree: Optional per-task adjacency cap (nearest workers
+            only) for the window instances; ``None`` keeps exact graphs.
+        warm_start: Seed each window's augmenting insertions with hints
+            from the previous window's matching restricted to workers
+            still in the pool
+            (:class:`~repro.simulation.pipeline.CrossPeriodWarmStart`);
+            per-window weight-preserving (see the cache's docstring for
+            the horizon caveat) and off by default.
 
     The result is the same :class:`SimulationResult` the batch engine
     returns, so reports, sweeps and tests consume both interchangeably.
@@ -304,6 +316,8 @@ class StreamingEngine:
         matching_backend: str = "matroid",
         track_memory: bool = False,
         keep_details: bool = False,
+        max_degree: Optional[int] = None,
+        warm_start: bool = False,
     ) -> None:
         if window <= 0:
             raise ValueError("window must be positive")
@@ -315,6 +329,9 @@ class StreamingEngine:
         self.matching_backend = str(matching_backend).strip().lower()
         self.track_memory = bool(track_memory)
         self.keep_details = bool(keep_details)
+        self.max_degree = None if max_degree is None else int(max_degree)
+        self.warm_start = bool(warm_start)
+        self._warm_cache: Optional[CrossPeriodWarmStart] = None
 
     # ------------------------------------------------------------------
     # window formation
@@ -376,13 +393,21 @@ class StreamingEngine:
         weight_arr, order = eligible_order(
             instance.num_tasks, weights, decision.accepted_positions
         )
-        matcher = IncrementalMatcher(instance.graph)
+        matcher = IncrementalMatcher(
+            instance.graph, grid_tasks=instance.tasks_by_grid
+        )
         weight_list = weight_arr.tolist()
+        hints: Dict[int, int] = {}
+        if self._warm_cache is not None:
+            hints = self._warm_cache.hints(instance)
         total = 0.0
         for task_pos in order:
-            if matcher.augment_task(task_pos):
+            if matcher.augment_task(task_pos, preferred_worker=hints.get(task_pos)):
                 total += weight_list[task_pos]
-        return matcher.matching(), total
+        matching = matcher.matching()
+        if self._warm_cache is not None:
+            self._warm_cache.update(instance, matching)
+        return matching, total
 
     # ------------------------------------------------------------------
     # calibration
@@ -428,6 +453,7 @@ class StreamingEngine:
         strategy.reset()
         collector = MetricsCollector(strategy.name, track_memory=self.track_memory)
         collector.start()
+        self._warm_cache = CrossPeriodWarmStart() if self.warm_start else None
         rng = np.random.default_rng(derive_seed(self.seed, "acceptance", strategy.name))
         pipeline = PeriodPipeline(
             price_bounds=self.stream.price_bounds,
@@ -463,17 +489,26 @@ class StreamingEngine:
                 tasks=tasks,
                 workers=pool,
                 metric=self.stream.metric,
+                max_degree=self.max_degree,
             )
 
-            result = pipeline.run_period(
-                strategy,
-                instance,
-                rng,
-                collector,
-                match_fn=(
-                    self._match_window if self.matching_backend == "matroid" else None
-                ),
-            )
+            if self.matching_backend == "matroid":
+                # The incremental window matcher consumes (and refreshes)
+                # the warm-start cache itself.
+                result = pipeline.run_period(
+                    strategy, instance, rng, collector, match_fn=self._match_window
+                )
+            else:
+                hints = (
+                    self._warm_cache.hints(instance)
+                    if self._warm_cache is not None
+                    else None
+                )
+                result = pipeline.run_period(
+                    strategy, instance, rng, collector, warm_start=hints
+                )
+                if self._warm_cache is not None:
+                    self._warm_cache.update(instance, result.matching)
 
             # Dispatched workers leave the pool forever: the committed
             # matching only ever grows across windows.

@@ -26,7 +26,7 @@ from repro.spatial.geometry import (
     resolve_metric,
 )
 from repro.spatial.grid import Grid, GridCell
-from repro.spatial.index import GridSpatialIndex
+from repro.spatial.index import GridBuckets, GridSpatialIndex
 
 __all__ = [
     "Point",
@@ -37,5 +37,6 @@ __all__ = [
     "resolve_metric",
     "Grid",
     "GridCell",
+    "GridBuckets",
     "GridSpatialIndex",
 ]

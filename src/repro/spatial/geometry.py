@@ -12,9 +12,16 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Iterable, Tuple, Union
+from typing import Callable, Iterable, Optional, Tuple, Union
+
+import numpy as np
 
 DistanceMetric = Callable[["Point", "Point"], float]
+#: Vectorised metric over coordinate arrays: ``metric(ax, ay, bx, by)``
+#: returns the elementwise distances as a ``float64`` array.
+BatchDistanceMetric = Callable[
+    [np.ndarray, np.ndarray, np.ndarray, np.ndarray], np.ndarray
+]
 
 #: Mean Earth radius in kilometres, used by the haversine metric.
 EARTH_RADIUS_KM = 6371.0088
@@ -81,10 +88,59 @@ def haversine_distance(a: Point, b: Point) -> float:
     return 2.0 * EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(h)))
 
 
+def euclidean_distances_batch(
+    ax: np.ndarray, ay: np.ndarray, bx: np.ndarray, by: np.ndarray
+) -> np.ndarray:
+    """Elementwise :func:`euclidean_distance` over coordinate arrays.
+
+    ``np.hypot`` and ``math.hypot`` both defer to the platform's C
+    ``hypot``, so each element is bit-identical to the scalar metric —
+    which is what lets the vectorised graph builder reproduce the
+    loop-based builder's edge set exactly at the radius boundary.
+    """
+    return np.hypot(ax - bx, ay - by)
+
+
+def manhattan_distances_batch(
+    ax: np.ndarray, ay: np.ndarray, bx: np.ndarray, by: np.ndarray
+) -> np.ndarray:
+    """Elementwise :func:`manhattan_distance` over coordinate arrays."""
+    return np.abs(ax - bx) + np.abs(ay - by)
+
+
+def haversine_distances_batch(
+    ax: np.ndarray, ay: np.ndarray, bx: np.ndarray, by: np.ndarray
+) -> np.ndarray:
+    """Elementwise :func:`haversine_distance` over lon/lat arrays.
+
+    Mirrors the scalar formula operation-for-operation (including the
+    ``min(1, sqrt(h))`` clamp).  Unlike the euclidean pair, exact
+    boundary agreement with the scalar metric is platform-dependent:
+    numpy's float64 ``sin``/``cos`` may come from a vector math library
+    that differs from libm by a few ulps, so a point whose distance is
+    within ulps of the radius can flip between the scalar and batched
+    evaluations there.  Randomly placed points land on that knife edge
+    with probability ~0, but bit-exactness should not be *relied on*
+    for this metric the way it can be for euclidean/manhattan.
+    """
+    lon1, lat1 = np.radians(ax), np.radians(ay)
+    lon2, lat2 = np.radians(bx), np.radians(by)
+    dlon = lon2 - lon1
+    dlat = lat2 - lat1
+    h = np.sin(dlat / 2.0) ** 2 + np.cos(lat1) * np.cos(lat2) * np.sin(dlon / 2.0) ** 2
+    return 2.0 * EARTH_RADIUS_KM * np.arcsin(np.minimum(1.0, np.sqrt(h)))
+
+
 _METRICS: dict = {
     "euclidean": euclidean_distance,
     "manhattan": manhattan_distance,
     "haversine": haversine_distance,
+}
+
+_BATCH_METRICS: dict = {
+    "euclidean": euclidean_distances_batch,
+    "manhattan": manhattan_distances_batch,
+    "haversine": haversine_distances_batch,
 }
 
 
@@ -98,6 +154,19 @@ def resolve_metric(metric: Union[str, DistanceMetric]) -> DistanceMetric:
     if callable(metric):
         return metric
     return _METRICS[metric]
+
+
+def resolve_batch_metric(
+    metric: Union[str, DistanceMetric],
+) -> Optional[BatchDistanceMetric]:
+    """Resolve the vectorised counterpart of a named metric, if one exists.
+
+    Returns ``None`` for caller-supplied metric callables (which have no
+    array form); consumers fall back to the scalar path in that case.
+    """
+    if callable(metric):
+        return None
+    return _BATCH_METRICS.get(metric)
 
 
 @dataclass(frozen=True)
@@ -158,9 +227,14 @@ __all__ = [
     "as_point",
     "BoundingBox",
     "DistanceMetric",
+    "BatchDistanceMetric",
     "euclidean_distance",
     "manhattan_distance",
     "haversine_distance",
+    "euclidean_distances_batch",
+    "manhattan_distances_batch",
+    "haversine_distances_batch",
     "resolve_metric",
+    "resolve_batch_metric",
     "EARTH_RADIUS_KM",
 ]

@@ -1,22 +1,274 @@
-"""Grid-bucketed spatial index for circular range queries.
+"""Grid-bucketed spatial indexes for circular range queries.
 
 Building the task–worker bipartite graph requires, for every worker ``w``,
 the set of tasks whose origin lies within the worker's service radius
 ``a_w`` (Definition 4).  A naive all-pairs scan costs ``O(|R| x |W|)``
 distance evaluations per time period; the scalability experiment of the
 paper runs up to 500k tasks and workers, where that becomes the dominant
-cost.  :class:`GridSpatialIndex` buckets points by grid cell so a range
-query only inspects the cells intersecting the query disc.
+cost.
+
+Two implementations share the grid-bucketing idea:
+
+* :class:`GridSpatialIndex` — a mutable, label-keyed index answering one
+  circular query at a time (inserts, moves, nearest-neighbour search).
+* :class:`GridBuckets` — a read-only, array-native bucketing of a point
+  set that answers *batches* of circular queries with numpy broadcasting
+  (candidate cells → ragged gather → one vectorised distance filter).
+  This is what the vectorised bipartite-graph builder runs on: it emits
+  flat candidate arrays instead of per-query Python lists, and reuses
+  grow-only scratch buffers across periods so the hot loop allocates a
+  near-constant amount per period.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Generic, Hashable, Iterable, List, Optional, Sequence, Tuple, TypeVar, Union
 
-from repro.spatial.geometry import DistanceMetric, Point, resolve_metric
+import numpy as np
+
+from repro.spatial.geometry import (
+    DistanceMetric,
+    Point,
+    resolve_batch_metric,
+    resolve_metric,
+)
 from repro.spatial.grid import Grid
 
 T = TypeVar("T", bound=Hashable)
+
+
+class _BuilderScratch:
+    """Grow-only buffers reused across batched queries (and periods).
+
+    The ragged gathers of :meth:`GridBuckets.query_circles` repeatedly
+    need ``0..n-1`` ramps whose length varies per period; re-allocating
+    them dominates small-period overhead.  The scratch keeps one
+    monotonically grown ``arange`` and hands out read-only views.  Not
+    thread-safe — the simulation's concurrency unit is the process
+    (sharded / parallel runners), which each get their own copy.
+    """
+
+    def __init__(self) -> None:
+        self._iota = np.zeros(0, dtype=np.int64)
+
+    def iota(self, n: int) -> np.ndarray:
+        """A read-only ``[0, 1, ..., n-1]`` view backed by a reused buffer."""
+        if self._iota.shape[0] < n:
+            self._iota = np.arange(max(n, 2 * self._iota.shape[0]), dtype=np.int64)
+            self._iota.setflags(write=False)
+        return self._iota[:n]
+
+
+#: Module-level scratch shared by every GridBuckets instance of a process.
+_SCRATCH = _BuilderScratch()
+
+#: Chunk bounds for the batched query's two ragged expansions.  Peak
+#: transient memory is proportional to these (a few numpy rows per
+#: candidate), independent of how many candidate pairs the whole batch
+#: would generate — which matters for metrics whose candidate rectangles
+#: are loose (haversine radii are kilometres against degree coordinates,
+#: so its rectangles can span the whole grid).
+_CELL_CHUNK = 1 << 20
+_POINT_CHUNK = 4 << 20
+
+
+class GridBuckets:
+    """Array-native cell bucketing of a fixed point set.
+
+    Args:
+        grid: The grid used for bucketing (and for candidate-cell
+            enumeration).
+        xs: x coordinates of the points.
+        ys: y coordinates of the points (same length).
+
+    The constructor sorts point positions by their (0-based) grid cell
+    once; :meth:`query_circles` then answers a whole batch of circular
+    range queries — one per (center, radius) pair — with a handful of
+    numpy passes and **no Python per-point work**.
+    """
+
+    def __init__(self, grid: Grid, xs: Sequence[float], ys: Sequence[float]) -> None:
+        self._grid = grid
+        self._xs = np.ascontiguousarray(xs, dtype=np.float64)
+        self._ys = np.ascontiguousarray(ys, dtype=np.float64)
+        if self._xs.shape != self._ys.shape or self._xs.ndim != 1:
+            raise ValueError("xs and ys must be 1-D arrays of equal length")
+        cells = grid.locate_many(self._xs, self._ys) - 1
+        # Stable sort keeps same-cell points in insertion order, mirroring
+        # how GridSpatialIndex buckets preserve insertion order.
+        self._order = np.argsort(cells, kind="stable")
+        self._cell_counts = np.bincount(cells, minlength=grid.num_cells)
+        self._cell_ptr = np.zeros(grid.num_cells + 1, dtype=np.int64)
+        np.cumsum(self._cell_counts, out=self._cell_ptr[1:])
+
+    def __len__(self) -> int:
+        return int(self._xs.shape[0])
+
+    @property
+    def grid(self) -> Grid:
+        return self._grid
+
+    def query_circles(
+        self,
+        centers_x: Sequence[float],
+        centers_y: Sequence[float],
+        radii: Sequence[float],
+        metric: Union[str, DistanceMetric] = "euclidean",
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Batched inclusive circular range queries.
+
+        Args:
+            centers_x: Query center x coordinates.
+            centers_y: Query center y coordinates (same length).
+            radii: Query radius per center (same length, non-negative).
+            metric: Metric *name* (``euclidean`` / ``manhattan`` /
+                ``haversine``); callables have no vectorised form.
+
+        Returns:
+            ``(center_idx, point_idx, distance)`` flat arrays: one entry
+            per (query, point) pair with ``distance <= radius``.  Pairs
+            are ordered by center, then by the point's cell, then by
+            point insertion order — callers needing a canonical edge
+            order sort once afterwards.
+
+        Raises:
+            ValueError: for negative radii or a metric without a batch
+                implementation.
+        """
+        batch_metric = resolve_batch_metric(metric)
+        if batch_metric is None:
+            raise ValueError(
+                f"metric {metric!r} has no vectorised implementation; "
+                "use GridSpatialIndex.query_circle instead"
+            )
+        cx = np.ascontiguousarray(centers_x, dtype=np.float64)
+        cy = np.ascontiguousarray(centers_y, dtype=np.float64)
+        rr = np.ascontiguousarray(radii, dtype=np.float64)
+        if not (cx.shape == cy.shape == rr.shape) or cx.ndim != 1:
+            raise ValueError("centers_x, centers_y and radii must have equal length")
+        if rr.size and float(rr.min()) < 0:
+            raise ValueError("radius must be non-negative")
+        empty = (
+            np.zeros(0, dtype=np.int64),
+            np.zeros(0, dtype=np.int64),
+            np.zeros(0, dtype=np.float64),
+        )
+        if not cx.size or not self._xs.size:
+            return empty
+
+        grid = self._grid
+        region = grid.region
+        # Candidate cells: the axis-aligned cell rectangle covering the
+        # query disc (a superset of Grid.cells_intersecting_circle; the
+        # exact metric filter below makes the result identical).
+        min_col = np.clip(
+            np.floor((cx - rr - region.min_x) / grid.cell_width), 0, grid.cols - 1
+        ).astype(np.int64)
+        max_col = np.clip(
+            np.floor((cx + rr - region.min_x) / grid.cell_width), 0, grid.cols - 1
+        ).astype(np.int64)
+        min_row = np.clip(
+            np.floor((cy - rr - region.min_y) / grid.cell_height), 0, grid.rows - 1
+        ).astype(np.int64)
+        max_row = np.clip(
+            np.floor((cy + rr - region.min_y) / grid.cell_height), 0, grid.rows - 1
+        ).astype(np.int64)
+        col_span = max_col - min_col + 1
+        ncells = (max_row - min_row + 1) * col_span
+        if not int(ncells.sum()):
+            return empty
+
+        # Both ragged expansions run in bounded chunks (see _CELL_CHUNK /
+        # _POINT_CHUNK): peak transient memory stays proportional to the
+        # chunk size however loose the candidate rectangles are, and the
+        # chunks are processed in order so the output ordering is the
+        # same as one monolithic expansion.
+        out_centers: list = []
+        out_points: list = []
+        out_distances: list = []
+        cell_cum = np.cumsum(ncells)
+        center_start = 0
+        while center_start < cx.size:
+            base = int(cell_cum[center_start - 1]) if center_start else 0
+            center_end = max(
+                int(np.searchsorted(cell_cum, base + _CELL_CHUNK, side="right")),
+                center_start + 1,
+            )
+            chunk_ncells = ncells[center_start:center_end]
+            chunk_total = int(chunk_ncells.sum())
+            center_start_next = center_end
+            if not chunk_total:
+                center_start = center_start_next
+                continue
+
+            # Ragged expansion: one row per (query, candidate cell).
+            center_rep = np.repeat(
+                np.arange(center_start, center_end, dtype=np.int64), chunk_ncells
+            )
+            local = _SCRATCH.iota(chunk_total) - np.repeat(
+                np.cumsum(chunk_ncells) - chunk_ncells, chunk_ncells
+            )
+            span = col_span[center_rep]
+            cell = (min_row[center_rep] + local // span) * grid.cols + (
+                min_col[center_rep] + local % span
+            )
+            counts = self._cell_counts[cell]
+            nonempty = counts > 0
+            center_rep, cell, counts = (
+                center_rep[nonempty],
+                cell[nonempty],
+                counts[nonempty],
+            )
+            if not counts.size:
+                center_start = center_start_next
+                continue
+
+            # Second ragged expansion: one row per (query, candidate
+            # point), again in bounded chunks of (query, cell) pairs.
+            point_cum = np.cumsum(counts)
+            pair_start = 0
+            while pair_start < counts.size:
+                pair_base = int(point_cum[pair_start - 1]) if pair_start else 0
+                pair_end = max(
+                    int(
+                        np.searchsorted(
+                            point_cum, pair_base + _POINT_CHUNK, side="right"
+                        )
+                    ),
+                    pair_start + 1,
+                )
+                sub_counts = counts[pair_start:pair_end]
+                sub_total = int(sub_counts.sum())
+                ends = np.cumsum(sub_counts)
+                offsets = _SCRATCH.iota(sub_total) - np.repeat(
+                    ends - sub_counts, sub_counts
+                )
+                point_idx = self._order[
+                    np.repeat(self._cell_ptr[cell[pair_start:pair_end]], sub_counts)
+                    + offsets
+                ]
+                center_idx = np.repeat(center_rep[pair_start:pair_end], sub_counts)
+
+                distances = batch_metric(
+                    cx[center_idx],
+                    cy[center_idx],
+                    self._xs[point_idx],
+                    self._ys[point_idx],
+                )
+                within = distances <= rr[center_idx]
+                out_centers.append(center_idx[within])
+                out_points.append(point_idx[within])
+                out_distances.append(distances[within])
+                pair_start = pair_end
+            center_start = center_start_next
+
+        if not out_centers:
+            return empty
+        return (
+            np.concatenate(out_centers),
+            np.concatenate(out_points),
+            np.concatenate(out_distances),
+        )
 
 
 class GridSpatialIndex(Generic[T]):
@@ -156,4 +408,4 @@ class GridSpatialIndex(Generic[T]):
         return {cell: len(bucket) for cell, bucket in self._buckets.items() if bucket}
 
 
-__all__ = ["GridSpatialIndex"]
+__all__ = ["GridBuckets", "GridSpatialIndex"]

@@ -45,7 +45,13 @@ def _random_graph(rng, num_tasks, num_workers, edge_probability):
 
 class TestRegistry:
     def test_default_backends_registered(self):
-        assert available_backends() == ["greedy", "hungarian", "matroid", "scipy"]
+        assert available_backends() == [
+            "greedy",
+            "hungarian",
+            "matroid",
+            "scipy",
+            "vgreedy",
+        ]
 
     def test_lookup_is_case_insensitive(self):
         assert get_backend("MATROID") is get_backend("matroid")
@@ -87,7 +93,9 @@ class TestRegistry:
         with pytest.raises(ValueError):
             register_backend("   ")
 
-    @pytest.mark.parametrize("backend", ["matroid", "greedy", "hungarian", "scipy"])
+    @pytest.mark.parametrize(
+        "backend", ["matroid", "greedy", "hungarian", "scipy", "vgreedy"]
+    )
     def test_out_of_range_allowed_tasks_rejected_everywhere(self, backend):
         graph = _graph(2, 2, [(0, 0), (1, 1)])
         with pytest.raises(IndexError):

@@ -172,7 +172,9 @@ class TestDeepChainRegression:
 
         num_pairs = 1500
 
-        def chain_graph(tasks, workers, metric="euclidean", grid=None, use_index=True):
+        def chain_graph(
+            tasks, workers, metric="euclidean", grid=None, use_index=True, **kwargs
+        ):
             graph = BipartiteGraph(tasks=list(tasks), workers=list(workers))
             for pos in range(len(tasks)):
                 if pos + 1 < len(workers):

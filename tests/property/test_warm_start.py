@@ -1,0 +1,109 @@
+"""Property-based tests of the warm-start guarantee, across all backends.
+
+The contract of :mod:`repro.matching.weighted` is that warm-start hints
+can never change *what* a backend's matching is worth — only which worker
+certificate represents it:
+
+* **weight preservation** — for arbitrary (even nonsensical) hint
+  mappings, every registered backend reports exactly the cold-start
+  total weight;
+* **matched-set preservation** — the ``matroid`` backend additionally
+  keeps the exact set of matched tasks (the transversal-matroid
+  argument), and its result stays a valid matching;
+* **incremental equivalence** — :meth:`IncrementalMatcher.augment_task`
+  with ``preferred_worker`` hints reproduces the matroid backend's
+  matched set and weight under weight-ordered insertion (the streaming
+  engine's warm-started window matcher);
+* **no-hint identity** — passing an empty mapping is bit-identical to
+  not passing one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.matching.incremental import IncrementalMatcher
+from repro.matching.registry import available_backends
+from repro.matching.weighted import eligible_order, max_weight_matching
+
+# Sibling module import: pytest's prepend import mode puts this directory
+# on sys.path, so the shared instance strategy is reused, not duplicated.
+from test_matching_properties import assert_valid_matching, bipartite_instances
+
+
+@st.composite
+def warm_started_instances(draw):
+    """A fuzzed instance plus an arbitrary (possibly invalid) hint map."""
+    graph, weights, allowed = draw(bipartite_instances())
+    num_hints = draw(st.integers(min_value=0, max_value=6))
+    hints = {}
+    for _ in range(num_hints):
+        # Deliberately out-of-range values too: stale hints are expected
+        # operation and must be dropped, not crash.
+        task_pos = draw(st.integers(min_value=-2, max_value=graph.num_tasks + 2))
+        worker_pos = draw(st.integers(min_value=-2, max_value=graph.num_workers + 2))
+        hints[task_pos] = worker_pos
+    return graph, weights, allowed, hints
+
+
+class TestWarmStartGuarantees:
+    @given(warm_started_instances())
+    def test_every_backend_preserves_the_cold_start_weight(self, instance):
+        graph, weights, allowed, hints = instance
+        for backend in available_backends():
+            _, cold = max_weight_matching(
+                graph, weights, allowed_tasks=allowed, backend=backend
+            )
+            warm_matching, warm = max_weight_matching(
+                graph,
+                weights,
+                allowed_tasks=allowed,
+                backend=backend,
+                warm_start=hints,
+            )
+            assert np.isclose(warm, cold, rtol=1e-9, atol=1e-9), (
+                f"{backend} changed weight under warm start: {warm} vs {cold}"
+            )
+            assert_valid_matching(graph, weights, allowed, warm_matching, warm)
+
+    @given(warm_started_instances())
+    def test_matroid_preserves_the_matched_task_set(self, instance):
+        graph, weights, allowed, hints = instance
+        cold_matching, _ = max_weight_matching(
+            graph, weights, allowed_tasks=allowed, backend="matroid"
+        )
+        warm_matching, _ = max_weight_matching(
+            graph, weights, allowed_tasks=allowed, backend="matroid", warm_start=hints
+        )
+        assert set(warm_matching) == set(cold_matching)
+
+    @given(bipartite_instances())
+    def test_empty_hints_are_bit_identical_to_no_hints(self, instance):
+        graph, weights, allowed = instance
+        for backend in available_backends():
+            plain = max_weight_matching(
+                graph, weights, allowed_tasks=allowed, backend=backend
+            )
+            empty = max_weight_matching(
+                graph, weights, allowed_tasks=allowed, backend=backend, warm_start={}
+            )
+            assert plain == empty
+
+    @given(warm_started_instances())
+    def test_incremental_preferred_hints_preserve_the_matroid_result(self, instance):
+        """The streaming window matcher's warm-start claim, fuzzed."""
+        graph, weights, allowed, hints = instance
+        expected_matching, expected_total = max_weight_matching(
+            graph, weights, allowed_tasks=allowed, backend="matroid"
+        )
+        weight_arr, order = eligible_order(graph.num_tasks, weights, allowed)
+        matcher = IncrementalMatcher(graph)
+        total = 0.0
+        for task_pos in order:
+            if matcher.augment_task(task_pos, preferred_worker=hints.get(task_pos)):
+                total += float(weight_arr[task_pos])
+        assert set(matcher.matching()) == set(expected_matching)
+        assert np.isclose(total, expected_total, rtol=1e-9, atol=1e-9)
+        assert matcher.is_valid_matching()

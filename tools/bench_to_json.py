@@ -1,19 +1,27 @@
 #!/usr/bin/env python
-"""Record the sharded-engine throughput trajectory as ``BENCH_*.json``.
+"""Record benchmark trajectory points as ``BENCH_*.json``.
 
-Runs the same measurement protocol as ``benchmarks/test_bench_sharded.py``
-(see :mod:`repro.experiments.bench_sharded`) — by default at the full
-``city_scale`` horizon (~1M tasks) — and writes the machine-readable
-baseline future perf PRs are compared against::
+Runs one of the repo's measurement protocols — the sharded-engine
+throughput of ``benchmarks/test_bench_sharded.py`` or the matching
+hot-path throughput of ``benchmarks/test_bench_matching.py`` — by default
+at the full ``city_scale`` horizon (~1M tasks), and **appends** the
+result to the machine-readable baseline future perf PRs are compared
+against::
 
-    PYTHONPATH=src python tools/bench_to_json.py                 # full 1M run
-    PYTHONPATH=src python tools/bench_to_json.py --scale 0.05    # quick look
+    PYTHONPATH=src python tools/bench_to_json.py                     # sharded, full 1M run
+    PYTHONPATH=src python tools/bench_to_json.py --benchmark matching
+    PYTHONPATH=src python tools/bench_to_json.py --scale 0.05        # quick look
     PYTHONPATH=src python tools/bench_to_json.py --shards 1 8 --halo 2
+    PYTHONPATH=src python tools/bench_to_json.py --benchmark matching \
+        --configs vectorized capped-16 vgreedy
 
-The output (default ``BENCH_sharded.json`` at the repository root)
-contains tasks/sec per shard count, the speedups and revenue ratios
-against the single-shard global solve, and the host context needed to
-interpret them.
+Output schema: ``{"benchmark": ..., "runs": [run, run, ...]}`` where each
+run carries the measurement payload plus ``host`` and ``created``
+metadata.  Appending (the default) preserves the existing trajectory so
+the files accumulate one point per significant change; ``--overwrite``
+starts a fresh trajectory.  Legacy single-run files (the original
+``BENCH_sharded.json`` layout) are wrapped into the trajectory schema on
+first append — readers should accept both.
 """
 
 from __future__ import annotations
@@ -29,12 +37,27 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.experiments.bench_matching import (  # noqa: E402
+    DEFAULT_CONFIGS,
+    measure_matching_throughput,
+)
 from repro.experiments.bench_sharded import measure_sharded_throughput  # noqa: E402
+
+DEFAULT_OUTPUTS = {
+    "sharded": REPO_ROOT / "BENCH_sharded.json",
+    "matching": REPO_ROOT / "BENCH_matching.json",
+}
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        description="Measure city_scale sharded throughput and write BENCH_sharded.json"
+        description="Measure a city_scale benchmark and append it to BENCH_*.json"
+    )
+    parser.add_argument(
+        "--benchmark",
+        choices=sorted(DEFAULT_OUTPUTS),
+        default="sharded",
+        help="measurement protocol to run (default sharded)",
     )
     parser.add_argument(
         "--scale",
@@ -47,9 +70,19 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         nargs="+",
         default=[1, 4, 8],
-        help="shard counts to measure (1 = the global solve baseline)",
+        help="[sharded] shard counts to measure (1 = the global baseline)",
     )
-    parser.add_argument("--halo", type=int, default=1, help="halo band width in cells")
+    parser.add_argument(
+        "--halo", type=int, default=1, help="[sharded] halo band width in cells"
+    )
+    parser.add_argument(
+        "--configs",
+        nargs="+",
+        default=list(DEFAULT_CONFIGS),
+        metavar="CONFIG",
+        help="[matching] hot-path configurations to measure (e.g. loop "
+        "vectorized capped-16 vgreedy capped-8+warm)",
+    )
     parser.add_argument("--seed", type=int, default=0, help="workload and engine seed")
     parser.add_argument(
         "--strategy", default="BaseP", help="pricing strategy to drive the runs"
@@ -57,42 +90,82 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--output",
         type=Path,
-        default=REPO_ROOT / "BENCH_sharded.json",
-        help="output path (default: BENCH_sharded.json at the repo root)",
+        default=None,
+        help="output path (default: BENCH_<benchmark>.json at the repo root)",
+    )
+    parser.add_argument(
+        "--overwrite",
+        action="store_true",
+        help="start a fresh trajectory instead of appending to an existing file",
     )
     return parser
 
 
+def load_trajectory(path: Path, benchmark_name: str) -> dict:
+    """Load (or initialise) a trajectory file, wrapping legacy layouts."""
+    if not path.exists():
+        return {"benchmark": benchmark_name, "runs": []}
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if "runs" in payload:
+        return payload
+    # Legacy single-run layout: the whole object is one run.
+    return {"benchmark": payload.get("benchmark", benchmark_name), "runs": [payload]}
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    output = args.output or DEFAULT_OUTPUTS[args.benchmark]
     print(
-        f"measuring city_scale at scale {args.scale:g} "
-        f"(shards {args.shards}, halo {args.halo}) ..."
+        f"measuring city_scale [{args.benchmark}] at scale {args.scale:g} ..."
     )
-    payload = measure_sharded_throughput(
-        scale=args.scale,
-        shard_counts=tuple(args.shards),
-        halo=args.halo,
-        seed=args.seed,
-        strategy=args.strategy,
-    )
-    payload["host"] = {
+    if args.benchmark == "sharded":
+        run = measure_sharded_throughput(
+            scale=args.scale,
+            shard_counts=tuple(args.shards),
+            halo=args.halo,
+            seed=args.seed,
+            strategy=args.strategy,
+        )
+    else:
+        run = measure_matching_throughput(
+            scale=args.scale,
+            configs=tuple(args.configs),
+            seed=args.seed,
+            strategy=args.strategy,
+        )
+    run["host"] = {
         "cpu_count": os.cpu_count(),
         "platform": platform.platform(),
         "python": platform.python_version(),
     }
-    payload["created"] = datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
-    args.output.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
-    for point in payload["results"]:
+    run["created"] = datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
+
+    if args.overwrite:
+        trajectory = {"benchmark": run["benchmark"], "runs": []}
+    else:
+        trajectory = load_trajectory(output, run["benchmark"])
+        if trajectory["runs"] and trajectory["benchmark"] != run["benchmark"]:
+            raise SystemExit(
+                f"refusing to append a {run['benchmark']!r} run to {output} "
+                f"({trajectory['benchmark']!r} trajectory); pass --overwrite "
+                "or a different --output"
+            )
+    trajectory["runs"].append(run)
+    output.write_text(json.dumps(trajectory, indent=2) + "\n", encoding="utf-8")
+
+    for point in run["results"]:
+        label = point.get("config") or f"shards={point['shards']}"
         print(
-            f"shards={point['shards']}: {point['seconds']:.1f}s  "
+            f"{label}: {point['seconds']:.1f}s  "
             f"{point['tasks_per_second']:.0f} tasks/s  "
             f"revenue={point['revenue']:.0f}"
         )
-    print(
-        f"speedup 8-vs-1: {payload['speedup_vs_single_shard'].get('8', 1.0):.2f}x  "
-        f"-> {args.output}"
-    )
+    if args.benchmark == "sharded":
+        headline = run["speedup_vs_single_shard"].get("8", 1.0)
+        print(f"speedup 8-vs-1: {headline:.2f}x  -> {output}")
+    else:
+        best = max(run["speedup_vs_baseline"].items(), key=lambda item: item[1])
+        print(f"best speedup: {best[0]} {best[1]:.2f}x  -> {output}")
     return 0
 
 
