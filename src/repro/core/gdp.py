@@ -256,6 +256,97 @@ class PeriodInstance:
             arrays=arrays,
         )
 
+    @classmethod
+    def from_columns(
+        cls,
+        period: int,
+        grid: Grid,
+        task_columns,
+        workers: Sequence[Worker],
+        metric: Union[str, DistanceMetric] = "euclidean",
+        max_degree: Optional[int] = None,
+        worker_grids: Optional[np.ndarray] = None,
+        worker_x: Optional[np.ndarray] = None,
+        worker_y: Optional[np.ndarray] = None,
+        worker_radii: Optional[np.ndarray] = None,
+    ) -> "PeriodInstance":
+        """Build an instance straight from columnar task buffers.
+
+        The zero-copy counterpart of :meth:`build`: the
+        :class:`~repro.simulation.arena.TaskColumns` arrays become the
+        :class:`PeriodArrays` view and feed the vectorised graph builder
+        directly, and ``tasks`` is a lazy view materialising a
+        :class:`~repro.market.entities.Task` only when indexed — results
+        are value-identical to :meth:`build` on the materialised objects.
+
+        Args:
+            period: The period index.
+            grid: The pricing grid.
+            task_columns: The period's tasks as columns (cells must be
+                annotated, as the generators guarantee).
+            workers: Worker records (list or lazy view).
+            metric: Distance metric name for the range constraint.
+            max_degree: Optional per-task adjacency cap.
+            worker_grids: Optional pre-located 1-based worker cells
+                (computed via :meth:`~repro.spatial.grid.Grid.locate_many`
+                when omitted).
+            worker_x / worker_y / worker_radii: Optional pre-extracted
+                worker coordinate arrays (extracted from ``workers`` when
+                omitted); callers that partition one pool across shards
+                pass slices so extraction happens once per period.
+        """
+        from repro.matching.bipartite import build_graph_from_arrays
+        from repro.simulation.arena import LazyTasks
+
+        num_workers = len(workers)
+        if worker_x is None or worker_y is None or worker_radii is None:
+            worker_x = np.fromiter(
+                (w.location.x for w in workers), dtype=np.float64, count=num_workers
+            )
+            worker_y = np.fromiter(
+                (w.location.y for w in workers), dtype=np.float64, count=num_workers
+            )
+            worker_radii = np.fromiter(
+                (w.radius for w in workers), dtype=np.float64, count=num_workers
+            )
+        if worker_grids is None:
+            if num_workers:
+                worker_grids = grid.locate_many(worker_x, worker_y)
+            else:
+                worker_grids = np.zeros(0, dtype=np.int64)
+        arrays = PeriodArrays(
+            task_grids=task_columns.cells,
+            distances=task_columns.distances,
+            valuations=task_columns.valuations,
+            has_valuation=task_columns.has_valuation,
+            worker_grids=worker_grids,
+        )
+        tasks = LazyTasks(task_columns)
+        graph = build_graph_from_arrays(
+            tasks,
+            workers,
+            task_columns.xs,
+            task_columns.ys,
+            worker_x,
+            worker_y,
+            worker_radii,
+            metric,
+            grid,
+            max_degree,
+        )
+        return cls(
+            period=period,
+            grid=grid,
+            tasks=tasks,
+            workers=workers,
+            graph=graph,
+            tasks_by_grid={
+                g: list(positions) for g, positions in arrays.tasks_by_grid.items()
+            },
+            workers_by_grid=dict(arrays.workers_by_grid),
+            arrays=arrays,
+        )
+
     # ------------------------------------------------------------------
     # convenience views
     # ------------------------------------------------------------------

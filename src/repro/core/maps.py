@@ -23,7 +23,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from itertools import accumulate
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.gdp import PeriodInstance
 from repro.core.maximizer import MaximizerResult, calculate_maximizer
@@ -78,6 +81,7 @@ class MAPSPlanner:
         p_min: float,
         p_max: float,
         maximizer: MaximizerFn = calculate_maximizer,
+        vectorized: Optional[bool] = None,
     ) -> None:
         if p_min <= 0 or p_max < p_min:
             raise ValueError("need 0 < p_min <= p_max")
@@ -87,6 +91,16 @@ class MAPSPlanner:
         self.p_min = float(p_min)
         self.p_max = float(p_max)
         self._maximizer = maximizer
+        if vectorized is None:
+            # The array path inlines Algorithm 3, so it only replaces the
+            # stock maximizer; custom maximizers keep the generic loop.
+            vectorized = maximizer is calculate_maximizer
+        elif vectorized and maximizer is not calculate_maximizer:
+            raise ValueError(
+                "vectorized planning inlines calculate_maximizer; pass "
+                "vectorized=False (or drop the custom maximizer)"
+            )
+        self.vectorized = bool(vectorized)
 
     # ------------------------------------------------------------------
     # planning
@@ -98,6 +112,11 @@ class MAPSPlanner:
     ) -> MAPSPlan:
         """Run Algorithm 2 for one period.
 
+        Dispatches to the array-native planner (the default; see
+        :meth:`_plan_vectorized`) or the reference per-grid loop — the
+        two are bit-identical, which the property suite fuzzes and the
+        regression tests pin across whole simulations.
+
         Args:
             instance: The period's tasks, workers and bipartite graph.
             estimators: Per-grid acceptance statistics (must contain an
@@ -106,6 +125,16 @@ class MAPSPlanner:
         Returns:
             The :class:`MAPSPlan` with prices, supply and the pre-matching.
         """
+        if self.vectorized:
+            return self._plan_vectorized(instance, estimators)
+        return self._plan_loop(instance, estimators)
+
+    def _plan_loop(
+        self,
+        instance: PeriodInstance,
+        estimators: Mapping[int, GridAcceptanceEstimator],
+    ) -> MAPSPlan:
+        """Reference implementation: per-grid dicts, Python heap."""
         grid = instance.grid
         # Sharing the instance's grid buckets (and, inside the matcher,
         # the graph's cached CSR view) keeps the pre-matching from
@@ -191,6 +220,210 @@ class MAPSPlanner:
             supply=supply,
             pre_matching=matcher.matching(),
             approx_revenue=total_approx,
+            iterations=iterations,
+        )
+
+    # ------------------------------------------------------------------
+    # array-native planning
+    # ------------------------------------------------------------------
+    def _plan_vectorized(
+        self,
+        instance: PeriodInstance,
+        estimators: Mapping[int, GridAcceptanceEstimator],
+    ) -> MAPSPlan:
+        """Algorithm 2 over flat arrays, bit-identical to the loop planner.
+
+        Three observations make the hot loop cheap without changing one
+        extraction's semantics:
+
+        * the UCB *demand* side of Algorithm 3's index — ``p S_hat(p) +
+          c(p)`` — depends only on the estimator state, which is frozen
+          during planning, so it is computed **once per grid per period**
+          (via the estimators' cached :meth:`snapshot_table` arrays, one
+          batched query instead of one snapshot list per maximizer call);
+          each candidate evaluation then only applies the supply cap
+          ``(D_n / C) p`` and the descending first-strict-improvement
+          scan;
+        * the per-grid supply coefficients ``D_n`` are prefix sums of the
+          sorted distance profile, precomputed per grid (Python-``sum``
+          associativity preserved, so the floats match the loop exactly);
+        * the heap's comparison is the strict total order (priority
+          descending, insertion counter ascending) — popping is an
+          argmax over a masked priority array with the same tie-break,
+          and per-grid state lives in flat arrays instead of dicts.
+
+        Evaluations are memoised per ``(grid, supply)`` within the round
+        (the index is a pure function of them once the tables are fixed);
+        the ``Delta^g`` arithmetic replicates
+        :func:`~repro.core.maximizer.calculate_maximizer` operation for
+        operation.
+        """
+        grid = instance.grid
+        matcher = IncrementalMatcher(
+            instance.graph, grid_tasks=instance.tasks_by_grid
+        )
+        gs = instance.grid_indices_with_tasks()
+        count = len(gs)
+        base_price = self.base_price
+        p_max = self.p_max
+
+        # Per-grid demand profiles and Algorithm 3 tables, one pass.
+        lengths: List[int] = []
+        demand_c: List[float] = []  # C = sum of distances
+        prefix_d: List[List[float]] = []  # D_n = sum of n largest
+        prices_desc: List[List[float]] = []
+        optimistic: List[List[float]] = []  # p * S_hat(p) + c(p), desc
+        zero_price: List[float] = []  # Algorithm 3's zero-demand fallback
+        for g in gs:
+            estimator = estimators.get(g)
+            if estimator is None:
+                raise KeyError(f"no acceptance estimator for grid {g}")
+            profile = instance.distances_in_grid(g)
+            lengths.append(len(profile))
+            prefix = list(accumulate(profile))
+            prefix_d.append(prefix)
+            demand_c.append(prefix[-1] if prefix else 0.0)
+            ladder, means, offers, total = estimator.snapshot_table()
+            if total == 0:
+                # No offers anywhere: zero radius, and untested prices
+                # score p * 0 = 0 on the demand side.
+                demand_side = ladder * means
+            else:
+                ln_total = math.log(total)
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    radius = ladder * np.sqrt(2.0 * ln_total / offers)
+                radius[offers == 0.0] = math.inf
+                demand_side = ladder * means + radius
+            prices_desc.append(ladder[::-1].tolist())
+            optimistic.append(demand_side[::-1].tolist())
+            zero_price.append(float(ladder[0]) if ladder.size else 0.0)
+
+        # (price, index) of Algorithm 3's scan at one supply level,
+        # memoised per (grid position, supply).
+        eval_cache: Dict[Tuple[int, int], Tuple[float, float]] = {}
+
+        def scaled_best(gi: int, n: int) -> Tuple[float, float]:
+            cached = eval_cache.get((gi, n))
+            if cached is not None:
+                return cached
+            length = lengths[gi]
+            k = n if n < length else length
+            ratio = (prefix_d[gi][k - 1] if k > 0 else 0.0) / demand_c[gi]
+            best_value = -math.inf
+            best_p = 0.0
+            for p, demand_value in zip(prices_desc[gi], optimistic[gi]):
+                cap = ratio * p
+                value = demand_value if demand_value <= cap else cap
+                if value > best_value + 1e-12:
+                    best_value = value
+                    best_p = p
+            result = (best_p, best_value if best_value > 0.0 else 0.0)
+            eval_cache[(gi, n)] = result
+            return result
+
+        def evaluate(gi: int, new_supply: int, previous: int) -> Tuple[float, float]:
+            """``(price, Delta^g)`` exactly as ``calculate_maximizer``."""
+            if demand_c[gi] <= 0.0:
+                return zero_price[gi], 0.0
+            new_price, new_index = scaled_best(gi, new_supply)
+            if previous == new_supply:
+                return new_price, 0.0
+            if previous == 0:
+                return new_price, demand_c[gi] * new_index
+            _, old_index = scaled_best(gi, previous)
+            delta = demand_c[gi] * (new_index - old_index)
+            return new_price, delta if delta > 0.0 else 0.0
+
+        # Heap state as arrays: -inf marks "not queued"; ties break by
+        # ascending insertion counter, the heap's exact total order.
+        priority = np.full(count, -math.inf, dtype=np.float64)
+        insertion = np.zeros(count, dtype=np.int64)
+        payload_supply = [0] * count
+        payload_price = [base_price] * count
+        supply = [0] * count
+        prices = [base_price] * count
+        approx = [0.0] * count
+        counter = 0
+        active = 0
+        for gi in range(count):
+            priority[gi] = math.inf
+            insertion[gi] = counter
+            counter += 1
+            active += 1
+
+        iterations = 0
+        while active:
+            iterations += 1
+            top = float(priority.max())
+            candidates = np.flatnonzero(priority == top)
+            gi = (
+                int(candidates[0])
+                if candidates.shape[0] == 1
+                else int(candidates[np.argmin(insertion[candidates])])
+            )
+            priority[gi] = -math.inf
+            active -= 1
+            g = gs[gi]
+            delta = top
+            candidate_supply = payload_supply[gi]
+            candidate_price = payload_price[gi]
+
+            if not math.isinf(delta):
+                if delta <= 1e-12:
+                    # Lines 11-14: finalise the grid's price.
+                    prices[gi] = min(candidate_price, p_max)
+                    continue
+                matched_task = matcher.augment_grid(g)
+                if matched_task is None:
+                    # Stale gain: re-evaluate at the current supply.
+                    if demand_c[gi] <= 0.0:
+                        price = zero_price[gi]
+                    else:
+                        price, _ = scaled_best(gi, supply[gi])
+                    price = price if supply[gi] > 0 else base_price
+                    priority[gi] = 0.0
+                    insertion[gi] = counter
+                    counter += 1
+                    active += 1
+                    payload_supply[gi] = supply[gi]
+                    payload_price[gi] = price
+                    continue
+                supply[gi] = candidate_supply
+                prices[gi] = min(candidate_price, p_max)
+                approx[gi] += delta
+
+            # Lines 15-21: propose the next supply increase.
+            if not lengths[gi] or not matcher.can_augment_grid(g):
+                current_price = prices[gi] if supply[gi] > 0 else base_price
+                priority[gi] = 0.0
+                payload_supply[gi] = supply[gi]
+                payload_price[gi] = current_price
+            elif supply[gi] >= lengths[gi]:
+                priority[gi] = 0.0
+                payload_supply[gi] = supply[gi]
+                payload_price[gi] = prices[gi]
+            else:
+                new_supply = supply[gi] + 1
+                price, delta = evaluate(gi, new_supply, supply[gi])
+                priority[gi] = delta
+                payload_supply[gi] = new_supply
+                payload_price[gi] = price
+            insertion[gi] = counter
+            counter += 1
+            active += 1
+
+        prices_out: Dict[int, float] = {
+            cell.index: base_price for cell in grid.cells()
+        }
+        supply_out: Dict[int, int] = {cell.index: 0 for cell in grid.cells()}
+        for gi, g in enumerate(gs):
+            prices_out[g] = prices[gi]
+            supply_out[g] = supply[gi]
+        return MAPSPlan(
+            prices=prices_out,
+            supply=supply_out,
+            pre_matching=matcher.matching(),
+            approx_revenue=sum(approx),
             iterations=iterations,
         )
 

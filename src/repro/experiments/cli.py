@@ -186,8 +186,11 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="worker processes for the per-value strategy runs (1 = "
-        "sequential, 0 = executor default); results are identical to a "
-        "sequential run for the same seed",
+        "sequential, 0 = one per core via os.cpu_count()); results are "
+        "identical to a sequential run for the same seed.  Combined with "
+        "--shards the shard dispatch stays inside each run's process, so "
+        "total process count is --jobs (the runner divides its default "
+        "by any per-run shard_jobs fan-out to avoid oversubscription)",
     )
     return parser
 

@@ -33,6 +33,7 @@ workload spatially and running one full-horizon process per shard.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import pickle
 import warnings
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
@@ -218,6 +219,53 @@ def _init_worker(workload: WorkloadBundle) -> None:
     _WORKER_WORKLOAD = workload
 
 
+@dataclass(frozen=True)
+class _ArenaWorkloadMeta:
+    """Small picklable market context shipped next to an arena handle.
+
+    The horizon length itself travels in the arena handle, which is what
+    the attach path iterates by.
+    """
+
+    grid: object
+    acceptance: object
+    metric: str
+    price_bounds: Tuple[float, float]
+    description: str
+
+
+def _init_worker_from_arena(handle, meta: _ArenaWorkloadMeta) -> None:
+    """Pool initializer: rebuild the workload from shared-memory columns.
+
+    The owner process packs the bundle's period columns into one
+    :class:`~repro.simulation.arena.WorkloadArena`; every worker maps the
+    segment read-only and materialises its private object bundle from the
+    views — no per-worker workload pickling, and a worker crash cannot
+    leak the segment (only the owner unlinks).
+    """
+    from repro.simulation.arena import WorkloadArena
+
+    global _WORKER_WORKLOAD
+    arena = WorkloadArena.attach(handle)
+    try:
+        tasks_by_period = []
+        workers_by_period = []
+        for task_cols, worker_cols in arena.iter_shard(0):
+            tasks_by_period.append(task_cols.to_tasks())
+            workers_by_period.append(worker_cols.to_workers())
+    finally:
+        arena.close()
+    _WORKER_WORKLOAD = WorkloadBundle(
+        grid=meta.grid,
+        tasks_by_period=tasks_by_period,
+        workers_by_period=workers_by_period,
+        acceptance=meta.acceptance,
+        metric=meta.metric,
+        price_bounds=meta.price_bounds,
+        description=meta.description,
+    )
+
+
 def _execute_run_pooled(
     spec: StrategySpec,
     seed: int,
@@ -254,8 +302,11 @@ class ParallelRunner:
         shared_kwargs: Keyword arguments applied to every promoted string
             spec (e.g. ``base_price`` / ``p_min`` / ``p_max``).
         matching_backend: Matching backend name for every engine.
-        max_workers: Process count (``None`` = executor default).  ``1``
-            forces the in-process sequential path.
+        max_workers: Process count.  ``None`` (default) resolves to
+            ``os.cpu_count()``, divided by ``shards.shard_jobs`` when the
+            spec also fans each run's shards across processes — the two
+            levels multiply, and the old "executor default" oversubscribed
+            small hosts.  ``1`` forces the in-process sequential path.
         track_memory: Forwarded to the engines.  Peak-memory numbers are
             per-process when running parallel.
         keep_details: Forwarded to the engines.
@@ -273,6 +324,13 @@ class ParallelRunner:
             only) forwarded to every engine; ``None`` keeps exact graphs.
         warm_start: Forward cross-period warm-start hints to every
             engine's matching (weight-preserving; off by default).
+        workload_via_arena: Ship the workload to worker processes as a
+            shared-memory :class:`~repro.simulation.arena.WorkloadArena`
+            handle instead of pickling the bundle.  ``None`` (default)
+            enables it exactly when the multiprocessing start method
+            cannot inherit the bundle for free (i.e. anything but
+            ``fork``); forcing ``True`` exercises the zero-copy path on
+            fork platforms too.  Results are identical either way.
 
     Results are keyed by ``(strategy name, seed)`` and their order is
     fixed by the spec/seed declaration order, independent of which process
@@ -293,6 +351,7 @@ class ParallelRunner:
         shards: Optional[ShardSpec] = None,
         max_degree: Optional[int] = None,
         warm_start: bool = False,
+        workload_via_arena: Optional[bool] = None,
     ) -> None:
         if not specs:
             raise ValueError("need at least one strategy spec")
@@ -320,11 +379,19 @@ class ParallelRunner:
         if len(set(self.seeds)) != len(self.seeds):
             raise ValueError(f"duplicate seeds would collapse results: {self.seeds}")
         self.matching_backend = matching_backend
-        self.max_workers = max_workers
+        if max_workers is None:
+            # One process per core by default; when each run additionally
+            # fans its shards across shard_jobs processes, divide so the
+            # product of the two levels stays at the core count.
+            max_workers = os.cpu_count() or 1
+            if shards is not None and shards.shard_jobs > 1:
+                max_workers = max(1, max_workers // int(shards.shard_jobs))
+        self.max_workers = int(max_workers)
         self.track_memory = bool(track_memory)
         self.keep_details = bool(keep_details)
         self.max_degree = None if max_degree is None else int(max_degree)
         self.warm_start = bool(warm_start)
+        self.workload_via_arena = workload_via_arena
 
     # ------------------------------------------------------------------
     # execution
@@ -382,11 +449,20 @@ class ParallelRunner:
         # tiny and always cross the job queue; the (potentially large)
         # workload only needs pickling on non-fork start methods — forked
         # workers inherit the initializer args without serialisation.
+        use_arena = self.workload is not None and (
+            self.workload_via_arena
+            if self.workload_via_arena is not None
+            else multiprocessing.get_start_method() != "fork"
+        )
         try:
             pickle.dumps(self.specs)
             pickle.dumps(self.stream)
             pickle.dumps(self.shards)
-            if self.workload is not None and multiprocessing.get_start_method() != "fork":
+            if (
+                self.workload is not None
+                and not use_arena
+                and multiprocessing.get_start_method() != "fork"
+            ):
                 pickle.dumps(self.workload)
         except Exception as error:
             warnings.warn(
@@ -396,6 +472,7 @@ class ParallelRunner:
                 stacklevel=2,
             )
             return self.run_sequential()
+        arena = None
         try:
             if self.stream is not None:
                 # Stream recipes are tiny; each job pickles its own cell
@@ -416,11 +493,35 @@ class ParallelRunner:
                     )
             else:
                 # The workload is shipped once per worker via the
-                # initializer; each job only pickles its (spec, seed) cell.
+                # initializer; each job only pickles its (spec, seed)
+                # cell.  Zero-copy mode packs the horizon's columns into
+                # one shared-memory arena and hands workers the handle —
+                # kilobytes through the queue instead of the bundle.
+                assert self.workload is not None
+                if use_arena:
+                    from repro.simulation.arena import WorkloadArena
+
+                    arena = WorkloadArena.create(
+                        {0: list(self.workload.iter_period_columns())}
+                    )
+                    initializer = _init_worker_from_arena
+                    initargs = (
+                        arena.handle,
+                        _ArenaWorkloadMeta(
+                            grid=self.workload.grid,
+                            acceptance=self.workload.acceptance,
+                            metric=self.workload.metric,
+                            price_bounds=self.workload.price_bounds,
+                            description=self.workload.description,
+                        ),
+                    )
+                else:
+                    initializer = _init_worker
+                    initargs = (self.workload,)
                 with ProcessPoolExecutor(
                     max_workers=self.max_workers,
-                    initializer=_init_worker,
-                    initargs=(self.workload,),
+                    initializer=initializer,
+                    initargs=initargs,
                 ) as executor:
                     outputs = list(
                         executor.map(
@@ -446,6 +547,9 @@ class ParallelRunner:
                 stacklevel=2,
             )
             return self.run_sequential()
+        finally:
+            if arena is not None:
+                arena.unlink()
         return dict(outputs)
 
     # ------------------------------------------------------------------

@@ -170,6 +170,35 @@ class PerGridAcceptance:
     def acceptance_ratio(self, grid_index: int, price: float) -> float:
         return self.model_for(grid_index).acceptance_ratio(price)
 
+    def acceptance_ratios(
+        self, grid_indices: Sequence[int], prices: Sequence[float]
+    ) -> np.ndarray:
+        """Vectorised ``S^g(p)`` for parallel grid/price arrays.
+
+        Quoted prices are per *grid*, so a period's ``(grid, price)``
+        pairs collapse to a handful of unique combinations; this batches
+        the lookup into one scalar :meth:`acceptance_ratio` call per
+        unique pair (bit-identical per element, since the same scalar
+        function produces every value) instead of one per task.
+        """
+        grids = np.asarray(grid_indices, dtype=np.int64)
+        price_arr = np.asarray(prices, dtype=np.float64)
+        if grids.shape != price_arr.shape or grids.ndim != 1:
+            raise ValueError("grid_indices and prices must be 1-D and equal length")
+        if not grids.size:
+            return np.zeros(0, dtype=np.float64)
+        pairs = np.stack([grids.astype(np.float64), price_arr], axis=1)
+        unique_pairs, inverse = np.unique(pairs, axis=0, return_inverse=True)
+        ratios = np.fromiter(
+            (
+                self.acceptance_ratio(int(pair[0]), float(pair[1]))
+                for pair in unique_pairs
+            ),
+            dtype=np.float64,
+            count=unique_pairs.shape[0],
+        )
+        return ratios[inverse.reshape(-1)]
+
     def set_model(self, grid_index: int, model: AcceptanceModel) -> None:
         self._models[grid_index] = model
 

@@ -202,8 +202,11 @@ class BipartiteGraph:
         if csr.num_tasks != len(tasks) or csr.num_workers != len(workers):
             raise ValueError("CSR dimensions must match tasks and workers")
         graph = cls.__new__(cls)
-        graph.tasks = tasks if isinstance(tasks, list) else list(tasks)
-        graph.workers = workers if isinstance(workers, list) else list(workers)
+        # Any random-access sequence works (the graph only ever indexes
+        # and measures it); keeping e.g. a lazy columnar view as-is means
+        # records materialise only if some consumer actually reads them.
+        graph.tasks = tasks if isinstance(tasks, Sequence) else list(tasks)
+        graph.workers = workers if isinstance(workers, Sequence) else list(workers)
         graph._task_neighbors = None
         graph._worker_neighbors = None
         graph._csr = csr
@@ -418,7 +421,11 @@ def _cap_edge_arrays(
 
     Ties on distance break by ascending worker position, so the kept set
     is deterministic and identical to the scalar capping rule.  Inputs
-    must be sorted by (task, worker); outputs preserve that order.
+    may arrive in any order (the selection keys order them fully);
+    outputs are in canonical ascending ``(task, worker)`` order.  Doing
+    the ranking sort on the raw arrays and the canonical sort on the
+    *capped* set keeps the expensive three-key lexsort to one pass over
+    the full edge list.
     """
     order = np.lexsort((worker_idx, distances, task_idx))
     sorted_tasks = task_idx[order]
@@ -426,8 +433,10 @@ def _cap_edge_arrays(
     starts = np.repeat(np.cumsum(counts) - counts, counts)
     rank = np.arange(sorted_tasks.size, dtype=np.int64) - starts
     keep = order[rank < max_degree]
-    keep.sort()  # restore the original (task, worker) ordering
-    return task_idx[keep], worker_idx[keep]
+    kept_tasks = task_idx[keep]
+    kept_workers = worker_idx[keep]
+    canonical = np.lexsort((kept_workers, kept_tasks))
+    return kept_tasks[canonical], kept_workers[canonical]
 
 
 def _cap_adjacency(
@@ -459,6 +468,52 @@ def _cap_adjacency(
     graph._csr = None
 
 
+def build_graph_from_arrays(
+    tasks: Sequence[Task],
+    workers: Sequence[Worker],
+    task_x: np.ndarray,
+    task_y: np.ndarray,
+    worker_x: np.ndarray,
+    worker_y: np.ndarray,
+    radii: np.ndarray,
+    metric: Union[str, DistanceMetric],
+    grid: Grid,
+    max_degree: Optional[int] = None,
+) -> BipartiteGraph:
+    """Array-native graph construction from pre-extracted coordinates.
+
+    The columnar engine path calls this directly with its struct-of-array
+    buffers (``tasks`` / ``workers`` may be lazy record views — the graph
+    only stores them); :func:`_build_vectorized` extracts the same arrays
+    from objects first.  Empty sides short-circuit to an edgeless graph.
+    """
+    num_tasks = len(tasks)
+    num_workers = len(workers)
+    if not num_tasks or not num_workers:
+        csr = CSRGraph.from_edge_arrays(
+            np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64), num_tasks, num_workers
+        )
+        return BipartiteGraph.from_csr(tasks, workers, csr)
+    buckets = GridBuckets(grid, task_x, task_y)
+    worker_idx, task_idx, distances = buckets.query_circles(
+        worker_x, worker_y, radii, metric=metric
+    )
+
+    if max_degree is not None and task_idx.size:
+        # The cap's ranking sort orders edges fully on its own, so the
+        # canonical sort only runs over the surviving <= K-per-task set.
+        task_idx, worker_idx = _cap_edge_arrays(
+            task_idx, worker_idx, distances, num_tasks, int(max_degree)
+        )
+    else:
+        # Canonical CSR order: ascending (task, worker).
+        order = np.lexsort((worker_idx, task_idx))
+        task_idx = task_idx[order]
+        worker_idx = worker_idx[order]
+    csr = CSRGraph.from_edge_arrays(task_idx, worker_idx, num_tasks, num_workers)
+    return BipartiteGraph.from_csr(tasks, workers, csr)
+
+
 def _build_vectorized(
     tasks: List[Task],
     workers: List[Worker],
@@ -478,22 +533,18 @@ def _build_vectorized(
     radii = np.fromiter(
         (worker.radius for worker in workers), dtype=np.float64, count=len(workers)
     )
-
-    buckets = GridBuckets(grid, task_x, task_y)
-    worker_idx, task_idx, distances = buckets.query_circles(
-        worker_x, worker_y, radii, metric=metric
+    return build_graph_from_arrays(
+        tasks,
+        workers,
+        task_x,
+        task_y,
+        worker_x,
+        worker_y,
+        radii,
+        metric,
+        grid,
+        max_degree,
     )
-
-    # Canonical CSR order: ascending (task, worker).
-    order = np.lexsort((worker_idx, task_idx))
-    task_idx = task_idx[order]
-    worker_idx = worker_idx[order]
-    if max_degree is not None and task_idx.size:
-        task_idx, worker_idx = _cap_edge_arrays(
-            task_idx, worker_idx, distances[order], len(tasks), int(max_degree)
-        )
-    csr = CSRGraph.from_edge_arrays(task_idx, worker_idx, len(tasks), len(workers))
-    return BipartiteGraph.from_csr(tasks, workers, csr)
 
 
 def build_bipartite_graph(
@@ -588,5 +639,6 @@ __all__ = [
     "BipartiteGraph",
     "CSRGraph",
     "build_bipartite_graph",
+    "build_graph_from_arrays",
     "force_loop_builder",
 ]

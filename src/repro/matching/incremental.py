@@ -72,6 +72,16 @@ class IncrementalMatcher:
         self._visited: List[int] = [0] * graph.num_workers
         self._dead = bytearray(graph.num_workers)
         self._stamp = 0
+        # Check-then-commit cache: the MAPS planner probes
+        # ``can_augment_grid(g)`` when proposing a supply increase and
+        # commits with ``augment_grid(g)`` only when the proposal wins the
+        # heap.  The matching only changes through ``_apply_path``, so a
+        # path found at version ``v`` is still augmenting at version ``v``
+        # — committing it verbatim skips the second search.
+        self._version = 0
+        self._cached_grid: Optional[int] = None
+        self._cached_version = -1
+        self._cached_result: Optional[Tuple[int, List[Tuple[int, int]]]] = None
 
     # ------------------------------------------------------------------
     # read-only views
@@ -122,9 +132,13 @@ class IncrementalMatcher:
     def can_augment_grid(self, grid_index: int) -> bool:
         """Whether some unmatched task of the grid admits an augmenting path.
 
-        Does not modify the matching.
+        Does not modify the matching.  The found path (or its absence) is
+        cached and reused by :meth:`augment_grid` when the matching has
+        not changed in between — the planner's common probe-then-commit
+        sequence then costs one search instead of two.
         """
-        return self._find_grid_augmenting_path(grid_index) is not None
+        result = self._grid_augmenting_path_cached(grid_index)
+        return result is not None
 
     def augment_grid(self, grid_index: int) -> Optional[int]:
         """Admit one more supply unit for the grid, if feasible.
@@ -136,12 +150,23 @@ class IncrementalMatcher:
             The task position that became matched, or ``None`` if no
             augmenting path exists (the grid is saturated).
         """
-        result = self._find_grid_augmenting_path(grid_index)
+        result = self._grid_augmenting_path_cached(grid_index)
         if result is None:
             return None
         start_task, path = result
         self._apply_path(path)
         return start_task
+
+    def _grid_augmenting_path_cached(
+        self, grid_index: int
+    ) -> Optional[Tuple[int, List[Tuple[int, int]]]]:
+        if self._cached_grid == grid_index and self._cached_version == self._version:
+            return self._cached_result
+        result = self._find_grid_augmenting_path(grid_index)
+        self._cached_grid = grid_index
+        self._cached_version = self._version
+        self._cached_result = result
+        return result
 
     def augment_task(
         self, task_pos: int, preferred_worker: Optional[int] = None
@@ -172,6 +197,7 @@ class IncrementalMatcher:
             if at < hi and self._indices[at] == preferred_worker:
                 self._match_task[task_pos] = preferred_worker
                 self._match_worker[preferred_worker] = task_pos
+                self._version += 1
                 return True
         path = self._find_augmenting_path(task_pos)
         if path is None:
@@ -269,6 +295,7 @@ class IncrementalMatcher:
         for task_pos, worker_pos in path:
             self._match_task[task_pos] = worker_pos
             self._match_worker[worker_pos] = task_pos
+        self._version += 1
 
     # ------------------------------------------------------------------
     # validation helpers (used by tests)

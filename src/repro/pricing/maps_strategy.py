@@ -48,6 +48,11 @@ class MAPSStrategy(PricingStrategy):
         maximizer: Per-grid price maximizer; swap in
             :func:`repro.core.maximizer.exploitation_maximizer` for the
             no-UCB ablation.
+        vectorized_planner: Planner implementation switch forwarded to
+            :class:`~repro.core.maps.MAPSPlanner` — ``None`` (default)
+            picks the array-native planner whenever the stock maximizer
+            is in use; ``False`` forces the reference loop (used by the
+            equivalence tests).  Both produce bit-identical plans.
     """
 
     name = "MAPS"
@@ -62,6 +67,7 @@ class MAPSStrategy(PricingStrategy):
         change_detection: bool = True,
         change_window: int = 60,
         maximizer: MaximizerFn = calculate_maximizer,
+        vectorized_planner: Optional[bool] = None,
     ) -> None:
         if p_min <= 0 or p_max < p_min:
             raise ValueError("need 0 < p_min <= p_max")
@@ -78,6 +84,7 @@ class MAPSStrategy(PricingStrategy):
             p_min=self.p_min,
             p_max=self.p_max,
             maximizer=maximizer,
+            vectorized=vectorized_planner,
         )
         self._warm_start = warm_start
         self._change_detection = bool(change_detection)

@@ -259,6 +259,21 @@ class WorkloadBundle:
         for tasks, workers in zip(self.tasks_by_period, self.workers_by_period):
             yield tasks, workers
 
+    def iter_period_columns(self) -> Iterator[Tuple["TaskColumns", "WorkerColumns"]]:
+        """Columnar view of the horizon, derived from the object chunks.
+
+        Used when packing a bundle into a
+        :class:`~repro.simulation.arena.WorkloadArena`; bundles have no
+        native columns, so this converts period by period.
+        """
+        from repro.simulation.arena import TaskColumns, WorkerColumns
+
+        for tasks, workers in self.iter_periods():
+            yield (
+                TaskColumns.from_tasks(tasks, self.grid),
+                WorkerColumns.from_workers(workers),
+            )
+
 
 #: Factory returning a fresh per-period ``(tasks, workers)`` iterator.
 PeriodChunkSource = Callable[[], Iterator[Tuple[List[Task], List[Worker]]]]
@@ -292,6 +307,12 @@ class ChunkedWorkload:
         total_tasks_hint: Optional advertised total task count (used by
             throughput reports; the true count is only known after a full
             pass).
+        column_periods: Optional zero-argument factory yielding the same
+            horizon as columnar ``(TaskColumns, WorkerColumns)`` chunks
+            (see :mod:`repro.simulation.arena`).  Generators that build
+            arrays natively set this so the engines can skip per-task
+            object churn; the object chunks stay available (and must stay
+            value-identical) through ``periods``.
     """
 
     grid: Grid
@@ -302,6 +323,12 @@ class ChunkedWorkload:
     price_bounds: Tuple[float, float] = (1.0, 5.0)
     description: str = "chunked workload"
     total_tasks_hint: Optional[int] = None
+    column_periods: Optional[Callable[[], Iterator[Tuple["TaskColumns", "WorkerColumns"]]]] = None
+
+    @property
+    def has_columns(self) -> bool:
+        """Whether the workload generates columnar chunks natively."""
+        return self.column_periods is not None
 
     def validate(self) -> None:
         """Cheap structural checks (the chunks themselves stay lazy)."""
@@ -329,6 +356,39 @@ class ChunkedWorkload:
         if produced != self.num_periods:
             raise ValueError(
                 f"chunk source yielded {produced} chunks, expected {self.num_periods}"
+            )
+
+    def iter_period_columns(self) -> Iterator[Tuple["TaskColumns", "WorkerColumns"]]:
+        """Yield columnar ``(TaskColumns, WorkerColumns)`` chunks per period.
+
+        Native columns when the generator provides them, otherwise a
+        per-period conversion of the object chunks.  Either way the
+        values are identical to :meth:`iter_periods`'s.
+
+        Raises:
+            ValueError: if a native column source yields a different
+                number of chunks than ``num_periods`` advertises.
+        """
+        if self.column_periods is None:
+            from repro.simulation.arena import TaskColumns, WorkerColumns
+
+            for tasks, workers in self.iter_periods():
+                yield (
+                    TaskColumns.from_tasks(tasks, self.grid),
+                    WorkerColumns.from_workers(workers),
+                )
+            return
+        produced = 0
+        for chunk in self.column_periods():
+            produced += 1
+            if produced > self.num_periods:
+                raise ValueError(
+                    f"column source yielded more than num_periods={self.num_periods} chunks"
+                )
+            yield chunk
+        if produced != self.num_periods:
+            raise ValueError(
+                f"column source yielded {produced} chunks, expected {self.num_periods}"
             )
 
     def materialize(self) -> WorkloadBundle:

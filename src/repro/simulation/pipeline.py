@@ -130,17 +130,11 @@ class PeriodPipeline:
         )
         missing = np.flatnonzero(~has_valuation)
         if missing.size:
-            acceptance_ratio = self.acceptance.acceptance_ratio
-            probabilities = np.fromiter(
-                (
-                    acceptance_ratio(grid_index, price)
-                    for grid_index, price in zip(
-                        arrays.task_grids[missing].tolist(),
-                        prices[missing].tolist(),
-                    )
-                ),
-                dtype=np.float64,
-                count=int(missing.size),
+            # One batched lookup per period: quoted prices are per grid,
+            # so the (grid, price) pairs collapse to a few unique combos
+            # (values identical to the former per-task scalar calls).
+            probabilities = self.acceptance.acceptance_ratios(
+                arrays.task_grids[missing], prices[missing]
             )
             accepted[missing] = rng.random(missing.size) < probabilities
         return DecideResult(prices=prices, accepted=accepted)

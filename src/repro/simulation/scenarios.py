@@ -53,6 +53,7 @@ beijing_night, beijing_rush, city_scale, food_delivery, hotspot_burst, synthetic
 
 from __future__ import annotations
 
+import math
 from dataclasses import replace
 from typing import Callable, Dict, Iterator, List, Optional, Type
 
@@ -61,6 +62,7 @@ import numpy as np
 from repro.market.acceptance import DistributionAcceptanceModel, PerGridAcceptance
 from repro.market.entities import Task, Worker
 from repro.market.valuation import TruncatedNormalValuation
+from repro.simulation.arena import TaskColumns, WorkerColumns
 from repro.simulation.config import (
     BeijingConfig,
     ChunkedWorkload,
@@ -596,8 +598,17 @@ class CityScaleScenario(Scenario):
         hotspot_ys = np.array([spot.y for spot in hotspots])
         radius = self.WORKER_RADIUS
         duration = self.WORKER_DURATION
+        # Per-cell truncnorm parameters (std is 1 everywhere), 0-based by
+        # cell position, for the batched inverse-CDF sampling below.
+        cell_means = np.fromiter(
+            (models[cell.index].distribution.mean for cell in grid.cells()),
+            dtype=np.float64,
+            count=grid.num_cells,
+        )
 
-        def _chunks() -> Iterator[tuple]:
+        def _column_chunks() -> Iterator[tuple]:
+            from scipy import stats
+
             for period in range(num_periods):
                 rng = np.random.default_rng(
                     derive_seed(root_seed, "city-period", period)
@@ -626,46 +637,66 @@ class CityScaleScenario(Scenario):
                 dest_xs = np.clip(xs + hops * np.cos(angles), 0.0, side)
                 dest_ys = np.clip(ys + hops * np.sin(angles), 0.0, side)
                 cells = grid.locate_many(xs, ys)
-                # Valuations are batch-sampled per cell (ascending cell
-                # order, so the draw order is deterministic): one scipy
-                # truncnorm call per demanded cell instead of one per
-                # task, which is what keeps 1M-task generation tractable.
+                # Valuations by batched inverse-transform sampling: the
+                # scalar path drew `uniform(size=n)` per demanded cell in
+                # ascending cell order and mapped through that cell's
+                # truncnorm ppf, so one uniform draw in cell-sorted task
+                # order plus one array-parameter ppf call consumes the
+                # same stream and yields bit-identical valuations (the
+                # per-cell loop cost one scipy dispatch per cell, which
+                # dominated 1M-task generation).
                 valuations = np.empty(num_tasks, dtype=np.float64)
-                for grid_index in np.unique(cells).tolist():
-                    positions = np.flatnonzero(cells == grid_index)
-                    valuations[positions] = models[grid_index].distribution.sample(
-                        rng, size=int(positions.size)
+                if num_tasks:
+                    order = np.argsort(cells, kind="stable")
+                    means = cell_means[cells[order] - 1]
+                    uniforms = rng.uniform(size=num_tasks)
+                    valuations[order] = stats.truncnorm.ppf(
+                        uniforms, 1.0 - means, 5.0 - means, loc=means, scale=1.0
                     )
-                tasks = []
                 task_base = period * 10_000_000
-                for pos in range(num_tasks):
-                    tasks.append(
-                        Task(
-                            task_id=task_base + pos,
-                            period=period,
-                            origin=Point(float(xs[pos]), float(ys[pos])),
-                            destination=Point(float(dest_xs[pos]), float(dest_ys[pos])),
-                            valuation=float(valuations[pos]),
-                            grid_index=int(cells[pos]),
-                        )
-                    )
-                worker_xs = rng.uniform(0.0, side, num_workers)
-                worker_ys = rng.uniform(0.0, side, num_workers)
-                workers = [
-                    Worker(
-                        worker_id=task_base + pos,
-                        period=period,
-                        location=Point(float(worker_xs[pos]), float(worker_ys[pos])),
-                        radius=radius,
-                        duration=duration,
-                    )
-                    for pos in range(num_workers)
-                ]
-                yield tasks, workers
+                task_cols = TaskColumns(
+                    period=period,
+                    task_ids=np.arange(task_base, task_base + num_tasks, dtype=np.int64),
+                    xs=xs,
+                    ys=ys,
+                    dest_xs=dest_xs,
+                    dest_ys=dest_ys,
+                    # Scalar math.hypot per task: np.hypot drifts by 1 ulp
+                    # from the libm hypot Task.__post_init__ would call,
+                    # and the distances feed matching weights that must be
+                    # bit-identical to the object path.
+                    distances=np.fromiter(
+                        (
+                            math.hypot(xs[pos] - dest_xs[pos], ys[pos] - dest_ys[pos])
+                            for pos in range(num_tasks)
+                        ),
+                        dtype=np.float64,
+                        count=num_tasks,
+                    ),
+                    valuations=valuations,
+                    has_valuation=np.ones(num_tasks, dtype=bool),
+                    cells=cells,
+                )
+                worker_cols = WorkerColumns(
+                    worker_ids=np.arange(
+                        task_base, task_base + num_workers, dtype=np.int64
+                    ),
+                    periods=np.full(num_workers, period, dtype=np.int64),
+                    xs=rng.uniform(0.0, side, num_workers),
+                    ys=rng.uniform(0.0, side, num_workers),
+                    radii=np.full(num_workers, radius, dtype=np.float64),
+                    durations=np.full(num_workers, duration, dtype=np.int64),
+                )
+                yield task_cols, worker_cols
+
+        def _chunks() -> Iterator[tuple]:
+            for task_cols, worker_cols in _column_chunks():
+                yield task_cols.to_tasks(), worker_cols.to_workers()
 
         return ChunkedWorkload(
             grid=grid,
             periods=_chunks,
+            column_periods=_column_chunks,
             num_periods=num_periods,
             acceptance=acceptance,
             metric="euclidean",

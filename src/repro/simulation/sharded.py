@@ -104,6 +104,9 @@ class _ShardDispatch:
     halo_served: List[int] = field(default_factory=list)
     #: Worker positions taken from this shard by the halo-exchange pass.
     halo_taken: List[int] = field(default_factory=list)
+    #: Columnar path only: pool positions of the shard's workers (the
+    #: local worker position ``i`` is pool position ``worker_positions[i]``).
+    worker_positions: Optional[np.ndarray] = None
 
 
 def _execute_shard_horizon(
@@ -128,6 +131,75 @@ def _execute_shard_horizon(
         warm_start=warm_start,
     )
     return engine.run(strategy)
+
+
+@dataclass(frozen=True)
+class _ArenaShardJob:
+    """Everything one shard worker process needs besides the strategy.
+
+    The heavy payload — every period's task/worker columns — lives in the
+    shared-memory arena; this record carries only the picklable handle
+    plus the small market context, so submitting a job moves kilobytes
+    through the queue however large the horizon is.
+    """
+
+    handle: "WorkloadArenaHandle"
+    shard: int
+    grid: object
+    acceptance: object
+    metric: str
+    price_bounds: Tuple[float, float]
+    description: str
+    num_periods: int
+    seed: int
+    matching_backend: str
+    track_memory: bool
+    max_degree: Optional[int]
+    warm_start: bool
+
+
+def _execute_shard_horizon_arena(
+    job: _ArenaShardJob, strategy: PricingStrategy
+) -> SimulationResult:
+    """Attach to the arena by handle and run one shard's horizon.
+
+    Top-level (picklable) worker of the zero-copy process-per-shard
+    mode.  The attach maps the owner's segment read-only; the worker
+    never unlinks it (see :mod:`repro.utils.shm`'s ownership protocol),
+    so a crashing worker cannot leak ``/dev/shm`` segments.
+    """
+    from repro.simulation.arena import WorkloadArena
+
+    arena = WorkloadArena.attach(job.handle)
+    try:
+        workload = ChunkedWorkload(
+            grid=job.grid,
+            periods=lambda: (
+                (task_cols.to_tasks(), worker_cols.to_workers())
+                for task_cols, worker_cols in arena.iter_shard(job.shard)
+            ),
+            column_periods=lambda: arena.iter_shard(job.shard),
+            num_periods=job.num_periods,
+            acceptance=job.acceptance,
+            metric=job.metric,
+            price_bounds=job.price_bounds,
+            description=f"{job.description} [shard {job.shard}]",
+        )
+        engine = ShardedEngine(
+            workload,
+            num_shards=1,
+            halo=0,
+            seed=job.seed,
+            matching_backend=job.matching_backend,
+            track_memory=job.track_memory,
+            keep_details=True,
+            max_degree=job.max_degree,
+            warm_start=job.warm_start,
+            columnar=True,
+        )
+        return engine.run(strategy)
+    finally:
+        arena.close()
 
 
 class ShardedEngine:
@@ -162,6 +234,13 @@ class ShardedEngine:
             workers; per-period weight-preserving (see
             :class:`~repro.simulation.pipeline.CrossPeriodWarmStart`)
             and off by default.
+        columnar: Drive the horizon through the zero-copy columnar data
+            plane (:mod:`repro.simulation.arena`): period chunks stay
+            struct-of-arrays end to end and ``Task``/``Worker`` records
+            materialise lazily.  ``None`` (default) enables it exactly
+            when the workload generates columns natively; results are
+            bit-identical to the object path either way (regression- and
+            property-tested).
     """
 
     def __init__(
@@ -176,6 +255,7 @@ class ShardedEngine:
         shard_jobs: int = 1,
         max_degree: Optional[int] = None,
         warm_start: bool = False,
+        columnar: Optional[bool] = None,
     ) -> None:
         workload.validate()
         if halo < 0:
@@ -192,16 +272,16 @@ class ShardedEngine:
         self.shard_jobs = int(shard_jobs)
         self.max_degree = None if max_degree is None else int(max_degree)
         self.warm_start = bool(warm_start)
+        if columnar is None:
+            columnar = bool(getattr(workload, "has_columns", False))
+        elif columnar and not hasattr(workload, "iter_period_columns"):
+            raise ValueError("columnar=True needs a workload with period columns")
+        self.columnar = bool(columnar)
         if self.shard_jobs > 1 and self.num_shards > 1:
             if self.halo > 0:
                 raise ValueError(
                     "process-per-shard execution cannot reconcile halo "
                     "boundaries; construct with halo=0"
-                )
-            if not isinstance(workload, WorkloadBundle):
-                raise ValueError(
-                    "process-per-shard execution needs a pre-materialised "
-                    "WorkloadBundle; chunked workloads run sequentially"
                 )
         # Boolean mask over 0-based cell positions of the halo band.
         self._boundary = self.tiling.boundary_cells(self.halo)
@@ -254,6 +334,8 @@ class ShardedEngine:
         """
         if self.shard_jobs > 1 and self.num_shards > 1:
             return self._run_process_per_shard(strategy)
+        if self.columnar:
+            return self._run_columnar(strategy)
         return self._run_sequential(strategy)
 
     def run_many(self, strategies: Sequence[PricingStrategy]) -> Dict[str, SimulationResult]:
@@ -463,12 +545,244 @@ class ShardedEngine:
             )
         return dispatches, leftover
 
+    # ------------------------------------------------------------------
+    # columnar shard loop (zero-copy data plane)
+    # ------------------------------------------------------------------
+    def _run_columnar(self, strategy: PricingStrategy) -> SimulationResult:
+        """The sequential shard loop over columnar period chunks.
+
+        Mirrors :meth:`_run_sequential` stage for stage — same RNG
+        stream, same dispatch order, same feedback — but keeps tasks and
+        the worker pool as struct-of-arrays (:mod:`repro.simulation.arena`)
+        and materialises records lazily, so the per-period cost scales
+        with the array ops rather than with Python object churn.  Results
+        are bit-identical to the object loop.
+        """
+        from repro.simulation.arena import ColumnarWorkerPool
+
+        strategy.reset()
+        collector = MetricsCollector(strategy.name, track_memory=self.track_memory)
+        collector.start()
+        rng = np.random.default_rng(derive_seed(self.seed, "acceptance", strategy.name))
+        pipeline = PeriodPipeline(
+            price_bounds=self.workload.price_bounds,
+            acceptance=self.workload.acceptance,
+            matching_backend=self.matching_backend,
+        )
+
+        outcomes: List[PeriodOutcome] = []
+        pool = ColumnarWorkerPool()
+        warm_caches: Optional[Dict[int, CrossPeriodWarmStart]] = (
+            {} if self.warm_start else None
+        )
+
+        for period, (task_cols, worker_cols) in enumerate(
+            self.workload.iter_period_columns()
+        ):
+            pool.extend(worker_cols)
+            pool.retain_available(period)
+            if not len(task_cols):
+                if self.keep_details:
+                    outcomes.append(
+                        PeriodOutcome(
+                            period=period,
+                            num_tasks=0,
+                            num_workers=len(pool),
+                            prices={},
+                            accepted_tasks=0,
+                            served_tasks=0,
+                            revenue=0.0,
+                        )
+                    )
+                continue
+
+            num_workers = len(pool)
+            dispatches, leftover = self._dispatch_shards_columnar(
+                period, task_cols, pool, strategy, rng, pipeline, collector, warm_caches
+            )
+
+            halo_revenue = 0.0
+            if self.num_shards > 1 and self.halo > 0:
+                with collector.time_matching():
+                    halo_revenue, leftover = self._reconcile_halo(
+                        period, dispatches, leftover, worker_of=pool.worker
+                    )
+
+            for dispatch in dispatches:
+                served_map = dict(dispatch.matching)
+                for task_pos in dispatch.halo_served:
+                    served_map[task_pos] = _HALO_SERVED
+                with collector.time_decide():
+                    batch = pipeline.feedback(
+                        dispatch.instance, dispatch.decision, served_map
+                    )
+                with collector.time_pricing():
+                    strategy.observe_feedback_batch(batch)
+
+            # Matched workers (local and halo) leave the pool; survivors
+            # keep the object loop's order (shard by shard, then leftover).
+            kept: List[np.ndarray] = []
+            for dispatch in dispatches:
+                taken = set(dispatch.matching.values())
+                taken.update(dispatch.halo_taken)
+                positions = dispatch.worker_positions
+                assert positions is not None
+                if taken:
+                    keep_mask = np.ones(positions.shape[0], dtype=bool)
+                    keep_mask[np.fromiter(taken, dtype=np.int64, count=len(taken))] = False
+                    kept.append(positions[keep_mask])
+                else:
+                    kept.append(positions)
+            if leftover:
+                kept.append(
+                    np.fromiter(
+                        (pos for pos, _cell in leftover),
+                        dtype=np.int64,
+                        count=len(leftover),
+                    )
+                )
+            pool.retain(
+                np.concatenate(kept) if kept else np.zeros(0, dtype=np.int64)
+            )
+
+            revenue = 0.0
+            served = 0
+            accepted = 0
+            for dispatch in dispatches:
+                revenue += dispatch.revenue
+                served += len(dispatch.matching) + len(dispatch.halo_served)
+                accepted += int(dispatch.decision.accepted.sum())
+            revenue += halo_revenue
+
+            collector.record_period(
+                revenue=revenue,
+                served_tasks=served,
+                accepted_tasks=accepted,
+                total_tasks=len(task_cols),
+            )
+            if self.keep_details:
+                prices: Dict[int, float] = {}
+                for dispatch in dispatches:
+                    prices.update(dispatch.grid_prices)
+                outcomes.append(
+                    PeriodOutcome(
+                        period=period,
+                        num_tasks=len(task_cols),
+                        num_workers=num_workers,
+                        prices=prices,
+                        accepted_tasks=accepted,
+                        served_tasks=served,
+                        revenue=revenue,
+                    )
+                )
+
+        metrics = collector.finish()
+        return SimulationResult(
+            metrics=metrics, outcomes=outcomes, description=self.workload.description
+        )
+
+    def _dispatch_shards_columnar(
+        self,
+        period: int,
+        task_cols,
+        pool,
+        strategy: PricingStrategy,
+        rng: np.random.Generator,
+        pipeline: PeriodPipeline,
+        collector: MetricsCollector,
+        warm_caches: Optional[Dict[int, CrossPeriodWarmStart]] = None,
+    ) -> Tuple[List[_ShardDispatch], List[Tuple[int, int]]]:
+        """Columnar quote → decide → match over every shard with tasks.
+
+        The partition is pure array work: tasks split by their (already
+        annotated) cells, pool workers by one vectorised ``locate_many``.
+        Returns the dispatch states plus ``(pool_position, cell)`` pairs
+        of workers whose shard had no tasks this period.
+        """
+        grid = self.workload.grid
+        num_shards = self.num_shards
+        num_workers = len(pool)
+        columns = pool.columns
+        if num_workers:
+            worker_cells = grid.locate_many(columns.xs, columns.ys)
+        else:
+            worker_cells = np.zeros(0, dtype=np.int64)
+
+        if num_shards == 1:
+            shard_task_positions: Dict[int, Optional[np.ndarray]] = {0: None}
+            shard_worker_positions = {0: np.arange(num_workers, dtype=np.int64)}
+        else:
+            task_shards = self.tiling.shards_of_cells(task_cols.cells)
+            shard_task_positions = {
+                shard: np.flatnonzero(task_shards == shard)
+                for shard in np.unique(task_shards).tolist()
+            }
+            shard_worker_positions = {}
+            if num_workers:
+                worker_shards = self.tiling.shards_of_cells(worker_cells)
+                shard_worker_positions = {
+                    shard: np.flatnonzero(worker_shards == shard)
+                    for shard in np.unique(worker_shards).tolist()
+                }
+
+        dispatches: List[_ShardDispatch] = []
+        leftover: List[Tuple[int, int]] = []
+        for shard in range(num_shards):
+            worker_positions = shard_worker_positions.get(
+                shard, np.zeros(0, dtype=np.int64)
+            )
+            if shard not in shard_task_positions:
+                for pool_pos in worker_positions.tolist():
+                    leftover.append((pool_pos, int(worker_cells[pool_pos])))
+                continue
+            task_positions = shard_task_positions[shard]
+            shard_cols = (
+                task_cols if task_positions is None else task_cols.take(task_positions)
+            )
+            instance = PeriodInstance.from_columns(
+                period=period,
+                grid=grid,
+                task_columns=shard_cols,
+                workers=pool.view(worker_positions),
+                metric=self.workload.metric,
+                max_degree=self.max_degree,
+                worker_grids=worker_cells[worker_positions],
+                worker_x=columns.xs[worker_positions],
+                worker_y=columns.ys[worker_positions],
+                worker_radii=columns.radii[worker_positions],
+            )
+            warm_cache = None
+            if warm_caches is not None:
+                warm_cache = warm_caches.setdefault(shard, CrossPeriodWarmStart())
+            with collector.time_pricing():
+                grid_prices = pipeline.quote(strategy, instance)
+            with collector.time_decide():
+                decision = pipeline.decide(instance, grid_prices, rng)
+            with collector.time_matching():
+                hints = warm_cache.hints(instance) if warm_cache is not None else None
+                matching, revenue = pipeline.match(instance, decision, hints)
+            if warm_cache is not None:
+                warm_cache.update(instance, matching)
+            dispatches.append(
+                _ShardDispatch(
+                    shard=shard,
+                    instance=instance,
+                    grid_prices=dict(grid_prices),
+                    decision=decision,
+                    matching=matching,
+                    revenue=revenue,
+                    worker_positions=worker_positions,
+                )
+            )
+        return dispatches, leftover
+
     def _reconcile_halo(
         self,
         period: int,
         dispatches: List[_ShardDispatch],
-        leftover: List[Tuple[Worker, int]],
-    ) -> Tuple[float, List[Tuple[Worker, int]]]:
+        leftover: List[Tuple[object, int]],
+        worker_of=None,
+    ) -> Tuple[float, List[Tuple[object, int]]]:
         """One halo-exchange pass over the boundary band.
 
         Accepted-but-unmatched tasks in halo cells are re-offered to the
@@ -478,6 +792,10 @@ class ShardedEngine:
         Mutates the dispatch states (``halo_served`` / ``halo_taken``) and
         returns the recovered revenue plus the leftover workers that
         remain unmatched.
+
+        ``leftover`` pairs carry either ``(Worker, cell)`` (object loop)
+        or ``(pool_position, cell)`` with ``worker_of`` resolving
+        positions to records on demand (columnar loop).
         """
         boundary = self._boundary
         tasks: List[Task] = []
@@ -485,34 +803,55 @@ class ShardedEngine:
         weights: List[float] = []
         for dispatch_pos, dispatch in enumerate(dispatches):
             arrays = dispatch.instance.ensure_arrays()
-            cells = arrays.task_grids.tolist()
             prices = dispatch.decision.prices
             distances = arrays.distances
-            for task_pos in dispatch.decision.accepted_positions.tolist():
-                if task_pos in dispatch.matching:
-                    continue
-                if boundary[cells[task_pos] - 1]:
-                    tasks.append(dispatch.instance.tasks[task_pos])
-                    task_refs.append((dispatch_pos, task_pos))
-                    weights.append(float(distances[task_pos] * prices[task_pos]))
+            # Accepted-but-unmatched boundary tasks, selected with array
+            # ops (ascending task position, like the scalar loop did).
+            candidates = dispatch.decision.accepted_positions
+            if dispatch.matching:
+                matched = np.fromiter(
+                    dispatch.matching.keys(),
+                    dtype=np.int64,
+                    count=len(dispatch.matching),
+                )
+                candidates = candidates[
+                    ~np.isin(candidates, matched, assume_unique=True)
+                ]
+            candidates = candidates[boundary[arrays.task_grids[candidates] - 1]]
+            if not candidates.size:
+                continue
+            instance_tasks = dispatch.instance.tasks
+            for task_pos in candidates.tolist():
+                tasks.append(instance_tasks[task_pos])
+                task_refs.append((dispatch_pos, task_pos))
+                weights.append(float(distances[task_pos] * prices[task_pos]))
         if not tasks:
             return 0.0, leftover
 
         workers: List[Worker] = []
         worker_refs: List[Tuple[int, int]] = []
         for dispatch_pos, dispatch in enumerate(dispatches):
-            matched_workers = set(dispatch.matching.values())
-            cells = dispatch.instance.ensure_arrays().worker_grids.tolist()
-            for worker_pos, worker in enumerate(dispatch.instance.workers):
-                if worker_pos in matched_workers:
-                    continue
-                if boundary[cells[worker_pos] - 1]:
-                    workers.append(worker)
-                    worker_refs.append((dispatch_pos, worker_pos))
+            worker_grids = dispatch.instance.ensure_arrays().worker_grids
+            residual = boundary[worker_grids - 1]
+            if dispatch.matching:
+                residual = residual.copy()
+                residual[
+                    np.fromiter(
+                        dispatch.matching.values(),
+                        dtype=np.int64,
+                        count=len(dispatch.matching),
+                    )
+                ] = False
+            # Index rather than iterate: lazy columnar views then only
+            # materialise the residual boundary workers actually appended.
+            instance_workers = dispatch.instance.workers
+            for worker_pos in np.flatnonzero(residual).tolist():
+                workers.append(instance_workers[worker_pos])
+                worker_refs.append((dispatch_pos, worker_pos))
         leftover_taken: set = set()
         for leftover_pos, (worker, cell) in enumerate(leftover):
             if boundary[cell - 1]:
-                workers.append(worker)
+                workers.append(worker if worker_of is None else worker_of(worker))
                 worker_refs.append((-1, leftover_pos))
         if not workers:
             return 0.0, leftover
@@ -542,113 +881,113 @@ class ShardedEngine:
         return revenue, remaining
 
     # ------------------------------------------------------------------
-    # process-per-shard execution
+    # process-per-shard execution (zero-copy)
     # ------------------------------------------------------------------
-    def _split_bundle(self) -> List[WorkloadBundle]:
-        """Split the bundle into one spatial sub-workload per shard."""
-        assert isinstance(self.workload, WorkloadBundle)
+    def _split_columns(self):
+        """Partition the horizon's columns spatially, one chunk list per shard."""
+        from repro.simulation.arena import TaskColumns, WorkerColumns
+
         grid = self.workload.grid
         num_shards = self.num_shards
-        tasks_split: List[List[List[Task]]] = [
-            [[] for _ in range(self.workload.num_periods)] for _ in range(num_shards)
-        ]
-        workers_split: List[List[List[Worker]]] = [
-            [[] for _ in range(self.workload.num_periods)] for _ in range(num_shards)
-        ]
-        for period, (tasks, workers) in enumerate(self.workload.iter_periods()):
-            if tasks:
-                annotated = [
-                    task
-                    if task.grid_index is not None
-                    else task.with_grid(grid.locate(task.origin))
-                    for task in tasks
-                ]
-                task_shards = self.tiling.shards_of_cells(
-                    [task.grid_index for task in annotated]
-                ).tolist()
-                for task, shard in zip(annotated, task_shards):
-                    tasks_split[shard][period].append(task)
-            if workers:
-                cells = grid.locate_many(
-                    [worker.location.x for worker in workers],
-                    [worker.location.y for worker in workers],
-                )
-                worker_shards = self.tiling.shards_of_cells(cells).tolist()
-                for worker, shard in zip(workers, worker_shards):
-                    workers_split[shard][period].append(worker)
-        return [
-            WorkloadBundle(
-                grid=grid,
-                tasks_by_period=tasks_split[shard],
-                workers_by_period=workers_split[shard],
-                acceptance=self.workload.acceptance,
-                metric=self.workload.metric,
-                price_bounds=self.workload.price_bounds,
-                description=f"{self.workload.description} [shard {shard}]",
+        chunks: Dict[int, List[Tuple[TaskColumns, WorkerColumns]]] = {
+            shard: [] for shard in range(num_shards)
+        }
+        empty = np.zeros(0, dtype=np.int64)
+        for task_cols, worker_cols in self.workload.iter_period_columns():
+            task_shards = (
+                self.tiling.shards_of_cells(task_cols.cells)
+                if len(task_cols)
+                else empty
             )
-            for shard in range(num_shards)
-        ]
+            if len(worker_cols):
+                worker_cells = grid.locate_many(worker_cols.xs, worker_cols.ys)
+                worker_shards = self.tiling.shards_of_cells(worker_cells)
+            else:
+                worker_shards = empty
+            for shard in range(num_shards):
+                chunks[shard].append(
+                    (
+                        task_cols.take(np.flatnonzero(task_shards == shard)),
+                        worker_cols.take(np.flatnonzero(worker_shards == shard)),
+                    )
+                )
+        return chunks
 
     def _run_process_per_shard(self, strategy: PricingStrategy) -> SimulationResult:
         """Run each shard's full horizon in its own process and merge.
 
-        Every process gets its own strategy replica.  This is exact for
-        the shipped strategies (learned state is grid-keyed and grids
-        never cross shards) whenever every task carries a private
-        valuation; valuationless tasks draw from per-shard RNG streams,
-        so their runs are statistically — not bitwise — equivalent to the
-        sequential shard loop.  Hosts that cannot start process pools
-        fall back to running the same per-shard horizons sequentially
-        in-process, producing identical results.
+        The split horizon is materialised **once** into a shared-memory
+        :class:`~repro.simulation.arena.WorkloadArena`; each worker
+        process receives a kilobyte-sized :class:`_ArenaShardJob` handle
+        and maps its shard's columns zero-copy instead of unpickling a
+        per-shard workload.  Every process gets its own strategy replica.
+        This is exact for the shipped strategies (learned state is
+        grid-keyed and grids never cross shards) whenever every task
+        carries a private valuation; valuationless tasks draw from
+        per-shard RNG streams, so their runs are statistically — not
+        bitwise — equivalent to the sequential shard loop.  Hosts that
+        cannot start process pools fall back to running the same
+        per-shard horizons sequentially in-process (against the same
+        arena), producing identical results.  The arena segment is
+        unlinked before returning — worker crashes cannot leak it, since
+        workers only ever attach.
         """
-        subs = self._split_bundle()
-        seeds = [derive_seed(self.seed, "shard", shard) for shard in range(len(subs))]
-        jobs = list(zip(subs, seeds))
-        results: Optional[List[SimulationResult]] = None
+        from repro.simulation.arena import WorkloadArena
+
+        arena = WorkloadArena.create(self._split_columns())
         try:
-            pickle.dumps(strategy)
-        except Exception as error:
-            warnings.warn(
-                f"ShardedEngine: strategy is not picklable ({error!r}); "
-                "running all shards sequentially in-process",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-        else:
+            jobs = [
+                _ArenaShardJob(
+                    handle=arena.handle,
+                    shard=shard,
+                    grid=self.workload.grid,
+                    acceptance=self.workload.acceptance,
+                    metric=self.workload.metric,
+                    price_bounds=self.workload.price_bounds,
+                    description=self.workload.description,
+                    num_periods=self.workload.num_periods,
+                    seed=derive_seed(self.seed, "shard", shard),
+                    matching_backend=self.matching_backend,
+                    track_memory=self.track_memory,
+                    max_degree=self.max_degree,
+                    warm_start=self.warm_start,
+                )
+                for shard in range(self.num_shards)
+            ]
+            results: Optional[List[SimulationResult]] = None
             try:
-                with ProcessPoolExecutor(max_workers=self.shard_jobs) as executor:
-                    results = list(
-                        executor.map(
-                            _execute_shard_horizon,
-                            [sub for sub, _ in jobs],
-                            [strategy] * len(jobs),
-                            [seed for _, seed in jobs],
-                            [self.matching_backend] * len(jobs),
-                            [self.track_memory] * len(jobs),
-                            [self.max_degree] * len(jobs),
-                            [self.warm_start] * len(jobs),
-                        )
-                    )
-            except (OSError, BrokenExecutor) as error:  # pragma: no cover - host-dependent
+                pickle.dumps(strategy)
+                pickle.dumps(jobs[0])
+            except Exception as error:
                 warnings.warn(
-                    f"ShardedEngine: process pool unavailable ({error!r}); "
-                    "re-running all shards sequentially in-process",
+                    f"ShardedEngine: job payload is not picklable ({error!r}); "
+                    "running all shards sequentially in-process",
                     RuntimeWarning,
                     stacklevel=2,
                 )
-        if results is None:
-            results = [
-                _execute_shard_horizon(
-                    sub,
-                    strategy,
-                    seed,
-                    self.matching_backend,
-                    self.track_memory,
-                    self.max_degree,
-                    self.warm_start,
-                )
-                for sub, seed in jobs
-            ]
+            else:
+                try:
+                    with ProcessPoolExecutor(max_workers=self.shard_jobs) as executor:
+                        results = list(
+                            executor.map(
+                                _execute_shard_horizon_arena,
+                                jobs,
+                                [strategy] * len(jobs),
+                            )
+                        )
+                except (OSError, BrokenExecutor) as error:  # pragma: no cover - host-dependent
+                    warnings.warn(
+                        f"ShardedEngine: process pool unavailable ({error!r}); "
+                        "re-running all shards sequentially in-process",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+            if results is None:
+                results = [
+                    _execute_shard_horizon_arena(job, strategy) for job in jobs
+                ]
+        finally:
+            arena.unlink()
         return self._merge_shard_results(results)
 
     def _merge_shard_results(

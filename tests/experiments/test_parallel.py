@@ -52,6 +52,40 @@ class TestParallelRunner:
             )
             assert parallel[key].metrics.served_tasks == sequential[key].metrics.served_tasks
 
+    def test_arena_shipping_equals_pickle_shipping(self, small_workload):
+        """The zero-copy workload ship path must change nothing.
+
+        ``workload_via_arena`` auto-enables on spawn platforms
+        (macOS/Windows defaults); forcing it on exercises the
+        shared-memory handle + worker-side rebuild everywhere,
+        including fork CI hosts where it would otherwise stay dormant.
+        """
+        import os
+
+        kwargs = dict(
+            specs=["BaseP", "SDR"],
+            seeds=[0, 7],
+            shared_kwargs=SHARED,
+        )
+        arena = ParallelRunner(
+            small_workload, max_workers=2, workload_via_arena=True, **kwargs
+        ).run()
+        plain = ParallelRunner(small_workload, max_workers=1, **kwargs).run()
+        assert list(arena.keys()) == list(plain.keys())
+        for key in plain:
+            assert arena[key].metrics.total_revenue == plain[key].metrics.total_revenue
+            assert (
+                arena[key].metrics.revenue_by_period
+                == plain[key].metrics.revenue_by_period
+            )
+            assert arena[key].metrics.served_tasks == plain[key].metrics.served_tasks
+        leftovers = [
+            name
+            for name in os.listdir("/dev/shm")
+            if name.startswith("repro_arena_")
+        ] if os.path.isdir("/dev/shm") else []
+        assert leftovers == []
+
     def test_parallel_equals_run_many(self, small_workload):
         """Acceptance criterion: same results as sequential ``run_many``."""
         names = ["BaseP", "SDR"]

@@ -1,0 +1,122 @@
+"""Regression pins for the zero-copy columnar runtime.
+
+Two pinned guarantees:
+
+* **plane bit-identity** — the columnar data plane (struct-of-arrays
+  chunks, lazy records, batched sampling/lookup) must leave every
+  simulation result bit-identical to the object pipeline, across all
+  five pricing strategies, capped and uncapped, single- and
+  multi-shard, with the vectorised MAPS planner matching the loop
+  planner through whole engine runs;
+* **compound configuration pins** — the benchmarked
+  ``--shards 8 --max-degree 16`` configuration (the BENCH_runtime.json
+  protocol) is pinned to exact revenue/served numbers at a CI-sized
+  horizon, so an accidental semantic change to sharding, capping or the
+  data plane cannot masquerade as a perf win.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pricing.registry import available_strategies, calibrated_kwargs, create_strategy
+from repro.simulation.scenarios import get_scenario
+from repro.simulation.sharded import ShardedEngine
+
+
+def _metrics_tuple(result):
+    metrics = result.metrics
+    return (
+        metrics.total_revenue,
+        metrics.served_tasks,
+        metrics.accepted_tasks,
+        metrics.total_tasks,
+        tuple(metrics.revenue_by_period),
+    )
+
+
+@pytest.fixture(scope="module")
+def city_calibration():
+    workload = get_scenario("city_scale").chunked(scale=0.01, seed=0)
+    return ShardedEngine(workload, num_shards=1, halo=0, seed=0).calibrate_base_price()
+
+
+class TestColumnarPlaneBitIdentity:
+    @pytest.mark.parametrize("name", sorted(available_strategies()))
+    def test_single_shard_uncapped_matches_object_plane(self, name, city_calibration):
+        """The acceptance bar: every strategy, exact config, same bits."""
+        results = {}
+        for columnar in (False, True):
+            workload = get_scenario("city_scale").chunked(scale=0.01, seed=0)
+            engine = ShardedEngine(
+                workload, num_shards=1, halo=0, seed=0, columnar=columnar
+            )
+            strategy = create_strategy(
+                name, **calibrated_kwargs(name, city_calibration, p_min=1.0, p_max=5.0)
+            )
+            results[columnar] = engine.run(strategy)
+        assert _metrics_tuple(results[False]) == _metrics_tuple(results[True])
+
+    @pytest.mark.parametrize(
+        "shards,halo,max_degree,backend",
+        [(8, 1, 16, "matroid"), (8, 0, 16, "vgreedy"), (4, 2, 8, "matroid")],
+    )
+    def test_sharded_capped_matches_object_plane(self, shards, halo, max_degree, backend):
+        results = {}
+        for columnar in (False, True):
+            workload = get_scenario("city_scale").chunked(scale=0.01, seed=0)
+            engine = ShardedEngine(
+                workload,
+                num_shards=shards,
+                halo=halo,
+                seed=0,
+                max_degree=max_degree,
+                matching_backend=backend,
+                columnar=columnar,
+            )
+            results[columnar] = engine.run(create_strategy("BaseP", base_price=2.0))
+        assert _metrics_tuple(results[False]) == _metrics_tuple(results[True])
+
+    def test_vectorized_maps_planner_matches_loop_through_engine(self, city_calibration):
+        results = {}
+        for vectorized in (False, True):
+            workload = get_scenario("city_scale").chunked(scale=0.01, seed=0)
+            engine = ShardedEngine(workload, num_shards=8, halo=1, seed=0, max_degree=16)
+            kwargs = calibrated_kwargs("MAPS", city_calibration, p_min=1.0, p_max=5.0)
+            strategy = create_strategy(name="MAPS", vectorized_planner=vectorized, **kwargs)
+            results[vectorized] = engine.run(strategy)
+        assert _metrics_tuple(results[False]) == _metrics_tuple(results[True])
+
+
+class TestCompoundConfigurationPins:
+    """Exact pins of the benchmarked ``--shards 8 --max-degree 16`` runs.
+
+    The values were produced by the object pipeline before the columnar
+    runtime landed (both planes emit them bit-identically); horizon is
+    ``scale=0.02`` of ``city_scale`` at seed 0 with ``BaseP``.
+    """
+
+    SCALE = 0.02
+    PINNED = {
+        # backend -> (total_revenue, served, accepted, total_tasks)
+        "matroid": (103236.2894387597, 9463, 15637, 20132),
+        "vgreedy": (97498.13868512452, 9437, 15637, 20132),
+    }
+
+    @pytest.mark.parametrize("backend", sorted(PINNED))
+    def test_pinned_revenue_and_served(self, backend):
+        workload = get_scenario("city_scale").chunked(scale=self.SCALE, seed=0)
+        engine = ShardedEngine(
+            workload,
+            num_shards=8,
+            halo=1,
+            seed=0,
+            max_degree=16,
+            matching_backend=backend,
+        )
+        result = engine.run(create_strategy("BaseP", base_price=2.0))
+        revenue, served, accepted, total = self.PINNED[backend]
+        assert result.metrics.total_revenue == revenue
+        assert result.metrics.served_tasks == served
+        assert result.metrics.accepted_tasks == accepted
+        assert result.metrics.total_tasks == total

@@ -199,10 +199,19 @@ class TestProcessPerShard:
         with pytest.raises(ValueError, match="halo"):
             ShardedEngine(tiny_workload, num_shards=4, halo=1, shard_jobs=2)
 
-    def test_process_per_shard_rejects_chunked_workloads(self):
+    def test_process_per_shard_supports_chunked_workloads(self):
+        # The shared-memory arena ships column chunks to shard workers,
+        # so lazily generated workloads fan out exactly like bundles.
         chunked = get_scenario("city_scale").chunked(scale=0.005, seed=2)
-        with pytest.raises(ValueError, match="pre-materialised"):
-            ShardedEngine(chunked, num_shards=4, halo=0, shard_jobs=2)
+        sequential = ShardedEngine(chunked, num_shards=4, halo=0, seed=3).run(
+            create_strategy("BaseP", base_price=2.0)
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            fanned = ShardedEngine(
+                chunked, num_shards=4, halo=0, seed=3, shard_jobs=2
+            ).run(create_strategy("BaseP", base_price=2.0))
+        _assert_identical(sequential, fanned)
 
 
 class TestParallelRunnerIntegration:

@@ -30,6 +30,7 @@ import argparse
 import json
 import os
 import platform
+import subprocess
 import sys
 from datetime import datetime, timezone
 from pathlib import Path
@@ -41,12 +42,41 @@ from repro.experiments.bench_matching import (  # noqa: E402
     DEFAULT_CONFIGS,
     measure_matching_throughput,
 )
+from repro.experiments.bench_runtime import measure_runtime_throughput  # noqa: E402
 from repro.experiments.bench_sharded import measure_sharded_throughput  # noqa: E402
 
 DEFAULT_OUTPUTS = {
     "sharded": REPO_ROOT / "BENCH_sharded.json",
     "matching": REPO_ROOT / "BENCH_matching.json",
+    "runtime": REPO_ROOT / "BENCH_runtime.json",
 }
+
+
+def git_provenance() -> dict:
+    """The repo's git SHA (and dirty flag) for run attribution.
+
+    Benchmark trajectories accumulate one point per PR; without the SHA
+    a regression cannot be traced back to the change that caused it.
+    Degrades to ``None`` fields outside a git checkout.
+    """
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+        return {"sha": sha, "dirty": bool(status)}
+    except (OSError, subprocess.CalledProcessError):  # pragma: no cover - no git
+        return {"sha": None, "dirty": None}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -78,10 +108,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--configs",
         nargs="+",
-        default=list(DEFAULT_CONFIGS),
+        default=None,
         metavar="CONFIG",
-        help="[matching] hot-path configurations to measure (e.g. loop "
-        "vectorized capped-16 vgreedy capped-8+warm)",
+        help="[matching] hot-path configurations (e.g. loop vectorized "
+        "capped-16 vgreedy capped-8+warm); [runtime] data-plane "
+        "configurations (pr4-baseline columnar columnar-vgreedy)",
+    )
+    parser.add_argument(
+        "--max-degree",
+        type=int,
+        default=16,
+        help="[runtime] per-task adjacency cap of the compound "
+        "configuration (default 16)",
     )
     parser.add_argument("--seed", type=int, default=0, help="workload and engine seed")
     parser.add_argument(
@@ -126,10 +164,22 @@ def main(argv=None) -> int:
             seed=args.seed,
             strategy=args.strategy,
         )
+    elif args.benchmark == "runtime":
+        from repro.experiments.bench_runtime import RUNTIME_CONFIGS
+
+        run = measure_runtime_throughput(
+            scale=args.scale,
+            configs=tuple(args.configs or RUNTIME_CONFIGS),
+            shards=args.shards[-1] if args.shards else 8,
+            halo=args.halo,
+            max_degree=args.max_degree,
+            seed=args.seed,
+            strategy=args.strategy,
+        )
     else:
         run = measure_matching_throughput(
             scale=args.scale,
-            configs=tuple(args.configs),
+            configs=tuple(args.configs or DEFAULT_CONFIGS),
             seed=args.seed,
             strategy=args.strategy,
         )
@@ -139,6 +189,13 @@ def main(argv=None) -> int:
         "python": platform.python_version(),
     }
     run["created"] = datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
+    # Attribution: which commit produced the point, and with what exact
+    # invocation — BENCH_*.json trajectories span many PRs.
+    run["git"] = git_provenance()
+    run["cli_config"] = {
+        key: (str(value) if isinstance(value, Path) else value)
+        for key, value in sorted(vars(args).items())
+    }
 
     if args.overwrite:
         trajectory = {"benchmark": run["benchmark"], "runs": []}
