@@ -33,7 +33,6 @@ workload spatially and running one full-horizon process per shard.
 from __future__ import annotations
 
 import multiprocessing
-import os
 import pickle
 import warnings
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
@@ -41,6 +40,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.pricing.registry import create_strategy
+from repro.utils.affinity import effective_cpu_count
 from repro.simulation.config import WorkloadBundle
 from repro.simulation.engine import SimulationEngine, SimulationResult
 from repro.simulation.sharded import ShardedEngine
@@ -302,11 +302,14 @@ class ParallelRunner:
         shared_kwargs: Keyword arguments applied to every promoted string
             spec (e.g. ``base_price`` / ``p_min`` / ``p_max``).
         matching_backend: Matching backend name for every engine.
-        max_workers: Process count.  ``None`` (default) resolves to
-            ``os.cpu_count()``, divided by ``shards.shard_jobs`` when the
-            spec also fans each run's shards across processes — the two
-            levels multiply, and the old "executor default" oversubscribed
-            small hosts.  ``1`` forces the in-process sequential path.
+        max_workers: Process count.  ``None`` (default) resolves to the
+            *effective* core count (the scheduling-affinity mask, so
+            container cpusets and ``taskset`` are respected), divided by
+            ``shards.shard_jobs`` when the spec also fans each run's
+            shards across processes — the two levels multiply, and both
+            the old "executor default" and raw ``os.cpu_count()``
+            oversubscribed restricted hosts.  ``1`` forces the in-process
+            sequential path.
         track_memory: Forwarded to the engines.  Peak-memory numbers are
             per-process when running parallel.
         keep_details: Forwarded to the engines.
@@ -380,10 +383,13 @@ class ParallelRunner:
             raise ValueError(f"duplicate seeds would collapse results: {self.seeds}")
         self.matching_backend = matching_backend
         if max_workers is None:
-            # One process per core by default; when each run additionally
-            # fans its shards across shard_jobs processes, divide so the
-            # product of the two levels stays at the core count.
-            max_workers = os.cpu_count() or 1
+            # One process per *effective* core by default — the affinity
+            # mask, not os.cpu_count(), is what a container cpuset or
+            # taskset actually grants.  When each run additionally fans
+            # its shards across shard_jobs processes, divide so the
+            # product of the two levels stays at the effective count
+            # (clamped to >= 1 when shard_jobs alone exceeds it).
+            max_workers = effective_cpu_count()
             if shards is not None and shards.shard_jobs > 1:
                 max_workers = max(1, max_workers // int(shards.shard_jobs))
         self.max_workers = int(max_workers)

@@ -1,0 +1,342 @@
+"""Numba-compiled kernels (imported lazily; import fails without numba).
+
+Every function here replicates a pure-Python/numpy fallback in the
+sibling modules **operation for operation** — same visiting order in the
+augmenting DFS, same per-round proposal/winner resolution in vgreedy,
+same ascending scan order in the halo selections — so the two families
+produce bit-identical results (fuzzed by
+``tests/matching/test_kernel_parity.py``).  Keep the pairs in lockstep:
+a change on either side must land on both.
+
+All kernels are ``@njit(cache=True)``: the compiled machine code is
+persisted next to the source (or under ``NUMBA_CACHE_DIR``), so a fleet
+of shard worker processes pays one compile total, not one per process —
+each worker's :func:`warmup` is then a disk load.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit
+from numba import __version__ as NUMBA_VERSION
+
+#: Mirror of :data:`repro.matching.maximum_matching.UNMATCHED` (kept as a
+#: literal so this module never imports the package it accelerates).
+UNMATCHED = -1
+
+
+@njit(cache=True)
+def matroid_augment(indptr, indices, num_workers, order, hints):
+    """Matroid-greedy matching over CSR; returns the per-task match array.
+
+    Compiled twin of ``repro.kernels.augmenting._matroid_python``: tasks
+    are processed in ``order``, each runs the iterative augmenting DFS
+    with the stamp-visited array and failure-saturation ("dead") pruning.
+    ``hints`` is an ``int64`` array of length ``num_tasks`` holding a
+    warm-start worker per task (or ``UNMATCHED``); pass a length-0 array
+    for hint-free runs.
+    """
+    num_tasks = indptr.shape[0] - 1
+    match_task = np.full(num_tasks, UNMATCHED, np.int64)
+    match_worker = np.full(num_workers, UNMATCHED, np.int64)
+    visited = np.zeros(num_workers, np.int64)
+    dead = np.zeros(num_workers, np.uint8)
+    # One stack slot per task: augmenting paths visit each task at most
+    # once (owners of distinct workers are distinct tasks).
+    tasks_stack = np.empty(num_tasks + 1, np.int64)
+    ptrs = np.empty(num_tasks + 1, np.int64)
+    chosen = np.empty(num_tasks + 1, np.int64)
+    touched = np.empty(num_workers, np.int64)
+    use_hints = hints.shape[0] == num_tasks
+    stamp = 0
+    for position in range(order.shape[0]):
+        start = order[position]
+        if use_hints:
+            hinted = hints[start]
+            if hinted != UNMATCHED and match_worker[hinted] == UNMATCHED:
+                # Binary search for the hinted worker in the task's row.
+                lo = indptr[start]
+                hi = indptr[start + 1]
+                row_end = hi
+                while lo < hi:
+                    mid = (lo + hi) // 2
+                    if indices[mid] < hinted:
+                        lo = mid + 1
+                    else:
+                        hi = mid
+                if lo < row_end and indices[lo] == hinted:
+                    match_task[start] = hinted
+                    match_worker[hinted] = start
+                    continue
+        stamp += 1
+        depth = 0
+        tasks_stack[0] = start
+        ptrs[0] = indptr[start]
+        chosen[0] = UNMATCHED
+        n_touched = 0
+        found = False
+        while depth >= 0:
+            task_pos = tasks_stack[depth]
+            end = indptr[task_pos + 1]
+            ptr = ptrs[depth]
+            descended = False
+            while ptr < end:
+                worker_pos = indices[ptr]
+                ptr += 1
+                if dead[worker_pos] == 1 or visited[worker_pos] == stamp:
+                    continue
+                visited[worker_pos] = stamp
+                touched[n_touched] = worker_pos
+                n_touched += 1
+                ptrs[depth] = ptr
+                chosen[depth] = worker_pos
+                owner = match_worker[worker_pos]
+                if owner == UNMATCHED:
+                    for level in range(depth + 1):
+                        match_task[tasks_stack[level]] = chosen[level]
+                        match_worker[chosen[level]] = tasks_stack[level]
+                    found = True
+                else:
+                    depth += 1
+                    tasks_stack[depth] = owner
+                    ptrs[depth] = indptr[owner]
+                    chosen[depth] = UNMATCHED
+                descended = True
+                break
+            if found:
+                break
+            if not descended:
+                depth -= 1
+        if not found:
+            for index in range(n_touched):
+                dead[touched[index]] = 1
+    return match_task
+
+
+@njit(cache=True)
+def incremental_augment(
+    indptr,
+    indices,
+    match_worker,
+    visited,
+    dead,
+    stamp,
+    start,
+    path_tasks,
+    path_workers,
+):
+    """One augmenting-path search with persistent matcher state.
+
+    Compiled twin of ``IncrementalMatcher._find_augmenting_path``: walks
+    the same DFS over the caller-owned ``match_worker`` / ``visited`` /
+    ``dead`` arrays (mutating only the latter two — the caller applies
+    the path, so probe-then-commit stays a single search).  On success
+    the path is written deepest-first into ``path_tasks`` /
+    ``path_workers`` and its length is returned; on failure every
+    visited worker is marked dead and ``-1`` is returned.
+    """
+    num_tasks = indptr.shape[0] - 1
+    tasks_stack = np.empty(num_tasks + 1, np.int64)
+    ptrs = np.empty(num_tasks + 1, np.int64)
+    chosen = np.empty(num_tasks + 1, np.int64)
+    touched = np.empty(match_worker.shape[0], np.int64)
+    depth = 0
+    tasks_stack[0] = start
+    ptrs[0] = indptr[start]
+    chosen[0] = UNMATCHED
+    n_touched = 0
+    while depth >= 0:
+        task_pos = tasks_stack[depth]
+        end = indptr[task_pos + 1]
+        ptr = ptrs[depth]
+        descended = False
+        while ptr < end:
+            worker_pos = indices[ptr]
+            ptr += 1
+            if dead[worker_pos] == 1 or visited[worker_pos] == stamp:
+                continue
+            visited[worker_pos] = stamp
+            touched[n_touched] = worker_pos
+            n_touched += 1
+            ptrs[depth] = ptr
+            chosen[depth] = worker_pos
+            owner = match_worker[worker_pos]
+            if owner == UNMATCHED:
+                # Deepest pair first, matching the Python implementation.
+                length = depth + 1
+                for level in range(length):
+                    path_tasks[level] = tasks_stack[depth - level]
+                    path_workers[level] = chosen[depth - level]
+                return length
+            depth += 1
+            tasks_stack[depth] = owner
+            ptrs[depth] = indptr[owner]
+            chosen[depth] = UNMATCHED
+            descended = True
+            break
+        if not descended:
+            depth -= 1
+    for index in range(n_touched):
+        dead[touched[index]] = 1
+    return -1
+
+
+@njit(cache=True)
+def vgreedy_rounds(cand_t, cand_w, rank, num_tasks, num_workers):
+    """Round-based greedy over candidate edges; returns the match array.
+
+    Compiled twin of ``repro.kernels.vgreedy._vgreedy_rounds_python``.
+    ``cand_t`` / ``cand_w`` are the eligible-task edges in ascending
+    ``(task, worker)`` order; each round every surviving task proposes
+    to its first still-free neighbour and the lowest-``rank`` proposer
+    per worker wins.  The per-task cursor formulation visits exactly the
+    edges the numpy mask formulation keeps alive, so the committed
+    matching is identical round for round.
+    """
+    n_edges = cand_t.shape[0]
+    task_match = np.full(num_tasks, UNMATCHED, np.int64)
+    worker_owner = np.full(num_workers, UNMATCHED, np.int64)
+    if n_edges == 0:
+        return task_match
+    # Contiguous per-task segments of the (sorted) candidate arrays.
+    seg_task = np.empty(n_edges, np.int64)
+    seg_end = np.empty(n_edges, np.int64)
+    cursor = np.empty(n_edges, np.int64)
+    n_seg = 0
+    edge = 0
+    while edge < n_edges:
+        task_pos = cand_t[edge]
+        run_end = edge
+        while run_end < n_edges and cand_t[run_end] == task_pos:
+            run_end += 1
+        seg_task[n_seg] = task_pos
+        cursor[n_seg] = edge
+        seg_end[n_seg] = run_end
+        n_seg += 1
+        edge = run_end
+    active = np.ones(n_seg, np.uint8)
+    best_rank = np.empty(num_workers, np.int64)
+    best_seg = np.full(num_workers, -1, np.int64)
+    proposal_worker = np.empty(n_seg, np.int64)
+    n_active = n_seg
+    while n_active > 0:
+        n_proposals = 0
+        for seg in range(n_seg):
+            if active[seg] == 0:
+                continue
+            task_pos = seg_task[seg]
+            if task_match[task_pos] != UNMATCHED:
+                active[seg] = 0
+                n_active -= 1
+                continue
+            ptr = cursor[seg]
+            end = seg_end[seg]
+            while ptr < end and worker_owner[cand_w[ptr]] != UNMATCHED:
+                ptr += 1
+            cursor[seg] = ptr
+            if ptr == end:
+                active[seg] = 0
+                n_active -= 1
+                continue
+            worker_pos = cand_w[ptr]
+            task_rank = rank[task_pos]
+            if best_seg[worker_pos] == -1 or task_rank < best_rank[worker_pos]:
+                best_rank[worker_pos] = task_rank
+                best_seg[worker_pos] = seg
+            proposal_worker[n_proposals] = worker_pos
+            n_proposals += 1
+        if n_proposals == 0:
+            break
+        for index in range(n_proposals):
+            worker_pos = proposal_worker[index]
+            seg = best_seg[worker_pos]
+            if seg == -1:
+                continue  # duplicate proposal row; already resolved
+            task_pos = seg_task[seg]
+            task_match[task_pos] = worker_pos
+            worker_owner[worker_pos] = task_pos
+            best_seg[worker_pos] = -1
+    return task_match
+
+
+@njit(cache=True)
+def halo_task_candidates(accepted, matched_tasks, task_grids, boundary):
+    """Accepted-but-unmatched boundary task positions, ascending.
+
+    Compiled twin of ``repro.kernels.halo._task_candidates_python``.
+    ``boundary`` is the tiling's boolean halo-band mask over 0-based
+    cell positions (tasks carry 1-based grid indices).
+    """
+    num_tasks = task_grids.shape[0]
+    matched = np.zeros(num_tasks, np.uint8)
+    for index in range(matched_tasks.shape[0]):
+        matched[matched_tasks[index]] = 1
+    out = np.empty(accepted.shape[0], np.int64)
+    count = 0
+    for index in range(accepted.shape[0]):
+        task_pos = accepted[index]
+        if matched[task_pos] == 1:
+            continue
+        if boundary[task_grids[task_pos] - 1]:
+            out[count] = task_pos
+            count += 1
+    return out[:count]
+
+
+@njit(cache=True)
+def halo_residual_workers(matched_workers, worker_grids, boundary):
+    """Unmatched boundary worker positions, ascending.
+
+    Compiled twin of ``repro.kernels.halo._residual_workers_python``.
+    """
+    num_workers = worker_grids.shape[0]
+    matched = np.zeros(num_workers, np.uint8)
+    for index in range(matched_workers.shape[0]):
+        matched[matched_workers[index]] = 1
+    out = np.empty(num_workers, np.int64)
+    count = 0
+    for worker_pos in range(num_workers):
+        if matched[worker_pos] == 0 and boundary[worker_grids[worker_pos] - 1]:
+            out[count] = worker_pos
+            count += 1
+    return out[:count]
+
+
+def warmup() -> None:
+    """Compile (or cache-load) every kernel on tiny representative inputs."""
+    indptr = np.array([0, 1, 2], dtype=np.int64)
+    indices = np.array([0, 0], dtype=np.int64)
+    order = np.array([0, 1], dtype=np.int64)
+    no_hints = np.zeros(0, dtype=np.int64)
+    matroid_augment(indptr, indices, 1, order, no_hints)
+    hints = np.array([0, UNMATCHED], dtype=np.int64)
+    matroid_augment(indptr, indices, 1, order, hints)
+    match_worker = np.full(1, UNMATCHED, np.int64)
+    visited = np.zeros(1, np.int64)
+    dead = np.zeros(1, np.uint8)
+    path_tasks = np.empty(3, np.int64)
+    path_workers = np.empty(3, np.int64)
+    incremental_augment(
+        indptr, indices, match_worker, visited, dead, 1, 0, path_tasks, path_workers
+    )
+    cand_t = np.array([0, 1], dtype=np.int64)
+    cand_w = np.array([0, 0], dtype=np.int64)
+    rank = np.array([0, 1], dtype=np.int64)
+    vgreedy_rounds(cand_t, cand_w, rank, 2, 1)
+    boundary = np.array([True], dtype=np.bool_)
+    grids = np.array([1, 1], dtype=np.int64)
+    halo_task_candidates(
+        np.array([0, 1], dtype=np.int64), np.array([0], dtype=np.int64), grids, boundary
+    )
+    halo_residual_workers(np.array([0], dtype=np.int64), grids, boundary)
+
+
+__all__ = [
+    "NUMBA_VERSION",
+    "matroid_augment",
+    "incremental_augment",
+    "vgreedy_rounds",
+    "halo_task_candidates",
+    "halo_residual_workers",
+    "warmup",
+]

@@ -1,0 +1,151 @@
+"""Matroid-greedy augmenting-path kernel (compiled + fallback).
+
+:func:`matroid_augment` is the inner loop of the exact ``matroid``
+matching backend (:func:`repro.matching.weighted.task_weighted_matching`):
+given the CSR view, the canonical weight-ordered task sequence and the
+validated warm-start hints, it produces the per-task match array.  The
+caller keeps everything float-bearing — weight validation, ordering and
+the total accumulation — so both kernel families feed the exact same
+arithmetic and the results are bit-identical, not merely equivalent.
+
+The pure-Python implementation is the loop that previously lived inline
+in ``task_weighted_matching`` (same stamp-visited DFS, same saturation
+pruning, same hint fast path), moved here verbatim; the numba twin in
+:mod:`repro.kernels._numba_impl` replicates its visiting order exactly.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.kernels.dispatch import numba_module, use_numba
+from repro.matching.maximum_matching import UNMATCHED
+
+_NO_HINTS = np.zeros(0, dtype=np.int64)
+
+
+def matroid_augment(
+    csr,
+    order: Sequence[int],
+    hints: Dict[int, int],
+) -> List[int]:
+    """Run the matroid greedy over ``order``; returns the match array.
+
+    Args:
+        csr: A :class:`~repro.matching.bipartite.CSRGraph` view.
+        order: Eligible task positions in non-increasing weight order
+            (from :func:`repro.matching.weighted.eligible_order`).
+        hints: Validated warm-start hints (``{task_pos: worker_pos}``,
+            one worker per task); pass ``{}`` for a cold start.
+
+    Returns:
+        ``match_task`` as a plain list: ``match_task[t]`` is the matched
+        worker position or :data:`UNMATCHED`.  Identical across kernel
+        families (fuzzed by ``tests/matching/test_kernel_parity.py``).
+    """
+    if use_numba():
+        return _matroid_numba(csr, order, hints)
+    return _matroid_python(csr, order, hints)
+
+
+def _matroid_python(csr, order: Sequence[int], hints: Dict[int, int]) -> List[int]:
+    indptr = csr.indptr_list
+    indices = csr.indices_list
+    match_task: List[int] = [UNMATCHED] * csr.num_tasks
+    match_worker: List[int] = [UNMATCHED] * csr.num_workers
+    visited: List[int] = [0] * csr.num_workers
+    # Saturation pruning: when an augmentation fails, every worker its DFS
+    # visited lies in a frozen alternating component — all of them are
+    # matched and their owners' neighbourhoods stay inside the component,
+    # so no later augmenting path can succeed (or even usefully pass)
+    # through them.  Marking them dead turns the classic O(|R| * |E|)
+    # worst case into near-O(|E|) amortised on saturated instances while
+    # provably returning the exact same matching.
+    dead = bytearray(csr.num_workers)
+    stamp = 0
+
+    def augment(start: int) -> bool:
+        # Iterative DFS replicating the classic recursive augmenting-path
+        # search (same worker visiting order, hence the same matching).
+        tasks_stack = [start]
+        ptrs = [indptr[start]]
+        chosen = [UNMATCHED]
+        touched: List[int] = []
+        while tasks_stack:
+            depth = len(tasks_stack) - 1
+            task_pos = tasks_stack[depth]
+            ptr = ptrs[depth]
+            end = indptr[task_pos + 1]
+            descended = False
+            while ptr < end:
+                worker_pos = indices[ptr]
+                ptr += 1
+                if dead[worker_pos] or visited[worker_pos] == stamp:
+                    continue
+                visited[worker_pos] = stamp
+                touched.append(worker_pos)
+                ptrs[depth] = ptr
+                chosen[depth] = worker_pos
+                owner = match_worker[worker_pos]
+                if owner == UNMATCHED:
+                    for i in range(depth + 1):
+                        match_task[tasks_stack[i]] = chosen[i]
+                        match_worker[chosen[i]] = tasks_stack[i]
+                    return True
+                tasks_stack.append(owner)
+                ptrs.append(indptr[owner])
+                chosen.append(UNMATCHED)
+                descended = True
+                break
+            if not descended:
+                tasks_stack.pop()
+                ptrs.pop()
+                chosen.pop()
+        for worker_pos in touched:
+            dead[worker_pos] = 1
+        return False
+
+    for task_pos in order:
+        if hints:
+            hinted = hints.get(task_pos, UNMATCHED)
+            if hinted != UNMATCHED and match_worker[hinted] == UNMATCHED:
+                # A free adjacent worker is itself an augmenting path of
+                # length one, so the cold-start greedy would also keep
+                # this task — taking the hint changes the certificate,
+                # never the matched set or the weight.
+                lo, hi = indptr[task_pos], indptr[task_pos + 1]
+                at = bisect_left(indices, hinted, lo, hi)
+                if at < hi and indices[at] == hinted:
+                    match_task[task_pos] = hinted
+                    match_worker[hinted] = task_pos
+                    continue
+        stamp += 1
+        augment(task_pos)
+
+    return match_task
+
+
+def _matroid_numba(csr, order: Sequence[int], hints: Dict[int, int]) -> List[int]:
+    impl = numba_module()
+    if hints:
+        hint_arr = np.full(csr.num_tasks, UNMATCHED, dtype=np.int64)
+        for task_pos, worker_pos in hints.items():
+            hint_arr[task_pos] = worker_pos
+    else:
+        hint_arr = _NO_HINTS
+    match_task = impl.matroid_augment(
+        csr.indptr,
+        csr.indices,
+        csr.num_workers,
+        np.asarray(order, dtype=np.int64),
+        hint_arr,
+    )
+    # Plain-int list, so downstream dict building and weight accumulation
+    # run the exact code path the Python kernel feeds.
+    return match_task.tolist()
+
+
+__all__ = ["matroid_augment"]

@@ -1,0 +1,172 @@
+"""Kernel-mode state: which implementation family the hot loops run.
+
+The mode is process-wide (one simulation never mixes kernel families —
+mixing would still be correct, since the pairs are bit-identical, but it
+would make perf numbers unattributable) and is resolved lazily:
+
+* ``kernel_mode()`` — the *requested* mode (``auto`` / ``numba`` /
+  ``python``), seeded from the ``REPRO_KERNELS`` environment variable on
+  first use;
+* ``active_kernel_mode()`` — the *effective* family after resolving
+  ``auto`` against numba availability (always ``numba`` or ``python``).
+
+:func:`set_kernel_mode` also writes the mode back to ``REPRO_KERNELS``
+so child processes — the process-per-shard engine's workers, a
+``ParallelRunner`` pool under the ``spawn`` start method — resolve the
+same mode without any extra plumbing.
+
+Numba availability is probed exactly once per process by importing
+:mod:`repro.kernels._numba_impl`; *any* failure (missing numba, broken
+llvmlite, unsupported numpy) counts as unavailable, so ``auto`` degrades
+to the fallback instead of crashing.  Requesting ``numba`` explicitly
+when it cannot be imported raises.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from typing import Optional
+
+#: Valid kernel modes, in ``--kernels`` presentation order.
+KERNEL_MODES = ("auto", "numba", "python")
+
+#: Environment variable carrying the requested mode across processes.
+ENV_VAR = "REPRO_KERNELS"
+
+_mode: Optional[str] = None
+#: ``None`` = not probed yet, ``False`` = unavailable, else the module.
+_numba_impl = None
+_warned_forced_numba = False
+
+
+def _env_mode() -> str:
+    raw = os.environ.get(ENV_VAR, "auto").strip().lower()
+    return raw if raw in KERNEL_MODES else "auto"
+
+
+def kernel_mode() -> str:
+    """The requested kernel mode (``auto`` until someone sets it)."""
+    global _mode
+    if _mode is None:
+        _mode = _env_mode()
+    return _mode
+
+
+def set_kernel_mode(mode: str) -> str:
+    """Set the process-wide kernel mode; returns the accepted value.
+
+    Raises:
+        ValueError: for names outside :data:`KERNEL_MODES`.
+        RuntimeError: for ``numba`` when the compiled kernels cannot be
+            imported (install with ``pip install '.[kernels]'``).
+    """
+    global _mode
+    key = str(mode).strip().lower()
+    if key not in KERNEL_MODES:
+        raise ValueError(
+            f"unknown kernel mode {mode!r}; choose from {', '.join(KERNEL_MODES)}"
+        )
+    if key == "numba" and not numba_available():
+        raise RuntimeError(
+            "kernel mode 'numba' requested but the numba kernels are not "
+            "importable; install the optional extra (pip install "
+            "'repro-sigmod18-dynamic-pricing[kernels]') or use --kernels auto"
+        )
+    _mode = key
+    # Child processes (spawned shard workers, parallel-runner pools)
+    # resolve their mode from the environment on first use.
+    os.environ[ENV_VAR] = key
+    return key
+
+
+def numba_module():
+    """The compiled-kernel module, or ``None`` when unimportable."""
+    global _numba_impl
+    if _numba_impl is None:
+        try:
+            from repro.kernels import _numba_impl as impl
+
+            _numba_impl = impl
+        except Exception:  # numba missing or broken: fallback territory
+            _numba_impl = False
+    return _numba_impl or None
+
+
+def numba_available() -> bool:
+    """Whether the numba-compiled kernels can be imported."""
+    return numba_module() is not None
+
+
+def numba_version() -> Optional[str]:
+    """The installed numba version, or ``None`` without numba."""
+    module = numba_module()
+    return None if module is None else module.NUMBA_VERSION
+
+
+def active_kernel_mode() -> str:
+    """The effective implementation family: ``numba`` or ``python``.
+
+    ``auto`` resolves against availability.  A ``numba`` request that
+    cannot be honored (e.g. ``REPRO_KERNELS=numba`` leaked into a host
+    without numba, bypassing :func:`set_kernel_mode`'s check) degrades
+    to ``python`` with a one-time warning rather than crashing a worker
+    mid-fleet.
+    """
+    global _warned_forced_numba
+    mode = kernel_mode()
+    if mode == "python":
+        return "python"
+    if numba_available():
+        return "numba"
+    if mode == "numba" and not _warned_forced_numba:
+        _warned_forced_numba = True
+        warnings.warn(
+            "REPRO_KERNELS=numba but the numba kernels are not importable; "
+            "falling back to the pure-Python kernels",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    return "python"
+
+
+def use_numba() -> bool:
+    """Whether the compiled kernels are the active family."""
+    return active_kernel_mode() == "numba"
+
+
+def warmup() -> str:
+    """Force (cached) JIT compilation of every kernel; returns the mode.
+
+    Call once per process before a timed region: first execution of a
+    ``@njit(cache=True)`` function compiles (or loads the on-disk cache
+    under ``NUMBA_CACHE_DIR``), and that one-time cost must not land
+    inside a measured period or a shard worker's first dispatch.  A
+    no-op under the Python kernels.
+    """
+    mode = active_kernel_mode()
+    if mode == "numba":
+        numba_module().warmup()
+    return mode
+
+
+def _reset_for_tests() -> None:
+    """Forget the cached mode and availability probe (test helper)."""
+    global _mode, _numba_impl, _warned_forced_numba
+    _mode = None
+    _numba_impl = None
+    _warned_forced_numba = False
+
+
+__all__ = [
+    "KERNEL_MODES",
+    "ENV_VAR",
+    "kernel_mode",
+    "set_kernel_mode",
+    "active_kernel_mode",
+    "numba_available",
+    "numba_version",
+    "numba_module",
+    "use_numba",
+    "warmup",
+]

@@ -1,0 +1,112 @@
+"""Halo-reconciliation selection kernels (compiled + fallback).
+
+The sharded engine's halo pass (``ShardedEngine._reconcile_halo``) scans
+every dispatch twice per period: once for accepted-but-unmatched tasks in
+the boundary band (re-offer candidates) and once for still-free boundary
+workers (residual supply).  Both scans are pure position selection; the
+matching itself runs through the normal backends.  The numpy fallbacks
+here are the array expressions that previously lived inline in
+``_reconcile_halo``; the numba twins in
+:mod:`repro.kernels._numba_impl` do one flag-array pass each and return
+positions in the same ascending order, so the reconciliation instance —
+and hence its matching and revenue — is identical either way.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.kernels.dispatch import numba_module, use_numba
+
+_EMPTY = np.zeros(0, dtype=np.int64)
+
+
+def halo_task_candidates(
+    accepted_positions: np.ndarray,
+    matching: Dict[int, int],
+    task_grids: np.ndarray,
+    boundary: np.ndarray,
+) -> np.ndarray:
+    """Accepted-but-unmatched task positions inside the halo band.
+
+    Args:
+        accepted_positions: Ascending accepted task positions.
+        matching: The shard's ``{task_pos: worker_pos}`` matching.
+        task_grids: 1-based grid index per task position.
+        boundary: Boolean halo-band mask over 0-based cell positions.
+
+    Returns:
+        ``int64`` positions in ``accepted_positions`` order.
+    """
+    if use_numba():
+        matched = (
+            np.fromiter(matching.keys(), dtype=np.int64, count=len(matching))
+            if matching
+            else _EMPTY
+        )
+        return numba_module().halo_task_candidates(
+            np.ascontiguousarray(accepted_positions, dtype=np.int64),
+            matched,
+            np.ascontiguousarray(task_grids, dtype=np.int64),
+            boundary,
+        )
+    return _task_candidates_python(accepted_positions, matching, task_grids, boundary)
+
+
+def _task_candidates_python(
+    accepted_positions: np.ndarray,
+    matching: Dict[int, int],
+    task_grids: np.ndarray,
+    boundary: np.ndarray,
+) -> np.ndarray:
+    candidates = accepted_positions
+    if matching:
+        matched = np.fromiter(matching.keys(), dtype=np.int64, count=len(matching))
+        candidates = candidates[~np.isin(candidates, matched, assume_unique=True)]
+    return candidates[boundary[task_grids[candidates] - 1]]
+
+
+def halo_residual_workers(
+    matching: Dict[int, int],
+    worker_grids: np.ndarray,
+    boundary: np.ndarray,
+) -> np.ndarray:
+    """Still-free worker positions inside the halo band, ascending.
+
+    Args:
+        matching: The shard's ``{task_pos: worker_pos}`` matching (its
+            values are the taken workers).
+        worker_grids: 1-based grid index per worker position.
+        boundary: Boolean halo-band mask over 0-based cell positions.
+    """
+    if use_numba():
+        taken = (
+            np.fromiter(matching.values(), dtype=np.int64, count=len(matching))
+            if matching
+            else _EMPTY
+        )
+        return numba_module().halo_residual_workers(
+            taken,
+            np.ascontiguousarray(worker_grids, dtype=np.int64),
+            boundary,
+        )
+    return _residual_workers_python(matching, worker_grids, boundary)
+
+
+def _residual_workers_python(
+    matching: Dict[int, int],
+    worker_grids: np.ndarray,
+    boundary: np.ndarray,
+) -> np.ndarray:
+    residual = boundary[worker_grids - 1]
+    if matching:
+        residual = residual.copy()
+        residual[
+            np.fromiter(matching.values(), dtype=np.int64, count=len(matching))
+        ] = False
+    return np.flatnonzero(residual)
+
+
+__all__ = ["halo_task_candidates", "halo_residual_workers"]

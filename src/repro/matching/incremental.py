@@ -18,6 +18,9 @@ from __future__ import annotations
 from bisect import bisect_left
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
+from repro.kernels.dispatch import numba_module, use_numba
 from repro.matching.bipartite import BipartiteGraph
 from repro.matching.maximum_matching import UNMATCHED
 
@@ -51,10 +54,26 @@ class IncrementalMatcher:
     ) -> None:
         self._graph = graph
         csr = graph.csr()
-        self._indptr: List[int] = csr.indptr_list
-        self._indices: List[int] = csr.indices_list
-        self._match_task: List[int] = [UNMATCHED] * graph.num_tasks
-        self._match_worker: List[int] = [UNMATCHED] * graph.num_workers
+        # The kernel family is fixed at construction (a matcher lives for
+        # one period or window).  The compiled path keeps the matching
+        # state in the int64 ndarrays the numba kernel walks in place;
+        # the Python path keeps plain lists, which the interpreted DFS
+        # indexes measurably faster than ndarrays.
+        self._impl = numba_module() if use_numba() else None
+        if self._impl is not None:
+            self._indptr = csr.indptr
+            self._indices = csr.indices
+            self._match_task = np.full(graph.num_tasks, UNMATCHED, dtype=np.int64)
+            self._match_worker = np.full(graph.num_workers, UNMATCHED, dtype=np.int64)
+            # Reusable output buffers for the kernel: an augmenting path
+            # visits each task at most once, bounding its length.
+            self._path_tasks = np.empty(graph.num_tasks + 1, dtype=np.int64)
+            self._path_workers = np.empty(graph.num_tasks + 1, dtype=np.int64)
+        else:
+            self._indptr = csr.indptr_list
+            self._indices = csr.indices_list
+            self._match_task = [UNMATCHED] * graph.num_tasks
+            self._match_worker = [UNMATCHED] * graph.num_workers
         # Task positions grouped by grid; taken from the caller when
         # available, otherwise computed lazily on first use.
         self._grid_tasks: Optional[Dict[int, List[int]]] = (
@@ -69,8 +88,12 @@ class IncrementalMatcher:
         # no later augmenting path can pass through them — the matching
         # only ever grows, which keeps the marking sound.  Mirrors the
         # batch matroid backend in :mod:`repro.matching.weighted`.
-        self._visited: List[int] = [0] * graph.num_workers
-        self._dead = bytearray(graph.num_workers)
+        if self._impl is not None:
+            self._visited = np.zeros(graph.num_workers, dtype=np.int64)
+            self._dead = np.zeros(graph.num_workers, dtype=np.uint8)
+        else:
+            self._visited = [0] * graph.num_workers
+            self._dead = bytearray(graph.num_workers)
         self._stamp = 0
         # Check-then-commit cache: the MAPS planner probes
         # ``can_augment_grid(g)`` when proposing a supply increase and
@@ -98,18 +121,18 @@ class IncrementalMatcher:
     def matching(self) -> Dict[int, int]:
         """Current matching as ``{task_position: worker_position}``."""
         return {
-            task_pos: worker_pos
+            task_pos: int(worker_pos)
             for task_pos, worker_pos in enumerate(self._match_task)
             if worker_pos != UNMATCHED
         }
 
     def worker_of(self, task_pos: int) -> Optional[int]:
         worker = self._match_task[task_pos]
-        return None if worker == UNMATCHED else worker
+        return None if worker == UNMATCHED else int(worker)
 
     def task_of(self, worker_pos: int) -> Optional[int]:
         task = self._match_worker[worker_pos]
-        return None if task == UNMATCHED else task
+        return None if task == UNMATCHED else int(task)
 
     def is_task_matched(self, task_pos: int) -> bool:
         return self._match_task[task_pos] != UNMATCHED
@@ -243,7 +266,30 @@ class IncrementalMatcher:
         mark every visited worker as saturated (see ``__init__``), which
         keeps repeated infeasible queries — e.g. a saturated grid probed
         every period — near-linear instead of quadratic.
+
+        Under the numba kernel family the search runs as one compiled
+        call against the ndarray state (same visiting order, hence the
+        same path — fuzzed by ``tests/matching/test_kernel_parity.py``).
         """
+        if self._impl is not None:
+            self._stamp += 1
+            length = self._impl.incremental_augment(
+                self._indptr,
+                self._indices,
+                self._match_worker,
+                self._visited,
+                self._dead,
+                self._stamp,
+                start_task,
+                self._path_tasks,
+                self._path_workers,
+            )
+            if length < 0:
+                return None
+            return [
+                (int(self._path_tasks[level]), int(self._path_workers[level]))
+                for level in range(length)
+            ]
         indptr = self._indptr
         indices = self._indices
         match_worker = self._match_worker

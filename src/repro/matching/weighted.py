@@ -19,7 +19,11 @@ augmenting-path search walks the flat CSR arrays iteratively with a
 stamp-based visited array instead of recursing over list-of-list adjacency
 with per-task ``set`` allocations.  The DFS visits workers in exactly the
 order of the original recursive implementation, so the produced matching —
-not just its weight — is unchanged.
+not just its weight — is unchanged.  The scalar inner loops (the matroid
+augmenting-path search and the ``vgreedy`` round loop) live in
+:mod:`repro.kernels`, which swaps in numba-compiled twins when the active
+kernel mode selects them — bit-identical by construction, fuzzed by
+``tests/matching/test_kernel_parity.py``.
 
 Backends are registered in :mod:`repro.matching.registry` (mirroring
 :mod:`repro.pricing.registry`) and selected by name through
@@ -54,12 +58,13 @@ weight, breaking the warm == cold guarantee the property tests pin).
 from __future__ import annotations
 
 import math
-from bisect import bisect_left
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy.optimize import linear_sum_assignment
 
+from repro.kernels.augmenting import matroid_augment
+from repro.kernels.vgreedy import vgreedy_rounds
 from repro.matching.bipartite import BipartiteGraph, CSRGraph
 from repro.matching.maximum_matching import UNMATCHED
 from repro.matching.registry import (
@@ -136,83 +141,21 @@ def task_weighted_matching(
     """
     csr = graph.csr()
     weights, order = eligible_order(csr.num_tasks, task_weights, allowed_tasks)
-    weight_list = weights.tolist()
-    indptr = csr.indptr_list
-    indices = csr.indices_list
     hints = _validated_hints(csr.num_tasks, csr.num_workers, warm_start)
 
-    match_task: List[int] = [UNMATCHED] * csr.num_tasks
-    match_worker: List[int] = [UNMATCHED] * csr.num_workers
-    visited: List[int] = [0] * csr.num_workers
-    # Saturation pruning: when an augmentation fails, every worker its DFS
-    # visited lies in a frozen alternating component — all of them are
-    # matched and their owners' neighbourhoods stay inside the component,
-    # so no later augmenting path can succeed (or even usefully pass)
-    # through them.  Marking them dead turns the classic O(|R| * |E|)
-    # worst case into near-O(|E|) amortised on saturated instances while
-    # provably returning the exact same matching.
-    dead = bytearray(csr.num_workers)
-    stamp = 0
+    # The augmenting-path loop itself is the kernel (numba-compiled when
+    # the active kernel mode selects it, the historical pure-Python loop
+    # otherwise); everything float-bearing stays here, shared by both
+    # families, so the totals are bit-identical and not merely close.
+    match_task = matroid_augment(csr, order, hints)
 
-    def augment(start: int) -> bool:
-        # Iterative DFS replicating the classic recursive augmenting-path
-        # search (same worker visiting order, hence the same matching).
-        tasks_stack = [start]
-        ptrs = [indptr[start]]
-        chosen = [UNMATCHED]
-        touched: List[int] = []
-        while tasks_stack:
-            depth = len(tasks_stack) - 1
-            task_pos = tasks_stack[depth]
-            ptr = ptrs[depth]
-            end = indptr[task_pos + 1]
-            descended = False
-            while ptr < end:
-                worker_pos = indices[ptr]
-                ptr += 1
-                if dead[worker_pos] or visited[worker_pos] == stamp:
-                    continue
-                visited[worker_pos] = stamp
-                touched.append(worker_pos)
-                ptrs[depth] = ptr
-                chosen[depth] = worker_pos
-                owner = match_worker[worker_pos]
-                if owner == UNMATCHED:
-                    for i in range(depth + 1):
-                        match_task[tasks_stack[i]] = chosen[i]
-                        match_worker[chosen[i]] = tasks_stack[i]
-                    return True
-                tasks_stack.append(owner)
-                ptrs.append(indptr[owner])
-                chosen.append(UNMATCHED)
-                descended = True
-                break
-            if not descended:
-                tasks_stack.pop()
-                ptrs.pop()
-                chosen.pop()
-        for worker_pos in touched:
-            dead[worker_pos] = 1
-        return False
-
+    weight_list = weights.tolist()
     total = 0.0
+    # Accumulate in canonical processing order — the exact float addition
+    # sequence of the historical inline loop (a matched task is matched
+    # at its own turn and the matching only grows).
     for task_pos in order:
-        if hints:
-            hinted = hints.get(task_pos, UNMATCHED)
-            if hinted != UNMATCHED and match_worker[hinted] == UNMATCHED:
-                # A free adjacent worker is itself an augmenting path of
-                # length one, so the cold-start greedy would also keep
-                # this task — taking the hint changes the certificate,
-                # never the matched set or the weight.
-                lo, hi = indptr[task_pos], indptr[task_pos + 1]
-                at = bisect_left(indices, hinted, lo, hi)
-                if at < hi and indices[at] == hinted:
-                    match_task[task_pos] = hinted
-                    match_worker[hinted] = task_pos
-                    total += weight_list[task_pos]
-                    continue
-        stamp += 1
-        if augment(task_pos):
+        if match_task[task_pos] != UNMATCHED:
             total += weight_list[task_pos]
 
     task_to_worker = {
@@ -451,28 +394,10 @@ def vectorized_greedy_matching(
     cand_t = edge_tasks[keep]
     cand_w = csr.indices[keep]
 
-    task_match = np.full(csr.num_tasks, UNMATCHED, dtype=np.int64)
-    worker_owner = np.full(csr.num_workers, UNMATCHED, dtype=np.int64)
-    sentinel = np.iinfo(np.int64).max
-    while cand_t.size:
-        live = (task_match[cand_t] == UNMATCHED) & (worker_owner[cand_w] == UNMATCHED)
-        cand_t, cand_w = cand_t[live], cand_w[live]
-        if not cand_t.size:
-            break
-        # First surviving candidate per task: candidates stay sorted by
-        # (task, worker), so it is the first row of each task run.
-        first = np.ones(cand_t.size, dtype=bool)
-        first[1:] = cand_t[1:] != cand_t[:-1]
-        proposer = cand_t[first]
-        proposed = cand_w[first]
-        # Conflict resolution: the best (lowest) rank per worker wins.
-        best = np.full(csr.num_workers, sentinel, dtype=np.int64)
-        np.minimum.at(best, proposed, rank[proposer])
-        winner = best[proposed] == rank[proposer]
-        matched_tasks = proposer[winner]
-        matched_workers = proposed[winner]
-        task_match[matched_tasks] = matched_workers
-        worker_owner[matched_workers] = matched_tasks
+    # The round loop is the kernel; candidate preparation (above) and the
+    # weight total (below) are shared by both kernel families, so the
+    # matching and the revenue are bit-identical either way.
+    task_match = vgreedy_rounds(cand_t, cand_w, rank, csr.num_tasks, csr.num_workers)
 
     matched = np.flatnonzero(task_match != UNMATCHED)
     task_to_worker = dict(

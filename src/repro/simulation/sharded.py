@@ -63,6 +63,8 @@ import numpy as np
 
 from repro.core.base_pricing import BasePricingConfig, BasePricingResult
 from repro.core.gdp import PeriodInstance
+from repro.kernels import warmup as warmup_kernels
+from repro.kernels.halo import halo_residual_workers, halo_task_candidates
 from repro.market.entities import Task, Worker
 from repro.matching.weighted import max_weight_matching
 from repro.pricing.strategy import PricingStrategy
@@ -170,6 +172,10 @@ def _execute_shard_horizon_arena(
     """
     from repro.simulation.arena import WorkloadArena
 
+    # One (cached) JIT pass before any period runs: a worker's first
+    # dispatch must not pay compilation inside the measured horizon.  The
+    # kernel mode itself arrives via the inherited REPRO_KERNELS variable.
+    warmup_kernels()
     arena = WorkloadArena.attach(job.handle)
     try:
         workload = ChunkedWorkload(
@@ -805,19 +811,14 @@ class ShardedEngine:
             arrays = dispatch.instance.ensure_arrays()
             prices = dispatch.decision.prices
             distances = arrays.distances
-            # Accepted-but-unmatched boundary tasks, selected with array
-            # ops (ascending task position, like the scalar loop did).
-            candidates = dispatch.decision.accepted_positions
-            if dispatch.matching:
-                matched = np.fromiter(
-                    dispatch.matching.keys(),
-                    dtype=np.int64,
-                    count=len(dispatch.matching),
-                )
-                candidates = candidates[
-                    ~np.isin(candidates, matched, assume_unique=True)
-                ]
-            candidates = candidates[boundary[arrays.task_grids[candidates] - 1]]
+            # Accepted-but-unmatched boundary tasks, ascending — selected
+            # by the halo kernel (compiled or numpy per the kernel mode).
+            candidates = halo_task_candidates(
+                dispatch.decision.accepted_positions,
+                dispatch.matching,
+                arrays.task_grids,
+                boundary,
+            )
             if not candidates.size:
                 continue
             instance_tasks = dispatch.instance.tasks
@@ -831,21 +832,15 @@ class ShardedEngine:
         workers: List[Worker] = []
         worker_refs: List[Tuple[int, int]] = []
         for dispatch_pos, dispatch in enumerate(dispatches):
-            worker_grids = dispatch.instance.ensure_arrays().worker_grids
-            residual = boundary[worker_grids - 1]
-            if dispatch.matching:
-                residual = residual.copy()
-                residual[
-                    np.fromiter(
-                        dispatch.matching.values(),
-                        dtype=np.int64,
-                        count=len(dispatch.matching),
-                    )
-                ] = False
+            residual = halo_residual_workers(
+                dispatch.matching,
+                dispatch.instance.ensure_arrays().worker_grids,
+                boundary,
+            )
             # Index rather than iterate: lazy columnar views then only
             # materialise the residual boundary workers actually appended.
             instance_workers = dispatch.instance.workers
-            for worker_pos in np.flatnonzero(residual).tolist():
+            for worker_pos in residual.tolist():
                 workers.append(instance_workers[worker_pos])
                 worker_refs.append((dispatch_pos, worker_pos))
         leftover_taken: set = set()
@@ -967,7 +962,11 @@ class ShardedEngine:
                 )
             else:
                 try:
-                    with ProcessPoolExecutor(max_workers=self.shard_jobs) as executor:
+                    # Never start more processes than there are shards to
+                    # run — an oversized shard_jobs would only fork idle
+                    # workers that still pay interpreter + JIT-warmup cost.
+                    pool_size = min(self.shard_jobs, self.num_shards)
+                    with ProcessPoolExecutor(max_workers=pool_size) as executor:
                         results = list(
                             executor.map(
                                 _execute_shard_horizon_arena,

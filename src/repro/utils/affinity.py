@@ -1,0 +1,29 @@
+"""Effective CPU-count detection for sizing process pools.
+
+``os.cpu_count()`` reports the machine's cores, not the process's: under
+a container cpuset or ``taskset`` restriction the process may be pinned
+to far fewer.  Sizing a pool by the raw count then oversubscribes — N
+workers time-slicing M < N cores is slower than M workers.  CFS quota
+limits (``cpu.max``) are invisible to both calls; affinity is the best
+portable signal.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def effective_cpu_count() -> int:
+    """CPUs this process may actually run on (always >= 1).
+
+    Prefers the scheduling affinity mask (respects container cpusets and
+    ``taskset``); falls back to ``os.cpu_count()`` on platforms without
+    ``sched_getaffinity`` (macOS, Windows).
+    """
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):
+        return max(1, os.cpu_count() or 1)
+
+
+__all__ = ["effective_cpu_count"]

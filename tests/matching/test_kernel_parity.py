@@ -1,0 +1,314 @@
+"""Kernel-family parity: numba-compiled vs pure-Python hot loops.
+
+The kernels in :mod:`repro.kernels` guarantee **bit identity**, not just
+equivalence: the compiled loops replicate the fallback's visiting order
+exactly, and everything float-bearing runs in shared wrapper code.  This
+suite fuzzes that claim on hypothesis-generated bipartite instances for
+every kernel — the matroid augmenting-path search (cold and warm-started,
+with and without ``allowed_tasks``), the ``vgreedy`` round loop, the
+incremental matcher and the halo-selection kernels.
+
+The numba half is skipped when numba is not installed (CI's
+``tests-kernels`` job installs it; the default job pins the Python
+family).  The mode-resolution and graceful-degradation tests run
+everywhere — degradation is exercised by *mocking numba away*, so it is
+covered on hosts that do have it.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from contextlib import contextmanager
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import dispatch
+from repro.kernels.halo import (
+    _residual_workers_python,
+    _task_candidates_python,
+    halo_residual_workers,
+    halo_task_candidates,
+)
+from repro.market.entities import Task, Worker
+from repro.matching.bipartite import BipartiteGraph
+from repro.matching.incremental import IncrementalMatcher
+from repro.matching.weighted import max_weight_matching
+from repro.spatial.geometry import Point
+
+needs_numba = pytest.mark.skipif(
+    not dispatch.numba_available(), reason="numba kernels not importable"
+)
+
+#: Hypothesis settings shared by the fuzz tests: the instances are tiny,
+#: but a numba run's first example pays (cached) JIT compilation, which
+#: the default deadline would misread as a hang.
+FUZZ = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+@contextmanager
+def kernel_mode(mode: str):
+    """Temporarily force a kernel mode, restoring the previous request."""
+    previous = dispatch.kernel_mode()
+    dispatch.set_kernel_mode(mode)
+    try:
+        yield
+    finally:
+        dispatch.set_kernel_mode(previous)
+
+
+def _make_graph(num_tasks: int, num_workers: int, adjacency) -> BipartiteGraph:
+    tasks = [
+        Task(
+            task_id=pos,
+            period=0,
+            origin=Point(0.0, 0.0),
+            destination=Point(1.0, 0.0),
+            distance=1.0,
+            grid_index=1,
+        )
+        for pos in range(num_tasks)
+    ]
+    workers = [
+        Worker(worker_id=pos, period=0, location=Point(0.0, 0.0), radius=10.0)
+        for pos in range(num_workers)
+    ]
+    graph = BipartiteGraph(tasks=tasks, workers=workers)
+    for task_pos in range(num_tasks):
+        for worker_pos in range(num_workers):
+            if adjacency[task_pos, worker_pos]:
+                graph.add_edge(task_pos, worker_pos)
+    return graph
+
+
+@st.composite
+def matching_instances(draw):
+    """A random bipartite instance plus weights, subset and warm hints."""
+    num_tasks = draw(st.integers(min_value=1, max_value=10))
+    num_workers = draw(st.integers(min_value=1, max_value=8))
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    density = draw(st.floats(min_value=0.1, max_value=0.9))
+    rng = np.random.default_rng(seed)
+    adjacency = rng.random((num_tasks, num_workers)) < density
+    graph = _make_graph(num_tasks, num_workers, adjacency)
+    # Mixed-sign weights with deliberate ties exercise the non-positive
+    # filter and the weight-order tiebreak.
+    weights = rng.choice([-1.0, 0.0, 0.5, 1.25, 2.0, 3.75], size=num_tasks).tolist()
+    if draw(st.booleans()):
+        allowed = sorted(
+            draw(
+                st.sets(
+                    st.integers(min_value=0, max_value=num_tasks - 1), max_size=num_tasks
+                )
+            )
+        )
+    else:
+        allowed = None
+    warm_start = None
+    if draw(st.booleans()):
+        # Arbitrary (possibly stale / non-adjacent) hints: validation and
+        # consumption must behave identically across kernel families.
+        warm_start = {
+            int(task_pos): int(rng.integers(0, num_workers))
+            for task_pos in rng.choice(
+                num_tasks, size=int(rng.integers(0, num_tasks + 1)), replace=False
+            )
+        }
+    return graph, weights, allowed, warm_start, seed
+
+
+def _run_backend(backend, graph, weights, allowed, warm_start):
+    return max_weight_matching(
+        graph, weights, allowed_tasks=allowed, backend=backend, warm_start=warm_start
+    )
+
+
+# ---------------------------------------------------------------------------
+# numba vs python parity (skipped without numba)
+# ---------------------------------------------------------------------------
+@needs_numba
+@pytest.mark.parametrize("backend", ["matroid", "vgreedy", "greedy"])
+@FUZZ
+@given(instance=matching_instances())
+def test_backend_parity_numba_vs_python(backend, instance):
+    """Matching dict AND total weight are bitwise identical per family."""
+    graph, weights, allowed, warm_start, _seed = instance
+    with kernel_mode("python"):
+        expected_matching, expected_total = _run_backend(
+            backend, graph, weights, allowed, warm_start
+        )
+    with kernel_mode("numba"):
+        got_matching, got_total = _run_backend(
+            backend, graph, weights, allowed, warm_start
+        )
+    assert got_matching == expected_matching
+    assert repr(got_total) == repr(expected_total)  # bitwise, not approx
+
+
+@needs_numba
+@FUZZ
+@given(instance=matching_instances())
+def test_incremental_matcher_parity(instance):
+    """The incremental matcher grows the same matching under both families."""
+    graph, _weights, _allowed, warm_start, seed = instance
+    order = np.random.default_rng(seed).permutation(graph.num_tasks).tolist()
+    hints = warm_start or {}
+    matchings = {}
+    for mode in ("python", "numba"):
+        with kernel_mode(mode):
+            matcher = IncrementalMatcher(graph)
+            outcomes = [
+                matcher.augment_task(task_pos, hints.get(task_pos))
+                for task_pos in order
+            ]
+            assert matcher.is_valid_matching()
+            matchings[mode] = (outcomes, matcher.matching(), matcher.size)
+    assert matchings["numba"] == matchings["python"]
+
+
+@needs_numba
+@FUZZ
+@given(
+    num_cells=st.integers(min_value=1, max_value=20),
+    num_tasks=st.integers(min_value=0, max_value=30),
+    num_workers=st.integers(min_value=0, max_value=30),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_halo_kernel_parity(num_cells, num_tasks, num_workers, seed):
+    """Halo candidate/residual selections agree element for element."""
+    rng = np.random.default_rng(seed)
+    boundary = rng.random(num_cells) < 0.5
+    task_grids = rng.integers(1, num_cells + 1, size=num_tasks)
+    worker_grids = rng.integers(1, num_cells + 1, size=num_workers)
+    accepted = np.flatnonzero(rng.random(num_tasks) < 0.7)
+    matched_tasks = accepted[rng.random(accepted.size) < 0.4]
+    matched_workers = rng.choice(
+        num_workers, size=min(matched_tasks.size, num_workers), replace=False
+    )
+    matching = dict(zip(matched_tasks.tolist(), matched_workers.tolist()))
+    with kernel_mode("numba"):
+        got_tasks = halo_task_candidates(accepted, matching, task_grids, boundary)
+        got_workers = halo_residual_workers(matching, worker_grids, boundary)
+    expected_tasks = _task_candidates_python(accepted, matching, task_grids, boundary)
+    expected_workers = _residual_workers_python(matching, worker_grids, boundary)
+    np.testing.assert_array_equal(got_tasks, expected_tasks)
+    np.testing.assert_array_equal(got_workers, expected_workers)
+
+
+# ---------------------------------------------------------------------------
+# python-family exactness (runs everywhere)
+# ---------------------------------------------------------------------------
+@FUZZ
+@given(instance=matching_instances())
+def test_python_matroid_total_matches_dense_exact(instance):
+    """The (kernelised) matroid backend stays exact vs the dense solver."""
+    graph, weights, allowed, warm_start, _seed = instance
+    with kernel_mode("python"):
+        _matching, total = _run_backend("matroid", graph, weights, allowed, warm_start)
+        _dense, dense_total = _run_backend("scipy", graph, weights, allowed, None)
+    assert total == pytest.approx(dense_total, abs=1e-9)
+
+
+# ---------------------------------------------------------------------------
+# mode resolution and graceful degradation (runs everywhere)
+# ---------------------------------------------------------------------------
+@contextmanager
+def numba_absent(monkeypatch):
+    """Simulate a host without numba, whatever this host has installed."""
+    monkeypatch.setitem(sys.modules, "numba", None)
+    monkeypatch.delitem(sys.modules, "repro.kernels._numba_impl", raising=False)
+    saved = (dispatch._mode, dispatch._numba_impl, dispatch._warned_forced_numba)
+    saved_env = os.environ.get(dispatch.ENV_VAR)
+    dispatch._reset_for_tests()
+    try:
+        yield
+    finally:
+        dispatch._mode, dispatch._numba_impl, dispatch._warned_forced_numba = saved
+        if saved_env is None:
+            os.environ.pop(dispatch.ENV_VAR, None)
+        else:
+            os.environ[dispatch.ENV_VAR] = saved_env
+        monkeypatch.delitem(sys.modules, "repro.kernels._numba_impl", raising=False)
+
+
+def test_auto_mode_silently_falls_back_without_numba(monkeypatch):
+    with numba_absent(monkeypatch):
+        dispatch.set_kernel_mode("auto")
+        assert not dispatch.numba_available()
+        assert dispatch.numba_version() is None
+        assert dispatch.active_kernel_mode() == "python"
+        assert not dispatch.use_numba()
+        assert dispatch.warmup() == "python"  # no-op, no exception
+
+
+def test_requesting_numba_without_numba_raises(monkeypatch):
+    with numba_absent(monkeypatch):
+        with pytest.raises(RuntimeError, match="numba"):
+            dispatch.set_kernel_mode("numba")
+
+
+def test_forced_numba_env_degrades_with_one_warning(monkeypatch):
+    """REPRO_KERNELS=numba leaked onto a numba-less host must not crash."""
+    with numba_absent(monkeypatch):
+        monkeypatch.setenv(dispatch.ENV_VAR, "numba")
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            assert dispatch.active_kernel_mode() == "python"
+        # The warning is one-time; later resolutions stay silent.
+        assert dispatch.active_kernel_mode() == "python"
+
+
+def test_matching_still_works_without_numba(monkeypatch, example_paper_graph):
+    """End to end: auto mode on a numba-less host matches and prices."""
+    with numba_absent(monkeypatch):
+        dispatch.set_kernel_mode("auto")
+        matching, total = max_weight_matching(
+            example_paper_graph, [3.0, 2.0, 1.0], backend="matroid"
+        )
+        assert matching == {0: 0, 2: 2}
+        assert total == 4.0
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(ValueError, match="unknown kernel mode"):
+        dispatch.set_kernel_mode("cuda")
+
+
+def test_mode_is_seeded_from_environment(monkeypatch):
+    saved = (dispatch._mode, dispatch._numba_impl, dispatch._warned_forced_numba)
+    try:
+        monkeypatch.setenv(dispatch.ENV_VAR, "python")
+        dispatch._reset_for_tests()
+        assert dispatch.kernel_mode() == "python"
+        assert dispatch.active_kernel_mode() == "python"
+    finally:
+        dispatch._mode, dispatch._numba_impl, dispatch._warned_forced_numba = saved
+
+
+def test_set_kernel_mode_exports_to_environment(monkeypatch):
+    """Child processes inherit the mode via REPRO_KERNELS."""
+    saved = dispatch._mode
+    saved_env = os.environ.get(dispatch.ENV_VAR)
+    try:
+        dispatch.set_kernel_mode("python")
+        assert os.environ[dispatch.ENV_VAR] == "python"
+    finally:
+        dispatch._mode = saved
+        if saved_env is None:
+            os.environ.pop(dispatch.ENV_VAR, None)
+        else:
+            os.environ[dispatch.ENV_VAR] = saved_env
+
+
+def test_registry_reexports_kernel_controls():
+    from repro.matching import registry
+
+    assert registry.set_kernel_mode is dispatch.set_kernel_mode
+    assert registry.active_kernel_mode is dispatch.active_kernel_mode
+    assert registry.KERNEL_MODES == dispatch.KERNEL_MODES

@@ -42,8 +42,18 @@ from repro.experiments.bench_matching import (  # noqa: E402
     DEFAULT_CONFIGS,
     measure_matching_throughput,
 )
-from repro.experiments.bench_runtime import measure_runtime_throughput  # noqa: E402
+from repro.experiments.bench_runtime import (  # noqa: E402
+    measure_multicore_scaling,
+    measure_runtime_throughput,
+)
 from repro.experiments.bench_sharded import measure_sharded_throughput  # noqa: E402
+from repro.kernels import (  # noqa: E402
+    KERNEL_MODES,
+    active_kernel_mode,
+    numba_version,
+    set_kernel_mode,
+)
+from repro.utils.affinity import effective_cpu_count  # noqa: E402
 
 DEFAULT_OUTPUTS = {
     "sharded": REPO_ROOT / "BENCH_sharded.json",
@@ -121,6 +131,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="[runtime] per-task adjacency cap of the compound "
         "configuration (default 16)",
     )
+    parser.add_argument(
+        "--kernels",
+        choices=list(KERNEL_MODES),
+        default="auto",
+        help="kernel implementation family for the scalar hot loops "
+        "(auto = numba when installed, else the pure-Python fallback)",
+    )
+    parser.add_argument(
+        "--cores",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="N",
+        help="[runtime] also measure process-per-shard scaling at these "
+        "shard_jobs counts (e.g. --cores 1 2 4 8) and attach the curve "
+        "to the recorded run",
+    )
     parser.add_argument("--seed", type=int, default=0, help="workload and engine seed")
     parser.add_argument(
         "--strategy", default="BaseP", help="pricing strategy to drive the runs"
@@ -153,8 +180,12 @@ def load_trajectory(path: Path, benchmark_name: str) -> dict:
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     output = args.output or DEFAULT_OUTPUTS[args.benchmark]
+    set_kernel_mode(args.kernels)
+    if args.cores and args.benchmark != "runtime":
+        raise SystemExit("--cores only applies to --benchmark runtime")
     print(
-        f"measuring city_scale [{args.benchmark}] at scale {args.scale:g} ..."
+        f"measuring city_scale [{args.benchmark}] at scale {args.scale:g} "
+        f"(kernels = {active_kernel_mode()}) ..."
     )
     if args.benchmark == "sharded":
         run = measure_sharded_throughput(
@@ -176,6 +207,16 @@ def main(argv=None) -> int:
             seed=args.seed,
             strategy=args.strategy,
         )
+        if args.cores:
+            print(f"measuring multi-core scaling at shard_jobs {args.cores} ...")
+            run["multicore"] = measure_multicore_scaling(
+                scale=args.scale,
+                core_counts=tuple(args.cores),
+                shards=args.shards[-1] if args.shards else 8,
+                max_degree=args.max_degree,
+                seed=args.seed,
+                strategy=args.strategy,
+            )
     else:
         run = measure_matching_throughput(
             scale=args.scale,
@@ -185,8 +226,14 @@ def main(argv=None) -> int:
         )
     run["host"] = {
         "cpu_count": os.cpu_count(),
+        # What the process may actually use — a container cpuset or
+        # taskset restriction makes this smaller than cpu_count, and
+        # trajectory points are meaningless without it.
+        "effective_cores": effective_cpu_count(),
         "platform": platform.platform(),
         "python": platform.python_version(),
+        "kernels": active_kernel_mode(),
+        "numba": numba_version(),
     }
     run["created"] = datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
     # Attribution: which commit produced the point, and with what exact
@@ -223,6 +270,15 @@ def main(argv=None) -> int:
     else:
         best = max(run["speedup_vs_baseline"].items(), key=lambda item: item[1])
         print(f"best speedup: {best[0]} {best[1]:.2f}x  -> {output}")
+    if "multicore" in run:
+        curve = run["multicore"]
+        for point in curve["results"]:
+            print(
+                f"shard_jobs={point['shard_jobs']}: {point['seconds']:.1f}s  "
+                f"{point['tasks_per_second']:.0f} tasks/s  "
+                f"({curve['speedup_vs_1core'][str(point['shard_jobs'])]:.2f}x)"
+            )
+        print(f"effective cores: {curve['effective_cores']}")
     return 0
 
 
