@@ -1,0 +1,509 @@
+"""Delta-repair matching throughput vs per-window re-solve, shared by
+bench and tooling.
+
+One measurement protocol feeds two consumers:
+
+* ``benchmarks/test_bench_dynamic.py`` — the tier-1 gate asserting the
+  :class:`~repro.matching.incremental.DynamicMatcher` delta path beats a
+  fresh per-window re-solve by the required factor on the high-churn
+  scenario (CI-sized horizon);
+* ``tools/bench_to_json.py --benchmark dynamic`` — the writer that
+  records the full-size trajectory point (``BENCH_dynamic.json``).
+
+**What is measured.**  The ``churn_city`` stream is pre-compiled into a
+*trajectory*: a universe adjacency over every task/worker the stream
+yields, plus per-window operation lists (worker arrivals with departure
+times, accepted tasks with fixed-price weights ``d_r * base_price`` and
+deadlines).  The same trajectory then runs through two passes:
+
+* ``delta`` — one maintained :class:`DynamicMatcher`; every window
+  settles due deadlines/departures (commit / expire / repair) and
+  inserts the window's arrivals.  Timed: the matcher operations.
+* ``rewindow`` — the baseline.  Every window rebuilds a fresh matcher
+  from scratch over the live population (workers ascending, tasks in
+  ``(-weight, pos)`` order — the transversal-matroid greedy, i.e. the
+  batch ``matroid`` solve).  Timed: the rebuilds.  Settlement replays
+  the delta pass's recorded commit/expire/depart events, so both passes
+  walk the *identical* population trajectory — which is what makes the
+  bit-identity check meaningful.
+
+**Bit-identity contract.**  After every window the rewindow pass asserts
+that its freshly re-solved matching has the same matched-task basis and
+the same ``repr``-identical total weight as the delta pass recorded:
+the maintained matching *is* the per-window re-solve, delivered at
+delta cost.  The final committed revenue is asserted ``repr``-identical
+between the passes.
+
+**Horizon chunking.**  The universe adjacency is quadratic in the
+population, so a 1M-task horizon cannot be one graph.  The horizon is
+chunked into independent *epochs* (fresh seed, drained at the end);
+churn statistics are horizon-invariant, so per-epoch measurements sum
+honestly.  ``scale`` stretches the number of epochs (the city_scale
+convention: density fixed, horizon scaled); scale 1.0 is the ~1M-task
+horizon (200 epochs x 125 periods x ~40 tasks/period).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.gdp import PeriodInstance
+from repro.matching.incremental import DynamicMatcher
+from repro.simulation.scenarios import get_scenario
+from repro.simulation.streaming import TaskArrival, window_index
+from repro.utils.rng import derive_seed
+
+#: Epochs at scale 1.0 — together the ~1M-task horizon.
+FULL_EPOCHS = 200
+
+#: Periods per epoch (the largest population whose universe adjacency
+#: stays comfortably in memory at churn_city density).
+EPOCH_PERIODS = 125
+
+
+@dataclass(frozen=True)
+class DynamicBenchPoint:
+    """One measured resolve mode."""
+
+    config: str
+    seconds: float
+    total_tasks: int
+    tasks_per_second: float
+    revenue: float
+    committed: int
+
+
+@dataclass(frozen=True)
+class _WindowOps:
+    """One dispatch window's pre-compiled population delta."""
+
+    start: float
+    #: ``(worker_pos, departure_time_or_None)`` in arrival order.
+    workers: List[Tuple[int, Optional[float]]]
+    #: ``(task_pos, weight, deadline)`` in ``(-weight, pos)`` order.
+    tasks: List[Tuple[int, float, float]]
+
+
+@dataclass
+class _Epoch:
+    graph: object
+    num_tasks: int
+    num_workers: int
+    windows: List[_WindowOps]
+
+
+def _build_epoch(
+    seed: int,
+    epoch_periods: int,
+    window: float,
+    task_lifetime: float,
+    worker_lifetime: float,
+    base_price: float,
+    max_degree: Optional[int],
+) -> _Epoch:
+    """Compile one churn_city epoch into a universe graph + window ops."""
+    stream = get_scenario("churn_city").stream(
+        scale=1.0,
+        seed=seed,
+        num_periods=epoch_periods,
+        task_lifetime=task_lifetime,
+        worker_lifetime=worker_lifetime,
+    )
+    tasks, workers, task_times = [], [], []
+    per_window: Dict[int, Tuple[list, list]] = {}
+    for event in stream.iter_events():
+        widx = window_index(float(event.time), window)
+        ops = per_window.setdefault(widx, ([], []))
+        if isinstance(event, TaskArrival):
+            pos = len(tasks)
+            tasks.append(event.task)
+            task_times.append(float(event.time))
+            ops[1].append(pos)
+        else:
+            pos = len(workers)
+            worker = event.worker
+            workers.append(worker)
+            departs = (
+                None
+                if worker.duration is None
+                else float(worker.period + worker.duration)
+            )
+            ops[0].append((pos, departs))
+    instance = PeriodInstance.build(
+        period=0,
+        grid=stream.grid,
+        tasks=tasks,
+        workers=workers,
+        metric=stream.metric,
+        max_degree=max_degree,
+    )
+    distances = instance.ensure_arrays().distances
+    windows: List[_WindowOps] = []
+    for widx in sorted(per_window):
+        worker_ops, task_positions = per_window[widx]
+        entries = []
+        for pos in task_positions:
+            lifetime = (
+                tasks[pos].duration
+                if tasks[pos].duration is not None
+                else task_lifetime
+            )
+            entries.append(
+                (
+                    pos,
+                    float(distances[pos]) * base_price,
+                    task_times[pos] + float(lifetime),
+                )
+            )
+        entries.sort(key=lambda entry: (-entry[1], entry[0]))
+        windows.append(
+            _WindowOps(start=widx * window, workers=worker_ops, tasks=entries)
+        )
+    return _Epoch(
+        graph=instance.graph,
+        num_tasks=len(tasks),
+        num_workers=len(workers),
+        windows=windows,
+    )
+
+
+@dataclass
+class _DeltaTrace:
+    """Everything the rewindow pass needs to replay the delta pass."""
+
+    seconds: float = 0.0
+    revenue: float = 0.0
+    committed: int = 0
+    #: Per window: the settlement events applied *before* its arrivals,
+    #: as ``("commit", task, worker) | ("expire", task, -1) |
+    #: ("depart", worker, -1)``; the last entry is the final drain.
+    settlements: List[List[Tuple[str, int, int]]] = field(default_factory=list)
+    #: Per window: (sorted matched-task basis, repr(total_weight)).
+    bases: List[Tuple[Tuple[int, ...], str]] = field(default_factory=list)
+    live_task_samples: List[int] = field(default_factory=list)
+    settled_tasks: int = 0
+
+
+def _settle(
+    matcher: DynamicMatcher,
+    deadlines: List[Tuple[float, int]],
+    departures: List[Tuple[float, int]],
+    live_weights: Dict[int, float],
+    live_workers: set,
+    bound: float,
+    log: List[Tuple[str, int, int]],
+) -> Tuple[float, int]:
+    """Commit/expire everything due at or before ``bound``, logging the
+    applied events (same global time order as the streaming engine)."""
+    revenue = 0.0
+    commits = 0
+    while deadlines or departures:
+        due_deadline = deadlines[0][0] if deadlines else math.inf
+        due_departure = departures[0][0] if departures else math.inf
+        if min(due_deadline, due_departure) > bound:
+            break
+        if due_deadline <= due_departure:
+            _, task_pos = heapq.heappop(deadlines)
+            if task_pos not in live_weights:
+                continue
+            if matcher.is_task_matched(task_pos):
+                worker_pos = matcher.commit_task(task_pos)
+                revenue += live_weights.pop(task_pos)
+                commits += 1
+                live_workers.discard(worker_pos)
+                log.append(("commit", task_pos, worker_pos))
+            else:
+                matcher.remove_task(task_pos)
+                live_weights.pop(task_pos)
+                log.append(("expire", task_pos, -1))
+        else:
+            _, worker_pos = heapq.heappop(departures)
+            if worker_pos not in live_workers:
+                continue
+            matcher.remove_worker(worker_pos)
+            live_workers.discard(worker_pos)
+            log.append(("depart", worker_pos, -1))
+    return revenue, commits
+
+
+def _run_delta(epoch: _Epoch, trace: _DeltaTrace) -> None:
+    """Maintained-matching pass; times the matcher operations only."""
+    matcher = DynamicMatcher(epoch.graph, [0.0] * epoch.num_tasks)
+    live_weights: Dict[int, float] = {}
+    live_workers: set = set()
+    deadlines: List[Tuple[float, int]] = []
+    departures: List[Tuple[float, int]] = []
+    for ops in epoch.windows:
+        log: List[Tuple[str, int, int]] = []
+        start = time.perf_counter()
+        revenue, commits = _settle(
+            matcher, deadlines, departures, live_weights, live_workers,
+            ops.start, log,
+        )
+        for worker_pos, departs in ops.workers:
+            if departs is not None and departs <= ops.start:
+                continue
+            matcher.insert_worker(worker_pos)
+            live_workers.add(worker_pos)
+            if departs is not None:
+                heapq.heappush(departures, (departs, worker_pos))
+        for task_pos, weight, deadline in ops.tasks:
+            matcher.insert_task(task_pos, weight)
+            live_weights[task_pos] = weight
+            heapq.heappush(deadlines, (deadline, task_pos))
+        trace.seconds += time.perf_counter() - start
+        trace.revenue += revenue
+        trace.committed += commits
+        trace.settlements.append(log)
+        trace.settled_tasks += sum(
+            1 for kind, _, _ in log if kind in ("commit", "expire")
+        )
+        trace.live_task_samples.append(len(live_weights))
+        basis = tuple(
+            sorted(pos for pos in live_weights if matcher.is_task_matched(pos))
+        )
+        trace.bases.append((basis, repr(matcher.total_weight())))
+    # Drain everything still pending after the final window.
+    log = []
+    start = time.perf_counter()
+    revenue, commits = _settle(
+        matcher, deadlines, departures, live_weights, live_workers,
+        math.inf, log,
+    )
+    trace.seconds += time.perf_counter() - start
+    trace.revenue += revenue
+    trace.committed += commits
+    trace.settlements.append(log)
+    trace.settled_tasks += sum(
+        1 for kind, _, _ in log if kind in ("commit", "expire")
+    )
+
+
+def _replay(
+    log: List[Tuple[str, int, int]],
+    live_weights: Dict[int, float],
+    live_workers: set,
+) -> Tuple[float, int]:
+    """Apply a recorded settlement log to the live population."""
+    revenue = 0.0
+    commits = 0
+    for kind, pos, worker_pos in log:
+        if kind == "commit":
+            revenue += live_weights.pop(pos)
+            commits += 1
+            live_workers.discard(worker_pos)
+        elif kind == "expire":
+            live_weights.pop(pos)
+        else:
+            live_workers.discard(pos)
+    return revenue, commits
+
+
+def _run_rewindow(epoch: _Epoch, trace: _DeltaTrace) -> Tuple[float, float, int]:
+    """Per-window re-solve pass; times the rebuilds only.
+
+    Settlement replays the delta pass's recorded events so both passes
+    walk the identical population trajectory; after every rebuild the
+    matched basis and total weight are asserted bit-identical to the
+    delta pass.  Returns ``(seconds, revenue, committed)``.
+    """
+    live_weights: Dict[int, float] = {}
+    live_workers: set = set()
+    seconds = 0.0
+    revenue = 0.0
+    committed = 0
+    for index, ops in enumerate(epoch.windows):
+        window_revenue, commits = _replay(
+            trace.settlements[index], live_weights, live_workers
+        )
+        revenue += window_revenue
+        committed += commits
+        for worker_pos, departs in ops.workers:
+            if departs is not None and departs <= ops.start:
+                continue
+            live_workers.add(worker_pos)
+        for task_pos, weight, _ in ops.tasks:
+            live_weights[task_pos] = weight
+        start = time.perf_counter()
+        matcher = DynamicMatcher(epoch.graph, [0.0] * epoch.num_tasks)
+        for worker_pos in sorted(live_workers):
+            matcher.insert_worker(worker_pos)
+        for task_pos in sorted(
+            live_weights, key=lambda pos: (-live_weights[pos], pos)
+        ):
+            matcher.insert_task(task_pos, live_weights[task_pos])
+        seconds += time.perf_counter() - start
+        basis = tuple(
+            sorted(pos for pos in live_weights if matcher.is_task_matched(pos))
+        )
+        expected_basis, expected_total = trace.bases[index]
+        if basis != expected_basis:
+            raise AssertionError(
+                f"window {index}: re-solved basis diverged from the "
+                f"maintained matching ({len(basis)} vs "
+                f"{len(expected_basis)} matched tasks)"
+            )
+        total = repr(matcher.total_weight())
+        if total != expected_total:
+            raise AssertionError(
+                f"window {index}: re-solved total {total} != maintained "
+                f"{expected_total}"
+            )
+    window_revenue, commits = _replay(
+        trace.settlements[-1], live_weights, live_workers
+    )
+    revenue += window_revenue
+    committed += commits
+    return seconds, revenue, committed
+
+
+def measure_dynamic_throughput(
+    scale: float = 1.0,
+    seed: int = 0,
+    window: float = 1.0,
+    epochs: Optional[int] = None,
+    epoch_periods: int = EPOCH_PERIODS,
+    task_lifetime: float = 8.0,
+    worker_lifetime: float = 6.0,
+    base_price: float = 2.0,
+    max_degree: Optional[int] = 16,
+) -> Dict[str, object]:
+    """Measure delta-repair vs per-window re-solve matching throughput.
+
+    Args:
+        scale: Horizon scale (1.0 = the ~1M-task horizon); stretches the
+            number of epochs while per-window churn density stays fixed.
+        seed: Root seed; each epoch derives its own stream seed.
+        window: Dispatch window length in period units.
+        epochs: Explicit epoch count (overrides ``scale``).
+        epoch_periods: Periods per epoch.
+        task_lifetime: Mean periods a request stays open (the churn
+            knob: per-window turnover is ~``2 / task_lifetime``).
+        worker_lifetime: Mean worker shift length in periods.
+        base_price: Fixed price; weights are ``distance * base_price``
+            (no pricing pipeline — the measurement is matcher-only).
+        max_degree: Per-task cap on the universe adjacency (16 nearest
+            workers by default — the hot-path cap the degree-capped
+            configurations of ``BENCH_matching.json`` run at; both
+            passes solve the identical capped graph, so the comparison
+            stays exact).  ``None`` uncaps.
+
+    Returns:
+        A JSON-ready payload: both passes' measurements, the delta
+        speedup over the re-solve baseline, churn statistics, and the
+        number of windows whose bit-identity was asserted.
+    """
+    if epochs is None:
+        epochs = max(1, int(round(FULL_EPOCHS * scale)))
+    total_tasks = 0
+    total_workers = 0
+    num_windows = 0
+    rewindow_seconds = 0.0
+    rewindow_revenue = 0.0
+    rewindow_committed = 0
+    trace_totals = _DeltaTrace()
+    live_samples: List[int] = []
+    arrivals = 0
+    settled = 0
+    for epoch_index in range(epochs):
+        epoch = _build_epoch(
+            seed=derive_seed(seed, "dynamic-bench", epoch_index),
+            epoch_periods=epoch_periods,
+            window=window,
+            task_lifetime=task_lifetime,
+            worker_lifetime=worker_lifetime,
+            base_price=base_price,
+            max_degree=max_degree,
+        )
+        trace = _DeltaTrace()
+        _run_delta(epoch, trace)
+        seconds, revenue, committed = _run_rewindow(epoch, trace)
+        if repr(revenue) != repr(trace.revenue):
+            raise AssertionError(
+                f"epoch {epoch_index}: rewindow revenue {revenue!r} != "
+                f"delta revenue {trace.revenue!r}"
+            )
+        total_tasks += epoch.num_tasks
+        total_workers += epoch.num_workers
+        num_windows += len(epoch.windows)
+        rewindow_seconds += seconds
+        rewindow_revenue += revenue
+        rewindow_committed += committed
+        trace_totals.seconds += trace.seconds
+        trace_totals.revenue += trace.revenue
+        trace_totals.committed += trace.committed
+        live_samples.extend(trace.live_task_samples)
+        arrivals += sum(len(ops.tasks) for ops in epoch.windows)
+        settled += trace.settled_tasks
+
+    mean_live = sum(live_samples) / len(live_samples) if live_samples else 0.0
+    # Turnover fraction: population changes (inserts + settlements) per
+    # window relative to the standing population — ~2/task_lifetime, the
+    # churn_city docstring's definition (~20-25% at the defaults).
+    churn = (
+        (arrivals + settled) / (num_windows * mean_live)
+        if num_windows and mean_live
+        else 0.0
+    )
+    results = [
+        DynamicBenchPoint(
+            config="rewindow",
+            seconds=rewindow_seconds,
+            total_tasks=total_tasks,
+            tasks_per_second=total_tasks / rewindow_seconds,
+            revenue=rewindow_revenue,
+            committed=rewindow_committed,
+        ),
+        DynamicBenchPoint(
+            config="delta",
+            seconds=trace_totals.seconds,
+            total_tasks=total_tasks,
+            tasks_per_second=total_tasks / trace_totals.seconds,
+            revenue=trace_totals.revenue,
+            committed=trace_totals.committed,
+        ),
+    ]
+    baseline = results[0]
+    return {
+        "benchmark": "dynamic_matching_throughput",
+        "scenario": "churn_city",
+        "scale": float(scale),
+        "seed": int(seed),
+        "window": float(window),
+        "epochs": int(epochs),
+        "epoch_periods": int(epoch_periods),
+        "task_lifetime": float(task_lifetime),
+        "worker_lifetime": float(worker_lifetime),
+        "base_price": float(base_price),
+        "max_degree": max_degree,
+        "total_tasks": total_tasks,
+        "total_workers": total_workers,
+        "num_windows": num_windows,
+        "mean_live_tasks": mean_live,
+        "churn_per_window": churn,
+        "windows_bit_identical": num_windows,
+        "baseline_config": baseline.config,
+        "results": [asdict(point) for point in results],
+        "speedup_vs_baseline": {
+            point.config: point.tasks_per_second / baseline.tasks_per_second
+            for point in results
+        },
+        "revenue_ratio_vs_baseline": {
+            point.config: (
+                point.revenue / baseline.revenue if baseline.revenue else 1.0
+            )
+            for point in results
+        },
+    }
+
+
+__all__ = [
+    "EPOCH_PERIODS",
+    "FULL_EPOCHS",
+    "DynamicBenchPoint",
+    "measure_dynamic_throughput",
+]

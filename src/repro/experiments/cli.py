@@ -110,6 +110,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--streaming; default 1.0 = the paper's one-minute period)",
     )
     parser.add_argument(
+        "--dynamic",
+        action="store_true",
+        help="maintain one matching under churn via delta repair "
+        "(requires --scenario): with --streaming, dispatch through the "
+        "dynamic streaming engine (tasks stay tentatively matched until "
+        "their deadline); with --shards, run the halo reconciliation "
+        "through the dynamic backend; in plain batch mode, shorthand for "
+        "--backend dynamic",
+    )
+    parser.add_argument(
+        "--task-lifetime",
+        type=float,
+        default=None,
+        metavar="T",
+        help="periods an accepted task stays open before its tentative "
+        "assignment commits or expires (requires --dynamic --streaming; "
+        "per-task Task.duration overrides it; default 4.0)",
+    )
+    parser.add_argument(
         "--shards",
         type=int,
         default=None,
@@ -265,6 +284,11 @@ def _run_scenario(args: argparse.Namespace) -> int:
     scale = scenario.default_scale if args.scale is None else args.scale
     window = 1.0 if args.window is None else args.window
     halo = 1 if args.halo is None else args.halo
+    # Plain-batch --dynamic is shorthand for the dynamic matching backend
+    # (validated upstream: --backend, if given, was matroid or dynamic).
+    backend = args.backend
+    if args.dynamic and not args.streaming and args.shards is None:
+        backend = "dynamic"
     # Sharded runs over a lazily chunked scenario stay chunked end to end:
     # materialising a city-scale horizon is exactly what ChunkedWorkload
     # exists to avoid, and the sharded engine consumes it natively.
@@ -291,8 +315,15 @@ def _run_scenario(args: argparse.Namespace) -> int:
     ]
     if args.streaming:
         mode = f"streaming (window={window:g})"
+        if args.dynamic:
+            lifetime = 4.0 if args.task_lifetime is None else args.task_lifetime
+            mode = f"dynamic streaming (window={window:g}, lifetime={lifetime:g})"
     elif args.shards is not None:
         mode = f"sharded (shards={args.shards}, halo={halo})"
+        if args.dynamic:
+            mode += ", dynamic-halo"
+    elif args.dynamic:
+        mode = "batch (dynamic backend)"
     else:
         mode = "batch"
     if args.max_degree is not None:
@@ -303,7 +334,7 @@ def _run_scenario(args: argparse.Namespace) -> int:
     print(f"# workload: {workload.description}")
     print(
         f"# mode = {mode}, scale = {scale:g}, seed = {args.seed}, "
-        f"backend = {args.backend}, kernels = {_kernel_banner()}, "
+        f"backend = {backend}, kernels = {_kernel_banner()}, "
         f"base price = {calibration.base_price:.3f}"
     )
     if use_chunked:
@@ -317,10 +348,11 @@ def _run_scenario(args: argparse.Namespace) -> int:
             num_shards=args.shards,
             halo=halo,
             seed=args.seed,
-            matching_backend=args.backend,
+            matching_backend=backend,
             track_memory=not args.no_memory_tracking,
             max_degree=args.max_degree,
             warm_start=args.warm_start,
+            dynamic=args.dynamic,
         )
         results = {
             (spec.key, args.seed): engine.run(spec.build()) for spec in specs
@@ -330,7 +362,7 @@ def _run_scenario(args: argparse.Namespace) -> int:
             workload=None if args.streaming else workload,
             specs=specs,
             seeds=[args.seed],
-            matching_backend=args.backend,
+            matching_backend=backend,
             max_workers=None if args.jobs <= 0 else args.jobs,
             track_memory=not args.no_memory_tracking,
             stream=(
@@ -339,12 +371,14 @@ def _run_scenario(args: argparse.Namespace) -> int:
                     scale=scale,
                     seed=args.seed,
                     window=window,
+                    dynamic=args.dynamic,
+                    task_lifetime=args.task_lifetime,
                 )
                 if args.streaming
                 else None
             ),
             shards=(
-                ShardSpec(num_shards=args.shards, halo=halo)
+                ShardSpec(num_shards=args.shards, halo=halo, dynamic=args.dynamic)
                 if args.shards is not None
                 else None
             ),
@@ -403,6 +437,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         parser.error("--halo requires --shards")
     if args.halo is not None and args.halo < 0:
         parser.error("--halo must be non-negative")
+    if args.dynamic and args.scenario is None:
+        parser.error("--dynamic requires --scenario")
+    if args.dynamic and args.streaming:
+        if args.backend not in ("matroid", "dynamic"):
+            parser.error(
+                "--dynamic --streaming maintains the matroid-equivalent "
+                "matching; --backend cannot override it"
+            )
+        if args.warm_start:
+            parser.error(
+                "--warm-start has no effect with --dynamic --streaming: "
+                "the maintained matching is the warm start"
+            )
+    if args.dynamic and not args.streaming and args.shards is None:
+        if args.backend not in ("matroid", "dynamic"):
+            parser.error(
+                "plain-batch --dynamic is shorthand for --backend dynamic; "
+                "drop one of the two flags"
+            )
+    if args.task_lifetime is not None:
+        if not (args.dynamic and args.streaming):
+            parser.error("--task-lifetime requires --dynamic --streaming")
+        if args.task_lifetime <= 0:
+            parser.error("--task-lifetime must be positive")
     if args.scenario is None and args.backend != "matroid":
         parser.error("--backend is only honored with --scenario")
     if args.scenario is not None and args.values is not None:

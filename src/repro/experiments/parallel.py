@@ -44,7 +44,11 @@ from repro.utils.affinity import effective_cpu_count
 from repro.simulation.config import WorkloadBundle
 from repro.simulation.engine import SimulationEngine, SimulationResult
 from repro.simulation.sharded import ShardedEngine
-from repro.simulation.streaming import ArrivalStream, StreamingEngine
+from repro.simulation.streaming import (
+    ArrivalStream,
+    DynamicStreamingEngine,
+    StreamingEngine,
+)
 
 #: Key of one run: ``(strategy name, seed)``.
 RunKey = Tuple[str, int]
@@ -63,11 +67,15 @@ class ShardSpec:
             *inside one run* (requires ``halo=0``).  Leave at ``1`` when
             the :class:`ParallelRunner` already fans cells across
             processes — nesting pools multiplies workers.
+        dynamic: Run the halo reconciliation through the ``dynamic``
+            delta-repair backend (see
+            :class:`~repro.simulation.sharded.ShardedEngine`).
     """
 
     num_shards: int = 1
     halo: int = 1
     shard_jobs: int = 1
+    dynamic: bool = False
 
     def build_engine(
         self,
@@ -91,6 +99,7 @@ class ShardSpec:
             shard_jobs=self.shard_jobs,
             max_degree=max_degree,
             warm_start=warm_start,
+            dynamic=self.dynamic,
         )
 
 
@@ -105,6 +114,13 @@ class StreamSpec:
         window: Dispatch window length for the streaming engine, in period
             units.
         params: Extra scenario parameters (must be picklable).
+        dynamic: Dispatch through the
+            :class:`~repro.simulation.streaming.DynamicStreamingEngine`
+            (one matching maintained under churn by delta repair) instead
+            of the match-or-lose-forever :class:`StreamingEngine`.
+        task_lifetime: Default task lifetime, in period units, for the
+            dynamic engine (``None`` keeps its default; only honored with
+            ``dynamic=True``).
     """
 
     scenario: str
@@ -112,6 +128,8 @@ class StreamSpec:
     seed: Optional[int] = None
     window: float = 1.0
     params: Mapping[str, object] = field(default_factory=dict)
+    dynamic: bool = False
+    task_lifetime: Optional[float] = None
 
     def build(self) -> ArrivalStream:
         """Rebuild the arrival stream (called in each worker process)."""
@@ -196,16 +214,32 @@ def _execute_stream_run(
     warm_start: bool = False,
 ) -> Tuple[RunKey, SimulationResult]:
     """Streaming counterpart of :func:`_execute_run` (also picklable)."""
-    engine = StreamingEngine(
-        stream_spec.build(),
-        seed=seed,
-        window=stream_spec.window,
-        matching_backend=matching_backend,
-        track_memory=track_memory,
-        keep_details=keep_details,
-        max_degree=max_degree,
-        warm_start=warm_start,
-    )
+    if stream_spec.dynamic:
+        lifetime_kwargs = (
+            {}
+            if stream_spec.task_lifetime is None
+            else {"task_lifetime": stream_spec.task_lifetime}
+        )
+        engine: StreamingEngine = DynamicStreamingEngine(
+            stream_spec.build(),
+            seed=seed,
+            window=stream_spec.window,
+            track_memory=track_memory,
+            keep_details=keep_details,
+            max_degree=max_degree,
+            **lifetime_kwargs,
+        )
+    else:
+        engine = StreamingEngine(
+            stream_spec.build(),
+            seed=seed,
+            window=stream_spec.window,
+            matching_backend=matching_backend,
+            track_memory=track_memory,
+            keep_details=keep_details,
+            max_degree=max_degree,
+            warm_start=warm_start,
+        )
     return (spec.key, seed), engine.run(spec.build())
 
 

@@ -182,6 +182,123 @@ def incremental_augment(
 
 
 @njit(cache=True)
+def dynamic_augment(
+    indptr,
+    indices,
+    match_worker,
+    worker_live,
+    visited,
+    stamp,
+    start,
+    path_tasks,
+    path_workers,
+    visited_out,
+):
+    """Augmenting-path search for the fully dynamic matcher.
+
+    Compiled twin of ``repro.kernels.dynamic._dynamic_augment_python``.
+    Differs from :func:`incremental_augment` in two ways forced by
+    deletions: workers are skipped by the ``worker_live`` mask instead of
+    the failure-saturation ``dead`` marks (saturation is unsound once the
+    matching can shrink), and the visited workers are recorded in visit
+    order into ``visited_out`` — on failure their matched owners are
+    exactly the circuit the delete/insert repair logic evicts from.
+
+    Returns the path length (path written deepest-first) on success, or
+    ``-(n_visited + 1)`` on failure with ``visited_out[:n_visited]``
+    filled.
+    """
+    num_tasks = indptr.shape[0] - 1
+    tasks_stack = np.empty(num_tasks + 1, np.int64)
+    ptrs = np.empty(num_tasks + 1, np.int64)
+    chosen = np.empty(num_tasks + 1, np.int64)
+    depth = 0
+    tasks_stack[0] = start
+    ptrs[0] = indptr[start]
+    chosen[0] = UNMATCHED
+    n_visited = 0
+    while depth >= 0:
+        task_pos = tasks_stack[depth]
+        end = indptr[task_pos + 1]
+        ptr = ptrs[depth]
+        descended = False
+        while ptr < end:
+            worker_pos = indices[ptr]
+            ptr += 1
+            if worker_live[worker_pos] == 0 or visited[worker_pos] == stamp:
+                continue
+            visited[worker_pos] = stamp
+            visited_out[n_visited] = worker_pos
+            n_visited += 1
+            ptrs[depth] = ptr
+            chosen[depth] = worker_pos
+            owner = match_worker[worker_pos]
+            if owner == UNMATCHED:
+                length = depth + 1
+                for level in range(length):
+                    path_tasks[level] = tasks_stack[depth - level]
+                    path_workers[level] = chosen[depth - level]
+                return length
+            depth += 1
+            tasks_stack[depth] = owner
+            ptrs[depth] = indptr[owner]
+            chosen[depth] = UNMATCHED
+            descended = True
+            break
+        if not descended:
+            depth -= 1
+    return -(n_visited + 1)
+
+
+@njit(cache=True)
+def dynamic_reach(
+    windptr,
+    windices,
+    match_task,
+    task_eligible,
+    task_visited,
+    worker_visited,
+    stamp,
+    start_worker,
+    queue,
+    out_tasks,
+):
+    """Unmatched eligible tasks with an alternating path to a free worker.
+
+    Compiled twin of ``repro.kernels.dynamic._dynamic_reach_python``: a
+    reverse alternating BFS from ``start_worker`` over the worker→task
+    CSR (``windptr`` / ``windices``).  After a deletion (or a worker
+    arrival) frees exactly one worker, the tasks returned here are the
+    only ones whose greedy-basis membership can flip — the repair picks
+    the highest-priority one and re-augments it.  Returns the candidate
+    count with ``out_tasks[:count]`` filled in BFS visit order.
+    """
+    head = 0
+    tail = 0
+    queue[tail] = start_worker
+    tail += 1
+    worker_visited[start_worker] = stamp
+    count = 0
+    while head < tail:
+        worker_pos = queue[head]
+        head += 1
+        for ptr in range(windptr[worker_pos], windptr[worker_pos + 1]):
+            task_pos = windices[ptr]
+            if task_eligible[task_pos] == 0 or task_visited[task_pos] == stamp:
+                continue
+            task_visited[task_pos] = stamp
+            matched = match_task[task_pos]
+            if matched == UNMATCHED:
+                out_tasks[count] = task_pos
+                count += 1
+            elif worker_visited[matched] != stamp:
+                worker_visited[matched] = stamp
+                queue[tail] = matched
+                tail += 1
+    return count
+
+
+@njit(cache=True)
 def vgreedy_rounds(cand_t, cand_w, rank, num_tasks, num_workers):
     """Round-based greedy over candidate edges; returns the match array.
 
@@ -329,12 +446,48 @@ def warmup() -> None:
         np.array([0, 1], dtype=np.int64), np.array([0], dtype=np.int64), grids, boundary
     )
     halo_residual_workers(np.array([0], dtype=np.int64), grids, boundary)
+    worker_live = np.ones(1, np.uint8)
+    visited_out = np.empty(1, np.int64)
+    dynamic_augment(
+        indptr,
+        indices,
+        match_worker,
+        worker_live,
+        visited,
+        2,
+        0,
+        path_tasks,
+        path_workers,
+        visited_out,
+    )
+    windptr = np.array([0, 2], dtype=np.int64)
+    windices = np.array([0, 1], dtype=np.int64)
+    match_task = np.full(2, UNMATCHED, np.int64)
+    task_eligible = np.ones(2, np.uint8)
+    task_visited = np.zeros(2, np.int64)
+    worker_visited = np.zeros(1, np.int64)
+    queue = np.empty(1, np.int64)
+    out_tasks = np.empty(2, np.int64)
+    dynamic_reach(
+        windptr,
+        windices,
+        match_task,
+        task_eligible,
+        task_visited,
+        worker_visited,
+        1,
+        0,
+        queue,
+        out_tasks,
+    )
 
 
 __all__ = [
     "NUMBA_VERSION",
     "matroid_augment",
     "incremental_augment",
+    "dynamic_augment",
+    "dynamic_reach",
     "vgreedy_rounds",
     "halo_task_candidates",
     "halo_residual_workers",

@@ -33,6 +33,11 @@ class Task:
             :class:`~repro.market.acceptance.AcceptanceModel`.
         grid_index: Cached 1-based index of the grid cell containing the
             origin (filled in by the workload generator / simulator).
+        duration: How long (in period units) the request stays open before
+            the requester gives up, counted from arrival.  ``None`` defers
+            to the consuming engine's default lifetime; only the dynamic
+            streaming engine interprets this — the batch engines resolve
+            every task within its arrival period.
     """
 
     task_id: int
@@ -42,6 +47,7 @@ class Task:
     distance: float = -1.0
     valuation: Optional[float] = None
     grid_index: Optional[int] = None
+    duration: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.distance < 0:
@@ -50,6 +56,8 @@ class Task:
             )
         if self.distance < 0:
             raise ValueError("task distance must be non-negative")
+        if self.duration is not None and self.duration <= 0:
+            raise ValueError("task duration must be positive when given")
 
     def with_grid(self, grid_index: int) -> "Task":
         """Return a copy annotated with the origin's grid cell index."""

@@ -21,6 +21,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from repro.kernels.dispatch import numba_module, use_numba
+from repro.kernels.dynamic import dynamic_augment, dynamic_reach
 from repro.matching.bipartite import BipartiteGraph
 from repro.matching.maximum_matching import UNMATCHED
 
@@ -365,4 +366,382 @@ class IncrementalMatcher:
         return True
 
 
-__all__ = ["IncrementalMatcher"]
+class DynamicMatcher(IncrementalMatcher):
+    """Maximum-weight matching maintained under insertions *and* deletions.
+
+    The graph passed at construction is the *universe*: every task and
+    worker that may ever exist, with the full CSR adjacency.  All of them
+    start absent; :meth:`insert_task` / :meth:`insert_worker` bring them
+    live, :meth:`remove_task` / :meth:`remove_worker` take them out, and
+    :meth:`commit_task` retires a matched pair (both sides leave, no
+    repair needed).  After every operation the matcher restores one
+    invariant:
+
+        **the matched task set is the lexicographically-maximal
+        independent set** of the transversal matroid induced by the live
+        workers on the live, positive-weight tasks, under the priority
+        order *weight descending, position ascending* — exactly the set
+        the batch matroid backend (:func:`max_weight_matching`) computes
+        from scratch on the same population.
+
+    Because that set is intrinsic to the population (not to the path of
+    operations that produced it), "dynamic == batch re-solve" holds after
+    *any* interleaving of inserts and deletes — the property the stateful
+    differential suite (``tests/property/test_dynamic_matching.py``)
+    fuzzes.  The matched *pairs* are not canonical under churn (distinct
+    maximum matchings of the same set exist); only the set and the total
+    weight are.
+
+    Repairs touch only the alternating structure around the delta:
+
+    * inserting task ``t`` runs one augmenting DFS; on failure, the
+      visited workers' owners plus ``t`` form the fundamental circuit,
+      and the lowest-priority element of that circuit is evicted (if it
+      is ``t`` itself, nothing changes);
+    * freeing a worker (task removal or worker arrival) can pull at most
+      **one** task into the basis: the highest-priority unmatched task
+      with an alternating path to the freed worker
+      (:func:`repro.kernels.dynamic.dynamic_reach`);
+    * removing a matched worker re-runs insert-repair for the orphaned
+      task against the remaining workers.
+
+    With ``--max-degree K`` the DFS/BFS frontiers are bounded-degree, so
+    each repair costs :math:`O(K)` per alternating step instead of
+    re-solving the window (see ``docs/dynamic_matching.md``).
+
+    Unlike the insert-only base class the state is ndarray-shaped under
+    both kernel families, and the insert-only saturation pruning is
+    disabled: a failed search must report its full visited set (the
+    circuit), and deletions would invalidate the dead marks anyway.
+
+    Args:
+        graph: Universe bipartite graph (CSR snapshotted, as for
+            :class:`IncrementalMatcher`).
+        task_weights: Weight per universe task position.  A task whose
+            weight is ``<= 0`` can be inserted but never matches,
+            mirroring the batch backends' eligibility filter.
+    """
+
+    def __init__(
+        self, graph: BipartiteGraph, task_weights: Sequence[float]
+    ) -> None:  # noqa: D107 — documented on the class
+        if len(task_weights) != graph.num_tasks:
+            raise ValueError(
+                f"expected {graph.num_tasks} task weights, got {len(task_weights)}"
+            )
+        self._graph = graph
+        csr = graph.csr()
+        num_tasks, num_workers = graph.num_tasks, graph.num_workers
+        self._indptr = np.ascontiguousarray(csr.indptr, dtype=np.int64)
+        self._indices = np.ascontiguousarray(csr.indices, dtype=np.int64)
+        # Worker→task transpose of the CSR, for the reverse alternating
+        # BFS.  The stable argsort keeps each worker's task row in
+        # ascending task order, so the BFS visit order is deterministic
+        # and identical across kernel families.
+        edge_tasks = np.repeat(
+            np.arange(num_tasks, dtype=np.int64), np.diff(self._indptr)
+        )
+        order = np.argsort(self._indices, kind="stable")
+        self._windices = np.ascontiguousarray(edge_tasks[order])
+        counts = np.bincount(self._indices, minlength=num_workers)
+        self._windptr = np.zeros(num_workers + 1, dtype=np.int64)
+        np.cumsum(counts, out=self._windptr[1:])
+
+        self._weights = np.zeros(num_tasks, dtype=np.float64)
+        self._initial_weights = np.asarray(task_weights, dtype=np.float64)
+        self._match_task = np.full(num_tasks, UNMATCHED, dtype=np.int64)
+        self._match_worker = np.full(num_workers, UNMATCHED, dtype=np.int64)
+        self._task_live = np.zeros(num_tasks, dtype=np.uint8)
+        self._task_eligible = np.zeros(num_tasks, dtype=np.uint8)
+        self._worker_live = np.zeros(num_workers, dtype=np.uint8)
+        # Stamped scratch + output buffers shared by both kernels.
+        self._visited = np.zeros(num_workers, dtype=np.int64)
+        self._task_visited = np.zeros(num_tasks, dtype=np.int64)
+        self._stamp = 0
+        self._path_tasks = np.empty(num_tasks + 1, dtype=np.int64)
+        self._path_workers = np.empty(num_tasks + 1, dtype=np.int64)
+        self._visited_out = np.empty(max(num_workers, 1), dtype=np.int64)
+        self._queue = np.empty(max(num_workers, 1), dtype=np.int64)
+        self._out_tasks = np.empty(max(num_tasks, 1), dtype=np.int64)
+        self._grid_tasks: Optional[Dict[int, List[int]]] = None
+        self._version = 0
+
+    # ------------------------------------------------------------------
+    # population views
+    # ------------------------------------------------------------------
+    def is_task_live(self, task_pos: int) -> bool:
+        return bool(self._task_live[task_pos])
+
+    def is_worker_live(self, worker_pos: int) -> bool:
+        return bool(self._worker_live[worker_pos])
+
+    def live_tasks(self) -> List[int]:
+        return np.flatnonzero(self._task_live).tolist()
+
+    def live_workers(self) -> List[int]:
+        return np.flatnonzero(self._worker_live).tolist()
+
+    def weight_of(self, task_pos: int) -> float:
+        return float(self._weights[task_pos])
+
+    def total_weight(self) -> float:
+        """Sum of matched task weights, bit-identical to the batch solve.
+
+        The floats are accumulated in priority order (weight descending,
+        position ascending) — the same sequence the matroid backend adds
+        as it grows the matching over ``eligible_order`` — so the result
+        is bitwise equal to a fresh re-solve's total, not merely close.
+        """
+        matched = np.flatnonzero(self._match_task != UNMATCHED)
+        order = matched[np.lexsort((matched, -self._weights[matched]))]
+        total = 0.0
+        for task_pos in order:
+            total += float(self._weights[task_pos])
+        return total
+
+    # ------------------------------------------------------------------
+    # dynamic operations
+    # ------------------------------------------------------------------
+    def insert_task(
+        self,
+        task_pos: int,
+        weight: Optional[float] = None,
+        preferred_worker: Optional[int] = None,
+    ) -> bool:
+        """Bring a universe task live, repairing the matching.
+
+        Args:
+            task_pos: Universe position; must not currently be live.
+            weight: Weight for this lifetime of the task; defaults to the
+                construction-time weight.  Non-positive weights insert
+                the task as permanently unmatchable (live but
+                ineligible), mirroring the batch eligibility filter.
+            preferred_worker: Warm-start hint, consumed under exactly the
+                matroid backend's rule — adjacent, live and free, i.e. a
+                length-one augmenting path — so the matched set and total
+                are unaffected by hints.
+
+        Returns:
+            Whether the task is matched after the call.
+        """
+        if self._task_live[task_pos]:
+            raise ValueError(f"task position {task_pos} is already live")
+        self._task_live[task_pos] = 1
+        value = float(self._initial_weights[task_pos] if weight is None else weight)
+        self._weights[task_pos] = value
+        if value <= 0.0:
+            self._task_eligible[task_pos] = 0
+            return False
+        self._task_eligible[task_pos] = 1
+        if (
+            preferred_worker is not None
+            and 0 <= preferred_worker < self._match_worker.shape[0]
+            and self._worker_live[preferred_worker]
+            and self._match_worker[preferred_worker] == UNMATCHED
+        ):
+            lo, hi = int(self._indptr[task_pos]), int(self._indptr[task_pos + 1])
+            row = self._indices[lo:hi]
+            at = int(np.searchsorted(row, preferred_worker))
+            if at < row.shape[0] and row[at] == preferred_worker:
+                self._match_task[task_pos] = preferred_worker
+                self._match_worker[preferred_worker] = task_pos
+                self._version += 1
+                return True
+        return self._match_or_evict(task_pos)
+
+    def insert_worker(self, worker_pos: int) -> Optional[int]:
+        """Bring a universe worker live; at most one task joins the basis.
+
+        Returns:
+            The task position absorbed into the matching, or ``None``.
+        """
+        if self._worker_live[worker_pos]:
+            raise ValueError(f"worker position {worker_pos} is already live")
+        self._worker_live[worker_pos] = 1
+        return self._absorb_free_worker(worker_pos)
+
+    def remove_task(self, task_pos: int) -> Optional[int]:
+        """Remove a live task (departure or expiry), repairing the matching.
+
+        Returns:
+            The task position absorbed into the matching by the freed
+            worker, or ``None`` (always ``None`` for unmatched tasks).
+        """
+        if not self._task_live[task_pos]:
+            raise ValueError(f"task position {task_pos} is not live")
+        self._task_live[task_pos] = 0
+        self._task_eligible[task_pos] = 0
+        worker_pos = int(self._match_task[task_pos])
+        if worker_pos == UNMATCHED:
+            # A non-basis element: the basis of the others is untouched.
+            return None
+        self._match_task[task_pos] = UNMATCHED
+        self._match_worker[worker_pos] = UNMATCHED
+        self._version += 1
+        return self._absorb_free_worker(worker_pos)
+
+    def remove_worker(self, worker_pos: int) -> bool:
+        """Remove a live worker (departure), repairing the matching.
+
+        Returns:
+            Whether the worker's orphaned task (if any) was re-matched —
+            ``True`` also when the worker was free (nothing to repair:
+            the current basis was lex-maximal over a superset of the
+            remaining workers and is still achievable without a free
+            worker, hence still lex-maximal).
+        """
+        if not self._worker_live[worker_pos]:
+            raise ValueError(f"worker position {worker_pos} is not live")
+        self._worker_live[worker_pos] = 0
+        task_pos = int(self._match_worker[worker_pos])
+        if task_pos == UNMATCHED:
+            return True
+        self._match_worker[worker_pos] = UNMATCHED
+        self._match_task[task_pos] = UNMATCHED
+        self._version += 1
+        # Re-run insert-repair for the orphan against the remaining
+        # workers: either it re-augments (basis unchanged), or the
+        # lowest-priority element of its circuit leaves the basis.
+        return self._match_or_evict(task_pos)
+
+    def commit_task(self, task_pos: int) -> int:
+        """Retire a matched pair together (e.g. a served assignment).
+
+        Removing a matched task *and* its worker in one step keeps the
+        lex-max basis of the remaining population intact with no repair:
+        the worker's capacity leaves with the task that consumed it.
+
+        Returns:
+            The worker position that served the task.
+        """
+        worker_pos = int(self._match_task[task_pos])
+        if not self._task_live[task_pos] or worker_pos == UNMATCHED:
+            raise ValueError(f"task position {task_pos} is not live and matched")
+        self._task_live[task_pos] = 0
+        self._task_eligible[task_pos] = 0
+        self._worker_live[worker_pos] = 0
+        self._match_task[task_pos] = UNMATCHED
+        self._match_worker[worker_pos] = UNMATCHED
+        self._version += 1
+        return worker_pos
+
+    # ------------------------------------------------------------------
+    # repair internals
+    # ------------------------------------------------------------------
+    def _priority_key(self, task_pos: int) -> Tuple[float, int]:
+        """Sort key under the basis priority order: smaller = higher."""
+        return (-float(self._weights[task_pos]), int(task_pos))
+
+    def _run_augment(self, start_task: int) -> int:
+        self._stamp += 1
+        return dynamic_augment(
+            self._indptr,
+            self._indices,
+            self._match_worker,
+            self._worker_live,
+            self._visited,
+            self._stamp,
+            start_task,
+            self._path_tasks,
+            self._path_workers,
+            self._visited_out,
+        )
+
+    def _apply_kernel_path(self, length: int) -> None:
+        self._apply_path(
+            (int(self._path_tasks[level]), int(self._path_workers[level]))
+            for level in range(length)
+        )
+
+    def _match_or_evict(self, task_pos: int) -> bool:
+        """Insert-repair: augment ``task_pos`` or evict its circuit minimum."""
+        length = self._run_augment(task_pos)
+        if length >= 0:
+            self._apply_kernel_path(length)
+            return True
+        # Failed search: the visited workers are all matched, and their
+        # owners together with ``task_pos`` are the fundamental circuit.
+        n_visited = -length - 1
+        evict = task_pos
+        evict_key = self._priority_key(task_pos)
+        for worker_pos in self._visited_out[:n_visited]:
+            owner = int(self._match_worker[worker_pos])
+            key = self._priority_key(owner)
+            if key > evict_key:
+                evict = owner
+                evict_key = key
+        if evict == task_pos:
+            return False
+        freed = int(self._match_task[evict])
+        self._match_task[evict] = UNMATCHED
+        self._match_worker[freed] = UNMATCHED
+        # The evicted task's worker was visited by the failed search, so
+        # an alternating path from ``task_pos`` to it exists and the
+        # re-run must succeed.
+        length = self._run_augment(task_pos)
+        if length < 0:
+            raise RuntimeError(
+                "dynamic matcher invariant violated: re-augmentation after "
+                f"evicting task {evict} failed for task {task_pos}"
+            )
+        self._apply_kernel_path(length)
+        return True
+
+    def _absorb_free_worker(self, worker_pos: int) -> Optional[int]:
+        """Delete-repair: pull the best newly-augmentable task, if any.
+
+        Exactly the unmatched eligible tasks with an alternating path to
+        the freed worker become augmentable (any path to a *different*
+        free worker would already have existed, contradicting the old
+        basis's maximality), so the basis gains at most one element: the
+        highest-priority of those candidates.
+        """
+        self._stamp += 1
+        count = dynamic_reach(
+            self._windptr,
+            self._windices,
+            self._match_task,
+            self._task_eligible,
+            self._task_visited,
+            self._visited,
+            self._stamp,
+            worker_pos,
+            self._queue,
+            self._out_tasks,
+        )
+        if count == 0:
+            return None
+        best = int(self._out_tasks[0])
+        best_key = self._priority_key(best)
+        for task_pos in self._out_tasks[1:count]:
+            key = self._priority_key(int(task_pos))
+            if key < best_key:
+                best = int(task_pos)
+                best_key = key
+        length = self._run_augment(best)
+        if length < 0:
+            raise RuntimeError(
+                "dynamic matcher invariant violated: task "
+                f"{best} reachable from freed worker {worker_pos} failed to augment"
+            )
+        self._apply_kernel_path(length)
+        return best
+
+    # ------------------------------------------------------------------
+    # insert-only API is not meaningful here
+    # ------------------------------------------------------------------
+    def augment_task(
+        self, task_pos: int, preferred_worker: Optional[int] = None
+    ) -> bool:
+        raise NotImplementedError(
+            "DynamicMatcher tracks population explicitly; use insert_task"
+        )
+
+    def can_augment_grid(self, grid_index: int) -> bool:
+        raise NotImplementedError("grid probes are an IncrementalMatcher API")
+
+    def augment_grid(self, grid_index: int) -> Optional[int]:
+        raise NotImplementedError("grid probes are an IncrementalMatcher API")
+
+
+__all__ = ["IncrementalMatcher", "DynamicMatcher"]

@@ -37,7 +37,16 @@ Backends are registered in :mod:`repro.matching.registry` (mirroring
   in the ablation);
 * ``vgreedy`` — a numpy-vectorised round-based greedy (proposals resolved
   by weight-order priority), the fast approximate backend for huge dense
-  periods where even the flat-list greedy loop is the bottleneck.
+  periods where even the flat-list greedy loop is the bottleneck;
+* ``dynamic`` — the fully dynamic matcher
+  (:class:`repro.matching.incremental.DynamicMatcher`) driven in batch
+  mode: workers inserted, then tasks in canonical weight order.  Exact,
+  and bit-identical to ``matroid`` in both pairing and total (inserting
+  in non-increasing priority order never triggers an eviction, so the
+  maintained basis grows through the same augmenting searches).  Mostly
+  useful as a cross-check and as the halo-reconciliation backend when
+  the sharded engine runs in dynamic mode; churn-heavy callers should
+  drive :class:`~repro.matching.incremental.DynamicMatcher` directly.
 
 **Warm starts.**  Every backend accepts a ``warm_start`` mapping of
 ``{task_position: worker_position}`` hints (e.g. the previous period's
@@ -407,6 +416,45 @@ def vectorized_greedy_matching(
 
 
 # ---------------------------------------------------------------------------
+# fully dynamic matcher driven in batch mode
+# ---------------------------------------------------------------------------
+def dynamic_batch_matching(
+    graph: BipartiteGraph,
+    task_weights: Sequence[float],
+    allowed_tasks: Optional[Sequence[int]] = None,
+    warm_start: Optional[Mapping[int, int]] = None,
+) -> MatchingResult:
+    """Batch solve through :class:`~repro.matching.incremental.DynamicMatcher`.
+
+    Inserts every worker, then every eligible task in the canonical
+    non-increasing weight order, and reads the maintained matching off.
+    In that insertion order a failed augmenting search never evicts (the
+    arriving task is always the lowest-priority element of its circuit),
+    so the operation sequence degenerates to exactly the matroid greedy:
+    same searches, same pairs, and — with the total accumulated in the
+    same processing order below — a bitwise-identical weight.  Warm-start
+    hints follow the matroid rule (adjacent + free consumes the hint).
+    """
+    from repro.matching.incremental import DynamicMatcher
+
+    csr = graph.csr()
+    weights, order = eligible_order(csr.num_tasks, task_weights, allowed_tasks)
+    hints = _validated_hints(csr.num_tasks, csr.num_workers, warm_start)
+    matcher = DynamicMatcher(graph, weights)
+    for worker_pos in range(csr.num_workers):
+        matcher.insert_worker(worker_pos)
+    for task_pos in order:
+        matcher.insert_task(task_pos, preferred_worker=hints.get(task_pos))
+
+    weight_list = weights.tolist()
+    total = 0.0
+    for task_pos in order:
+        if matcher.is_task_matched(task_pos):
+            total += weight_list[task_pos]
+    return matcher.matching(), total
+
+
+# ---------------------------------------------------------------------------
 # dense-matrix helpers shared by the hungarian / scipy backends
 # ---------------------------------------------------------------------------
 def _task_weight_matrix(
@@ -478,6 +526,16 @@ def _vgreedy_backend(
     return vectorized_greedy_matching(graph, task_weights, allowed_tasks)
 
 
+@register_backend("dynamic")
+def _dynamic_backend(
+    graph: BipartiteGraph,
+    task_weights: Sequence[float],
+    allowed_tasks: Optional[Sequence[int]] = None,
+    warm_start: Optional[Mapping[int, int]] = None,
+) -> MatchingResult:
+    return dynamic_batch_matching(graph, task_weights, allowed_tasks, warm_start)
+
+
 @register_backend("hungarian")
 def _hungarian_backend(
     graph: BipartiteGraph,
@@ -518,8 +576,9 @@ def max_weight_matching(
         backend: A backend name registered in
             :mod:`repro.matching.registry` — ``matroid`` (exact, default),
             ``hungarian`` (exact, dense ``O(n^3)``), ``scipy`` (exact,
-            dense), ``greedy`` (heuristic) or ``vgreedy`` (vectorised
-            heuristic).
+            dense), ``dynamic`` (exact, the fully dynamic matcher in
+            batch mode), ``greedy`` (heuristic) or ``vgreedy``
+            (vectorised heuristic).
         warm_start: Optional ``{task_position: worker_position}`` hints;
             see the module docstring for the per-backend semantics and
             the weight-preservation guarantee.
@@ -546,6 +605,7 @@ __all__ = [
     "scipy_weight_matching",
     "greedy_weight_matching",
     "vectorized_greedy_matching",
+    "dynamic_batch_matching",
     "max_weight_matching",
     "available_backends",
 ]

@@ -39,7 +39,7 @@ Runnable doctest (the registry itself, no workload generation):
 
 >>> from repro.simulation.scenarios import available_scenarios, get_scenario
 >>> available_scenarios()
-['beijing_night', 'beijing_rush', 'city_scale', 'food_delivery', 'hotspot_burst', 'synthetic']
+['beijing_night', 'beijing_rush', 'churn_city', 'city_scale', 'food_delivery', 'hotspot_burst', 'synthetic']
 >>> get_scenario("synthetic").paper_ref
 'Table 3'
 >>> get_scenario("hotspot_burst").native_stream
@@ -48,7 +48,7 @@ True
 Traceback (most recent call last):
     ...
 ValueError: unknown scenario 'no_such_scenario'; registered scenarios: \
-beijing_night, beijing_rush, city_scale, food_delivery, hotspot_burst, synthetic
+beijing_night, beijing_rush, churn_city, city_scale, food_delivery, hotspot_burst, synthetic
 """
 
 from __future__ import annotations
@@ -506,6 +506,156 @@ class HotspotBurstScenario(Scenario):
 
 
 @register_scenario
+class ChurnCityScenario(Scenario):
+    """A high-churn market: long-lived requests, short-lived workers.
+
+    The stress workload for the dynamic (delta-repair) dispatch engine:
+    tasks stay open for several dispatch windows (each carries an
+    explicit ``Task.duration``), workers come online for short shifts and
+    depart again, so every window the standing population both gains and
+    loses members — the churn delta the
+    :class:`~repro.simulation.streaming.DynamicStreamingEngine` repairs
+    around.  With the defaults roughly ``2 / task_lifetime`` (~20%) of
+    the standing task population turns over per unit window.  Natively
+    streaming; the batch view bins arrivals like any other stream-first
+    scenario (batch engines ignore task durations).
+    """
+
+    name = "churn_city"
+    description = "high-churn stream: multi-window task lifetimes, short worker shifts"
+    paper_ref = "none (original; stresses dynamic delta-repair dispatch)"
+    native_stream = True
+    parameters = {
+        "num_periods": "horizon length in periods (default 50)",
+        "task_lifetime": "mean periods a request stays open (default 8.0)",
+        "worker_lifetime": "mean periods a worker shift lasts (default 6.0)",
+    }
+
+    REGION_SIDE = 80.0
+    GRID_SIDE = 8
+    BASE_TASK_RATE = 40.0  # per period at scale 1.0
+    BASE_WORKER_RATE = 30.0
+    WORKER_RADIUS = 14.0
+    NUM_DISTRICTS = 6
+
+    def stream(
+        self, scale: float = 1.0, seed: Optional[int] = None, **params: object
+    ) -> ArrivalStream:
+        num_periods = int(params.pop("num_periods", 50))
+        task_lifetime = float(params.pop("task_lifetime", 8.0))
+        worker_lifetime = float(params.pop("worker_lifetime", 6.0))
+        if params:
+            raise TypeError(f"unexpected scenario parameters: {sorted(params)}")
+        if min(num_periods, task_lifetime, worker_lifetime, scale) <= 0:
+            raise ValueError(
+                "num_periods, task_lifetime, worker_lifetime and scale "
+                "must be positive"
+            )
+        root_seed = 53 if seed is None else int(seed)
+        side = self.REGION_SIDE
+        grid = Grid(BoundingBox.square(side), self.GRID_SIDE, self.GRID_SIDE)
+
+        setup_rng = np.random.default_rng(derive_seed(root_seed, "churn-setup"))
+        districts = [
+            Point(
+                float(setup_rng.uniform(0.2 * side, 0.8 * side)),
+                float(setup_rng.uniform(0.2 * side, 0.8 * side)),
+            )
+            for _ in range(self.NUM_DISTRICTS)
+        ]
+        models = {}
+        for cell in grid.cells():
+            distance = min(cell.center.distance_to(spot) for spot in districts)
+            mean = 2.0 + 1.0 * np.exp(-distance / (0.25 * side))
+            mean = float(np.clip(mean + setup_rng.normal(0.0, 0.08), 1.2, 4.5))
+            models[cell.index] = DistributionAcceptanceModel(
+                TruncatedNormalValuation(mean=mean, std=1.0, lower=1.0, upper=5.0)
+            )
+        acceptance = PerGridAcceptance(
+            models=models,
+            default=DistributionAcceptanceModel(
+                TruncatedNormalValuation(mean=2.0, std=1.0, lower=1.0, upper=5.0)
+            ),
+        )
+
+        task_rate = self.BASE_TASK_RATE * scale
+        worker_rate = self.BASE_WORKER_RATE * scale
+
+        def _events() -> Iterator[ArrivalEvent]:
+            rng = np.random.default_rng(derive_seed(root_seed, "churn-events"))
+            task_id = 0
+            worker_id = 0
+            for period in range(num_periods):
+                stamped: List[ArrivalEvent] = []
+                num_workers = int(rng.poisson(worker_rate))
+                for _ in range(num_workers):
+                    # Shifts jitter around the mean but always span at
+                    # least one period, so departures spread over the
+                    # horizon instead of synchronising.
+                    shift = max(
+                        1, int(round(worker_lifetime * rng.uniform(0.5, 1.5)))
+                    )
+                    stamped.append(
+                        WorkerArrival(
+                            time=period + float(rng.uniform(0.0, 1.0)),
+                            worker=Worker(
+                                worker_id=worker_id,
+                                period=period,
+                                location=Point(
+                                    float(rng.uniform(0.0, side)),
+                                    float(rng.uniform(0.0, side)),
+                                ),
+                                radius=self.WORKER_RADIUS,
+                                duration=shift,
+                            ),
+                        )
+                    )
+                    worker_id += 1
+                num_tasks = int(rng.poisson(task_rate))
+                for _ in range(num_tasks):
+                    district = districts[int(rng.integers(len(districts)))]
+                    origin = Point(
+                        float(np.clip(district.x + rng.normal(0.0, 0.1 * side), 0.0, side)),
+                        float(np.clip(district.y + rng.normal(0.0, 0.1 * side), 0.0, side)),
+                    )
+                    destination = Point(
+                        float(rng.uniform(0.0, side)), float(rng.uniform(0.0, side))
+                    )
+                    grid_index = grid.locate(origin)
+                    stamped.append(
+                        TaskArrival(
+                            time=period + float(rng.uniform(0.0, 1.0)),
+                            task=Task(
+                                task_id=task_id,
+                                period=period,
+                                origin=origin,
+                                destination=destination,
+                                valuation=acceptance.model_for(grid_index).sample_valuation(rng),
+                                grid_index=grid_index,
+                                duration=float(task_lifetime * rng.uniform(0.5, 1.5)),
+                            ),
+                        )
+                    )
+                    task_id += 1
+                stamped.sort(key=lambda event: event.time)
+                for event in stamped:
+                    yield event
+
+        return ArrivalStream(
+            grid=grid,
+            acceptance=acceptance,
+            events=_events,
+            metric="euclidean",
+            price_bounds=(1.0, 5.0),
+            description=(
+                f"churn-city(T={num_periods}, rate={task_rate:.1f}/period, "
+                f"lifetime~{task_lifetime:g}, shift~{worker_lifetime:g})"
+            ),
+            horizon=float(num_periods),
+        )
+
+
+@register_scenario
 class CityScaleScenario(Scenario):
     """A city-scale horizon: one million tasks at scale 1.0.
 
@@ -752,6 +902,7 @@ __all__ = [
     "register_scenario",
     "BeijingNightScenario",
     "BeijingRushScenario",
+    "ChurnCityScenario",
     "CityScaleScenario",
     "FoodDeliveryScenario",
     "HotspotBurstScenario",

@@ -240,6 +240,16 @@ class ShardedEngine:
             workers; per-period weight-preserving (see
             :class:`~repro.simulation.pipeline.CrossPeriodWarmStart`)
             and off by default.
+        dynamic: Run the halo reconciliation matching through the
+            ``dynamic`` delta-repair backend
+            (:class:`~repro.matching.incremental.DynamicMatcher`) instead
+            of re-solving the boundary instance with
+            ``matching_backend``: boundary tasks insert one by one in
+            priority order, each repairing only the alternating paths its
+            insertion touches.  Bit-identical to ``matroid``
+            reconciliation (asserted by the tests); for heuristic
+            shard backends it upgrades the boundary pass to the exact
+            transversal-matroid optimum.
         columnar: Drive the horizon through the zero-copy columnar data
             plane (:mod:`repro.simulation.arena`): period chunks stay
             struct-of-arrays end to end and ``Task``/``Worker`` records
@@ -262,6 +272,7 @@ class ShardedEngine:
         max_degree: Optional[int] = None,
         warm_start: bool = False,
         columnar: Optional[bool] = None,
+        dynamic: bool = False,
     ) -> None:
         workload.validate()
         if halo < 0:
@@ -278,6 +289,7 @@ class ShardedEngine:
         self.shard_jobs = int(shard_jobs)
         self.max_degree = None if max_degree is None else int(max_degree)
         self.warm_start = bool(warm_start)
+        self.dynamic = bool(dynamic)
         if columnar is None:
             columnar = bool(getattr(workload, "has_columns", False))
         elif columnar and not hasattr(workload, "iter_period_columns"):
@@ -860,7 +872,9 @@ class ShardedEngine:
             max_degree=self.max_degree,
         )
         matching, revenue = max_weight_matching(
-            instance.graph, weights, backend=self.matching_backend
+            instance.graph,
+            weights,
+            backend="dynamic" if self.dynamic else self.matching_backend,
         )
         for reconcile_task, reconcile_worker in matching.items():
             dispatch_pos, task_pos = task_refs[reconcile_task]

@@ -47,6 +47,7 @@ this across all five pricing strategies.
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass, replace
 from typing import (
@@ -66,7 +67,7 @@ import numpy as np
 from repro.core.gdp import PeriodInstance
 from repro.market.acceptance import PerGridAcceptance
 from repro.market.entities import Task, Worker
-from repro.matching.incremental import IncrementalMatcher
+from repro.matching.incremental import DynamicMatcher, IncrementalMatcher
 from repro.matching.weighted import eligible_order
 from repro.pricing.strategy import PricingStrategy
 from repro.simulation.config import WorkloadBundle
@@ -177,6 +178,28 @@ def _validated_events(stream: ArrivalStream) -> Iterator[ArrivalEvent]:
         yield event
 
 
+def window_index(time: float, length: float) -> int:
+    """The index ``k`` with ``k * length <= time < (k + 1) * length``.
+
+    Not the same as ``int(time // length)``: Python's float floor-division
+    computes ``(time - time % length) / length``, whose rounding can land
+    an arrival *exactly on* a window edge in the previous window.  The
+    concrete failure: ``1.0 // 0.1 == 9.0`` even though ``10 * 0.1 == 1.0``
+    exactly, so an event at ``t=1.0`` with ``window=0.1`` fell into window
+    9 (``[0.9, 1.0)``) instead of window 10 — landing in a half-open
+    interval that does not contain it.  The quotient is therefore nudged
+    until the half-open contract holds under exact float comparison; each
+    ``while`` moves at most one step in practice (the quotient is off by
+    at most one ulp-rounding).
+    """
+    index = int(time // length)
+    while (index + 1) * length <= time:
+        index += 1
+    while index > 0 and index * length > time:
+        index -= 1
+    return index
+
+
 def workload_to_stream(workload: WorkloadBundle) -> ArrivalStream:
     """Unroll a pre-materialised workload into an arrival stream.
 
@@ -234,7 +257,7 @@ def stream_to_workload(
     workers_by_period: Dict[int, List[Worker]] = {}
     max_bin = -1
     for event in _validated_events(stream):
-        bin_index = int(event.time // period_length)
+        bin_index = window_index(event.time, period_length)
         max_bin = max(max_bin, bin_index)
         if isinstance(event, TaskArrival):
             task = event.task
@@ -347,7 +370,7 @@ class StreamingEngine:
         tasks: List[Task] = []
         workers: List[Worker] = []
         for event in _validated_events(self.stream):
-            index = int(event.time // self.window)
+            index = window_index(event.time, self.window)
             if current_index is not None and index != current_index:
                 yield current_index, tasks, workers
                 tasks, workers = [], []
@@ -554,12 +577,361 @@ class StreamingEngine:
         return {strategy.name: self.run(strategy) for strategy in strategies}
 
 
+# ---------------------------------------------------------------------------
+# dynamic (delta-repair) dispatch
+# ---------------------------------------------------------------------------
+class DynamicStreamingEngine(StreamingEngine):
+    """Window dispatch that maintains *one* matching under churn.
+
+    Where :class:`StreamingEngine` freezes a task's assignment in the
+    window it arrives (match-or-lose-forever), this engine keeps accepted
+    tasks *tentatively* matched across windows until their deadline, and
+    applies every population change as a *delta* to a single maintained
+    maximum-weight matching
+    (:class:`~repro.matching.incremental.DynamicMatcher`):
+
+    * an accepted task **inserts** (possibly evicting a lower-priority
+      tentative task from its transversal-matroid circuit);
+    * a departing worker **removes**, repairing only along the alternating
+      paths the deletion touched;
+    * at a task's deadline the tentative pair — if any — **commits**
+      (revenue is realised, the worker retires), otherwise the task
+      expires unserved.
+
+    The maintained matching always equals the batch ``matroid`` re-solve
+    over the *live* population (the tests assert this per window), so the
+    engine is a per-window re-solve whose cost scales with the churn
+    delta, not the standing population.
+
+    Args:
+        stream: The arrival stream.  **Must be re-iterable** (a collection
+            or factory callable): the engine pre-scans the events once to
+            build the universe adjacency, then streams them again.
+        seed: Accept/reject RNG seed, derived as in the base engine.
+        window: Dispatch window length in period units.
+        task_lifetime: Default number of period units an accepted task
+            stays open (from its arrival time) before its tentative
+            assignment commits or the requester gives up.  Per-task
+            ``Task.duration`` overrides it.
+        resolve: ``"delta"`` (default) repairs the maintained matching
+            incrementally; ``"rewindow"`` rebuilds it from scratch every
+            dispatched window — the baseline the delta mode is benchmarked
+            against.  Both modes settle deadlines/departures identically.
+        max_degree: Optional per-task adjacency cap on the *universe*
+            graph (nearest live-or-future workers).
+        track_memory / keep_details: As in the base engine.
+
+    Feedback semantics: the pricing strategy observes a task as "served"
+    if it is *tentatively* matched at the end of its arrival window — the
+    platform's best knowledge at quote time.  A later eviction or worker
+    departure can still expire it unserved; metric rows record revenue
+    and served counts at *commit* time, so ``total_revenue`` is exactly
+    the committed revenue.
+    """
+
+    def __init__(
+        self,
+        stream: ArrivalStream,
+        seed: int = 0,
+        window: float = 1.0,
+        task_lifetime: float = 4.0,
+        resolve: str = "delta",
+        max_degree: Optional[int] = None,
+        track_memory: bool = False,
+        keep_details: bool = False,
+    ) -> None:
+        super().__init__(
+            stream,
+            seed=seed,
+            window=window,
+            matching_backend="matroid",
+            track_memory=track_memory,
+            keep_details=keep_details,
+            max_degree=max_degree,
+            warm_start=False,
+        )
+        if task_lifetime <= 0:
+            raise ValueError("task_lifetime must be positive")
+        if resolve not in ("delta", "rewindow"):
+            raise ValueError(
+                f"unknown resolve mode {resolve!r}; choose 'delta' or 'rewindow'"
+            )
+        self.task_lifetime = float(task_lifetime)
+        self.resolve = resolve
+
+    # ------------------------------------------------------------------
+    # universe graph
+    # ------------------------------------------------------------------
+    def _universe(self) -> Tuple[PeriodInstance, List[float], List[float]]:
+        """Pre-scan the stream into one all-time instance.
+
+        Returns the universe :class:`PeriodInstance` over every task and
+        worker the stream will ever yield (in stream order, so positions
+        align with running arrival counters), plus the per-position task
+        and worker arrival times.  The delta matcher works on this fixed
+        adjacency; liveness is tracked per position.
+        """
+        tasks: List[Task] = []
+        workers: List[Worker] = []
+        task_arrivals: List[float] = []
+        worker_arrivals: List[float] = []
+        for event in _validated_events(self.stream):
+            if isinstance(event, TaskArrival):
+                tasks.append(event.task)
+                task_arrivals.append(float(event.time))
+            else:
+                workers.append(event.worker)
+                worker_arrivals.append(float(event.time))
+        instance = PeriodInstance.build(
+            period=0,
+            grid=self.stream.grid,
+            tasks=tasks,
+            workers=workers,
+            metric=self.stream.metric,
+            max_degree=self.max_degree,
+        )
+        return instance, task_arrivals, worker_arrivals
+
+    # ------------------------------------------------------------------
+    # settlement (deadlines + departures, one global time order)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _settle(
+        matcher: DynamicMatcher,
+        deadlines: List[Tuple[float, int]],
+        departures: List[Tuple[float, int]],
+        live_weights: Dict[int, float],
+        live_workers: set,
+        bound: float,
+    ) -> Tuple[float, int]:
+        """Commit/expire everything due at or before ``bound``.
+
+        Deadline and departure events are interleaved in global time
+        order (ties: deadlines first, then position order — both heaps
+        are keyed ``(time, position)``), so delta and rewindow mode see
+        the identical settlement sequence.  Returns ``(revenue,
+        commits)`` realised.
+        """
+        revenue = 0.0
+        commits = 0
+        while deadlines or departures:
+            due_deadline = deadlines[0][0] if deadlines else math.inf
+            due_departure = departures[0][0] if departures else math.inf
+            if min(due_deadline, due_departure) > bound:
+                break
+            if due_deadline <= due_departure:
+                _, task_pos = heapq.heappop(deadlines)
+                if task_pos not in live_weights:
+                    continue
+                if matcher.is_task_matched(task_pos):
+                    worker_pos = matcher.commit_task(task_pos)
+                    revenue += live_weights.pop(task_pos)
+                    commits += 1
+                    live_workers.discard(worker_pos)
+                else:
+                    matcher.remove_task(task_pos)
+                    live_weights.pop(task_pos)
+            else:
+                _, worker_pos = heapq.heappop(departures)
+                if worker_pos not in live_workers:
+                    continue  # retired by an earlier commit
+                matcher.remove_worker(worker_pos)
+                live_workers.discard(worker_pos)
+        return revenue, commits
+
+    @staticmethod
+    def _rebuild(
+        graph,
+        num_tasks: int,
+        live_weights: Dict[int, float],
+        live_workers: set,
+    ) -> DynamicMatcher:
+        """Fresh batch re-solve over the live population (rewindow mode)."""
+        matcher = DynamicMatcher(graph, [0.0] * num_tasks)
+        for worker_pos in sorted(live_workers):
+            matcher.insert_worker(worker_pos)
+        for task_pos in sorted(
+            live_weights, key=lambda pos: (-live_weights[pos], pos)
+        ):
+            matcher.insert_task(task_pos, live_weights[task_pos])
+        return matcher
+
+    def _post_window_hook(
+        self,
+        widx: int,
+        matcher: DynamicMatcher,
+        live_weights: Dict[int, float],
+        live_workers: set,
+        universe: PeriodInstance,
+    ) -> None:
+        """Test seam: called after each dispatched window's deltas apply."""
+
+    # ------------------------------------------------------------------
+    # simulation
+    # ------------------------------------------------------------------
+    def run(self, strategy: PricingStrategy) -> SimulationResult:
+        """Dispatch the full stream, maintaining one matching under churn.
+
+        Per dispatched window, in order: settle due deadlines and worker
+        departures; insert arriving workers (absorbing freed capacity);
+        quote and realise accept/reject over the window's tasks against
+        the free live workers; insert accepted tasks in non-increasing
+        weight order; feed back tentative serve signals.  After the last
+        event the remaining deadline/departure heap drains (tentative
+        pairs commit unless their worker departs first).
+        """
+        strategy.reset()
+        collector = MetricsCollector(strategy.name, track_memory=self.track_memory)
+        collector.start()
+        rng = np.random.default_rng(derive_seed(self.seed, "acceptance", strategy.name))
+        pipeline = PeriodPipeline(
+            price_bounds=self.stream.price_bounds,
+            acceptance=self.stream.acceptance,
+            matching_backend="matroid",
+        )
+
+        universe, _task_arrivals, _ = self._universe()
+        num_tasks = len(universe.tasks)
+        matcher = DynamicMatcher(universe.graph, [0.0] * num_tasks)
+
+        live_weights: Dict[int, float] = {}
+        live_workers: set = set()
+        deadlines: List[Tuple[float, int]] = []
+        departures: List[Tuple[float, int]] = []
+        next_task = 0
+        next_worker = 0
+        outcomes: List[PeriodOutcome] = []
+
+        for widx, tasks, arriving_workers in self._windows():
+            window_start = widx * self.window
+            revenue, commits = self._settle(
+                matcher, deadlines, departures, live_weights, live_workers,
+                window_start,
+            )
+
+            for worker in arriving_workers:
+                worker_pos = next_worker
+                next_worker += 1
+                if worker.duration is not None:
+                    departs = float(worker.period + worker.duration)
+                    if departs <= window_start:
+                        continue  # expired before its first dispatch
+                    heapq.heappush(departures, (departs, worker_pos))
+                matcher.insert_worker(worker_pos)
+                live_workers.add(worker_pos)
+
+            accepted = 0
+            grid_prices: Dict[int, float] = {}
+            num_free = 0
+            if tasks:
+                task_base = next_task
+                next_task += len(tasks)
+                free_positions = [
+                    pos for pos in sorted(live_workers)
+                    if matcher.task_of(pos) is None
+                ]
+                num_free = len(free_positions)
+                instance = PeriodInstance.build(
+                    period=widx,
+                    grid=self.stream.grid,
+                    tasks=tasks,
+                    workers=[universe.workers[pos] for pos in free_positions],
+                    metric=self.stream.metric,
+                    max_degree=self.max_degree,
+                )
+                with collector.time_pricing():
+                    grid_prices = pipeline.quote(strategy, instance)
+                with collector.time_decide():
+                    decision = pipeline.decide(instance, grid_prices, rng)
+                accepted = int(decision.accepted.sum())
+                with collector.time_matching():
+                    arrays = instance.ensure_arrays()
+                    weights = arrays.distances * decision.prices
+                    weight_arr, order = eligible_order(
+                        instance.num_tasks, weights, decision.accepted_positions
+                    )
+                    for local_pos in order:
+                        task_pos = task_base + local_pos
+                        weight = float(weight_arr[local_pos])
+                        matcher.insert_task(task_pos, weight)
+                        live_weights[task_pos] = weight
+                        task = tasks[local_pos]
+                        lifetime = (
+                            task.duration
+                            if task.duration is not None
+                            else self.task_lifetime
+                        )
+                        heapq.heappush(
+                            deadlines,
+                            (_task_arrivals[task_pos] + lifetime, task_pos),
+                        )
+                # Tentative serve signals: what the platform believes at
+                # quote time.  Worker values are unused by the feedback
+                # stage (it reads the matched-task keys only).
+                tentative = {
+                    local_pos: -1
+                    for local_pos in range(len(tasks))
+                    if matcher.is_task_matched(task_base + local_pos)
+                }
+                with collector.time_decide():
+                    batch = pipeline.feedback(instance, decision, tentative)
+                with collector.time_pricing():
+                    strategy.observe_feedback_batch(batch)
+
+            if self.resolve == "rewindow":
+                matcher = self._rebuild(
+                    universe.graph, num_tasks, live_weights, live_workers
+                )
+            self._post_window_hook(
+                widx, matcher, live_weights, live_workers, universe
+            )
+
+            if tasks or revenue or commits:
+                collector.record_period(
+                    revenue=revenue,
+                    served_tasks=commits,
+                    accepted_tasks=accepted,
+                    total_tasks=len(tasks),
+                )
+            if self.keep_details:
+                outcomes.append(
+                    PeriodOutcome(
+                        period=widx,
+                        num_tasks=len(tasks),
+                        num_workers=num_free,
+                        prices=grid_prices,
+                        accepted_tasks=accepted,
+                        served_tasks=commits,
+                        revenue=revenue,
+                    )
+                )
+
+        # Drain everything still pending after the final event.
+        revenue, commits = self._settle(
+            matcher, deadlines, departures, live_weights, live_workers, math.inf
+        )
+        if revenue or commits:
+            collector.record_period(
+                revenue=revenue,
+                served_tasks=commits,
+                accepted_tasks=0,
+                total_tasks=0,
+            )
+
+        metrics = collector.finish()
+        return SimulationResult(
+            metrics=metrics, outcomes=outcomes, description=self.stream.description
+        )
+
+
 __all__ = [
     "ArrivalEvent",
     "ArrivalStream",
+    "DynamicStreamingEngine",
     "StreamingEngine",
     "TaskArrival",
     "WorkerArrival",
     "stream_to_workload",
+    "window_index",
     "workload_to_stream",
 ]

@@ -78,6 +78,31 @@ class TestParser:
         with pytest.raises(SystemExit):
             main(["--scenario", "synthetic", "--metrics", "served"])
 
+    def test_dynamic_requires_scenario(self):
+        with pytest.raises(SystemExit):
+            main(["--figure", "fig6-W", "--dynamic"])
+
+    def test_task_lifetime_requires_dynamic_streaming(self):
+        with pytest.raises(SystemExit):
+            main(["--scenario", "synthetic", "--task-lifetime", "2"])
+        with pytest.raises(SystemExit):
+            main(
+                ["--scenario", "synthetic", "--streaming", "--dynamic",
+                 "--task-lifetime", "0"]
+            )
+
+    def test_dynamic_streaming_rejects_conflicting_flags(self):
+        with pytest.raises(SystemExit):
+            main(
+                ["--scenario", "synthetic", "--streaming", "--dynamic",
+                 "--backend", "greedy"]
+            )
+        with pytest.raises(SystemExit):
+            main(
+                ["--scenario", "synthetic", "--streaming", "--dynamic",
+                 "--warm-start"]
+            )
+
 
 class TestExecution:
     def test_small_run_prints_tables(self, capsys):
@@ -167,6 +192,27 @@ class TestScenarioExecution:
         assert exit_code == 0
         output = capsys.readouterr().out
         assert "mode = streaming (window=2)" in output
+        assert "revenue winner" in output
+
+    def test_dynamic_streaming_scenario_run(self, capsys):
+        exit_code = main(
+            [
+                "--scenario",
+                "hotspot_burst",
+                "--scale",
+                "0.05",
+                "--streaming",
+                "--dynamic",
+                "--task-lifetime",
+                "2",
+                "--strategies",
+                "BaseP",
+                "--no-memory-tracking",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "mode = dynamic streaming (window=1, lifetime=2)" in output
         assert "revenue winner" in output
 
     def test_streaming_matches_batch_at_period_window(self, capsys):

@@ -35,7 +35,7 @@ from repro.kernels.halo import (
 )
 from repro.market.entities import Task, Worker
 from repro.matching.bipartite import BipartiteGraph
-from repro.matching.incremental import IncrementalMatcher
+from repro.matching.incremental import DynamicMatcher, IncrementalMatcher
 from repro.matching.weighted import max_weight_matching
 from repro.spatial.geometry import Point
 
@@ -171,6 +171,73 @@ def test_incremental_matcher_parity(instance):
             assert matcher.is_valid_matching()
             matchings[mode] = (outcomes, matcher.matching(), matcher.size)
     assert matchings["numba"] == matchings["python"]
+
+
+def _drive_dynamic_churn(graph, weights, seed):
+    """Run a seeded churn sequence (inserts, deletions, commits) through
+    one ``DynamicMatcher``, logging every outcome and running total.
+
+    The op sequence is derived deterministically from ``seed`` and the
+    matcher's own evolving state, so two kernel families replaying it
+    stay in lockstep exactly as long as every repair decision matches —
+    any divergence (a different eviction victim, absorption target or
+    repair path) shows up in the log comparison.
+    """
+    rng = np.random.default_rng(seed)
+    matcher = DynamicMatcher(graph, [0.0] * graph.num_tasks)
+    pending_tasks = list(range(graph.num_tasks))
+    pending_workers = list(range(graph.num_workers))
+    live_tasks: list = []
+    live_workers: list = []
+    log = []
+    for _ in range(3 * (graph.num_tasks + graph.num_workers)):
+        op = int(rng.integers(0, 5))
+        if op == 0 and pending_tasks:
+            pos = pending_tasks.pop(int(rng.integers(len(pending_tasks))))
+            log.append(("insert_task", pos, matcher.insert_task(pos, weights[pos])))
+            live_tasks.append(pos)
+        elif op == 1 and pending_workers:
+            pos = pending_workers.pop(int(rng.integers(len(pending_workers))))
+            log.append(("insert_worker", pos, matcher.insert_worker(pos)))
+            live_workers.append(pos)
+        elif op == 2 and live_tasks:
+            pos = live_tasks.pop(int(rng.integers(len(live_tasks))))
+            log.append(("remove_task", pos, matcher.remove_task(pos)))
+        elif op == 3 and live_workers:
+            pos = live_workers.pop(int(rng.integers(len(live_workers))))
+            log.append(("remove_worker", pos, matcher.remove_worker(pos)))
+        elif op == 4 and live_tasks:
+            matched = [pos for pos in live_tasks if matcher.is_task_matched(pos)]
+            if not matched:
+                continue
+            pos = matched[int(rng.integers(len(matched)))]
+            live_tasks.remove(pos)
+            worker_pos = matcher.commit_task(pos)
+            live_workers.remove(worker_pos)
+            log.append(("commit_task", pos, worker_pos))
+        log.append(("total", repr(matcher.total_weight())))
+    assert matcher.is_valid_matching()
+    return log, dict(matcher.matching()), repr(matcher.total_weight())
+
+
+@needs_numba
+@FUZZ
+@given(instance=matching_instances())
+def test_dynamic_matcher_churn_parity(instance):
+    """Delete/repair kernels replay churn sequences bitwise across families.
+
+    Insertion parity alone would not catch a compiled deletion kernel
+    that repairs along a different alternating path: the matched *pairs*
+    after a deletion are history-dependent, so the contract is that both
+    families make the identical pair-level choices — same op outcomes,
+    same running totals after every step, same final matching dict.
+    """
+    graph, weights, _allowed, _warm_start, seed = instance
+    runs = {}
+    for mode in ("python", "numba"):
+        with kernel_mode(mode):
+            runs[mode] = _drive_dynamic_churn(graph, weights, seed)
+    assert runs["numba"] == runs["python"]
 
 
 @needs_numba

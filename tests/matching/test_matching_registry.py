@@ -46,6 +46,7 @@ def _random_graph(rng, num_tasks, num_workers, edge_probability):
 class TestRegistry:
     def test_default_backends_registered(self):
         assert available_backends() == [
+            "dynamic",
             "greedy",
             "hungarian",
             "matroid",

@@ -8,6 +8,11 @@ Three profiles:
   deadline flakes on shared runners;
 * ``thorough`` — a larger budget for local bug hunts
   (``HYPOTHESIS_PROFILE=thorough``).
+
+Every profile pins ``stateful_step_count`` explicitly so the stateful
+differential suite (``test_dynamic_matching.py``) runs the same churn
+depth everywhere; under ``ci`` the whole machine exploration is
+derandomized, so a red CI run replays locally from the printed blob.
 """
 
 from __future__ import annotations
@@ -20,6 +25,7 @@ settings.register_profile(
     "default",
     max_examples=25,
     deadline=None,
+    stateful_step_count=30,
     suppress_health_check=[HealthCheck.too_slow],
 )
 settings.register_profile(
@@ -28,12 +34,14 @@ settings.register_profile(
     deadline=None,
     derandomize=True,
     print_blob=True,
+    stateful_step_count=30,
     suppress_health_check=[HealthCheck.too_slow],
 )
 settings.register_profile(
     "thorough",
     max_examples=400,
     deadline=None,
+    stateful_step_count=60,
     suppress_health_check=[HealthCheck.too_slow],
 )
 

@@ -16,6 +16,7 @@ from repro.simulation.streaming import TaskArrival, WorkerArrival, stream_to_wor
 EXPECTED_SCENARIOS = [
     "beijing_night",
     "beijing_rush",
+    "churn_city",
     "city_scale",
     "food_delivery",
     "hotspot_burst",
@@ -27,6 +28,7 @@ FAST_SCALE = {
     "synthetic": 0.004,
     "beijing_rush": 0.002,
     "beijing_night": 0.003,
+    "churn_city": 0.1,
     "city_scale": 0.005,
     "food_delivery": 0.05,
     "hotspot_burst": 0.05,
@@ -139,6 +141,26 @@ class TestScenarioParameters:
         burst = max(counts[24:36])
         quiet = max(counts[:20])
         assert burst > 2 * quiet
+
+    def test_churn_city_tasks_carry_lifetimes(self):
+        stream = get_scenario("churn_city").stream(
+            scale=0.1, seed=6, num_periods=10, task_lifetime=4.0, worker_lifetime=3.0
+        )
+        tasks = [e.task for e in stream.iter_events() if isinstance(e, TaskArrival)]
+        workers = [
+            e.worker for e in stream.iter_events() if isinstance(e, WorkerArrival)
+        ]
+        assert tasks and workers
+        # Every request carries an explicit multi-window lifetime with the
+        # documented +/-50% jitter, every worker a bounded finite shift.
+        assert all(task.duration is not None for task in tasks)
+        assert all(2.0 <= task.duration <= 6.0 for task in tasks)
+        assert all(worker.duration is not None for worker in workers)
+        assert all(1 <= worker.duration <= 5 for worker in workers)
+
+    def test_churn_city_rejects_bad_lifetimes(self):
+        with pytest.raises(ValueError):
+            get_scenario("churn_city").stream(scale=0.1, task_lifetime=0.0)
 
     def test_synthetic_forwards_config_overrides(self):
         bundle = get_scenario("synthetic").bundle(

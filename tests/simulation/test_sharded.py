@@ -33,6 +33,7 @@ TOLERANCE_SCALE = {
     "beijing_rush": 0.002,
     "beijing_night": 0.003,
     "city_scale": 0.005,
+    "churn_city": 0.1,
     "food_delivery": 0.05,
     "hotspot_burst": 0.05,
 }
@@ -124,6 +125,27 @@ class TestShardedTolerance:
         assert with_halo.metrics.total_revenue >= without.metrics.total_revenue
         # The accepted set is decided before matching, so it is identical.
         assert with_halo.metrics.accepted_tasks == without.metrics.accepted_tasks
+
+    def test_dynamic_halo_reconciliation_is_bit_identical_to_matroid(self):
+        """Delta-repair reconciliation must not change any result.
+
+        The ``dynamic`` backend inserts boundary tasks one at a time and
+        repairs along augmenting paths; on the same reconciliation
+        instance it is bit-identical to the ``matroid`` re-solve, so the
+        flag changes cost, never revenue.
+        """
+        workload = get_scenario("city_scale").bundle(
+            scale=0.01, seed=3, num_periods=2
+        )
+        strategy = create_strategy("BaseP", base_price=2.0)
+        plain = ShardedEngine(workload, num_shards=4, halo=1, seed=5).run(strategy)
+        delta = ShardedEngine(
+            workload, num_shards=4, halo=1, seed=5, dynamic=True
+        ).run(create_strategy("BaseP", base_price=2.0))
+        assert delta.metrics.total_revenue == plain.metrics.total_revenue
+        assert delta.metrics.served_tasks == plain.metrics.served_tasks
+        assert delta.metrics.accepted_tasks == plain.metrics.accepted_tasks
+        assert delta.metrics.revenue_by_period == plain.metrics.revenue_by_period
 
     def test_shard_without_workers_is_handled(self, tiny_workload):
         """Workers squeezed into one corner leave most shards worker-less."""

@@ -2,14 +2,17 @@
 """Record benchmark trajectory points as ``BENCH_*.json``.
 
 Runs one of the repo's measurement protocols — the sharded-engine
-throughput of ``benchmarks/test_bench_sharded.py`` or the matching
-hot-path throughput of ``benchmarks/test_bench_matching.py`` — by default
-at the full ``city_scale`` horizon (~1M tasks), and **appends** the
-result to the machine-readable baseline future perf PRs are compared
-against::
+throughput of ``benchmarks/test_bench_sharded.py``, the matching
+hot-path throughput of ``benchmarks/test_bench_matching.py``, or the
+delta-repair vs per-window re-solve comparison of
+``benchmarks/test_bench_dynamic.py`` (``churn_city``; the others run
+``city_scale``) — by default at the full ~1M-task horizon, and
+**appends** the result to the machine-readable baseline future perf PRs
+are compared against::
 
     PYTHONPATH=src python tools/bench_to_json.py                     # sharded, full 1M run
     PYTHONPATH=src python tools/bench_to_json.py --benchmark matching
+    PYTHONPATH=src python tools/bench_to_json.py --benchmark dynamic
     PYTHONPATH=src python tools/bench_to_json.py --scale 0.05        # quick look
     PYTHONPATH=src python tools/bench_to_json.py --shards 1 8 --halo 2
     PYTHONPATH=src python tools/bench_to_json.py --benchmark matching \
@@ -38,6 +41,9 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.experiments.bench_dynamic import (  # noqa: E402
+    measure_dynamic_throughput,
+)
 from repro.experiments.bench_matching import (  # noqa: E402
     DEFAULT_CONFIGS,
     measure_matching_throughput,
@@ -59,6 +65,7 @@ DEFAULT_OUTPUTS = {
     "sharded": REPO_ROOT / "BENCH_sharded.json",
     "matching": REPO_ROOT / "BENCH_matching.json",
     "runtime": REPO_ROOT / "BENCH_runtime.json",
+    "dynamic": REPO_ROOT / "BENCH_dynamic.json",
 }
 
 
@@ -103,7 +110,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--scale",
         type=float,
         default=1.0,
-        help="city_scale horizon scale (1.0 = the ~1M-task horizon)",
+        help="horizon scale (1.0 = the ~1M-task horizon)",
     )
     parser.add_argument(
         "--shards",
@@ -183,8 +190,9 @@ def main(argv=None) -> int:
     set_kernel_mode(args.kernels)
     if args.cores and args.benchmark != "runtime":
         raise SystemExit("--cores only applies to --benchmark runtime")
+    scenario = "churn_city" if args.benchmark == "dynamic" else "city_scale"
     print(
-        f"measuring city_scale [{args.benchmark}] at scale {args.scale:g} "
+        f"measuring {scenario} [{args.benchmark}] at scale {args.scale:g} "
         f"(kernels = {active_kernel_mode()}) ..."
     )
     if args.benchmark == "sharded":
@@ -217,6 +225,8 @@ def main(argv=None) -> int:
                 seed=args.seed,
                 strategy=args.strategy,
             )
+    elif args.benchmark == "dynamic":
+        run = measure_dynamic_throughput(scale=args.scale, seed=args.seed)
     else:
         run = measure_matching_throughput(
             scale=args.scale,
@@ -267,6 +277,14 @@ def main(argv=None) -> int:
     if args.benchmark == "sharded":
         headline = run["speedup_vs_single_shard"].get("8", 1.0)
         print(f"speedup 8-vs-1: {headline:.2f}x  -> {output}")
+    elif args.benchmark == "dynamic":
+        headline = run["speedup_vs_baseline"]["delta"]
+        print(
+            f"delta speedup: {headline:.2f}x at "
+            f"{run['churn_per_window']:.0%} churn "
+            f"({run['windows_bit_identical']} windows bit-identical)  "
+            f"-> {output}"
+        )
     else:
         best = max(run["speedup_vs_baseline"].items(), key=lambda item: item[1])
         print(f"best speedup: {best[0]} {best[1]:.2f}x  -> {output}")
