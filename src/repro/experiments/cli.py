@@ -406,8 +406,15 @@ def _run_scenario(args: argparse.Namespace) -> int:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    arglist = list(sys.argv[1:] if argv is None else argv)
+    # The dispatch-service subcommands live in their own parser so the
+    # legacy flag interface stays untouched (see docs/service.md).
+    if arglist and arglist[0] in ("serve", "replay"):
+        from repro.service.cli import service_main
+
+        return service_main(arglist)
     parser = build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(arglist)
 
     if args.list:
         for figure_id in figure_ids():

@@ -549,6 +549,51 @@ class DynamicMatcher(IncrementalMatcher):
                 return True
         return self._match_or_evict(task_pos)
 
+    def insert_task_greedy(self, task_pos: int, weight: float) -> bool:
+        """Degraded insert: first free adjacent worker, no repair search.
+
+        The latency-bounded fallback of the service's SLO path: scan the
+        task's CSR row once and pair it with the first live, free,
+        adjacent worker — ``O(degree)`` with no augmenting DFS and no
+        circuit eviction, so the cost is bounded however tangled the
+        alternating structure is.  The matching stays *valid* (the
+        structural reachability proofs behind later repairs do not depend
+        on optimality) but the lex-max-basis invariant is deliberately
+        abandoned from this call on: a greedy-inserted task may occupy a
+        worker a higher-priority later task needed, exactly like the
+        batch ``vgreedy`` backend's revenue gap.  Callers must not mix
+        this with gates that assert the batch re-solve equivalence.
+
+        Args:
+            task_pos: Universe position; must not currently be live.
+            weight: Weight for this lifetime of the task; non-positive
+                inserts it live-but-ineligible like :meth:`insert_task`.
+
+        Returns:
+            Whether the task is matched after the call.
+        """
+        if self._task_live[task_pos]:
+            raise ValueError(f"task position {task_pos} is already live")
+        self._task_live[task_pos] = 1
+        value = float(weight)
+        self._weights[task_pos] = value
+        if value <= 0.0:
+            self._task_eligible[task_pos] = 0
+            return False
+        self._task_eligible[task_pos] = 1
+        lo, hi = int(self._indptr[task_pos]), int(self._indptr[task_pos + 1])
+        for worker_pos in self._indices[lo:hi]:
+            candidate = int(worker_pos)
+            if (
+                self._worker_live[candidate]
+                and self._match_worker[candidate] == UNMATCHED
+            ):
+                self._match_task[task_pos] = candidate
+                self._match_worker[candidate] = task_pos
+                self._version += 1
+                return True
+        return False
+
     def insert_worker(self, worker_pos: int) -> Optional[int]:
         """Bring a universe worker live; at most one task joins the basis.
 

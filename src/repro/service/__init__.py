@@ -1,0 +1,27 @@
+"""Dispatch-as-a-service: the asyncio event-at-a-time front end.
+
+Everything offline stays in :mod:`repro.simulation`; this package adds
+the long-running ingest layer of ROADMAP item 1 — a newline-delimited
+JSON socket protocol (:mod:`repro.service.protocol`), the resident
+dispatch server with latency SLOs, bounded-queue backpressure and a
+``/stats`` surface (:mod:`repro.service.server`), and a replay client
+driving any registered scenario's arrival stream at a configurable rate
+(:mod:`repro.service.client`).  The event loop itself — settle, quote,
+decide, insert — is :class:`repro.simulation.streaming.DispatchSession`,
+shared with the offline :class:`~repro.simulation.streaming.EventStreamingEngine`
+so the service's differential gate is exact.  See ``docs/service.md``.
+"""
+
+from repro.service.client import ReplayReport, replay, run_replay
+from repro.service.protocol import PROTOCOL_VERSION, ProtocolError
+from repro.service.server import DispatchServer, ServiceConfig
+
+__all__ = [
+    "DispatchServer",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ReplayReport",
+    "ServiceConfig",
+    "replay",
+    "run_replay",
+]

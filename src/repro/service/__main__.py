@@ -1,0 +1,8 @@
+"""``python -m repro.service`` — serve or replay; see ``--help``."""
+
+import sys
+
+from repro.service.cli import service_main
+
+if __name__ == "__main__":  # pragma: no cover - exercised via service_main in tests
+    sys.exit(service_main())

@@ -1,0 +1,234 @@
+"""Replay client: drive a scenario's arrival stream into the service.
+
+The client rebuilds the same :class:`~repro.simulation.streaming.ArrivalStream`
+the server owns (scenario registry, same scale/seed/params), walks it
+through the same validated-event iterator the offline engine uses, and
+ships every arrival as one NDJSON line.  Replies are collected by a
+concurrent reader task — essential under ``admission="block"``: if the
+client wrote without reading, server backpressure and the client's full
+socket buffer would deadlock the pair.
+
+Pacing: ``rate`` is in *stream time units per wall-clock second*.  A
+stream whose events span 12 periods replayed at ``rate=6.0`` takes about
+two seconds.  ``rate=None`` (offline) sends as fast as the socket
+allows, which with blocking admission is exactly the lossless mode the
+differential gate runs in.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    decode_message,
+    encode_message,
+    hello_message,
+    task_to_wire,
+    worker_to_wire,
+)
+from repro.simulation.streaming import TaskArrival, _validated_events
+
+
+@dataclass
+class ReplayReport:
+    """Everything one replay session produced, in arrival order.
+
+    Attributes:
+        ready: The server's handshake reply (strategy, universe sizes…).
+        quotes: One ``quote`` message per task the server priced.
+        settles: Every ``settle`` message (commits, expiries, departures).
+        rejects: Task arrivals shed by admission control.
+        joined: One ``joined`` message per worker arrival.
+        summary: The post-flush ``summary`` totals (``None`` only if the
+            session died before flushing).
+        stats: The final ``stats`` snapshot, when requested.
+        events_sent: Arrival events actually written to the socket.
+        wall_seconds: Wall-clock span of the send loop.
+    """
+
+    ready: Dict[str, Any]
+    quotes: List[Dict[str, Any]] = field(default_factory=list)
+    settles: List[Dict[str, Any]] = field(default_factory=list)
+    rejects: List[Dict[str, Any]] = field(default_factory=list)
+    joined: List[Dict[str, Any]] = field(default_factory=list)
+    summary: Optional[Dict[str, Any]] = None
+    stats: Optional[Dict[str, Any]] = None
+    events_sent: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def commits(self) -> List[Tuple[int, int]]:
+        """Realised ``(task_id, worker_id)`` pairs in settlement order."""
+        return [
+            (settle["task_id"], settle["worker_id"])
+            for settle in self.settles
+            if settle["kind"] == "commit"
+        ]
+
+    @property
+    def revenue(self) -> float:
+        """Settled revenue (bit-exact off the wire — JSON floats round-trip)."""
+        if self.summary is None:
+            raise ValueError("session produced no summary (flush never ran)")
+        return float(self.summary["revenue"])
+
+
+async def replay(
+    host: str,
+    port: int,
+    scenario: str,
+    *,
+    scale: float = 0.05,
+    seed: int = 0,
+    strategy: str = "BaseP",
+    params: Optional[Dict[str, Any]] = None,
+    task_lifetime: Optional[float] = None,
+    rate: Optional[float] = None,
+    request_stats: bool = True,
+) -> ReplayReport:
+    """Replay one scenario session against a running server.
+
+    Args:
+        host: Server host.
+        port: Server port.
+        scenario: Registered scenario name (must match the server's).
+        scale: Scenario scale (must match the server's).
+        seed: Scenario seed (must match the server's).
+        strategy: Pricing strategy the session should quote with.
+        params: Extra scenario parameters (must match the server's).
+        task_lifetime: Optional lifetime override shipped in the hello.
+        rate: Stream time units per wall second; ``None`` = offline.
+        request_stats: Ask for a final ``stats`` snapshot before ``bye``.
+
+    Returns:
+        The collected :class:`ReplayReport`.
+
+    Raises:
+        ProtocolError: if the server refuses the hello or reports an
+            error mid-session.
+    """
+    from repro.simulation.scenarios import get_scenario
+
+    params = dict(params or {})
+    stream = get_scenario(scenario).stream(scale=scale, seed=seed, **params)
+
+    reader, writer = await asyncio.open_connection(host, port, limit=MAX_LINE_BYTES)
+    try:
+        writer.write(
+            encode_message(
+                hello_message(
+                    scenario,
+                    scale,
+                    seed,
+                    strategy,
+                    params=params,
+                    task_lifetime=task_lifetime,
+                )
+            )
+        )
+        await writer.drain()
+        first = await reader.readline()
+        if not first:
+            raise ProtocolError("server closed the connection during handshake")
+        ready = decode_message(first)
+        if ready["type"] == "error":
+            raise ProtocolError(f"hello refused: {ready.get('reason')}")
+        if ready["type"] != "ready":
+            raise ProtocolError(f"expected 'ready', got {ready['type']!r}")
+
+        report = ReplayReport(ready=ready)
+        error: List[Dict[str, Any]] = []
+        summary_seen = asyncio.Event()
+
+        async def _collect() -> None:
+            try:
+                while True:
+                    line = await reader.readline()
+                    if not line:
+                        return
+                    message = decode_message(line)
+                    mtype = message["type"]
+                    if mtype == "quote":
+                        report.quotes.append(message)
+                    elif mtype == "settle":
+                        report.settles.append(message)
+                    elif mtype == "reject":
+                        report.rejects.append(message)
+                    elif mtype in ("joined", "departed"):
+                        report.joined.append(message)
+                    elif mtype == "summary":
+                        report.summary = message
+                        summary_seen.set()
+                    elif mtype == "stats":
+                        report.stats = message
+                    elif mtype == "error":
+                        error.append(message)
+                        return
+            finally:
+                summary_seen.set()
+
+        collector = asyncio.create_task(_collect())
+        started = perf_counter()
+        origin: Optional[float] = None
+        for event in _validated_events(stream):
+            if collector.done():
+                break
+            if rate is not None:
+                if origin is None:
+                    origin = event.time
+                target = started + (event.time - origin) / rate
+                delay = target - perf_counter()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+            if isinstance(event, TaskArrival):
+                message = {
+                    "type": "task",
+                    "time": event.time,
+                    "task": task_to_wire(event.task),
+                }
+            else:
+                message = {
+                    "type": "worker",
+                    "time": event.time,
+                    "worker": worker_to_wire(event.worker),
+                }
+            writer.write(encode_message(message))
+            report.events_sent += 1
+            # Draining per event is what lets blocking admission reach
+            # back through TCP and pace this loop losslessly.
+            await writer.drain()
+        report.wall_seconds = perf_counter() - started
+
+        if not collector.done():
+            writer.write(encode_message({"type": "flush", "time": None}))
+            await writer.drain()
+            # The summary marks the flush fully settled; only then is a
+            # stats snapshot the *final* one.
+            await summary_seen.wait()
+            if request_stats and not collector.done():
+                writer.write(encode_message({"type": "stats"}))
+            writer.write(encode_message({"type": "bye"}))
+            await writer.drain()
+        await collector
+        if error:
+            raise ProtocolError(f"server error: {error[0].get('reason')}")
+        return report
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+
+def run_replay(host: str, port: int, scenario: str, **kwargs: Any) -> ReplayReport:
+    """Synchronous wrapper around :func:`replay` (own event loop)."""
+    return asyncio.run(replay(host, port, scenario, **kwargs))
+
+
+__all__ = ["ReplayReport", "replay", "run_replay"]

@@ -491,6 +491,19 @@ class HotspotBurstScenario(Scenario):
                 for event in stamped:
                     yield event
 
+        def _demand_grids() -> List[int]:
+            # One deterministic pass over the event factory: the same
+            # demand-cell set a batch pre-scan would find, computed only
+            # when calibration asks for it.
+            return sorted(
+                {
+                    event.task.grid_index
+                    for event in _events()
+                    if isinstance(event, TaskArrival)
+                    and event.task.grid_index is not None
+                }
+            )
+
         return ArrivalStream(
             grid=grid,
             acceptance=acceptance,
@@ -502,6 +515,7 @@ class HotspotBurstScenario(Scenario):
                 f"burst x{burst_factor:g})"
             ),
             horizon=float(num_periods),
+            demand_grids=_demand_grids,
         )
 
 
@@ -641,6 +655,16 @@ class ChurnCityScenario(Scenario):
                 for event in stamped:
                     yield event
 
+        def _demand_grids() -> List[int]:
+            return sorted(
+                {
+                    event.task.grid_index
+                    for event in _events()
+                    if isinstance(event, TaskArrival)
+                    and event.task.grid_index is not None
+                }
+            )
+
         return ArrivalStream(
             grid=grid,
             acceptance=acceptance,
@@ -652,6 +676,7 @@ class ChurnCityScenario(Scenario):
                 f"lifetime~{task_lifetime:g}, shift~{worker_lifetime:g})"
             ),
             horizon=float(num_periods),
+            demand_grids=_demand_grids,
         )
 
 
@@ -884,6 +909,14 @@ class CityScaleScenario(Scenario):
                     yield TaskArrival(time=period + offset * step, task=task)
                     offset += 1
 
+        def _demand_grids() -> List[int]:
+            # Columnar pass: cells come straight off the generated
+            # arrays, so the scan never materialises task objects.
+            seen: set = set()
+            for task_cols, _ in chunked.column_periods():
+                seen.update(int(cell) for cell in np.unique(task_cols.cells))
+            return sorted(seen)
+
         return ArrivalStream(
             grid=chunked.grid,
             acceptance=chunked.acceptance,
@@ -892,6 +925,7 @@ class CityScaleScenario(Scenario):
             price_bounds=chunked.price_bounds,
             description=chunked.description,
             horizon=float(chunked.num_periods),
+            demand_grids=_demand_grids,
         )
 
 

@@ -49,7 +49,9 @@ from __future__ import annotations
 
 import heapq
 import math
+from contextlib import contextmanager
 from dataclasses import dataclass, replace
+from time import perf_counter
 from typing import (
     Callable,
     Dict,
@@ -125,6 +127,13 @@ class ArrivalStream:
         horizon: Optional end of the stream in period units (used when
             binning the stream into a :class:`WorkloadBundle` so trailing
             empty periods are preserved).
+        demand_grids: Optional registry metadata naming the grid cells
+            that ever see task demand — either the cell-index collection
+            itself or a zero-argument callable computing it (so scenarios
+            can defer the scan until calibration actually asks).  Used by
+            :meth:`StreamingEngine.calibrate_base_price` to avoid
+            calibrating every cell of a city-scale grid; ``None`` keeps
+            the calibrate-everything fallback.
     """
 
     grid: Grid
@@ -134,6 +143,7 @@ class ArrivalStream:
     price_bounds: Tuple[float, float] = (1.0, 5.0)
     description: str = "stream"
     horizon: Optional[float] = None
+    demand_grids: Optional[Union[Sequence[int], Callable[[], Sequence[int]]]] = None
 
     def iter_events(self) -> Iterator[ArrivalEvent]:
         """A fresh iterator over the events (calls the factory if given).
@@ -176,6 +186,26 @@ def _validated_events(stream: ArrivalStream) -> Iterator[ArrivalEvent]:
             raise ValueError("arrival times must be non-negative")
         last_time = event.time
         yield event
+
+
+def resolve_demand_grids(stream: ArrivalStream) -> Optional[List[int]]:
+    """The stream's demand-cell metadata as a sorted unique index list.
+
+    Resolves :attr:`ArrivalStream.demand_grids` (calling it when it is a
+    factory) into the canonical form base-price calibration consumes —
+    the same sorted-unique shape the batch engine derives by scanning its
+    materialised workload — or ``None`` when the stream carries no
+    metadata.  An *empty* metadata collection resolves to ``None`` too: a
+    stream that claims zero demand cells is indistinguishable from one
+    whose generator forgot to populate the field, and calibrating nothing
+    would silently produce an unusable result.
+    """
+    source = stream.demand_grids
+    if source is None:
+        return None
+    grids = source() if callable(source) else source
+    resolved = sorted({int(index) for index in grids})
+    return resolved or None
 
 
 def window_index(time: float, length: float) -> int:
@@ -226,6 +256,18 @@ def workload_to_stream(workload: WorkloadBundle) -> ArrivalStream:
                 yield TaskArrival(time=period + offset * step, task=task)
                 offset += 1
 
+    def _demand_grids() -> List[int]:
+        # Same scan the batch engine runs over its materialised lists, so
+        # stream-side calibration sees the identical grid set.
+        return sorted(
+            {
+                task.grid_index
+                for tasks in workload.tasks_by_period
+                for task in tasks
+                if task.grid_index is not None
+            }
+        )
+
     return ArrivalStream(
         grid=workload.grid,
         acceptance=workload.acceptance,
@@ -234,6 +276,7 @@ def workload_to_stream(workload: WorkloadBundle) -> ArrivalStream:
         price_bounds=workload.price_bounds,
         description=workload.description,
         horizon=float(workload.num_periods),
+        demand_grids=_demand_grids,
     )
 
 
@@ -288,6 +331,42 @@ def stream_to_workload(
     )
     bundle.validate()
     return bundle
+
+
+def build_universe(
+    stream: ArrivalStream, max_degree: Optional[int] = None
+) -> Tuple[PeriodInstance, List[float], List[float]]:
+    """Pre-scan a (re-iterable) stream into one all-time instance.
+
+    Returns the universe :class:`PeriodInstance` over every task and
+    worker the stream will ever yield (in stream order, so positions
+    align with running arrival counters), plus the per-position task and
+    worker arrival times.  The delta matcher
+    (:class:`~repro.matching.incremental.DynamicMatcher`) works on this
+    fixed adjacency; liveness is tracked per position.  Shared by
+    :class:`DynamicStreamingEngine`, :class:`DispatchSession` and the
+    ``repro.service`` front end so all three agree on positions.
+    """
+    tasks: List[Task] = []
+    workers: List[Worker] = []
+    task_arrivals: List[float] = []
+    worker_arrivals: List[float] = []
+    for event in _validated_events(stream):
+        if isinstance(event, TaskArrival):
+            tasks.append(event.task)
+            task_arrivals.append(float(event.time))
+        else:
+            workers.append(event.worker)
+            worker_arrivals.append(float(event.time))
+    instance = PeriodInstance.build(
+        period=0,
+        grid=stream.grid,
+        tasks=tasks,
+        workers=workers,
+        metric=stream.metric,
+        max_degree=None if max_degree is None else int(max_degree),
+    )
+    return instance, task_arrivals, worker_arrivals
 
 
 # ---------------------------------------------------------------------------
@@ -391,6 +470,18 @@ class StreamingEngine:
         ``d`` is active while ``time < p + d`` (forever when ``d`` is
         ``None``).  Evaluated at window *start*, which coincides with the
         batch engine's per-period check when ``window == 1.0``.
+
+        **Pinned window-mode semantics.**  Because the check runs once
+        per window at its start, a worker whose availability expires
+        *mid-window* can still be committed to a task arriving later in
+        the same window — the batch approximation treats the whole window
+        as one instant.  This is deliberate (changing it would break the
+        bit-identical batch equivalence at ``window == 1.0``) and is
+        pinned by a regression test; the event-at-a-time path
+        (:class:`DispatchSession` / :class:`EventStreamingEngine` and the
+        ``repro.service`` front end) settles departures at *event* time
+        instead, so there the same worker is gone before the quote.  See
+        ``docs/service.md`` for the divergence write-up.
         """
         if worker.duration is None:
             return True
@@ -443,13 +534,21 @@ class StreamingEngine:
     ):
         """Run Algorithm 1 against the stream's acceptance ground truth.
 
-        Unlike the batch engine, the stream cannot be pre-scanned for grids
-        with demand without consuming it, so calibration defaults to every
-        grid cell (via the shared
-        :func:`~repro.simulation.engine.calibrate_base_price_for_context`).
+        Unlike the batch engine, the stream cannot be pre-scanned for
+        grids with demand without consuming it, so by default calibration
+        consults the stream's :attr:`~ArrivalStream.demand_grids` registry
+        metadata (the demand-cell set the scenario generator already
+        knows) and only falls back to *every* grid cell when the stream
+        carries none — the old default, which on a ``city_scale`` grid
+        probes hundreds of cells that never see a task.  With metadata
+        present the grid list is identical to the batch engine's
+        demand scan, so both calibrations return the same result
+        bit-for-bit (asserted by ``tests/simulation/test_streaming.py``).
         """
         from repro.simulation.engine import calibrate_base_price_for_context
 
+        if grids is None:
+            grids = resolve_demand_grids(self.stream)
         if grids is None:
             grids = sorted(cell.index for cell in self.stream.grid.cells())
         return calibrate_base_price_for_context(
@@ -665,32 +764,10 @@ class DynamicStreamingEngine(StreamingEngine):
     def _universe(self) -> Tuple[PeriodInstance, List[float], List[float]]:
         """Pre-scan the stream into one all-time instance.
 
-        Returns the universe :class:`PeriodInstance` over every task and
-        worker the stream will ever yield (in stream order, so positions
-        align with running arrival counters), plus the per-position task
-        and worker arrival times.  The delta matcher works on this fixed
-        adjacency; liveness is tracked per position.
+        Delegates to the module-level :func:`build_universe` (shared with
+        the event-at-a-time session and the service front end).
         """
-        tasks: List[Task] = []
-        workers: List[Worker] = []
-        task_arrivals: List[float] = []
-        worker_arrivals: List[float] = []
-        for event in _validated_events(self.stream):
-            if isinstance(event, TaskArrival):
-                tasks.append(event.task)
-                task_arrivals.append(float(event.time))
-            else:
-                workers.append(event.worker)
-                worker_arrivals.append(float(event.time))
-        instance = PeriodInstance.build(
-            period=0,
-            grid=self.stream.grid,
-            tasks=tasks,
-            workers=workers,
-            metric=self.stream.metric,
-            max_degree=self.max_degree,
-        )
-        return instance, task_arrivals, worker_arrivals
+        return build_universe(self.stream, max_degree=self.max_degree)
 
     # ------------------------------------------------------------------
     # settlement (deadlines + departures, one global time order)
@@ -924,13 +1001,526 @@ class DynamicStreamingEngine(StreamingEngine):
         )
 
 
+# ---------------------------------------------------------------------------
+# event-at-a-time dispatch
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class QuoteOutcome:
+    """What happened to one task arrival at quote time.
+
+    Attributes:
+        task_pos: Universe position of the task.
+        task_id: The task's id (wire-level identity for the service).
+        grid_index: Cell the quote was priced for.
+        price: The quoted (clamped) price.
+        accepted: Whether the requester accepted the quote.
+        matched: Whether the task is tentatively matched right after its
+            insertion (commitment only happens at the deadline).
+        degraded: Whether the degraded greedy insert path served the
+            quote instead of the exact delta repair.
+        weight: The task's matching weight (``distance * price``); zero
+            for rejected quotes.
+        deadline: When the tentative assignment settles (``None`` for
+            rejected quotes, which never enter the matching).
+    """
+
+    task_pos: int
+    task_id: int
+    grid_index: Optional[int]
+    price: float
+    accepted: bool
+    matched: bool
+    degraded: bool
+    weight: float
+    deadline: Optional[float]
+
+
+@dataclass(frozen=True)
+class Settlement:
+    """One settlement record: a commit, an expiry or a departure.
+
+    ``kind`` is ``"commit"`` (tentative pair realised at the task's
+    deadline; ``revenue`` is its weight), ``"expire"`` (deadline passed
+    unmatched) or ``"depart"`` (worker left the market).  ``time`` is the
+    simulation time the settlement was due, not the wall clock it was
+    processed at.
+    """
+
+    kind: str
+    time: float
+    task_id: Optional[int] = None
+    worker_id: Optional[int] = None
+    revenue: float = 0.0
+
+
+class DispatchSession:
+    """Event-at-a-time dispatch over one maintained matching.
+
+    The no-window core of ROADMAP item 2(i): each arrival is processed
+    the moment it happens — settle everything due strictly up to the
+    event time, then quote → decide → insert (tasks) or join (workers) —
+    with a single resident :class:`~repro.matching.incremental.DynamicMatcher`
+    carrying the tentative assignment state across events.  Both the
+    offline :class:`EventStreamingEngine` and the ``repro.service``
+    socket front end drive this same object, which is what makes the
+    service's differential gate against the offline engine exact: same
+    ops in the same order on the same floats.
+
+    Compared to the windowed :class:`DynamicStreamingEngine` the
+    semantics differ in exactly two documented ways (``docs/service.md``):
+    settlements happen at *event* time rather than window starts (so a
+    worker expiring between two arrivals is gone for the second — the
+    satellite-1 bugfix the windowed engines deliberately do not adopt),
+    and each task is priced on a single-task instance rather than a
+    window batch (identical prices for the grid-state strategies; the
+    batch-supply-aware MAPS planner is rejected at construction).
+
+    Args:
+        stream: The arrival stream (market context; its events are only
+            consumed here when ``universe`` is not supplied).
+        strategy: The pricing strategy; it is ``reset()`` and then owned
+            by the session (per-event feedback mutates its state).
+        seed: Accept/reject RNG seed, derived exactly as the engines do.
+        task_lifetime: Default task lifetime (``Task.duration`` overrides
+            per task).
+        max_degree: Optional universe adjacency cap.
+        universe: Pre-built ``(instance, task_arrivals, worker_arrivals)``
+            triple from :func:`build_universe`, to skip the pre-scan.
+        collector: Optional :class:`MetricsCollector`; stage timings are
+            attributed like the windowed engine (quote/observe → pricing,
+            decide/feedback → decide, settle/insert → matching).
+        stage_hook: Optional ``(stage, seconds)`` callback observing wall
+            time per stage (``settle``/``quote``/``decide``/``match``/
+            ``feedback``) — the service's latency histograms.
+    """
+
+    def __init__(
+        self,
+        stream: ArrivalStream,
+        strategy: PricingStrategy,
+        seed: int = 0,
+        task_lifetime: float = 4.0,
+        max_degree: Optional[int] = None,
+        universe: Optional[Tuple[PeriodInstance, Sequence[float], Sequence[float]]] = None,
+        collector: Optional[MetricsCollector] = None,
+        stage_hook: Optional[Callable[[str, float], None]] = None,
+    ) -> None:
+        if task_lifetime <= 0:
+            raise ValueError("task_lifetime must be positive")
+        if getattr(strategy, "name", None) == "MAPS":
+            raise ValueError(
+                "MAPS prices a window batch against its worker supply and "
+                "cannot quote single events; choose a grid-state strategy "
+                "(BaseP, SDR, SDE, CappedUCB) for event-at-a-time dispatch"
+            )
+        self.stream = stream
+        self.strategy = strategy
+        self.seed = int(seed)
+        self.task_lifetime = float(task_lifetime)
+        if universe is None:
+            universe = build_universe(stream, max_degree=max_degree)
+        self.universe, self._task_arrivals, self._worker_arrivals = universe
+        self.collector = collector
+        self.stage_hook = stage_hook
+
+        strategy.reset()
+        self.rng = np.random.default_rng(
+            derive_seed(self.seed, "acceptance", strategy.name)
+        )
+        self.pipeline = PeriodPipeline(
+            price_bounds=stream.price_bounds,
+            acceptance=stream.acceptance,
+            matching_backend="matroid",
+        )
+        num_tasks = len(self.universe.tasks)
+        self.matcher = DynamicMatcher(self.universe.graph, [0.0] * num_tasks)
+        self.live_weights: Dict[int, float] = {}
+        self.live_workers: set = set()
+        self._deadlines: List[Tuple[float, int]] = []
+        self._departures: List[Tuple[float, int]] = []
+        self.clock = 0.0
+
+        # Outcome counters (the service's /stats surface reads these).
+        self.revenue = 0.0
+        self.quoted = 0
+        self.accepted = 0
+        self.degraded = 0
+        self.committed = 0
+        self.expired = 0
+        self.departed = 0
+        self.commit_log: List[Tuple[int, int]] = []
+
+    # ------------------------------------------------------------------
+    # stage timing
+    # ------------------------------------------------------------------
+    def _staged(self, stage: str, timer_name: Optional[str]):
+        """Context manager stacking the collector timer and the hook."""
+
+        @contextmanager
+        def _cm() -> Iterator[None]:
+            start = perf_counter() if self.stage_hook is not None else 0.0
+            if self.collector is not None and timer_name is not None:
+                with getattr(self.collector, timer_name)():
+                    yield
+            else:
+                yield
+            if self.stage_hook is not None:
+                self.stage_hook(stage, perf_counter() - start)
+
+        return _cm()
+
+    # ------------------------------------------------------------------
+    # settlement
+    # ------------------------------------------------------------------
+    def settle_until(self, bound: float) -> List[Settlement]:
+        """Commit/expire/depart everything due at or before ``bound``.
+
+        Same interleaving contract as the windowed engines' ``_settle``
+        (global time order, ties deadline-first, heaps keyed
+        ``(time, position)``) so windowed and event-at-a-time runs see
+        the identical settlement sequence for the same heap contents.
+        Returns the settlement records in processing order.
+        """
+        records: List[Settlement] = []
+        matcher = self.matcher
+        deadlines = self._deadlines
+        departures = self._departures
+        while deadlines or departures:
+            due_deadline = deadlines[0][0] if deadlines else math.inf
+            due_departure = departures[0][0] if departures else math.inf
+            if min(due_deadline, due_departure) > bound:
+                break
+            if due_deadline <= due_departure:
+                due, task_pos = heapq.heappop(deadlines)
+                if task_pos not in self.live_weights:
+                    continue
+                task_id = self.universe.tasks[task_pos].task_id
+                if matcher.is_task_matched(task_pos):
+                    worker_pos = matcher.commit_task(task_pos)
+                    amount = self.live_weights.pop(task_pos)
+                    self.revenue += amount
+                    self.committed += 1
+                    self.live_workers.discard(worker_pos)
+                    worker_id = self.universe.workers[worker_pos].worker_id
+                    self.commit_log.append((task_id, worker_id))
+                    records.append(
+                        Settlement(
+                            kind="commit",
+                            time=due,
+                            task_id=task_id,
+                            worker_id=worker_id,
+                            revenue=amount,
+                        )
+                    )
+                else:
+                    matcher.remove_task(task_pos)
+                    self.live_weights.pop(task_pos)
+                    self.expired += 1
+                    records.append(
+                        Settlement(kind="expire", time=due, task_id=task_id)
+                    )
+            else:
+                due, worker_pos = heapq.heappop(departures)
+                if worker_pos not in self.live_workers:
+                    continue  # retired by an earlier commit
+                matcher.remove_worker(worker_pos)
+                self.live_workers.discard(worker_pos)
+                self.departed += 1
+                records.append(
+                    Settlement(
+                        kind="depart",
+                        time=due,
+                        worker_id=self.universe.workers[worker_pos].worker_id,
+                    )
+                )
+        return records
+
+    def drain(self) -> List[Settlement]:
+        """Settle everything still pending (end of stream)."""
+        with self._staged("settle", "time_matching"):
+            return self.settle_until(math.inf)
+
+    # ------------------------------------------------------------------
+    # arrivals
+    # ------------------------------------------------------------------
+    def on_worker(
+        self, worker_pos: int, time: Optional[float] = None
+    ) -> Tuple[bool, List[Settlement]]:
+        """A worker comes online: settle up to now, then join the market.
+
+        Returns ``(joined, settlements)``; ``joined`` is ``False`` when
+        the worker's availability already expired at its own arrival
+        time (a zero-length shift).
+        """
+        worker = self.universe.workers[worker_pos]
+        at = float(self._worker_arrivals[worker_pos] if time is None else time)
+        self.clock = max(self.clock, at)
+        with self._staged("settle", "time_matching"):
+            settlements = self.settle_until(at)
+        departs: Optional[float] = None
+        if worker.duration is not None:
+            departs = float(worker.period + worker.duration)
+            if departs <= at:
+                return False, settlements
+        with self._staged("match", "time_matching"):
+            self.matcher.insert_worker(worker_pos)
+        self.live_workers.add(worker_pos)
+        if departs is not None:
+            heapq.heappush(self._departures, (departs, worker_pos))
+        return True, settlements
+
+    def depart_worker(
+        self, worker_pos: int, time: float
+    ) -> Tuple[bool, List[Settlement]]:
+        """Explicit worker departure (e.g. a service disconnect message).
+
+        Returns ``(departed, settlements)``; ``departed`` is ``False``
+        when the worker was not live (never joined, already committed or
+        already departed).  Any duration-scheduled departure left in the
+        heap is skipped when it comes up (liveness is re-checked there).
+        """
+        at = float(time)
+        self.clock = max(self.clock, at)
+        with self._staged("settle", "time_matching"):
+            settlements = self.settle_until(at)
+        if worker_pos not in self.live_workers:
+            return False, settlements
+        with self._staged("match", "time_matching"):
+            self.matcher.remove_worker(worker_pos)
+        self.live_workers.discard(worker_pos)
+        self.departed += 1
+        settlements = settlements + [
+            Settlement(
+                kind="depart",
+                time=at,
+                worker_id=self.universe.workers[worker_pos].worker_id,
+            )
+        ]
+        return True, settlements
+
+    def on_task(
+        self,
+        task_pos: int,
+        time: Optional[float] = None,
+        degrade: bool = False,
+    ) -> Tuple[QuoteOutcome, List[Settlement]]:
+        """A task arrives: settle up to now, quote, decide, insert.
+
+        The quote runs on a single-task instance (no worker batch — the
+        grid-state strategies price from their per-cell state), the
+        accept/reject decision consumes the RNG exactly like the batch
+        decide stage, and an accepted task enters the maintained matching
+        in the same ``eligible_order`` filter the engines use.  With
+        ``degrade=True`` the insert takes the bounded greedy path
+        (:meth:`~repro.matching.incremental.DynamicMatcher.insert_task_greedy`)
+        instead of the exact delta repair — the service's SLO fallback.
+        """
+        task = self.universe.tasks[task_pos]
+        at = float(self._task_arrivals[task_pos] if time is None else time)
+        self.clock = max(self.clock, at)
+        with self._staged("settle", "time_matching"):
+            settlements = self.settle_until(at)
+
+        instance = PeriodInstance.build(
+            period=window_index(at, 1.0),
+            grid=self.stream.grid,
+            tasks=[task],
+            workers=[],
+            metric=self.stream.metric,
+        )
+        with self._staged("quote", "time_pricing"):
+            grid_prices = self.pipeline.quote(self.strategy, instance)
+        with self._staged("decide", "time_decide"):
+            decision = self.pipeline.decide(instance, grid_prices, self.rng)
+
+        accepted = bool(decision.accepted[0])
+        matched = False
+        was_degraded = False
+        weight = 0.0
+        deadline: Optional[float] = None
+        with self._staged("match", "time_matching"):
+            arrays = instance.ensure_arrays()
+            weights = arrays.distances * decision.prices
+            weight_arr, order = eligible_order(
+                instance.num_tasks, weights, decision.accepted_positions
+            )
+            for local_pos in order:  # zero or one iterations
+                weight = float(weight_arr[local_pos])
+                if degrade:
+                    matched = self.matcher.insert_task_greedy(task_pos, weight)
+                    was_degraded = True
+                    self.degraded += 1
+                else:
+                    matched = self.matcher.insert_task(task_pos, weight)
+                self.live_weights[task_pos] = weight
+                lifetime = (
+                    task.duration if task.duration is not None else self.task_lifetime
+                )
+                deadline = at + float(lifetime)
+                heapq.heappush(self._deadlines, (deadline, task_pos))
+
+        # Tentative serve signal, exactly as the windowed dynamic engine
+        # reports it (the feedback stage reads matched-task keys only).
+        tentative = {0: -1} if matched else {}
+        with self._staged("feedback", "time_decide"):
+            batch = self.pipeline.feedback(instance, decision, tentative)
+        with self._staged("feedback", "time_pricing"):
+            self.strategy.observe_feedback_batch(batch)
+
+        self.quoted += 1
+        self.accepted += int(accepted)
+        outcome = QuoteOutcome(
+            task_pos=task_pos,
+            task_id=task.task_id,
+            grid_index=task.grid_index,
+            price=float(decision.prices[0]),
+            accepted=accepted,
+            matched=matched,
+            degraded=was_degraded,
+            weight=weight,
+            deadline=deadline,
+        )
+        return outcome, settlements
+
+
+class EventStreamingEngine(DynamicStreamingEngine):
+    """Offline event-at-a-time replay: the service's reference run.
+
+    Drives a :class:`DispatchSession` over the stream's events in order
+    — no window loop at all — and aggregates metric rows per unit period
+    so reports stay comparable with the other engines.  The service's
+    differential gate replays the same stream over the socket and
+    asserts the committed pairs and total revenue are bitwise equal to
+    this engine's (``session.revenue`` accumulates per commit in
+    settlement order on both sides).
+
+    The ``window`` of the parent is fixed at ``1.0`` and only used for
+    metric binning; ``resolve`` does not apply (there is nothing to
+    re-window).  The stream must be re-iterable, as for the parent (one
+    pre-scan pass, one replay pass).  After :meth:`run`, the session is
+    kept on :attr:`last_session` for gates that need the commit log.
+    """
+
+    def __init__(
+        self,
+        stream: ArrivalStream,
+        seed: int = 0,
+        task_lifetime: float = 4.0,
+        max_degree: Optional[int] = None,
+        track_memory: bool = False,
+        keep_details: bool = False,
+    ) -> None:
+        super().__init__(
+            stream,
+            seed=seed,
+            window=1.0,
+            task_lifetime=task_lifetime,
+            resolve="delta",
+            max_degree=max_degree,
+            track_memory=track_memory,
+            keep_details=keep_details,
+        )
+        self.last_session: Optional[DispatchSession] = None
+
+    def run(self, strategy: PricingStrategy) -> SimulationResult:
+        """Replay every event through a fresh session, in stream order."""
+        collector = MetricsCollector(strategy.name, track_memory=self.track_memory)
+        collector.start()
+        session = DispatchSession(
+            self.stream,
+            strategy,
+            seed=self.seed,
+            task_lifetime=self.task_lifetime,
+            max_degree=self.max_degree,
+            collector=collector,
+        )
+        self.last_session = session
+
+        # Per-unit-period aggregation for the metric rows: settlements
+        # are attributed to the period they were due in, quotes to their
+        # arrival period.
+        rows: Dict[int, Dict[str, float]] = {}
+        prices: Dict[int, Dict[int, float]] = {}
+        workers_by_period: Dict[int, int] = {}
+
+        def _row(period: int) -> Dict[str, float]:
+            return rows.setdefault(
+                period, {"revenue": 0.0, "commits": 0, "accepted": 0, "tasks": 0}
+            )
+
+        def _absorb(settlements: List[Settlement]) -> None:
+            for settlement in settlements:
+                if settlement.kind != "commit":
+                    continue
+                row = _row(window_index(settlement.time, 1.0))
+                row["revenue"] += settlement.revenue
+                row["commits"] += 1
+
+        next_task = 0
+        next_worker = 0
+        for event in _validated_events(self.stream):
+            if isinstance(event, TaskArrival):
+                task_pos = next_task
+                next_task += 1
+                outcome, settlements = session.on_task(task_pos, float(event.time))
+                period = window_index(float(event.time), 1.0)
+                row = _row(period)
+                row["tasks"] += 1
+                row["accepted"] += int(outcome.accepted)
+                if outcome.grid_index is not None:
+                    prices.setdefault(period, {})[outcome.grid_index] = outcome.price
+            else:
+                worker_pos = next_worker
+                next_worker += 1
+                period = window_index(float(event.time), 1.0)
+                workers_by_period[period] = workers_by_period.get(period, 0) + 1
+                _, settlements = session.on_worker(worker_pos, float(event.time))
+            _absorb(settlements)
+        _absorb(session.drain())
+
+        outcomes: List[PeriodOutcome] = []
+        for period in sorted(rows):
+            row = rows[period]
+            if not (row["tasks"] or row["revenue"] or row["commits"]):
+                continue
+            collector.record_period(
+                revenue=row["revenue"],
+                served_tasks=int(row["commits"]),
+                accepted_tasks=int(row["accepted"]),
+                total_tasks=int(row["tasks"]),
+            )
+            if self.keep_details:
+                outcomes.append(
+                    PeriodOutcome(
+                        period=period,
+                        num_tasks=int(row["tasks"]),
+                        num_workers=workers_by_period.get(period, 0),
+                        prices=prices.get(period, {}),
+                        accepted_tasks=int(row["accepted"]),
+                        served_tasks=int(row["commits"]),
+                        revenue=row["revenue"],
+                    )
+                )
+
+        metrics = collector.finish()
+        return SimulationResult(
+            metrics=metrics, outcomes=outcomes, description=self.stream.description
+        )
+
+
 __all__ = [
     "ArrivalEvent",
     "ArrivalStream",
+    "DispatchSession",
     "DynamicStreamingEngine",
+    "EventStreamingEngine",
+    "QuoteOutcome",
+    "Settlement",
     "StreamingEngine",
     "TaskArrival",
     "WorkerArrival",
+    "build_universe",
+    "resolve_demand_grids",
     "stream_to_workload",
     "window_index",
     "workload_to_stream",

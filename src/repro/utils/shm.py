@@ -18,7 +18,11 @@ Ownership protocol (what keeps ``/dev/shm`` clean):
 * every owned segment is registered in a module-level set and unlinked
   by an ``atexit`` hook as a backstop, so even an owner that forgets to
   call :meth:`unlink` does not survive the interpreter
-  (``tests/utils/test_shm.py`` asserts both lifecycles).
+  (``tests/utils/test_shm.py`` asserts both lifecycles);
+* ``atexit`` never fires for a default-action signal death, so the first
+  :meth:`ShmArena.create` additionally chains the same cleanup in front
+  of SIGTERM/SIGINT/SIGHUP (restore-and-reraise, preserving the
+  death-by-signal exit status — see ``_install_signal_backstop``).
 
 Attaching unregisters the mapping from :mod:`multiprocessing`'s resource
 tracker: the tracker assumes whoever opens a segment owns it, which
@@ -102,6 +106,72 @@ def _cleanup_owned_segments() -> None:  # pragma: no cover - exercised via subpr
 
 
 atexit.register(_cleanup_owned_segments)
+
+
+# ``atexit`` does not run when a signal's default action kills the
+# process, and SIGTERM/SIGINT are exactly how long-running owners — the
+# dispatch service, a benchmark under a CI timeout — usually die.  The
+# first ``ShmArena.create`` therefore chains a cleanup handler in front
+# of whatever disposition each termination signal currently has:
+#
+# * a previously-installed Python handler is kept and invoked after the
+#   cleanup (chaining, not replacement — SIGINT's default
+#   ``KeyboardInterrupt`` still raises);
+# * ``SIG_DFL`` is restored and the signal re-raised at the process, so
+#   the exit status still reports death-by-signal (``-SIGTERM``), which
+#   supervisors and ``tests/utils/test_shm.py`` rely on;
+# * ``SIG_IGN`` is left alone — a process that chose to ignore a signal
+#   keeps ignoring it.
+#
+# Installation is lazy (import must not touch global handler state) and
+# skipped off the main thread, where ``signal.signal`` raises; the
+# ``atexit`` hook above still covers those processes' clean exits.
+_CHAINED_HANDLERS: Dict[int, object] = {}
+_SIGNALS_INSTALLED = False
+
+
+def _handle_termination(signum, frame):  # pragma: no cover - subprocess test
+    import os
+    import signal as signal_module
+
+    _cleanup_owned_segments()
+    previous = _CHAINED_HANDLERS.get(signum)
+    if callable(previous):
+        previous(signum, frame)
+        return
+    try:
+        signal_module.signal(signum, signal_module.SIG_DFL)
+    except (ValueError, OSError):
+        return
+    os.kill(os.getpid(), signum)
+
+
+def _install_signal_backstop() -> None:
+    """Idempotently chain the owner cleanup into termination signals."""
+    global _SIGNALS_INSTALLED
+    if _SIGNALS_INSTALLED:
+        return
+    if threading.current_thread() is not threading.main_thread():
+        return
+    import signal as signal_module
+
+    _SIGNALS_INSTALLED = True
+    chained = [signal_module.SIGTERM, signal_module.SIGINT]
+    if hasattr(signal_module, "SIGHUP"):
+        chained.append(signal_module.SIGHUP)
+    for signum in chained:
+        try:
+            current = signal_module.getsignal(signum)
+        except (ValueError, OSError):  # pragma: no cover - exotic platforms
+            continue
+        if current is signal_module.SIG_IGN or current is _handle_termination:
+            continue
+        if callable(current):
+            _CHAINED_HANDLERS[int(signum)] = current
+        try:
+            signal_module.signal(signum, _handle_termination)
+        except (ValueError, OSError):  # pragma: no cover - exotic platforms
+            _CHAINED_HANDLERS.pop(int(signum), None)
 
 
 _ATTACH_LOCK = threading.Lock()
@@ -195,6 +265,7 @@ class ShmArena:
             arena._view(spec)[...] = prepared[spec.name]
         with _OWNED_LOCK:
             _OWNED_SEGMENTS[shm.name] = shm
+        _install_signal_backstop()
         return arena
 
     @classmethod

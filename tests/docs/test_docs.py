@@ -40,7 +40,12 @@ class TestMarkdownLinks:
         )
 
     def test_docs_tree_exists(self):
-        for name in ("architecture.md", "paper_map.md", "scenarios.md"):
+        for name in (
+            "architecture.md",
+            "paper_map.md",
+            "scenarios.md",
+            "service.md",
+        ):
             assert (REPO_ROOT / "docs" / name).is_file(), f"docs/{name} is missing"
 
 

@@ -314,3 +314,25 @@ class TestKernelFlag:
         assert exit_code == 0
         output = capsys.readouterr().out
         assert "kernels = python" in output
+
+
+class TestServiceForwarding:
+    """``serve`` / ``replay`` leading tokens route to the service CLI."""
+
+    def test_replay_subcommand_is_forwarded(self):
+        # The service parser owns the subcommand: replay without --port
+        # is its error (exit 2), not the legacy parser's "--figure or
+        # --scenario is required".
+        with pytest.raises(SystemExit) as excinfo:
+            main(["replay"])
+        assert excinfo.value.code == 2
+
+    def test_serve_help_comes_from_the_service_parser(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--help"])
+        assert excinfo.value.code == 0
+        assert "--admission" in capsys.readouterr().out
+
+    def test_legacy_flags_still_reach_the_legacy_parser(self):
+        with pytest.raises(SystemExit):
+            main([])  # "--figure or --scenario is required"

@@ -186,3 +186,81 @@ class TestSaturationPruning:
         assert matcher.augment_grid(2) is not None
         assert matcher.size == maximum_matching_size(graph)
         assert matcher.is_valid_matching()
+
+
+class TestGreedyInsert:
+    """``DynamicMatcher.insert_task_greedy`` — the service's SLO fallback.
+
+    Bounded-cost inserts keep the matching *valid* but deliberately give
+    up the lex-max-basis invariant, so these tests assert structure and
+    the documented first-free-worker behaviour, never optimality.
+    """
+
+    @staticmethod
+    def _dynamic(edges, num_tasks, num_workers):
+        from repro.matching.incremental import DynamicMatcher
+
+        graph = _graph_with_grids(edges, [1] * num_tasks, num_workers)
+        return DynamicMatcher(graph, [0.0] * num_tasks)
+
+    def test_matches_first_free_adjacent_worker(self):
+        matcher = self._dynamic([(0, 0), (0, 1), (0, 2)], 1, 3)
+        for worker in range(3):
+            matcher.insert_worker(worker)
+        assert matcher.insert_task_greedy(0, weight=2.0)
+        # CSR row order, not weight or repair logic, picks the worker.
+        assert matcher.worker_of(0) == 0
+        assert matcher.is_valid_matching()
+
+    def test_skips_occupied_and_dead_workers(self):
+        matcher = self._dynamic([(0, 0), (1, 0), (1, 1), (1, 2)], 2, 3)
+        for worker in range(3):
+            matcher.insert_worker(worker)
+        assert matcher.insert_task_greedy(0, weight=1.0)  # takes worker 0
+        matcher.remove_worker(1)  # worker 1 leaves the market
+        assert matcher.insert_task_greedy(1, weight=1.0)
+        assert matcher.worker_of(1) == 2  # 0 occupied, 1 gone -> 2
+        assert matcher.is_valid_matching()
+
+    def test_no_free_worker_leaves_task_live_and_unmatched(self):
+        """Greedy never evicts: a repairing insert would re-route here."""
+        matcher = self._dynamic([(0, 0), (1, 0)], 2, 1)
+        matcher.insert_worker(0)
+        assert matcher.insert_task_greedy(0, weight=1.0)
+        assert not matcher.insert_task_greedy(1, weight=5.0)
+        assert matcher.is_task_live(1)
+        assert matcher.worker_of(1) is None
+        # The heavier task did NOT displace the lighter one — the
+        # documented optimality gap of the degraded path.
+        assert matcher.worker_of(0) == 0
+
+    def test_non_positive_weight_is_live_but_ineligible(self):
+        matcher = self._dynamic([(0, 0)], 1, 1)
+        matcher.insert_worker(0)
+        assert not matcher.insert_task_greedy(0, weight=0.0)
+        assert matcher.is_task_live(0)
+        assert matcher.weight_of(0) == 0.0
+        assert matcher.worker_of(0) is None
+
+    def test_double_insert_raises(self):
+        matcher = self._dynamic([(0, 0)], 1, 1)
+        matcher.insert_worker(0)
+        assert matcher.insert_task_greedy(0, weight=1.0)
+        with pytest.raises(ValueError, match="already live"):
+            matcher.insert_task_greedy(0, weight=1.0)
+
+    def test_greedy_inserted_task_settles_like_any_other(self):
+        """Commit and removal work unchanged on a greedy-matched task."""
+        matcher = self._dynamic([(0, 0), (1, 1)], 2, 2)
+        matcher.insert_worker(0)
+        matcher.insert_worker(1)
+        assert matcher.insert_task_greedy(0, weight=1.5)
+        assert matcher.insert_task_greedy(1, weight=2.5)
+        assert matcher.commit_task(0) == 0
+        assert not matcher.is_task_live(0)
+        assert not matcher.is_worker_live(0)
+        # No unmatched task is waiting, so the freed worker absorbs nothing.
+        assert matcher.remove_task(1) is None
+        assert matcher.is_worker_live(1)
+        assert matcher.task_of(1) is None
+        assert matcher.is_valid_matching()

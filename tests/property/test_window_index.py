@@ -1,0 +1,84 @@
+"""Fuzzing the half-open window contract of ``window_index``.
+
+``window_index(time, length)`` must place every arrival in exactly one
+window: the returned ``k`` satisfies ``k * length <= time`` and
+``time < (k + 1) * length`` under *exact* float comparison.  Plain
+``int(time // length)`` violates this on window edges (``1.0 // 0.1 ==
+9.0`` even though ``10 * 0.1 == 1.0``), which is the bug the function
+exists to fix — so the fuzz leans hard on edge-adjacent times across
+extreme float scales.
+
+The ``time / length`` ratio is bounded to ~1e15: beyond that, ``k * length``
+can no longer represent consecutive window boundaries as distinct doubles
+and *no* integer index satisfies the half-open contract — the engine never
+runs there (window indices are bounded by event counts), and the nudge
+loops in ``window_index`` would walk ulp-by-ulp toward an index that does
+not exist.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import assume, given
+from hypothesis import strategies as st
+
+from repro.simulation.streaming import window_index
+
+MAX_RATIO = 1e15
+
+lengths = st.one_of(
+    st.floats(min_value=1e-9, max_value=1e4, allow_nan=False, allow_infinity=False),
+    st.sampled_from([0.1, 0.3, 1.0, 2.5, 1e-9, 1e-6, 1024.0, 1e4]),
+)
+
+
+def _contract_holds(time: float, length: float) -> bool:
+    index = window_index(time, length)
+    return index * length <= time < (index + 1) * length
+
+
+class TestHalfOpenContract:
+    @given(
+        time=st.floats(min_value=0.0, max_value=1e12, allow_nan=False),
+        length=lengths,
+    )
+    def test_every_time_lands_in_exactly_one_window(self, time, length):
+        assume(time / length < MAX_RATIO)
+        assert _contract_holds(time, length)
+
+    @given(index=st.integers(min_value=0, max_value=10**15), length=lengths)
+    def test_exact_window_edges_open_their_own_window(self, index, length):
+        """``t = k * length`` belongs to window ``k`` — the half of the
+        half-open contract that ``//`` gets wrong."""
+        time = index * length
+        assume(math.isfinite(time) and time / length < MAX_RATIO)
+        assert _contract_holds(time, length)
+
+    @given(index=st.integers(min_value=0, max_value=10**15), length=lengths)
+    def test_one_ulp_below_an_edge_stays_in_the_previous_window(self, index, length):
+        time = math.nextafter(index * length, -math.inf)
+        assume(time >= 0.0 and time / length < MAX_RATIO)
+        assert _contract_holds(time, length)
+
+    @given(index=st.integers(min_value=0, max_value=10**15), length=lengths)
+    def test_one_ulp_above_an_edge_stays_in_its_window(self, index, length):
+        time = math.nextafter(index * length, math.inf)
+        assume(math.isfinite(time) and time / length < MAX_RATIO)
+        assert _contract_holds(time, length)
+
+    @given(
+        time=st.floats(min_value=0.0, max_value=1e12, allow_nan=False),
+        length=lengths,
+    )
+    def test_indices_are_monotone_in_time(self, time, length):
+        later = math.nextafter(time, math.inf)
+        assume(later / length < MAX_RATIO)
+        assert window_index(time, length) <= window_index(later, length)
+
+    def test_known_floor_division_traps(self):
+        # The documented regressions, pinned exactly.
+        for index, length in [(10, 0.1), (3, 0.3), (49, 0.7), (1_000_000, 1e-6)]:
+            time = index * length
+            assert window_index(time, length) * length <= time
+            assert time < (window_index(time, length) + 1) * length

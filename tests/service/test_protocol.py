@@ -1,0 +1,106 @@
+"""Wire protocol: framing, contract checks, bit-exact entity payloads."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.market.entities import Task, Worker
+from repro.service.protocol import (
+    EVENT_TYPES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_message,
+    encode_message,
+    error_message,
+    hello_message,
+    task_from_wire,
+    task_to_wire,
+    worker_from_wire,
+    worker_to_wire,
+)
+from repro.spatial.geometry import Point
+
+
+class TestFraming:
+    def test_encode_is_one_terminated_line(self):
+        line = encode_message({"type": "task", "time": 1.5})
+        assert line.endswith(b"\n")
+        assert line.count(b"\n") == 1
+
+    def test_round_trip(self):
+        message = {"type": "quote", "price": 2.3000000000000003, "accepted": True}
+        assert decode_message(encode_message(message)) == message
+
+    def test_floats_survive_bitwise(self):
+        # The differential gate depends on shortest-repr round-tripping.
+        for value in (0.1 + 0.2, 1e-308, math.pi, 235.1033226651287):
+            decoded = decode_message(encode_message({"type": "x", "v": value}))
+            assert repr(decoded["v"]) == repr(value)
+
+    @pytest.mark.parametrize(
+        "line",
+        [b"not json\n", b"[1, 2, 3]\n", b'"just a string"\n', b'{"no_type": 1}\n',
+         b'{"type": 7}\n', b"\xff\xfe\n"],
+    )
+    def test_malformed_lines_are_protocol_errors(self, line):
+        with pytest.raises(ProtocolError):
+            decode_message(line)
+
+    def test_event_types_are_queue_bound(self):
+        assert EVENT_TYPES == ("task", "worker", "depart", "flush")
+
+
+class TestEntityPayloads:
+    def test_task_round_trip(self):
+        task = Task(
+            task_id=42,
+            period=3,
+            origin=Point(0.125, 0.25),
+            destination=Point(0.5, 0.75),
+            distance=0.7071067811865476,
+            valuation=2.5000000000000004,
+            grid_index=17,
+            duration=6.5,
+        )
+        rebuilt = task_from_wire(task_to_wire(task))
+        assert rebuilt == task
+        assert repr(rebuilt.distance) == repr(task.distance)
+        assert repr(rebuilt.valuation) == repr(task.valuation)
+
+    def test_task_optional_fields_round_trip_as_none(self):
+        task = Task(
+            task_id=1,
+            period=0,
+            origin=Point(0.0, 0.0),
+            destination=Point(1.0, 1.0),
+            distance=math.sqrt(2.0),
+        )
+        rebuilt = task_from_wire(task_to_wire(task))
+        assert rebuilt.valuation is None
+        assert rebuilt.grid_index is None
+        assert rebuilt.duration is None
+
+    def test_worker_round_trip(self):
+        worker = Worker(
+            worker_id=9, period=2, location=Point(0.3, 0.4), radius=0.15, duration=4
+        )
+        assert worker_from_wire(worker_to_wire(worker)) == worker
+
+    def test_malformed_entity_payloads_are_protocol_errors(self):
+        with pytest.raises(ProtocolError):
+            task_from_wire({"task_id": 1})
+        with pytest.raises(ProtocolError):
+            worker_from_wire({"worker_id": 1, "period": 0, "location": [0.0]})
+
+
+class TestConstructors:
+    def test_hello_carries_protocol_version(self):
+        hello = hello_message("hotspot_burst", 0.05, 3, "SDR")
+        assert hello["type"] == "hello"
+        assert hello["protocol"] == PROTOCOL_VERSION
+        assert hello["params"] == {}
+
+    def test_error_message_shape(self):
+        assert error_message("nope") == {"type": "error", "reason": "nope"}

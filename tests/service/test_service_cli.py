@@ -1,0 +1,79 @@
+"""The ``serve`` / ``replay`` command line, end to end over a subprocess."""
+
+from __future__ import annotations
+
+import glob
+import os
+import re
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.service.cli import build_service_parser, service_main
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+
+
+class TestParser:
+    def test_serve_defaults(self):
+        args = build_service_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.port == 0
+        assert args.admission == "block"
+        assert args.slo_ms is None
+
+    def test_replay_requires_port(self):
+        with pytest.raises(SystemExit):
+            build_service_parser().parse_args(["replay"])
+
+    def test_maps_cannot_be_served(self):
+        with pytest.raises(SystemExit):
+            build_service_parser().parse_args(["serve", "--strategy", "MAPS"])
+
+
+class TestEndToEnd:
+    def test_serve_once_and_replay(self, capsys):
+        """Boot ``serve --once`` in a subprocess, replay in-process, and
+        assert the server exits cleanly with zero leaked segments."""
+        before = set(glob.glob("/dev/shm/repro_arena_*"))
+        child = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.service", "serve",
+                "--scenario", "churn_city", "--scale", "0.05", "--seed", "3",
+                "--port", "0", "--once",
+            ],
+            stdout=subprocess.PIPE,
+            text=True,
+            env={**os.environ, "PYTHONPATH": "src"},
+            cwd=REPO_ROOT,
+        )
+        try:
+            assert child.stdout is not None
+            banner = child.stdout.readline()
+            match = re.search(r"on 127\.0\.0\.1:(\d+)", banner)
+            assert match, f"no port in banner: {banner!r}"
+            port = int(match.group(1))
+            status = service_main(
+                [
+                    "replay", "--port", str(port),
+                    "--scenario", "churn_city", "--scale", "0.05", "--seed", "3",
+                ]
+            )
+            assert status == 0
+            child.wait(timeout=30)
+        finally:
+            if child.poll() is None:  # pragma: no cover - defensive
+                child.kill()
+                child.wait(timeout=30)
+        assert child.returncode == 0
+        out = capsys.readouterr().out
+        assert "revenue" in out
+        assert "p99" in out
+        # A --once exit must not strand its arena in /dev/shm: whatever
+        # segments existed before the child are the most that may exist
+        # after it.
+        time.sleep(0.2)
+        after = set(glob.glob("/dev/shm/repro_arena_*"))
+        assert after <= before

@@ -1,0 +1,323 @@
+"""Event-at-a-time dispatch: DispatchSession / EventStreamingEngine.
+
+The tentpole guarantee of the service work: replaying a stream one event
+at a time through :class:`DispatchSession` — the settle → quote → decide
+→ insert core the socket service runs — produces the *identical* result
+to the window-batched :class:`DynamicStreamingEngine` at ``window=1.0``:
+``repr``-identical settled revenue and identical commit pairs.  Plus the
+two streaming-engine bugfix satellites: the pinned window-mode
+``_worker_active`` semantics, and demand-cell calibration metadata.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.market.entities import Task, Worker
+from repro.pricing.registry import calibrated_kwargs, create_strategy
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.scenarios import get_scenario
+from repro.simulation.streaming import (
+    ArrivalStream,
+    DispatchSession,
+    DynamicStreamingEngine,
+    EventStreamingEngine,
+    StreamingEngine,
+    TaskArrival,
+    WorkerArrival,
+    resolve_demand_grids,
+    workload_to_stream,
+)
+from repro.spatial.geometry import Point
+
+SCENARIO = "churn_city"
+SCALE = 0.05
+SEED = 3
+PARAMS = {"num_periods": 12}
+
+
+def _stream():
+    return get_scenario(SCENARIO).stream(scale=SCALE, seed=SEED, **PARAMS)
+
+
+def _strategy(name, stream):
+    calibration = StreamingEngine(stream, seed=SEED).calibrate_base_price()
+    return create_strategy(name, **calibrated_kwargs(name, calibration))
+
+
+class TestEventEngineEquivalence:
+    def test_replays_are_bitwise_deterministic(self):
+        """Two replays of the same stream are identical bit for bit —
+        the property the service's offline differential gate stands on
+        (``tests/service/test_server.py`` closes the loop over a real
+        socket against this engine)."""
+        stream = _stream()
+        sessions = []
+        for _ in range(2):
+            engine = EventStreamingEngine(stream, seed=SEED)
+            engine.run(_strategy("BaseP", stream))
+            sessions.append(engine.last_session)
+        first, second = sessions
+        assert repr(first.revenue) == repr(second.revenue)
+        assert first.commit_log == second.commit_log
+        assert first.quoted == second.quoted
+        assert first.accepted == second.accepted
+
+    def test_agrees_with_windowed_engine_absent_mid_window_interference(self):
+        """On a stream where no expiry or deadline interleaves a window's
+        arrivals, event-at-a-time and delta-windowed dispatch settle the
+        identical commits for identical revenue — the two paths implement
+        the same settlement rule (global time order, ties deadline-first)."""
+        stream = _stream()
+        windowed = DynamicStreamingEngine(
+            stream, seed=SEED, window=1.0, resolve="delta"
+        ).run(_strategy("BaseP", stream))
+        engine = EventStreamingEngine(stream, seed=SEED)
+        evented = engine.run(_strategy("BaseP", stream))
+        assert repr(evented.metrics.total_revenue) == repr(
+            windowed.metrics.total_revenue
+        )
+        assert evented.metrics.served_tasks == windowed.metrics.served_tasks
+        assert evented.metrics.accepted_tasks == windowed.metrics.accepted_tasks
+
+    def test_event_time_semantics_diverge_from_window_batching(self):
+        """Satellite 1, seen from the engines: on a stream whose workers
+        expire mid-window (``hotspot_burst``), quoting at event time
+        settles those expiries before later quotes, so the two modes
+        produce different servings — the window mode's start-of-window
+        availability check is the documented approximation."""
+        stream = get_scenario("hotspot_burst").stream(scale=0.05, seed=0)
+        calibration = StreamingEngine(stream, seed=0).calibrate_base_price()
+
+        def strategy():
+            return create_strategy("BaseP", **calibrated_kwargs("BaseP", calibration))
+
+        windowed = DynamicStreamingEngine(
+            stream, seed=0, window=1.0, resolve="delta"
+        ).run(strategy())
+        evented = EventStreamingEngine(stream, seed=0).run(strategy())
+        assert evented.metrics.total_tasks == windowed.metrics.total_tasks
+        assert (
+            evented.metrics.served_tasks != windowed.metrics.served_tasks
+            or repr(evented.metrics.total_revenue)
+            != repr(windowed.metrics.total_revenue)
+        )
+
+    def test_session_counters_reconcile(self):
+        stream = _stream()
+        engine = EventStreamingEngine(stream, seed=SEED)
+        result = engine.run(_strategy("BaseP", stream))
+        session = engine.last_session
+        assert session.quoted == result.metrics.total_tasks
+        assert session.accepted == result.metrics.accepted_tasks
+        assert session.committed + session.expired == session.accepted
+        assert len(session.commit_log) == session.committed
+        assert repr(session.revenue) == repr(result.metrics.total_revenue)
+
+    def test_maps_cannot_quote_event_at_a_time(self):
+        stream = _stream()
+        calibration = StreamingEngine(stream, seed=SEED).calibrate_base_price()
+        maps = create_strategy("MAPS", **calibrated_kwargs("MAPS", calibration))
+        with pytest.raises(ValueError, match="MAPS"):
+            DispatchSession(stream, maps, seed=SEED)
+
+    def test_task_lifetime_must_be_positive(self):
+        stream = _stream()
+        with pytest.raises(ValueError, match="lifetime"):
+            DispatchSession(stream, _strategy("BaseP", stream), task_lifetime=0.0)
+
+    def test_ratio_strategies_quote_the_window_zero_limit(self, tiny_workload):
+        """Supply/demand-ratio pricing quotes each event as a singleton
+        instance — no window batch to count demand or supply from, which
+        is exactly the ``window -> 0`` limit of the batched semantics:
+        a lone task with no same-instant worker arrivals prices at the
+        scarcity clamp ``p_max``.  Documented in ``docs/service.md``."""
+        tasks = [
+            Task(
+                task_id=i,
+                period=0,
+                origin=Point(1, 1),
+                destination=Point(2, 2),
+                valuation=100.0,  # always accepted
+                grid_index=1,
+            )
+            for i in (1, 2)
+        ]
+        stream = _manual_stream(
+            tiny_workload,
+            [TaskArrival(time=0.1, task=tasks[0]), TaskArrival(time=0.2, task=tasks[1])],
+        )
+        strategy = create_strategy("SDR", base_price=2.0)
+        session = DispatchSession(stream, strategy, seed=0)
+        first, _ = session.on_task(0, 0.1)
+        second, _ = session.on_task(1, 0.2)
+        assert first.accepted and second.accepted
+        assert first.price == second.price == strategy.p_max
+
+
+def _manual_stream(tiny_workload, events):
+    return ArrivalStream(
+        grid=tiny_workload.grid,
+        acceptance=tiny_workload.acceptance,
+        events=events,
+    )
+
+
+class TestWorkerExpirySemantics:
+    """Satellite 1: the window-vs-event divergence, pinned from both sides.
+
+    ``StreamingEngine._worker_active`` evaluates availability once per
+    window at its *start*, so a worker expiring mid-window still serves a
+    task arriving later in that window — the batch approximation, kept
+    deliberately (it is what makes ``window == 1.0`` bit-identical to
+    the batch engine).  The event path settles the expiry before the
+    quote.  One stream, both answers, both asserted.
+    """
+
+    WINDOW = 2.0
+
+    def _expiring_worker_stream(self, tiny_workload):
+        worker = Worker(
+            worker_id=1,
+            period=0,
+            location=Point(1, 1),
+            radius=50.0,
+            duration=1,  # gone at t = 1.0
+        )
+        task = Task(
+            task_id=7,
+            period=1,
+            origin=Point(1, 1),
+            destination=Point(2, 2),
+            valuation=100.0,
+            grid_index=1,
+        )
+        return _manual_stream(
+            tiny_workload,
+            [
+                WorkerArrival(time=0.2, worker=worker),
+                TaskArrival(time=1.5, task=task),  # after the expiry
+            ],
+        )
+
+    def test_window_mode_commits_through_a_mid_window_expiry(self, tiny_workload):
+        stream = self._expiring_worker_stream(tiny_workload)
+        engine = StreamingEngine(stream, seed=0, window=self.WINDOW)
+        result = engine.run(create_strategy("BaseP", base_price=2.0))
+        # Window [0, 2) sees the worker as active (check at start) even
+        # though it expired at 1.0, half a period before the task.
+        assert result.metrics.served_tasks == 1
+
+    def test_event_mode_settles_the_expiry_before_the_quote(self, tiny_workload):
+        stream = self._expiring_worker_stream(tiny_workload)
+        engine = EventStreamingEngine(stream, seed=0)
+        result = engine.run(create_strategy("BaseP", base_price=2.0))
+        session = engine.last_session
+        # The worker joined at 0.2 but was settled out at its 1.0
+        # departure when the 1.5 quote arrived: nothing to match.
+        assert result.metrics.served_tasks == 0
+        assert session.departed == 1
+        assert session.quoted == 1
+
+    def test_expired_on_arrival_worker_never_joins(self, tiny_workload):
+        worker = Worker(
+            worker_id=1, period=0, location=Point(1, 1), radius=50.0, duration=1
+        )
+        stream = _manual_stream(
+            tiny_workload, [WorkerArrival(time=1.5, worker=worker)]
+        )
+        session = DispatchSession(stream, create_strategy("BaseP", base_price=2.0))
+        joined, settlements = session.on_worker(0, 1.5)
+        assert joined is False
+        assert settlements == []
+        assert session.drain() == []
+
+
+class TestDemandCellCalibration:
+    """Satellite 2: scenarios export their demand-cell set; streaming
+    calibration probes those cells — identical to the batch engine's
+    demand scan — falling back to every cell only when absent."""
+
+    def test_resolver_handles_absent_metadata(self, tiny_workload):
+        stream = _manual_stream(tiny_workload, [])
+        assert stream.demand_grids is None
+        assert resolve_demand_grids(stream) is None
+
+    def test_resolver_sorts_dedups_and_calls_factories(self, tiny_workload):
+        stream = _manual_stream(tiny_workload, [])
+        stream.demand_grids = [5, 1, 5, 3]
+        assert resolve_demand_grids(stream) == [1, 3, 5]
+        stream.demand_grids = lambda: (9, 2, 9)
+        assert resolve_demand_grids(stream) == [2, 9]
+        stream.demand_grids = []
+        assert resolve_demand_grids(stream) is None
+
+    @pytest.mark.parametrize("scenario_name", ["hotspot_burst", "churn_city"])
+    def test_stream_scenarios_export_a_proper_subset(self, scenario_name):
+        stream = get_scenario(scenario_name).stream(scale=0.05, seed=7)
+        grids = resolve_demand_grids(stream)
+        all_cells = sorted(cell.index for cell in stream.grid.cells())
+        assert grids is not None
+        assert grids == sorted(set(grids))
+        assert set(grids) < set(all_cells)  # strictly fewer than the grid
+
+    def test_streaming_calibration_is_bitwise_batch_identical(self):
+        """The satellite's acceptance test: with metadata, streaming
+        calibration equals the batch engine's output exactly."""
+        scenario = get_scenario("hotspot_burst")
+        stream = scenario.stream(scale=0.05, seed=7)
+        batch = SimulationEngine(scenario.bundle(scale=0.05, seed=7), seed=7)
+        streamed = StreamingEngine(stream, seed=7).calibrate_base_price()
+        batched = batch.calibrate_base_price()
+        assert repr(streamed.base_price) == repr(batched.base_price)
+        assert streamed.grid_reserve_prices == batched.grid_reserve_prices
+        assert streamed.total_probes == batched.total_probes
+
+    def test_workload_streams_carry_the_batch_demand_scan(self, tiny_workload):
+        stream = workload_to_stream(tiny_workload)
+        expected = sorted(
+            {
+                task.grid_index
+                for tasks in tiny_workload.tasks_by_period
+                for task in tasks
+                if task.grid_index is not None
+            }
+        )
+        assert resolve_demand_grids(stream) == expected
+
+    def test_explicit_grids_still_override(self, tiny_workload):
+        stream = workload_to_stream(tiny_workload)
+        engine = StreamingEngine(stream, seed=7)
+        subset = (resolve_demand_grids(stream) or [0])[:1]
+        result = engine.calibrate_base_price(grids=subset)
+        assert set(result.grid_reserve_prices) == set(subset)
+
+
+class TestDegradedQuoting:
+    def test_degrade_flag_takes_the_greedy_path_and_stays_valid(self):
+        """A degraded quote must flag itself, still price the task, and
+        leave a session that settles cleanly."""
+        stream = _stream()
+        strategy = _strategy("BaseP", stream)
+        session = DispatchSession(stream, strategy, seed=SEED)
+        from repro.simulation.streaming import _validated_events
+
+        next_task = next_worker = 0
+        degraded = 0
+        for event in _validated_events(stream):
+            if isinstance(event, TaskArrival):
+                outcome, _ = session.on_task(
+                    next_task, float(event.time), degrade=True
+                )
+                next_task += 1
+                assert outcome.price > 0.0
+                if outcome.accepted:
+                    degraded += 1
+                    assert outcome.degraded
+            else:
+                session.on_worker(next_worker, float(event.time))
+                next_worker += 1
+        session.drain()
+        assert session.degraded == degraded > 0
+        assert session.committed + session.expired == session.accepted
+        assert session.revenue >= 0.0

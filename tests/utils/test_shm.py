@@ -202,6 +202,94 @@ class TestLeakFreedom:
         arena.unlink()
         assert not _segment_exists(segment)
 
+    @pytest.mark.parametrize(
+        "signum", [signal.SIGTERM, signal.SIGINT], ids=["SIGTERM", "SIGINT"]
+    )
+    def test_killed_owner_does_not_leak(self, signum):
+        """A signal-terminated owner still reclaims its segments.
+
+        ``atexit`` never fires when a signal's default action kills the
+        process; the shm module chains its cleanup in front of the
+        termination signals instead (restore-and-reraise), so the child
+        must both clean up *and* still die with the signal's exit status
+        — supervisors rely on the ``-SIGTERM`` return code.
+        """
+        script = textwrap.dedent(
+            """
+            import time
+            import numpy as np
+            from repro.utils.shm import ShmArena
+            arena = ShmArena.create({"xs": np.arange(8, dtype=np.float64)})
+            print(arena.handle.segment, flush=True)
+            time.sleep(30)  # killed long before this returns
+            """
+        )
+        child = subprocess.Popen(
+            [sys.executable, "-c", script],
+            stdout=subprocess.PIPE,
+            text=True,
+            env={**os.environ, "PYTHONPATH": "src"},
+            cwd=os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+        )
+        try:
+            assert child.stdout is not None
+            segment = child.stdout.readline().strip()
+            assert segment.startswith("repro_arena_")
+            assert _segment_exists(segment)
+            child.send_signal(signum)
+            child.wait(timeout=30)
+        finally:
+            if child.poll() is None:  # pragma: no cover - defensive
+                child.kill()
+                child.wait(timeout=30)
+        # SIGTERM dies by default action (restore-and-reraise preserves
+        # the -N status); SIGINT surfaces as an uncaught KeyboardInterrupt,
+        # which CPython reports as death-by-SIGINT too.
+        assert child.returncode == -int(signum)
+        for _ in range(100):
+            if not _segment_exists(segment):
+                break
+            time.sleep(0.05)
+        assert not _segment_exists(segment)
+
+    def test_sigterm_chains_a_preinstalled_handler(self):
+        """A handler the owner installed first still runs after cleanup."""
+        script = textwrap.dedent(
+            """
+            import signal, sys, time
+            import numpy as np
+
+            def handler(signum, frame):
+                print("chained", flush=True)
+                sys.exit(42)
+
+            signal.signal(signal.SIGTERM, handler)
+            from repro.utils.shm import ShmArena
+            arena = ShmArena.create({"xs": np.arange(4, dtype=np.float64)})
+            print(arena.handle.segment, flush=True)
+            time.sleep(30)
+            """
+        )
+        child = subprocess.Popen(
+            [sys.executable, "-c", script],
+            stdout=subprocess.PIPE,
+            text=True,
+            env={**os.environ, "PYTHONPATH": "src"},
+            cwd=os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+        )
+        try:
+            assert child.stdout is not None
+            segment = child.stdout.readline().strip()
+            child.send_signal(signal.SIGTERM)
+            out, _ = child.communicate(timeout=30)
+        finally:
+            if child.poll() is None:  # pragma: no cover - defensive
+                child.kill()
+                child.wait(timeout=30)
+        assert "chained" in out
+        assert child.returncode == 42
+        assert not _segment_exists(segment)
+
     def test_no_arena_segments_left_behind(self):
         """Backstop for the whole module: nothing of ours is in /dev/shm."""
         time.sleep(0.05)

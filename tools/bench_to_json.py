@@ -3,10 +3,12 @@
 
 Runs one of the repo's measurement protocols — the sharded-engine
 throughput of ``benchmarks/test_bench_sharded.py``, the matching
-hot-path throughput of ``benchmarks/test_bench_matching.py``, or the
+hot-path throughput of ``benchmarks/test_bench_matching.py``, the
 delta-repair vs per-window re-solve comparison of
-``benchmarks/test_bench_dynamic.py`` (``churn_city``; the others run
-``city_scale``) — by default at the full ~1M-task horizon, and
+``benchmarks/test_bench_dynamic.py`` (``churn_city``), or the dispatch
+service quote latency of ``benchmarks/test_bench_service.py``
+(``hotspot_burst``; the others run ``city_scale``) — by default at the
+full ~1M-task horizon, and
 **appends** the result to the machine-readable baseline future perf PRs
 are compared against::
 
@@ -52,6 +54,7 @@ from repro.experiments.bench_runtime import (  # noqa: E402
     measure_multicore_scaling,
     measure_runtime_throughput,
 )
+from repro.experiments.bench_service import measure_service_latency  # noqa: E402
 from repro.experiments.bench_sharded import measure_sharded_throughput  # noqa: E402
 from repro.kernels import (  # noqa: E402
     KERNEL_MODES,
@@ -66,6 +69,7 @@ DEFAULT_OUTPUTS = {
     "matching": REPO_ROOT / "BENCH_matching.json",
     "runtime": REPO_ROOT / "BENCH_runtime.json",
     "dynamic": REPO_ROOT / "BENCH_dynamic.json",
+    "service": REPO_ROOT / "BENCH_service.json",
 }
 
 
@@ -190,7 +194,12 @@ def main(argv=None) -> int:
     set_kernel_mode(args.kernels)
     if args.cores and args.benchmark != "runtime":
         raise SystemExit("--cores only applies to --benchmark runtime")
-    scenario = "churn_city" if args.benchmark == "dynamic" else "city_scale"
+    if args.benchmark == "dynamic":
+        scenario = "churn_city"
+    elif args.benchmark == "service":
+        scenario = "hotspot_burst"
+    else:
+        scenario = "city_scale"
     print(
         f"measuring {scenario} [{args.benchmark}] at scale {args.scale:g} "
         f"(kernels = {active_kernel_mode()}) ..."
@@ -227,6 +236,10 @@ def main(argv=None) -> int:
             )
     elif args.benchmark == "dynamic":
         run = measure_dynamic_throughput(scale=args.scale, seed=args.seed)
+    elif args.benchmark == "service":
+        run = measure_service_latency(
+            scale=args.scale, seed=args.seed, strategy=args.strategy
+        )
     else:
         run = measure_matching_throughput(
             scale=args.scale,
@@ -283,6 +296,16 @@ def main(argv=None) -> int:
             f"delta speedup: {headline:.2f}x at "
             f"{run['churn_per_window']:.0%} churn "
             f"({run['windows_bit_identical']} windows bit-identical)  "
+            f"-> {output}"
+        )
+    elif args.benchmark == "service":
+        gate = run["differential"]
+        print(
+            f"quote latency p50={run['p50_quote_ms']:.2f}ms "
+            f"p99={run['p99_quote_ms']:.2f}ms at "
+            f"{run['sustained_arrivals_per_second']:.0f} arrivals/s "
+            f"(offline differential: revenue bitwise "
+            f"{'OK' if gate['revenue_bitwise_equal'] else 'DIVERGED'})  "
             f"-> {output}"
         )
     else:
