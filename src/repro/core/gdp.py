@@ -179,6 +179,37 @@ class PeriodArrays:
         return prices
 
 
+class _LazyBipartiteGraph:
+    """Materialise-on-first-touch stand-in for :class:`BipartiteGraph`.
+
+    The warm-shard engine matches off the incremental adjacency plane and
+    never reads the period graph, but the instance it dispatches still
+    flows through stages that *may* (halo reconciliation never does;
+    ``pipeline.match`` would).  The proxy defers the full graph build to
+    the first attribute access, so the common warm path skips it entirely
+    while any consumer that genuinely needs the graph still gets the
+    exact batch-built one.
+    """
+
+    __slots__ = ("_factory", "_graph")
+
+    def __init__(self, factory) -> None:
+        self._factory = factory
+        self._graph = None
+
+    @property
+    def materialised(self) -> bool:
+        return self._graph is not None
+
+    def __getattr__(self, name):
+        graph = self._graph
+        if graph is None:
+            graph = self._factory()
+            self._graph = graph
+            self._factory = None
+        return getattr(graph, name)
+
+
 @dataclass
 class PeriodInstance:
     """The observable state of one time period.
@@ -219,33 +250,50 @@ class PeriodInstance:
         metric: Union[str, DistanceMetric] = "euclidean",
         use_index: bool = True,
         max_degree: Optional[int] = None,
+        build_graph: bool = True,
     ) -> "PeriodInstance":
         """Annotate tasks with their grid cell and build the bipartite graph.
 
         ``max_degree`` optionally caps each task's adjacency at its
         ``max_degree`` nearest workers (see
         :func:`repro.matching.bipartite.build_bipartite_graph`); ``None``
-        keeps the exact range-constrained graph.
+        keeps the exact range-constrained graph.  ``build_graph=False``
+        defers the graph behind a :class:`_LazyBipartiteGraph` proxy —
+        for callers that match off the incremental adjacency plane and
+        only need the pricing-side views (arrays, grid buckets).
         """
         annotated: List[Task] = []
         for task in tasks:
             if task.grid_index is None:
                 task = task.with_grid(grid.locate(task.origin))
             annotated.append(task)
-        graph = build_bipartite_graph(
-            annotated,
-            list(workers),
-            metric=metric,
-            grid=grid,
-            use_index=use_index,
-            max_degree=max_degree,
-        )
+        worker_list = list(workers)
+        if build_graph:
+            graph = build_bipartite_graph(
+                annotated,
+                worker_list,
+                metric=metric,
+                grid=grid,
+                use_index=use_index,
+                max_degree=max_degree,
+            )
+        else:
+            graph = _LazyBipartiteGraph(
+                lambda: build_bipartite_graph(
+                    annotated,
+                    worker_list,
+                    metric=metric,
+                    grid=grid,
+                    use_index=use_index,
+                    max_degree=max_degree,
+                )
+            )
         arrays = PeriodArrays.build(annotated, workers, grid)
         return cls(
             period=period,
             grid=grid,
             tasks=annotated,
-            workers=list(workers),
+            workers=worker_list,
             graph=graph,
             # Instance-owned copies: the public dicts stay mutable without
             # writing through to the arrays' internal caches.

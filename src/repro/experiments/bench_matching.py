@@ -34,6 +34,7 @@ from contextlib import nullcontext
 from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Sequence
 
+from repro.experiments.host import host_fingerprint
 from repro.matching.bipartite import force_loop_builder
 from repro.pricing.registry import create_strategy
 from repro.simulation.scenarios import get_scenario
@@ -172,6 +173,7 @@ def measure_matching_throughput(
     }
     return {
         "benchmark": "matching_hot_path_throughput",
+        "host": host_fingerprint(),
         "scenario": "city_scale",
         "scale": float(scale),
         "seed": int(seed),

@@ -18,7 +18,15 @@ configuration ``--shards 8 --max-degree 16`` across three data planes:
   **bit-identical revenue** to the baseline by construction;
 * ``columnar-vgreedy`` — the columnar plane with the round-based
   ``vgreedy`` matching backend, trading a bounded revenue drift for the
-  fastest end-to-end path.
+  fastest end-to-end path;
+* ``warm-shards`` — the PR 4 data plane with one warm
+  per-shard dynamic matcher kept alive across periods
+  (``ShardedEngine(warm_shards=True)``: incremental adjacency plane +
+  lazy matcher instead of per-period graph builds).  Gated **per
+  period** against ``pr4-baseline``: every period's revenue must be
+  bit-identical to the cold matroid engine's, so the measured delta is
+  pure mechanism cost (see ``docs/performance.md`` for when the
+  rebuild still wins).
 
 Two consumers share it: ``benchmarks/test_bench_runtime.py`` (CI smoke
 gate at a small horizon — the columnar planes must beat the PR 4
@@ -35,6 +43,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.experiments.host import host_fingerprint
 from repro.kernels import active_kernel_mode, warmup as warmup_kernels
 from repro.pricing.registry import create_strategy
 from repro.simulation.config import ChunkedWorkload
@@ -45,11 +54,12 @@ from repro.spatial.geometry import Point
 from repro.utils.rng import derive_seed
 
 #: Measurement configurations, in presentation order.  Each maps to
-#: ``(columnar data plane?, matching backend)``.
-RUNTIME_CONFIGS: Dict[str, Tuple[bool, str]] = {
-    "pr4-baseline": (False, "matroid"),
-    "columnar": (True, "matroid"),
-    "columnar-vgreedy": (True, "vgreedy"),
+#: ``(columnar data plane?, matching backend, warm shards?)``.
+RUNTIME_CONFIGS: Dict[str, Tuple[bool, str, bool]] = {
+    "pr4-baseline": (False, "matroid", False),
+    "columnar": (True, "matroid", False),
+    "columnar-vgreedy": (True, "vgreedy", False),
+    "warm-shards": (False, "matroid", True),
 }
 
 
@@ -60,6 +70,7 @@ class RuntimeBenchPoint:
     config: str
     columnar: bool
     backend: str
+    warm_shards: bool
     shards: int
     halo: int
     max_degree: Optional[int]
@@ -219,8 +230,9 @@ def measure_runtime_throughput(
     # Pay any (cached) JIT compilation before the first timed region.
     warmup_kernels()
     results: List[RuntimeBenchPoint] = []
+    periods_by_config: Dict[str, List[float]] = {}
     for name in configs:
-        columnar, backend = RUNTIME_CONFIGS[name]
+        columnar, backend, warm = RUNTIME_CONFIGS[name]
         if columnar:
             workload = scenario.chunked(scale=scale, seed=seed, **params)
         else:
@@ -233,15 +245,18 @@ def measure_runtime_throughput(
             matching_backend=backend,
             max_degree=max_degree,
             columnar=columnar,
+            warm_shards=warm,
         )
         start = time.perf_counter()
         run = engine.run(create_strategy(strategy, base_price=base_price))
         elapsed = time.perf_counter() - start
+        periods_by_config[name] = list(run.metrics.revenue_by_period)
         results.append(
             RuntimeBenchPoint(
                 config=name,
                 columnar=columnar,
                 backend=backend,
+                warm_shards=warm,
                 shards=int(shards),
                 halo=int(halo if shards > 1 else 0),
                 max_degree=max_degree,
@@ -252,6 +267,32 @@ def measure_runtime_throughput(
                 served=run.metrics.served_tasks,
             )
         )
+
+    # Warm-shard gate: the warm engine must walk the cold matroid
+    # trajectory bit for bit, every period — against the non-columnar
+    # cold reference on the identical workload and backend.
+    warm_gate: Optional[Dict[str, object]] = None
+    if "warm-shards" in periods_by_config and "pr4-baseline" in periods_by_config:
+        warm_periods = periods_by_config["warm-shards"]
+        cold_periods = periods_by_config["pr4-baseline"]
+        mismatched = [
+            period
+            for period, (warm_rev, cold_rev) in enumerate(
+                zip(warm_periods, cold_periods)
+            )
+            if repr(warm_rev) != repr(cold_rev)
+        ]
+        if len(warm_periods) != len(cold_periods) or mismatched:
+            raise AssertionError(
+                "warm-shards diverged from the cold matroid engine: "
+                f"{len(mismatched)} mismatched periods of {len(cold_periods)} "
+                f"(first: {mismatched[:3]})"
+            )
+        warm_gate = {
+            "reference": "pr4-baseline",
+            "periods_bitwise_equal": len(cold_periods),
+            "revenue_bitwise_equal": True,
+        }
 
     baseline = results[0]
     speedups = {
@@ -277,6 +318,8 @@ def measure_runtime_throughput(
         "results": [asdict(point) for point in results],
         "speedup_vs_baseline": speedups,
         "revenue_ratio_vs_baseline": revenue_ratios,
+        "warm_gate": warm_gate,
+        "host": host_fingerprint(),
     }
 
 
@@ -367,6 +410,7 @@ def measure_multicore_scaling(
         "total_tasks": single["total_tasks"],
         "results": results,
         "speedup_vs_1core": speedups,
+        "host": host_fingerprint(),
     }
 
 

@@ -23,6 +23,7 @@ import time
 from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Sequence
 
+from repro.experiments.host import host_fingerprint
 from repro.pricing.registry import create_strategy
 from repro.simulation.scenarios import get_scenario
 from repro.simulation.sharded import ShardedEngine
@@ -106,6 +107,7 @@ def measure_sharded_throughput(
     }
     return {
         "benchmark": "sharded_engine_throughput",
+        "host": host_fingerprint(),
         "scenario": "city_scale",
         "scale": float(scale),
         "seed": int(seed),

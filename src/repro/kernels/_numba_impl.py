@@ -299,6 +299,126 @@ def dynamic_reach(
 
 
 @njit(cache=True)
+def dynamic_augment_lazy(
+    fhead,
+    fnext,
+    fworker,
+    match_worker,
+    worker_live,
+    dead_era,
+    era,
+    visited,
+    stamp,
+    start,
+    path_tasks,
+    path_workers,
+    visited_out,
+):
+    """Augmenting-path search over linked (lazily appended) task rows.
+
+    Compiled twin of ``repro.kernels.dynamic._dynamic_augment_lazy_python``:
+    :func:`dynamic_augment` with CSR rows replaced by the lazy matcher's
+    tail-appended linked edge pool (``fhead`` / ``fnext`` / ``fworker``)
+    and an extra ``dead_era[worker] == era`` skip implementing the
+    insert-only saturation pruning (re-armed per era; callers that can
+    delete never mark dead).  Returns the path length (deepest-first) on
+    success, or ``-(n_visited + 1)`` with ``visited_out[:n_visited]``
+    filled in visit order on failure.
+    """
+    num_tasks = fhead.shape[0]
+    tasks_stack = np.empty(num_tasks + 1, np.int64)
+    iters = np.empty(num_tasks + 1, np.int64)
+    chosen = np.empty(num_tasks + 1, np.int64)
+    depth = 0
+    tasks_stack[0] = start
+    iters[0] = fhead[start]
+    chosen[0] = UNMATCHED
+    n_visited = 0
+    while depth >= 0:
+        edge = iters[depth]
+        descended = False
+        while edge != -1:
+            worker_pos = fworker[edge]
+            edge = fnext[edge]
+            if (
+                worker_live[worker_pos] == 0
+                or visited[worker_pos] == stamp
+                or dead_era[worker_pos] == era
+            ):
+                continue
+            visited[worker_pos] = stamp
+            visited_out[n_visited] = worker_pos
+            n_visited += 1
+            iters[depth] = edge
+            chosen[depth] = worker_pos
+            owner = match_worker[worker_pos]
+            if owner == UNMATCHED:
+                length = depth + 1
+                for level in range(length):
+                    path_tasks[level] = tasks_stack[depth - level]
+                    path_workers[level] = chosen[depth - level]
+                return length
+            depth += 1
+            tasks_stack[depth] = owner
+            iters[depth] = fhead[owner]
+            chosen[depth] = UNMATCHED
+            descended = True
+            break
+        if not descended:
+            depth -= 1
+    return -(n_visited + 1)
+
+
+@njit(cache=True)
+def dynamic_reach_lazy(
+    whead,
+    wnext,
+    wtask,
+    match_task,
+    task_eligible,
+    task_visited,
+    worker_visited,
+    stamp,
+    start_worker,
+    queue,
+    out_tasks,
+):
+    """Reverse alternating BFS over linked worker→task transpose rows.
+
+    Compiled twin of ``repro.kernels.dynamic._dynamic_reach_lazy_python``:
+    :func:`dynamic_reach` with the transpose CSR replaced by the lazy
+    matcher's tail-appended linked rows (``whead`` / ``wnext`` /
+    ``wtask``), each ascending in task position.  Returns the candidate
+    count with ``out_tasks[:count]`` filled in BFS visit order.
+    """
+    head = 0
+    tail = 0
+    queue[tail] = start_worker
+    tail += 1
+    worker_visited[start_worker] = stamp
+    count = 0
+    while head < tail:
+        worker_pos = queue[head]
+        head += 1
+        edge = whead[worker_pos]
+        while edge != -1:
+            task_pos = wtask[edge]
+            edge = wnext[edge]
+            if task_eligible[task_pos] == 0 or task_visited[task_pos] == stamp:
+                continue
+            task_visited[task_pos] = stamp
+            matched = match_task[task_pos]
+            if matched == UNMATCHED:
+                out_tasks[count] = task_pos
+                count += 1
+            elif worker_visited[matched] != stamp:
+                worker_visited[matched] = stamp
+                queue[tail] = matched
+                tail += 1
+    return count
+
+
+@njit(cache=True)
 def vgreedy_rounds(cand_t, cand_w, rank, num_tasks, num_workers):
     """Round-based greedy over candidate edges; returns the match array.
 
@@ -480,6 +600,45 @@ def warmup() -> None:
         queue,
         out_tasks,
     )
+    # Lazy (linked-row) twins: two tasks sharing one worker, one
+    # transpose row covering both tasks.
+    fhead = np.array([0, 1], dtype=np.int64)
+    fnext = np.array([-1, -1], dtype=np.int64)
+    fworker = np.array([0, 0], dtype=np.int64)
+    dead_era = np.full(1, -1, np.int64)
+    lazy_match_worker = np.full(1, UNMATCHED, np.int64)
+    lazy_visited = np.zeros(1, np.int64)
+    dynamic_augment_lazy(
+        fhead,
+        fnext,
+        fworker,
+        lazy_match_worker,
+        worker_live,
+        dead_era,
+        0,
+        lazy_visited,
+        1,
+        0,
+        path_tasks,
+        path_workers,
+        visited_out,
+    )
+    whead = np.array([0], dtype=np.int64)
+    wnext = np.array([1, -1], dtype=np.int64)
+    wtask = np.array([0, 1], dtype=np.int64)
+    dynamic_reach_lazy(
+        whead,
+        wnext,
+        wtask,
+        match_task,
+        task_eligible,
+        np.zeros(2, np.int64),
+        np.zeros(1, np.int64),
+        1,
+        0,
+        queue,
+        out_tasks,
+    )
 
 
 __all__ = [
@@ -487,7 +646,9 @@ __all__ = [
     "matroid_augment",
     "incremental_augment",
     "dynamic_augment",
+    "dynamic_augment_lazy",
     "dynamic_reach",
+    "dynamic_reach_lazy",
     "vgreedy_rounds",
     "halo_task_candidates",
     "halo_residual_workers",

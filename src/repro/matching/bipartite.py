@@ -50,7 +50,7 @@ from repro.spatial.geometry import (
     resolve_metric,
 )
 from repro.spatial.grid import Grid
-from repro.spatial.index import GridBuckets, GridSpatialIndex
+from repro.spatial.index import GridBuckets, GridSpatialIndex, cap_edges_per_center
 
 
 # eq=False: ndarray fields would make a generated __eq__ raise; the view
@@ -422,21 +422,16 @@ def _cap_edge_arrays(
     Ties on distance break by ascending worker position, so the kept set
     is deterministic and identical to the scalar capping rule.  Inputs
     may arrive in any order (the selection keys order them fully);
-    outputs are in canonical ascending ``(task, worker)`` order.  Doing
-    the ranking sort on the raw arrays and the canonical sort on the
-    *capped* set keeps the expensive three-key lexsort to one pass over
-    the full edge list.
+    outputs are in canonical ascending ``(task, worker)`` order.
+
+    One implementation shared with the incremental adjacency plane:
+    delegates to :func:`repro.spatial.index.cap_edges_per_center`, so
+    batch-built and incrementally-built capped rows agree bit for bit
+    wherever the same selection keys are used.
     """
-    order = np.lexsort((worker_idx, distances, task_idx))
-    sorted_tasks = task_idx[order]
-    counts = np.bincount(sorted_tasks, minlength=num_tasks)
-    starts = np.repeat(np.cumsum(counts) - counts, counts)
-    rank = np.arange(sorted_tasks.size, dtype=np.int64) - starts
-    keep = order[rank < max_degree]
-    kept_tasks = task_idx[keep]
-    kept_workers = worker_idx[keep]
-    canonical = np.lexsort((kept_workers, kept_tasks))
-    return kept_tasks[canonical], kept_workers[canonical]
+    return cap_edges_per_center(
+        task_idx, worker_idx, distances, num_tasks, max_degree
+    )
 
 
 def _cap_adjacency(

@@ -789,4 +789,786 @@ class DynamicMatcher(IncrementalMatcher):
         raise NotImplementedError("grid probes are an IncrementalMatcher API")
 
 
-__all__ = ["IncrementalMatcher", "DynamicMatcher"]
+class LazyDynamicMatcher:
+    """A :class:`DynamicMatcher` whose universe grows one arrival at a time.
+
+    :class:`DynamicMatcher` needs the full universe graph up front — an
+    epoch-wide adjacency pre-scan over every task and worker that will
+    ever exist.  This matcher instead allocates positions lazily, in
+    arrival order, and takes each task's candidate row (and optionally
+    each worker's) from the caller at insertion time — typically straight
+    from :class:`repro.spatial.index.IncrementalAdjacencyIndex`, so the
+    cost of an arrival is its spatial neighbourhood, never the epoch.
+
+    **Equivalence to the universe matcher.**  Ids are allocated in
+    arrival order and never reused (task slots are recycled only via
+    :meth:`clear_tasks`, where the transpose is off), so a task's row —
+    the live adjacent workers at insertion, ascending, plus later
+    arrivals tail-appended — is exactly the universe CSR row restricted
+    to the workers live at some point of the task's life, in the same
+    order.  The universe DFS skips non-live workers with no side effects,
+    hence both matchers run identical traversals and evolve bit-identical
+    matched state under the same operation sequence (fuzzed by
+    ``tests/matching/test_lazy_dynamic.py``).  The restriction does not
+    hold under a per-task degree cap (capping against the realised
+    population is not capping against the universe), so capped callers
+    must gate against a re-solve on the *realised* rows instead.
+
+    Two maintenance modes:
+
+    * ``maintain_transpose=True`` (default) — full churn support:
+      worker arrivals absorb the best reachable unmatched task, matched
+      task removals repair through the freed worker.  Task rows must then
+      be appended for arriving workers (pass ``task_row`` to
+      :meth:`new_worker`).
+    * ``maintain_transpose=False`` — the warm-shard regime: tasks live
+      exactly one epoch (bulk-dropped by :meth:`clear_tasks`), workers
+      persist, and worker arrivals happen only while no eligible task is
+      unmatched (enforced), so the reverse-BFS plane is never needed and
+      its bookkeeping cost disappears.
+
+    ``insert_only_pruning=True`` re-arms the insert-only saturation
+    pruning of :class:`IncrementalMatcher`: a *failed* insertion marks
+    every visited worker dead for the current era, and later searches
+    skip them.  Sound only when insertions arrive in priority order
+    (weight descending, then id) — then a failed arrival is always the
+    lowest-priority element of its own circuit, so pruning never hides a
+    needed eviction — and every mutation that could unsound the marks
+    (worker arrival/departure, task removal, eviction, clear) bumps the
+    era, invalidating them wholesale.  This is what makes a warm epoch
+    cost what :func:`repro.matching.weighted.task_weighted_matching`'s
+    batch solve costs, not more.
+
+    State lives in plain Python lists under the fallback kernel family
+    and in linked ndarrays under numba (kernels
+    :func:`~repro.kernels.dynamic.dynamic_augment_lazy` /
+    :func:`~repro.kernels.dynamic.dynamic_reach_lazy`); both families
+    visit in the same order, so matched state stays bit-identical across
+    families like every other matcher in this module.
+    """
+
+    def __init__(
+        self,
+        *,
+        maintain_transpose: bool = True,
+        insert_only_pruning: bool = False,
+    ) -> None:  # noqa: D107 — documented on the class
+        self._maintain_transpose = bool(maintain_transpose)
+        self._pruning = bool(insert_only_pruning)
+        self._era = 0
+        self._stamp = 0
+        self._num_matched = 0
+        self._num_live_eligible = 0
+        self._impl = numba_module() if use_numba() else None
+        if self._impl is None:
+            # List-backed state: markedly faster to index than ndarray
+            # scalars in the pure-Python DFS/BFS (see IncrementalMatcher).
+            self._weights: List[float] = []
+            self._rows: List[List[int]] = []
+            self._task_live = bytearray()
+            self._task_eligible = bytearray()
+            self._match_task: List[int] = []
+            self._match_worker: List[int] = []
+            self._worker_live = bytearray()
+            self._visited: List[int] = []
+            self._dead_era: List[int] = []
+            self._task_visited: List[int] = []
+            self._wrows: List[List[int]] = []
+        else:
+            self._task_cap = 16
+            self._worker_cap = 16
+            self._edge_cap = 64
+            self._wedge_cap = 64
+            self._num_tasks = 0
+            self._num_workers = 0
+            self._num_edges = 0
+            self._num_wedges = 0
+            self._weights_arr = np.zeros(self._task_cap, dtype=np.float64)
+            self._fhead = np.full(self._task_cap, -1, dtype=np.int64)
+            self._ftail = np.full(self._task_cap, -1, dtype=np.int64)
+            self._task_live_arr = np.zeros(self._task_cap, dtype=np.uint8)
+            self._task_eligible_arr = np.zeros(self._task_cap, dtype=np.uint8)
+            self._match_task_arr = np.full(self._task_cap, UNMATCHED, dtype=np.int64)
+            self._task_visited_arr = np.zeros(self._task_cap, dtype=np.int64)
+            self._match_worker_arr = np.full(
+                self._worker_cap, UNMATCHED, dtype=np.int64
+            )
+            self._worker_live_arr = np.zeros(self._worker_cap, dtype=np.uint8)
+            self._visited_arr = np.zeros(self._worker_cap, dtype=np.int64)
+            self._dead_era_arr = np.full(self._worker_cap, -1, dtype=np.int64)
+            self._whead = np.full(self._worker_cap, -1, dtype=np.int64)
+            self._wtail = np.full(self._worker_cap, -1, dtype=np.int64)
+            self._fnext = np.empty(self._edge_cap, dtype=np.int64)
+            self._fworker = np.empty(self._edge_cap, dtype=np.int64)
+            self._wnext = np.empty(self._wedge_cap, dtype=np.int64)
+            self._wtask = np.empty(self._wedge_cap, dtype=np.int64)
+            self._path_tasks = np.empty(self._task_cap + 1, dtype=np.int64)
+            self._path_workers = np.empty(self._task_cap + 1, dtype=np.int64)
+            self._visited_out = np.empty(self._worker_cap, dtype=np.int64)
+            self._queue = np.empty(self._worker_cap, dtype=np.int64)
+            self._out_tasks = np.empty(self._task_cap, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    @property
+    def num_tasks(self) -> int:
+        """Task ids allocated so far (not the live count)."""
+        return len(self._match_task) if self._impl is None else self._num_tasks
+
+    @property
+    def num_workers(self) -> int:
+        """Worker ids allocated so far (not the live count)."""
+        return len(self._match_worker) if self._impl is None else self._num_workers
+
+    @property
+    def num_matched(self) -> int:
+        return self._num_matched
+
+    def is_task_live(self, task_id: int) -> bool:
+        live = self._task_live if self._impl is None else self._task_live_arr
+        return bool(live[task_id])
+
+    def is_worker_live(self, worker_id: int) -> bool:
+        live = self._worker_live if self._impl is None else self._worker_live_arr
+        return bool(live[worker_id])
+
+    def weight_of(self, task_id: int) -> float:
+        weights = self._weights if self._impl is None else self._weights_arr
+        return float(weights[task_id])
+
+    def worker_of(self, task_id: int) -> Optional[int]:
+        match = self._match_task if self._impl is None else self._match_task_arr
+        worker_id = int(match[task_id])
+        return None if worker_id == UNMATCHED else worker_id
+
+    def task_of(self, worker_id: int) -> Optional[int]:
+        match = self._match_worker if self._impl is None else self._match_worker_arr
+        task_id = int(match[worker_id])
+        return None if task_id == UNMATCHED else task_id
+
+    def matching(self) -> Dict[int, int]:
+        """``{task_id: worker_id}`` in ascending task id order."""
+        match = self._match_task if self._impl is None else self._match_task_arr
+        result: Dict[int, int] = {}
+        for task_id in range(self.num_tasks):
+            worker_id = int(match[task_id])
+            if worker_id != UNMATCHED:
+                result[task_id] = worker_id
+        return result
+
+    def total_weight(self) -> float:
+        """Matched weight, accumulated in priority order (bit-stable).
+
+        The same float sequence as :meth:`DynamicMatcher.total_weight`
+        and the batch matroid solve: weight descending, id ascending.
+        """
+        match = self._match_task if self._impl is None else self._match_task_arr
+        weights = self._weights if self._impl is None else self._weights_arr
+        matched = [
+            task_id
+            for task_id in range(self.num_tasks)
+            if int(match[task_id]) != UNMATCHED
+        ]
+        matched.sort(key=lambda task_id: (-float(weights[task_id]), task_id))
+        total = 0.0
+        for task_id in matched:
+            total += float(weights[task_id])
+        return total
+
+    # ------------------------------------------------------------------
+    # growth (numba family)
+    # ------------------------------------------------------------------
+    def _grow_task_side(self, need: int) -> None:
+        if need <= self._task_cap:
+            return
+        new_cap = max(need, 2 * self._task_cap)
+
+        def grown(old: np.ndarray, fill) -> np.ndarray:
+            out = np.full(new_cap, fill, dtype=old.dtype) if fill is not None \
+                else np.empty(new_cap, dtype=old.dtype)
+            out[: old.shape[0]] = old
+            return out
+
+        self._weights_arr = grown(self._weights_arr, 0.0)
+        self._fhead = grown(self._fhead, -1)
+        self._ftail = grown(self._ftail, -1)
+        self._task_live_arr = grown(self._task_live_arr, 0)
+        self._task_eligible_arr = grown(self._task_eligible_arr, 0)
+        self._match_task_arr = grown(self._match_task_arr, UNMATCHED)
+        self._task_visited_arr = grown(self._task_visited_arr, 0)
+        self._path_tasks = np.empty(new_cap + 1, dtype=np.int64)
+        self._path_workers = np.empty(new_cap + 1, dtype=np.int64)
+        self._out_tasks = np.empty(new_cap, dtype=np.int64)
+        self._task_cap = new_cap
+
+    def _grow_worker_side(self, need: int) -> None:
+        if need <= self._worker_cap:
+            return
+        new_cap = max(need, 2 * self._worker_cap)
+
+        def grown(old: np.ndarray, fill) -> np.ndarray:
+            out = np.full(new_cap, fill, dtype=old.dtype)
+            out[: old.shape[0]] = old
+            return out
+
+        self._match_worker_arr = grown(self._match_worker_arr, UNMATCHED)
+        self._worker_live_arr = grown(self._worker_live_arr, 0)
+        self._visited_arr = grown(self._visited_arr, 0)
+        self._dead_era_arr = grown(self._dead_era_arr, -1)
+        self._whead = grown(self._whead, -1)
+        self._wtail = grown(self._wtail, -1)
+        self._visited_out = np.empty(new_cap, dtype=np.int64)
+        self._queue = np.empty(new_cap, dtype=np.int64)
+        self._worker_cap = new_cap
+
+    def _grow_edges(self, need: int) -> None:
+        if need <= self._edge_cap:
+            return
+        new_cap = max(need, 2 * self._edge_cap)
+        for name in ("_fnext", "_fworker"):
+            old = getattr(self, name)
+            out = np.empty(new_cap, dtype=np.int64)
+            out[: self._num_edges] = old[: self._num_edges]
+            setattr(self, name, out)
+        self._edge_cap = new_cap
+
+    def _grow_wedges(self, need: int) -> None:
+        if need <= self._wedge_cap:
+            return
+        new_cap = max(need, 2 * self._wedge_cap)
+        for name in ("_wnext", "_wtask"):
+            old = getattr(self, name)
+            out = np.empty(new_cap, dtype=np.int64)
+            out[: self._num_wedges] = old[: self._num_wedges]
+            setattr(self, name, out)
+        self._wedge_cap = new_cap
+
+    # ------------------------------------------------------------------
+    # search internals (family-specific)
+    # ------------------------------------------------------------------
+    def _try_augment(self, start: int) -> Optional[List[int]]:
+        """Augment from ``start``; ``None`` on success (path applied), else
+        the visited workers in visit order."""
+        self._stamp += 1
+        stamp = self._stamp
+        if self._impl is not None:
+            length = self._impl.dynamic_augment_lazy(
+                self._fhead,
+                self._fnext,
+                self._fworker,
+                self._match_worker_arr,
+                self._worker_live_arr,
+                self._dead_era_arr,
+                self._era,
+                self._visited_arr,
+                stamp,
+                start,
+                self._path_tasks,
+                self._path_workers,
+                self._visited_out,
+            )
+            if length >= 0:
+                for level in range(length):
+                    task_id = int(self._path_tasks[level])
+                    worker_id = int(self._path_workers[level])
+                    self._match_task_arr[task_id] = worker_id
+                    self._match_worker_arr[worker_id] = task_id
+                return None
+            return [int(w) for w in self._visited_out[: -length - 1]]
+        # Inlined pure-Python DFS over list rows (same visit order as the
+        # kernel twins; per-op wrapper dispatch costs more than the DFS).
+        rows = self._rows
+        match_task = self._match_task
+        match_worker = self._match_worker
+        worker_live = self._worker_live
+        visited = self._visited
+        dead_era = self._dead_era
+        era = self._era
+        tasks_stack = [start]
+        iters = [0]
+        chosen = [UNMATCHED]
+        visited_seq: List[int] = []
+        while tasks_stack:
+            depth = len(tasks_stack) - 1
+            row = rows[tasks_stack[depth]]
+            pointer = iters[depth]
+            end = len(row)
+            descended = False
+            while pointer < end:
+                worker_id = row[pointer]
+                pointer += 1
+                if (
+                    not worker_live[worker_id]
+                    or visited[worker_id] == stamp
+                    or dead_era[worker_id] == era
+                ):
+                    continue
+                visited[worker_id] = stamp
+                visited_seq.append(worker_id)
+                iters[depth] = pointer
+                chosen[depth] = worker_id
+                owner = match_worker[worker_id]
+                if owner == UNMATCHED:
+                    for level in range(depth + 1):
+                        task_id = tasks_stack[level]
+                        match_task[task_id] = chosen[level]
+                        match_worker[chosen[level]] = task_id
+                    return None
+                tasks_stack.append(owner)
+                iters.append(0)
+                chosen.append(UNMATCHED)
+                descended = True
+                break
+            if not descended:
+                tasks_stack.pop()
+                iters.pop()
+                chosen.pop()
+        return visited_seq
+
+    def _reach(self, worker_id: int) -> List[int]:
+        """Unmatched eligible tasks alternating-reachable from ``worker_id``."""
+        self._stamp += 1
+        stamp = self._stamp
+        if self._impl is not None:
+            count = self._impl.dynamic_reach_lazy(
+                self._whead,
+                self._wnext,
+                self._wtask,
+                self._match_task_arr,
+                self._task_eligible_arr,
+                self._task_visited_arr,
+                self._visited_arr,
+                stamp,
+                worker_id,
+                self._queue,
+                self._out_tasks,
+            )
+            return [int(t) for t in self._out_tasks[:count]]
+        wrows = self._wrows
+        match_task = self._match_task
+        task_eligible = self._task_eligible
+        task_visited = self._task_visited
+        worker_visited = self._visited
+        queue = [worker_id]
+        worker_visited[worker_id] = stamp
+        head = 0
+        out: List[int] = []
+        while head < len(queue):
+            current = queue[head]
+            head += 1
+            for task_id in wrows[current]:
+                if not task_eligible[task_id] or task_visited[task_id] == stamp:
+                    continue
+                task_visited[task_id] = stamp
+                matched = match_task[task_id]
+                if matched == UNMATCHED:
+                    out.append(task_id)
+                elif worker_visited[matched] != stamp:
+                    worker_visited[matched] = stamp
+                    queue.append(matched)
+        return out
+
+    def _append_forward_edge(self, task_id: int, worker_id: int) -> None:
+        if self._impl is None:
+            self._rows[task_id].append(worker_id)
+            return
+        self._grow_edges(self._num_edges + 1)
+        edge = self._num_edges
+        self._num_edges = edge + 1
+        self._fworker[edge] = worker_id
+        self._fnext[edge] = -1
+        tail = int(self._ftail[task_id])
+        if tail == -1:
+            self._fhead[task_id] = edge
+        else:
+            self._fnext[tail] = edge
+        self._ftail[task_id] = edge
+
+    def _append_transpose_edge(self, worker_id: int, task_id: int) -> None:
+        if self._impl is None:
+            self._wrows[worker_id].append(task_id)
+            return
+        self._grow_wedges(self._num_wedges + 1)
+        edge = self._num_wedges
+        self._num_wedges = edge + 1
+        self._wtask[edge] = task_id
+        self._wnext[edge] = -1
+        tail = int(self._wtail[worker_id])
+        if tail == -1:
+            self._whead[worker_id] = edge
+        else:
+            self._wnext[tail] = edge
+        self._wtail[worker_id] = edge
+
+    # ------------------------------------------------------------------
+    # repair internals (shared across families)
+    # ------------------------------------------------------------------
+    def _priority_key(self, task_id: int) -> Tuple[float, int]:
+        weights = self._weights if self._impl is None else self._weights_arr
+        return (-float(weights[task_id]), task_id)
+
+    def _match_or_evict(self, task_id: int) -> bool:
+        visited_seq = self._try_augment(task_id)
+        if visited_seq is None:
+            self._num_matched += 1
+            return True
+        if self._pruning:
+            # Priority-ordered insertion: the failed arrival is the
+            # lowest-priority element of its own circuit, so nothing is
+            # evicted and the visited (saturated) workers stay dead for
+            # the rest of the era.
+            dead_era = self._dead_era if self._impl is None else self._dead_era_arr
+            era = self._era
+            for worker_id in visited_seq:
+                dead_era[worker_id] = era
+            return False
+        match_task = self._match_task if self._impl is None else self._match_task_arr
+        match_worker = (
+            self._match_worker if self._impl is None else self._match_worker_arr
+        )
+        evict = task_id
+        evict_key = self._priority_key(task_id)
+        for worker_id in visited_seq:
+            owner = int(match_worker[worker_id])
+            key = self._priority_key(owner)
+            if key > evict_key:
+                evict = owner
+                evict_key = key
+        if evict == task_id:
+            return False
+        freed = int(match_task[evict])
+        match_task[evict] = UNMATCHED
+        match_worker[freed] = UNMATCHED
+        self._era += 1
+        if self._try_augment(task_id) is not None:
+            raise RuntimeError(
+                "lazy dynamic matcher invariant violated: re-augmentation "
+                f"after evicting task {evict} failed for task {task_id}"
+            )
+        return True
+
+    def _absorb_free_worker(self, worker_id: int) -> Optional[int]:
+        candidates = self._reach(worker_id)
+        if not candidates:
+            return None
+        best = candidates[0]
+        best_key = self._priority_key(best)
+        for task_id in candidates[1:]:
+            key = self._priority_key(task_id)
+            if key < best_key:
+                best = task_id
+                best_key = key
+        if self._try_augment(best) is not None:
+            raise RuntimeError(
+                "lazy dynamic matcher invariant violated: task "
+                f"{best} reachable from freed worker {worker_id} failed to augment"
+            )
+        self._num_matched += 1
+        return best
+
+    # ------------------------------------------------------------------
+    # dynamic operations
+    # ------------------------------------------------------------------
+    def new_worker(
+        self, task_row: Optional[Sequence[int]] = None
+    ) -> Tuple[int, Optional[int]]:
+        """Allocate a worker id, bring it live, absorb at most one task.
+
+        Args:
+            task_row: The live task ids within the worker's range,
+                ascending (e.g.
+                :meth:`~repro.spatial.index.IncrementalAdjacencyIndex.worker_row`).
+                Required whenever the transpose is maintained and any
+                live task exists; the edges are appended to those tasks'
+                rows (keeping them arrival-ordered) and to the worker's
+                transpose row.
+
+        Returns:
+            ``(worker_id, absorbed_task_id_or_None)``.
+        """
+        if not self._maintain_transpose and self._num_live_eligible > self._num_matched:
+            raise ValueError(
+                "worker arrival with unmatched eligible tasks requires "
+                "maintain_transpose=True (the absorb repair needs the "
+                "reverse-BFS plane)"
+            )
+        self._era += 1
+        if self._impl is None:
+            worker_id = len(self._match_worker)
+            self._match_worker.append(UNMATCHED)
+            self._worker_live.append(1)
+            self._visited.append(0)
+            self._dead_era.append(-1)
+            self._wrows.append([])
+        else:
+            worker_id = self._num_workers
+            self._grow_worker_side(worker_id + 1)
+            self._num_workers = worker_id + 1
+            self._match_worker_arr[worker_id] = UNMATCHED
+            self._worker_live_arr[worker_id] = 1
+            self._visited_arr[worker_id] = 0
+            self._dead_era_arr[worker_id] = -1
+            self._whead[worker_id] = -1
+            self._wtail[worker_id] = -1
+        if task_row:
+            for task_id in task_row:
+                self._append_forward_edge(task_id, worker_id)
+                if self._maintain_transpose:
+                    self._append_transpose_edge(worker_id, task_id)
+        absorbed = (
+            self._absorb_free_worker(worker_id)
+            if self._maintain_transpose and task_row
+            else None
+        )
+        return worker_id, absorbed
+
+    def new_task(
+        self,
+        row: Sequence[int],
+        weight: float,
+        preferred_worker: Optional[int] = None,
+        greedy: bool = False,
+    ) -> Tuple[int, bool]:
+        """Allocate a task id, bring it live with ``row``, repair.
+
+        Args:
+            row: The live worker ids within range of the task, ascending
+                (e.g. one row of
+                :meth:`~repro.spatial.index.IncrementalAdjacencyIndex.task_rows`).
+            weight: Weight for this task's lifetime; non-positive inserts
+                it live but permanently ineligible, like
+                :meth:`DynamicMatcher.insert_task`.
+            preferred_worker: Warm-start hint, consumed under the matroid
+                backend's rule (adjacent, live and free) so the matched
+                set and total are unaffected.
+            greedy: Degraded ``O(degree)`` insert — first free adjacent
+                worker, no repair search, lex-max invariant abandoned
+                (see :meth:`DynamicMatcher.insert_task_greedy`).
+
+        Returns:
+            ``(task_id, matched)``.
+        """
+        value = float(weight)
+        if self._impl is None:
+            task_id = len(self._match_task)
+            self._weights.append(value)
+            self._rows.append(list(row))
+            self._task_live.append(1)
+            self._task_eligible.append(0)
+            self._match_task.append(UNMATCHED)
+            self._task_visited.append(0)
+        else:
+            task_id = self._num_tasks
+            self._grow_task_side(task_id + 1)
+            self._num_tasks = task_id + 1
+            self._weights_arr[task_id] = value
+            self._task_live_arr[task_id] = 1
+            self._task_eligible_arr[task_id] = 0
+            self._match_task_arr[task_id] = UNMATCHED
+            self._task_visited_arr[task_id] = 0
+            self._fhead[task_id] = -1
+            self._ftail[task_id] = -1
+            count = len(row)
+            if count:
+                self._grow_edges(self._num_edges + count)
+                first = self._num_edges
+                self._num_edges = first + count
+                self._fworker[first : first + count] = row
+                self._fnext[first : first + count - 1] = np.arange(
+                    first + 1, first + count, dtype=np.int64
+                )
+                self._fnext[first + count - 1] = -1
+                self._fhead[task_id] = first
+                self._ftail[task_id] = first + count - 1
+        if value <= 0.0:
+            return task_id, False
+        if self._impl is None:
+            self._task_eligible[task_id] = 1
+        else:
+            self._task_eligible_arr[task_id] = 1
+        self._num_live_eligible += 1
+        if self._maintain_transpose:
+            for worker_id in row:
+                self._append_transpose_edge(worker_id, task_id)
+        if greedy:
+            match_worker = (
+                self._match_worker if self._impl is None else self._match_worker_arr
+            )
+            worker_live = (
+                self._worker_live if self._impl is None else self._worker_live_arr
+            )
+            for worker_id in row:
+                candidate = int(worker_id)
+                if worker_live[candidate] and int(match_worker[candidate]) == UNMATCHED:
+                    match_task = (
+                        self._match_task if self._impl is None else self._match_task_arr
+                    )
+                    match_task[task_id] = candidate
+                    match_worker[candidate] = task_id
+                    self._num_matched += 1
+                    return task_id, True
+            return task_id, False
+        if preferred_worker is not None and 0 <= preferred_worker < self.num_workers:
+            match_worker = (
+                self._match_worker if self._impl is None else self._match_worker_arr
+            )
+            worker_live = (
+                self._worker_live if self._impl is None else self._worker_live_arr
+            )
+            if (
+                worker_live[preferred_worker]
+                and int(match_worker[preferred_worker]) == UNMATCHED
+            ):
+                # Adjacency check on the (ascending) realised row — a
+                # live worker is adjacent iff it is in the lazy row.
+                if self._impl is None:
+                    task_row = self._rows[task_id]
+                    at = bisect_left(task_row, preferred_worker)
+                    adjacent = (
+                        at < len(task_row) and task_row[at] == preferred_worker
+                    )
+                else:
+                    adjacent = False
+                    edge = int(self._fhead[task_id])
+                    while edge != -1:
+                        if int(self._fworker[edge]) == preferred_worker:
+                            adjacent = True
+                            break
+                        edge = int(self._fnext[edge])
+                if adjacent:
+                    match_task = (
+                        self._match_task if self._impl is None else self._match_task_arr
+                    )
+                    match_task[task_id] = preferred_worker
+                    match_worker[preferred_worker] = task_id
+                    self._num_matched += 1
+                    return task_id, True
+        return task_id, self._match_or_evict(task_id)
+
+    def remove_task(self, task_id: int) -> Optional[int]:
+        """Remove a live task; repairs through the freed worker if matched.
+
+        Returns:
+            The task id absorbed by the freed worker, or ``None``.
+        """
+        task_live = self._task_live if self._impl is None else self._task_live_arr
+        if not task_live[task_id]:
+            raise ValueError(f"task id {task_id} is not live")
+        task_eligible = (
+            self._task_eligible if self._impl is None else self._task_eligible_arr
+        )
+        match_task = self._match_task if self._impl is None else self._match_task_arr
+        task_live[task_id] = 0
+        if task_eligible[task_id]:
+            task_eligible[task_id] = 0
+            self._num_live_eligible -= 1
+        self._era += 1
+        worker_id = int(match_task[task_id])
+        if worker_id == UNMATCHED:
+            return None
+        if not self._maintain_transpose:
+            raise ValueError(
+                "removing a matched task requires maintain_transpose=True "
+                "(the freed worker's repair needs the reverse-BFS plane); "
+                "use commit_task or clear_tasks"
+            )
+        match_worker = (
+            self._match_worker if self._impl is None else self._match_worker_arr
+        )
+        match_task[task_id] = UNMATCHED
+        match_worker[worker_id] = UNMATCHED
+        self._num_matched -= 1
+        return self._absorb_free_worker(worker_id)
+
+    def remove_worker(self, worker_id: int) -> bool:
+        """Remove a live worker; re-repairs its orphaned task if matched.
+
+        Returns:
+            Whether the orphan (if any) was re-matched; ``True`` for free
+            workers.
+        """
+        worker_live = (
+            self._worker_live if self._impl is None else self._worker_live_arr
+        )
+        if not worker_live[worker_id]:
+            raise ValueError(f"worker id {worker_id} is not live")
+        worker_live[worker_id] = 0
+        self._era += 1
+        match_worker = (
+            self._match_worker if self._impl is None else self._match_worker_arr
+        )
+        task_id = int(match_worker[worker_id])
+        if task_id == UNMATCHED:
+            return True
+        match_task = self._match_task if self._impl is None else self._match_task_arr
+        match_worker[worker_id] = UNMATCHED
+        match_task[task_id] = UNMATCHED
+        self._num_matched -= 1
+        return self._match_or_evict(task_id)
+
+    def commit_task(self, task_id: int) -> int:
+        """Retire a matched pair together (no repair needed).
+
+        Returns:
+            The worker id that served the task.
+        """
+        task_live = self._task_live if self._impl is None else self._task_live_arr
+        match_task = self._match_task if self._impl is None else self._match_task_arr
+        worker_id = int(match_task[task_id])
+        if not task_live[task_id] or worker_id == UNMATCHED:
+            raise ValueError(f"task id {task_id} is not live and matched")
+        task_eligible = (
+            self._task_eligible if self._impl is None else self._task_eligible_arr
+        )
+        match_worker = (
+            self._match_worker if self._impl is None else self._match_worker_arr
+        )
+        worker_live = (
+            self._worker_live if self._impl is None else self._worker_live_arr
+        )
+        task_live[task_id] = 0
+        task_eligible[task_id] = 0
+        worker_live[worker_id] = 0
+        match_task[task_id] = UNMATCHED
+        match_worker[worker_id] = UNMATCHED
+        self._num_matched -= 1
+        self._num_live_eligible -= 1
+        self._era += 1
+        return worker_id
+
+    def clear_tasks(self) -> None:
+        """Drop the whole task side at once (warm-shard epoch boundary).
+
+        Only valid with ``maintain_transpose=False``: transpose rows
+        reference task ids, which this call recycles.  Worker state (ids,
+        liveness, matches cleared) persists.
+        """
+        if self._maintain_transpose:
+            raise ValueError("clear_tasks requires maintain_transpose=False")
+        match_worker = (
+            self._match_worker if self._impl is None else self._match_worker_arr
+        )
+        if self._impl is None:
+            for worker_id in self._match_task:
+                if worker_id != UNMATCHED:
+                    match_worker[worker_id] = UNMATCHED
+            self._weights = []
+            self._rows = []
+            self._task_live = bytearray()
+            self._task_eligible = bytearray()
+            self._match_task = []
+            self._task_visited = []
+        else:
+            for task_id in range(self._num_tasks):
+                worker_id = int(self._match_task_arr[task_id])
+                if worker_id != UNMATCHED:
+                    match_worker[worker_id] = UNMATCHED
+            self._num_tasks = 0
+            self._num_edges = 0
+        self._num_matched = 0
+        self._num_live_eligible = 0
+        self._era += 1
+
+
+__all__ = ["IncrementalMatcher", "DynamicMatcher", "LazyDynamicMatcher"]

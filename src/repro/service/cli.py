@@ -59,6 +59,13 @@ def build_service_parser() -> argparse.ArgumentParser:
     serve.add_argument("--task-lifetime", type=float, default=4.0)
     serve.add_argument("--max-degree", type=int, default=None)
     serve.add_argument(
+        "--universe-matcher",
+        action="store_true",
+        help="force the classic universe delta matcher instead of the "
+        "incremental live-plane backend (the default when --max-degree "
+        "is unset); quotes are bit-identical either way",
+    )
+    serve.add_argument(
         "--slo-ms",
         type=float,
         default=None,
@@ -111,6 +118,7 @@ def _serve(args: argparse.Namespace) -> int:
         strategy=args.strategy,
         task_lifetime=args.task_lifetime,
         max_degree=args.max_degree,
+        incremental=False if args.universe_matcher else None,
         slo_ms=args.slo_ms,
         degrade_fraction=args.degrade_fraction,
         queue_size=args.queue_size,

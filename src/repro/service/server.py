@@ -87,7 +87,17 @@ class ServiceConfig:
             any grid-state strategy; MAPS is refused — see
             :class:`~repro.simulation.streaming.DispatchSession`).
         task_lifetime: Default task lifetime in period units.
-        max_degree: Optional universe adjacency cap.
+        max_degree: Optional universe adjacency cap (forces the classic
+            universe matcher; incompatible with ``incremental``).
+        incremental: Session backend.  ``None`` (default) quotes off the
+            live incremental adjacency plane whenever ``max_degree`` is
+            unset — per-insert cost tracks the live neighbourhood, not
+            the universe row density, and the startup universe skips its
+            graph build.  ``False`` forces the universe
+            :class:`~repro.matching.incremental.DynamicMatcher`;
+            ``True`` insists (and raises if ``max_degree`` is set).
+            Bit-identical quotes either way (see
+            :class:`~repro.simulation.streaming.DispatchSession`).
         slo_ms: Per-quote latency objective in milliseconds; ``None``
             disables degradation entirely.
         degrade_fraction: Degrade a quote once its queue wait exceeds
@@ -109,6 +119,7 @@ class ServiceConfig:
     strategy: str = "BaseP"
     task_lifetime: float = 4.0
     max_degree: Optional[int] = None
+    incremental: Optional[bool] = None
     slo_ms: Optional[float] = None
     degrade_fraction: float = 0.5
     queue_size: int = 1024
@@ -127,6 +138,18 @@ class ServiceConfig:
             raise ValueError("slo_ms must be positive when given")
         if not 0.0 < self.degrade_fraction <= 1.0:
             raise ValueError("degrade_fraction must be in (0, 1]")
+        if self.incremental and self.max_degree is not None:
+            raise ValueError(
+                "incremental sessions are exact; drop max_degree or pass "
+                "incremental=False"
+            )
+
+    @property
+    def resolved_incremental(self) -> bool:
+        """The backend the sessions will actually run."""
+        if self.incremental is None:
+            return self.max_degree is None
+        return bool(self.incremental)
 
 
 class LatencySeries:
@@ -246,7 +269,11 @@ class DispatchServer:
             scale=config.scale, seed=config.seed, **dict(config.params)
         )
         instance, task_arrivals, worker_arrivals = build_universe(
-            stream, max_degree=config.max_degree
+            stream,
+            max_degree=config.max_degree,
+            # Incremental sessions never touch the universe graph — the
+            # pre-scan keeps only the position-aligned lists and arrays.
+            build_graph=not config.resolved_incremental,
         )
         arrays = instance.ensure_arrays()
         # The universe columns the quoting tier reads per event live in
@@ -458,6 +485,7 @@ class DispatchServer:
                 task_lifetime=lifetime,
                 universe=self._universe,
                 stage_hook=self.stats.observe_stage,
+                incremental=config.resolved_incremental,
             )
         except ValueError as exc:
             raise ProtocolError(str(exc)) from exc
@@ -490,6 +518,13 @@ class DispatchServer:
         queue: asyncio.Queue = asyncio.Queue(maxsize=self.config.queue_size)
         self._active_queue = queue
         consumer = asyncio.create_task(self._consume(session, queue, writer))
+        # Universe positions are assigned here, at ingest: a shed task
+        # still consumes its position, because the client replays the
+        # stream in order and the *next* delivered task must line up
+        # with the *next* position.  (Counting only delivered tasks
+        # desyncs the differential id check after the first shed.)
+        universe_tasks = self._universe[0].tasks
+        next_task_pos = 0
         try:
             while True:
                 line = await reader.readline()
@@ -506,23 +541,52 @@ class DispatchServer:
                     continue
                 if mtype not in EVENT_TYPES:
                     raise ProtocolError(f"unexpected message type {mtype!r}")
-                if (
-                    mtype == "task"
-                    and self.config.admission == "reject"
-                    and queue.full()
-                ):
-                    self.stats.bump("rejected")
-                    self._write(
-                        writer,
-                        {
-                            "type": "reject",
-                            "reason": "backpressure: ingest queue is full",
-                            "task_id": (message.get("task") or {}).get("task_id"),
-                            "time": message.get("time"),
-                        },
+                if mtype == "task":
+                    if next_task_pos >= len(universe_tasks):
+                        raise ProtocolError(
+                            "more task arrivals than the scenario universe holds"
+                        )
+                    task_pos = next_task_pos
+                    next_task_pos += 1
+                    if self.config.admission == "reject" and queue.full():
+                        offered_id = (message.get("task") or {}).get("task_id")
+                        expected_id = universe_tasks[task_pos].task_id
+                        if offered_id != expected_id:
+                            raise ProtocolError(
+                                f"task arrival #{task_pos} has id {offered_id}, "
+                                f"but the universe stream has id {expected_id} "
+                                "at that position — client and server replay "
+                                "different streams"
+                            )
+                        self.stats.bump("rejected")
+                        self._write(
+                            writer,
+                            {
+                                "type": "reject",
+                                "reason": "backpressure: ingest queue is full",
+                                "task_id": offered_id,
+                                "time": message.get("time"),
+                            },
+                        )
+                        continue
+                    item = (loop.time(), task_pos, message)
+                else:
+                    item = (loop.time(), None, message)
+                if queue.full():
+                    # A blocking put can never resolve once the consumer
+                    # has died; race it against the consumer so a failure
+                    # there surfaces instead of deadlocking reader and
+                    # client at zero CPU.
+                    putter = asyncio.ensure_future(queue.put(item))
+                    await asyncio.wait(
+                        {putter, consumer}, return_when=asyncio.FIRST_COMPLETED
                     )
-                    continue
-                await queue.put((loop.time(), message))
+                    if not putter.done():
+                        putter.cancel()
+                        consumer.result()
+                        raise ProtocolError("event consumer exited mid-stream")
+                else:
+                    queue.put_nowait(item)
         finally:
             self._active_queue = None
             if consumer.done():
@@ -570,26 +634,21 @@ class DispatchServer:
         loop = asyncio.get_running_loop()
         config = self.config
         slo_seconds = None if config.slo_ms is None else config.slo_ms / 1e3
-        next_task = 0
         next_worker = 0
         instance = self._universe[0]
         while True:
             item = await queue.get()
             if item is None:
                 return
-            received_at, message = item
+            # The reader assigns task positions at ingest (shed arrivals
+            # consume theirs too); workers carry None and count here.
+            received_at, task_pos, message = item
             if config.event_delay:
                 await asyncio.sleep(config.event_delay)
             queue_wait = loop.time() - received_at
             mtype = message["type"]
             try:
                 if mtype == "task":
-                    if next_task >= len(instance.tasks):
-                        raise ProtocolError(
-                            "more task arrivals than the scenario universe holds"
-                        )
-                    task_pos = next_task
-                    next_task += 1
                     offered = task_from_wire(message.get("task") or {})
                     expected = instance.tasks[task_pos]
                     if offered.task_id != expected.task_id:

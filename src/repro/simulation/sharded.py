@@ -66,7 +66,8 @@ from repro.core.gdp import PeriodInstance
 from repro.kernels import warmup as warmup_kernels
 from repro.kernels.halo import halo_residual_workers, halo_task_candidates
 from repro.market.entities import Task, Worker
-from repro.matching.weighted import max_weight_matching
+from repro.matching.incremental import LazyDynamicMatcher
+from repro.matching.weighted import eligible_order, max_weight_matching
 from repro.pricing.strategy import PricingStrategy
 from repro.simulation.config import ChunkedWorkload, WorkloadBundle
 from repro.simulation.engine import (
@@ -82,6 +83,7 @@ from repro.simulation.pipeline import (
     PeriodPipeline,
 )
 from repro.spatial.grid import GridTiling
+from repro.spatial.index import IncrementalAdjacencyIndex
 from repro.utils.rng import derive_seed
 
 #: Workload types the engine consumes interchangeably.
@@ -109,6 +111,61 @@ class _ShardDispatch:
     #: Columnar path only: pool positions of the shard's workers (the
     #: local worker position ``i`` is pool position ``worker_positions[i]``).
     worker_positions: Optional[np.ndarray] = None
+
+
+class _WarmShardState:
+    """One shard's matching state kept alive across periods.
+
+    ``warm_shards`` replaces the per-period re-solve with a
+    :class:`~repro.matching.incremental.LazyDynamicMatcher` plus an
+    :class:`~repro.spatial.index.IncrementalAdjacencyIndex` worker plane,
+    both living for the whole horizon: worker arrivals and departures are
+    applied as a diff at each dispatch, each period's accepted tasks are
+    inserted in priority order off the plane's candidate rows, matched
+    pairs are committed and the task side cleared at period end.  Within
+    a shard workers never reorder (the pool loop is arrival-stable and a
+    worker's cell is fixed), so the plane's arrival-ordered slots are
+    order-isomorphic to the period-local worker positions — the mapping
+    under which matched pairs, basis and revenue are bit-identical to the
+    cold per-period matroid solve (asserted by
+    ``tests/simulation/test_warm_shards.py``).
+    """
+
+    def __init__(self, grid, metric, max_degree) -> None:
+        self.matcher = LazyDynamicMatcher(
+            maintain_transpose=False, insert_only_pruning=True
+        )
+        self.plane = IncrementalAdjacencyIndex(
+            grid, metric=metric, max_degree=max_degree, track_tasks=False
+        )
+        #: ``worker_id`` → warm slot (matcher id == plane slot, both
+        #: allocated in lockstep arrival order, never recycled).
+        self.slot_of: Dict[int, int] = {}
+
+    def sync_workers(self, workers: Sequence[Worker]) -> None:
+        """Apply the pool diff: departures out, arrivals in (in order)."""
+        slot_of = self.slot_of
+        if slot_of:
+            present = {worker.worker_id for worker in workers}
+            for worker_id, slot in list(slot_of.items()):
+                if worker_id not in present:
+                    self.matcher.remove_worker(slot)
+                    self.plane.remove_worker(slot)
+                    del slot_of[worker_id]
+        fresh = [worker for worker in workers if worker.worker_id not in slot_of]
+        if fresh:
+            slots = self.plane.insert_workers(
+                [worker.location.x for worker in fresh],
+                [worker.location.y for worker in fresh],
+                [worker.radius for worker in fresh],
+            )
+            for worker, slot in zip(fresh, slots.tolist()):
+                matcher_slot, _ = self.matcher.new_worker()
+                if matcher_slot != slot:
+                    raise RuntimeError(
+                        "warm shard plane and matcher slot counters diverged"
+                    )
+                slot_of[worker.worker_id] = slot
 
 
 def _execute_shard_horizon(
@@ -257,6 +314,18 @@ class ShardedEngine:
             when the workload generates columns natively; results are
             bit-identical to the object path either way (regression- and
             property-tested).
+        warm_shards: Keep one :class:`_WarmShardState` (incremental
+            adjacency plane + lazy dynamic matcher) per shard alive
+            across the whole horizon instead of rebuilding the shard
+            graph and re-solving from scratch every period: worker
+            arrivals/departures are applied as a diff, each period's
+            accepted tasks insert in priority order off the plane, and
+            matched pairs are committed at period end.  Bit-identical
+            matchings and revenue to the cold path (asserted by
+            ``tests/simulation/test_warm_shards.py``); requires the
+            ``matroid`` backend and the sequential object path
+            (incompatible with ``columnar``, ``shard_jobs > 1`` and
+            ``warm_start``, which are alternatives it replaces).
     """
 
     def __init__(
@@ -273,6 +342,7 @@ class ShardedEngine:
         warm_start: bool = False,
         columnar: Optional[bool] = None,
         dynamic: bool = False,
+        warm_shards: bool = False,
     ) -> None:
         workload.validate()
         if halo < 0:
@@ -295,6 +365,21 @@ class ShardedEngine:
         elif columnar and not hasattr(workload, "iter_period_columns"):
             raise ValueError("columnar=True needs a workload with period columns")
         self.columnar = bool(columnar)
+        self.warm_shards = bool(warm_shards)
+        if self.warm_shards:
+            if self.matching_backend != "matroid":
+                raise ValueError(
+                    "warm_shards reproduces the matroid backend; construct "
+                    "with matching_backend='matroid'"
+                )
+            if self.columnar:
+                raise ValueError("warm_shards requires the object path (columnar=False)")
+            if self.shard_jobs > 1:
+                raise ValueError("warm_shards is sequential-only (shard_jobs=1)")
+            if self.warm_start:
+                raise ValueError(
+                    "warm_shards replaces cross-period warm starts; disable warm_start"
+                )
         if self.shard_jobs > 1 and self.num_shards > 1:
             if self.halo > 0:
                 raise ValueError(
@@ -381,6 +466,12 @@ class ShardedEngine:
         warm_caches: Optional[Dict[int, CrossPeriodWarmStart]] = (
             {} if self.warm_start else None
         )
+        # One warm matcher + adjacency plane per shard, fresh per strategy
+        # run (the acceptance stream differs per strategy, so matcher
+        # state cannot carry across runs).
+        warm_states: Optional[Dict[int, _WarmShardState]] = (
+            {} if self.warm_shards else None
+        )
 
         for period, (tasks, arriving) in enumerate(self.workload.iter_periods()):
             pool.extend(arriving)
@@ -402,7 +493,15 @@ class ShardedEngine:
 
             num_workers = len(pool)
             dispatches, leftover = self._dispatch_shards(
-                period, tasks, pool, strategy, rng, pipeline, collector, warm_caches
+                period,
+                tasks,
+                pool,
+                strategy,
+                rng,
+                pipeline,
+                collector,
+                warm_caches,
+                warm_states,
             )
 
             halo_revenue = 0.0
@@ -483,6 +582,7 @@ class ShardedEngine:
         pipeline: PeriodPipeline,
         collector: MetricsCollector,
         warm_caches: Optional[Dict[int, CrossPeriodWarmStart]] = None,
+        warm_states: Optional[Dict[int, "_WarmShardState"]] = None,
     ) -> Tuple[List[_ShardDispatch], List[Tuple[Worker, int]]]:
         """Quote → decide → match every shard that has tasks this period.
 
@@ -531,6 +631,12 @@ class ShardedEngine:
                 ):
                     leftover.append((worker, cell))
                 continue
+            warm_state = None
+            if warm_states is not None:
+                warm_state = warm_states.setdefault(
+                    shard,
+                    _WarmShardState(grid, self.workload.metric, self.max_degree),
+                )
             instance = PeriodInstance.build(
                 period=period,
                 grid=grid,
@@ -538,6 +644,9 @@ class ShardedEngine:
                 workers=shard_workers.get(shard, []),
                 metric=self.workload.metric,
                 max_degree=self.max_degree,
+                # The warm path never reads the shard graph: candidate
+                # rows come off the incremental plane instead.
+                build_graph=warm_state is None,
             )
             warm_cache = None
             if warm_caches is not None:
@@ -547,8 +656,13 @@ class ShardedEngine:
             with collector.time_decide():
                 decision = pipeline.decide(instance, grid_prices, rng)
             with collector.time_matching():
-                hints = warm_cache.hints(instance) if warm_cache is not None else None
-                matching, revenue = pipeline.match(instance, decision, hints)
+                if warm_state is not None:
+                    matching, revenue = self._match_warm(warm_state, instance, decision)
+                else:
+                    hints = (
+                        warm_cache.hints(instance) if warm_cache is not None else None
+                    )
+                    matching, revenue = pipeline.match(instance, decision, hints)
             if warm_cache is not None:
                 warm_cache.update(instance, matching)
             dispatches.append(
@@ -562,6 +676,72 @@ class ShardedEngine:
                 )
             )
         return dispatches, leftover
+
+    def _match_warm(
+        self,
+        state: _WarmShardState,
+        instance: PeriodInstance,
+        decision: DecideResult,
+    ) -> Tuple[Dict[int, int], float]:
+        """One warm-shard period: diff workers, insert tasks, commit.
+
+        Reproduces ``pipeline.match`` under the ``matroid`` backend
+        exactly: eligible tasks insert into the shard's live matcher in
+        the canonical weight order, each with its candidate row off the
+        incremental plane, and the revenue accumulates in that same
+        order — so both the matched pairs and the float total are
+        bit-identical to the cold re-solve under the slot → worker-
+        position order isomorphism (slots are allocated in arrival order
+        and within a shard the pool loop never reorders survivors).
+        """
+        state.sync_workers(instance.workers)
+        arrays = instance.ensure_arrays()
+        weights = arrays.distances * decision.prices
+        all_weights, order = eligible_order(
+            instance.num_tasks, weights, decision.accepted_positions
+        )
+        matching: Dict[int, int] = {}
+        if not order:
+            return matching, 0.0
+
+        workers = instance.workers
+        slots = np.fromiter(
+            (state.slot_of[worker.worker_id] for worker in workers),
+            dtype=np.int64,
+            count=len(workers),
+        )
+        if slots.size > 1 and not bool(np.all(np.diff(slots) > 0)):
+            raise RuntimeError(
+                "warm shard slots are not arrival-ordered; the slot/position "
+                "order isomorphism no longer holds"
+            )
+
+        tasks = instance.tasks
+        rows = state.plane.task_rows(
+            [tasks[pos].origin.x for pos in order],
+            [tasks[pos].origin.y for pos in order],
+        )
+        matcher = state.matcher
+        weight_list = all_weights.tolist()
+        for row, task_pos in zip(rows, order):
+            matcher.new_task(row, weight_list[task_pos])
+
+        # Same float-addition sequence as task_weighted_matching: iterate
+        # the canonical order, add each matched task's weight.
+        pairs = matcher.matching()
+        total = 0.0
+        for task_id, task_pos in enumerate(order):
+            if task_id in pairs:
+                total += weight_list[task_pos]
+
+        for task_id, slot in pairs.items():
+            local = int(np.searchsorted(slots, slot))
+            matching[order[task_id]] = local
+            matcher.commit_task(task_id)
+            state.plane.remove_worker(slot)
+            del state.slot_of[workers[local].worker_id]
+        matcher.clear_tasks()
+        return matching, total
 
     # ------------------------------------------------------------------
     # columnar shard loop (zero-copy data plane)

@@ -69,7 +69,11 @@ import numpy as np
 from repro.core.gdp import PeriodInstance
 from repro.market.acceptance import PerGridAcceptance
 from repro.market.entities import Task, Worker
-from repro.matching.incremental import DynamicMatcher, IncrementalMatcher
+from repro.matching.incremental import (
+    DynamicMatcher,
+    IncrementalMatcher,
+    LazyDynamicMatcher,
+)
 from repro.matching.weighted import eligible_order
 from repro.pricing.strategy import PricingStrategy
 from repro.simulation.config import WorkloadBundle
@@ -81,6 +85,7 @@ from repro.simulation.pipeline import (
     PeriodPipeline,
 )
 from repro.spatial.grid import Grid
+from repro.spatial.index import IncrementalAdjacencyIndex
 from repro.utils.rng import derive_seed
 
 
@@ -334,7 +339,9 @@ def stream_to_workload(
 
 
 def build_universe(
-    stream: ArrivalStream, max_degree: Optional[int] = None
+    stream: ArrivalStream,
+    max_degree: Optional[int] = None,
+    build_graph: bool = True,
 ) -> Tuple[PeriodInstance, List[float], List[float]]:
     """Pre-scan a (re-iterable) stream into one all-time instance.
 
@@ -346,6 +353,11 @@ def build_universe(
     fixed adjacency; liveness is tracked per position.  Shared by
     :class:`DynamicStreamingEngine`, :class:`DispatchSession` and the
     ``repro.service`` front end so all three agree on positions.
+
+    With ``build_graph=False`` the instance carries a lazy graph proxy
+    (never materialised unless someone touches ``.graph``) — the right
+    universe for an *incremental* :class:`DispatchSession`, which only
+    needs the position-aligned entity lists and arrival times.
     """
     tasks: List[Task] = []
     workers: List[Worker] = []
@@ -365,6 +377,7 @@ def build_universe(
         workers=workers,
         metric=stream.metric,
         max_degree=None if max_degree is None else int(max_degree),
+        build_graph=build_graph,
     )
     return instance, task_arrivals, worker_arrivals
 
@@ -1053,6 +1066,107 @@ class Settlement:
     revenue: float = 0.0
 
 
+class _LiveSessionMatcher:
+    """Positional :class:`DynamicMatcher` facade over the live planes.
+
+    The incremental-session backend: a
+    :class:`~repro.spatial.index.IncrementalAdjacencyIndex` (both planes)
+    plus a :class:`~repro.matching.incremental.LazyDynamicMatcher` with
+    the transpose maintained, driven in lockstep so index slots and
+    matcher ids coincide.  Slots are allocated in *market-entry* order
+    (accepted tasks / joined workers only), so they are private to this
+    adapter; the session keeps talking in universe positions and the
+    maps here translate.  Rows are computed against the live population
+    only — per-arrival cost tracks the live neighbourhood, not the
+    stream horizon, which is the whole point of the incremental session.
+
+    Exposes exactly the methods :class:`DispatchSession` calls on the
+    universe :class:`DynamicMatcher` (``insert_worker`` / ``insert_task``
+    / ``insert_task_greedy`` / ``is_task_matched`` / ``commit_task`` /
+    ``remove_task`` / ``remove_worker``), with identical positional
+    semantics — the lazy matcher's repairs are bit-identical to the
+    universe delta repairs over the same arrival sequence (the fuzzed
+    contract of ``tests/matching/test_lazy_dynamic.py``), so a session
+    on this backend reproduces the universe session's floats.
+    """
+
+    def __init__(
+        self,
+        grid: Grid,
+        metric: str,
+        tasks: Sequence[Task],
+        workers: Sequence[Worker],
+    ) -> None:
+        self.plane = IncrementalAdjacencyIndex(
+            grid, metric=metric, max_degree=None, track_tasks=True
+        )
+        self.lazy = LazyDynamicMatcher(maintain_transpose=True)
+        self._tasks = tasks
+        self._workers = workers
+        self._task_slot: Dict[int, int] = {}
+        self._worker_slot: Dict[int, int] = {}
+        self._worker_pos: Dict[int, int] = {}
+
+    def _guard(self, slot: int, lazy_id: int, side: str) -> None:
+        if slot != lazy_id:
+            raise RuntimeError(
+                f"incremental session {side} slots diverged: plane allocated "
+                f"{slot}, matcher allocated {lazy_id}"
+            )
+
+    def insert_worker(self, worker_pos: int) -> None:
+        worker = self._workers[worker_pos]
+        location = worker.location
+        slot = int(
+            self.plane.insert_workers(
+                [location.x], [location.y], [worker.radius]
+            )[0]
+        )
+        row = self.plane.worker_row(slot)
+        lazy_id, _ = self.lazy.new_worker(row)
+        self._guard(slot, lazy_id, "worker")
+        self._worker_slot[worker_pos] = slot
+        self._worker_pos[slot] = worker_pos
+
+    def remove_worker(self, worker_pos: int) -> None:
+        slot = self._worker_slot.pop(worker_pos)
+        del self._worker_pos[slot]
+        self.lazy.remove_worker(slot)
+        self.plane.remove_worker(slot)
+
+    def _insert(self, task_pos: int, weight: float, greedy: bool) -> bool:
+        origin = self._tasks[task_pos].origin
+        row = self.plane.task_rows([origin.x], [origin.y])[0]
+        slot = int(self.plane.insert_tasks([origin.x], [origin.y])[0])
+        lazy_id, matched = self.lazy.new_task(row, weight, greedy=greedy)
+        self._guard(slot, lazy_id, "task")
+        self._task_slot[task_pos] = slot
+        return matched
+
+    def insert_task(self, task_pos: int, weight: float) -> bool:
+        return self._insert(task_pos, weight, greedy=False)
+
+    def insert_task_greedy(self, task_pos: int, weight: float) -> bool:
+        return self._insert(task_pos, weight, greedy=True)
+
+    def is_task_matched(self, task_pos: int) -> bool:
+        return self.lazy.worker_of(self._task_slot[task_pos]) is not None
+
+    def commit_task(self, task_pos: int) -> int:
+        slot = self._task_slot.pop(task_pos)
+        worker_slot = self.lazy.commit_task(slot)
+        self.plane.remove_task(slot)
+        self.plane.remove_worker(worker_slot)
+        worker_pos = self._worker_pos.pop(worker_slot)
+        del self._worker_slot[worker_pos]
+        return worker_pos
+
+    def remove_task(self, task_pos: int) -> None:
+        slot = self._task_slot.pop(task_pos)
+        self.lazy.remove_task(slot)
+        self.plane.remove_task(slot)
+
+
 class DispatchSession:
     """Event-at-a-time dispatch over one maintained matching.
 
@@ -1083,9 +1197,26 @@ class DispatchSession:
         seed: Accept/reject RNG seed, derived exactly as the engines do.
         task_lifetime: Default task lifetime (``Task.duration`` overrides
             per task).
-        max_degree: Optional universe adjacency cap.
+        max_degree: Optional universe adjacency cap (universe backend
+            only; the incremental backend is always exact).
         universe: Pre-built ``(instance, task_arrivals, worker_arrivals)``
             triple from :func:`build_universe`, to skip the pre-scan.
+        incremental: Backend selection.  ``True`` quotes off the live
+            incremental adjacency plane
+            (:class:`~repro.spatial.index.IncrementalAdjacencyIndex` +
+            :class:`~repro.matching.incremental.LazyDynamicMatcher`):
+            no universe graph is ever built, events are materialised
+            lazily from the stream as positions are first touched, and
+            each insert costs the *live* neighbourhood instead of a
+            universe row that grows with the stream horizon.  ``False``
+            forces the classic universe :class:`DynamicMatcher`.
+            ``None`` (default) resolves to ``True`` exactly when it is
+            float-free to do so: no universe supplied and no
+            ``max_degree`` (the cap is a whole-universe rule the live
+            plane cannot reproduce).  Both backends produce bit-identical
+            quotes, matches and settlements for the same stream — the
+            differential contract of
+            ``tests/simulation/test_streaming_service.py``.
         collector: Optional :class:`MetricsCollector`; stage timings are
             attributed like the windowed engine (quote/observe → pricing,
             decide/feedback → decide, settle/insert → matching).
@@ -1104,6 +1235,7 @@ class DispatchSession:
         universe: Optional[Tuple[PeriodInstance, Sequence[float], Sequence[float]]] = None,
         collector: Optional[MetricsCollector] = None,
         stage_hook: Optional[Callable[[str, float], None]] = None,
+        incremental: Optional[bool] = None,
     ) -> None:
         if task_lifetime <= 0:
             raise ValueError("task_lifetime must be positive")
@@ -1113,13 +1245,38 @@ class DispatchSession:
                 "cannot quote single events; choose a grid-state strategy "
                 "(BaseP, SDR, SDE, CappedUCB) for event-at-a-time dispatch"
             )
+        if incremental is None:
+            incremental = universe is None and max_degree is None
+        elif incremental and max_degree is not None:
+            raise ValueError(
+                "the incremental session backend is exact (the universe "
+                "max_degree cap does not commute with arrival order); drop "
+                "max_degree or pass incremental=False"
+            )
+        self.incremental = bool(incremental)
         self.stream = stream
         self.strategy = strategy
         self.seed = int(seed)
         self.task_lifetime = float(task_lifetime)
-        if universe is None:
+        self._events: Optional[Iterator[ArrivalEvent]] = None
+        if universe is not None:
+            self.universe, self._task_arrivals, self._worker_arrivals = universe
+            self._tasks: Sequence[Task] = self.universe.tasks
+            self._workers: Sequence[Worker] = self.universe.workers
+        elif self.incremental:
+            # No pre-scan: entities and arrival times materialise lazily
+            # from the stream, in order, as positions are first touched.
+            self.universe = None
+            self._events = _validated_events(stream)
+            self._tasks = []
+            self._workers = []
+            self._task_arrivals = []
+            self._worker_arrivals = []
+        else:
             universe = build_universe(stream, max_degree=max_degree)
-        self.universe, self._task_arrivals, self._worker_arrivals = universe
+            self.universe, self._task_arrivals, self._worker_arrivals = universe
+            self._tasks = self.universe.tasks
+            self._workers = self.universe.workers
         self.collector = collector
         self.stage_hook = stage_hook
 
@@ -1132,8 +1289,15 @@ class DispatchSession:
             acceptance=stream.acceptance,
             matching_backend="matroid",
         )
-        num_tasks = len(self.universe.tasks)
-        self.matcher = DynamicMatcher(self.universe.graph, [0.0] * num_tasks)
+        if self.incremental:
+            self.matcher: Union[DynamicMatcher, _LiveSessionMatcher] = (
+                _LiveSessionMatcher(
+                    stream.grid, stream.metric, self._tasks, self._workers
+                )
+            )
+        else:
+            num_tasks = len(self.universe.tasks)
+            self.matcher = DynamicMatcher(self.universe.graph, [0.0] * num_tasks)
         self.live_weights: Dict[int, float] = {}
         self.live_workers: set = set()
         self._deadlines: List[Tuple[float, int]] = []
@@ -1149,6 +1313,44 @@ class DispatchSession:
         self.expired = 0
         self.departed = 0
         self.commit_log: List[Tuple[int, int]] = []
+
+    # ------------------------------------------------------------------
+    # lazy event materialisation (incremental backend without a universe)
+    # ------------------------------------------------------------------
+    def _materialise(self, kind: str, pos: int) -> None:
+        """Advance the stream until position ``pos`` of ``kind`` exists.
+
+        Arrival order is position order on each side, so a driver that
+        walks the stream with running counters only ever asks for the
+        next position — the pull below is O(events since the last call).
+        Events of the *other* kind encountered on the way are stored too
+        (their positions advance in lockstep with the driver's
+        counters); they enter the market only when their own
+        ``on_task``/``on_worker`` call arrives.
+        """
+        entities = self._tasks if kind == "task" else self._workers
+        while pos >= len(entities):
+            event = next(self._events, None)
+            if event is None:
+                raise IndexError(
+                    f"{kind} position {pos} is beyond the end of the stream"
+                )
+            if isinstance(event, TaskArrival):
+                self._tasks.append(event.task)
+                self._task_arrivals.append(float(event.time))
+            else:
+                self._workers.append(event.worker)
+                self._worker_arrivals.append(float(event.time))
+
+    def _task_at(self, task_pos: int) -> Task:
+        if self._events is not None:
+            self._materialise("task", task_pos)
+        return self._tasks[task_pos]
+
+    def _worker_at(self, worker_pos: int) -> Worker:
+        if self._events is not None:
+            self._materialise("worker", worker_pos)
+        return self._workers[worker_pos]
 
     # ------------------------------------------------------------------
     # stage timing
@@ -1194,14 +1396,14 @@ class DispatchSession:
                 due, task_pos = heapq.heappop(deadlines)
                 if task_pos not in self.live_weights:
                     continue
-                task_id = self.universe.tasks[task_pos].task_id
+                task_id = self._tasks[task_pos].task_id
                 if matcher.is_task_matched(task_pos):
                     worker_pos = matcher.commit_task(task_pos)
                     amount = self.live_weights.pop(task_pos)
                     self.revenue += amount
                     self.committed += 1
                     self.live_workers.discard(worker_pos)
-                    worker_id = self.universe.workers[worker_pos].worker_id
+                    worker_id = self._workers[worker_pos].worker_id
                     self.commit_log.append((task_id, worker_id))
                     records.append(
                         Settlement(
@@ -1230,7 +1432,7 @@ class DispatchSession:
                     Settlement(
                         kind="depart",
                         time=due,
-                        worker_id=self.universe.workers[worker_pos].worker_id,
+                        worker_id=self._workers[worker_pos].worker_id,
                     )
                 )
         return records
@@ -1252,7 +1454,7 @@ class DispatchSession:
         the worker's availability already expired at its own arrival
         time (a zero-length shift).
         """
-        worker = self.universe.workers[worker_pos]
+        worker = self._worker_at(worker_pos)
         at = float(self._worker_arrivals[worker_pos] if time is None else time)
         self.clock = max(self.clock, at)
         with self._staged("settle", "time_matching"):
@@ -1293,7 +1495,7 @@ class DispatchSession:
             Settlement(
                 kind="depart",
                 time=at,
-                worker_id=self.universe.workers[worker_pos].worker_id,
+                worker_id=self._workers[worker_pos].worker_id,
             )
         ]
         return True, settlements
@@ -1315,7 +1517,7 @@ class DispatchSession:
         (:meth:`~repro.matching.incremental.DynamicMatcher.insert_task_greedy`)
         instead of the exact delta repair — the service's SLO fallback.
         """
-        task = self.universe.tasks[task_pos]
+        task = self._task_at(task_pos)
         at = float(self._task_arrivals[task_pos] if time is None else time)
         self.clock = max(self.clock, at)
         with self._staged("settle", "time_matching"):
@@ -1396,9 +1598,13 @@ class EventStreamingEngine(DynamicStreamingEngine):
 
     The ``window`` of the parent is fixed at ``1.0`` and only used for
     metric binning; ``resolve`` does not apply (there is nothing to
-    re-window).  The stream must be re-iterable, as for the parent (one
-    pre-scan pass, one replay pass).  After :meth:`run`, the session is
-    kept on :attr:`last_session` for gates that need the commit log.
+    re-window).  The stream must be re-iterable, as for the parent: the
+    replay loop iterates it, and the session either pre-scans it
+    (universe backend) or lazily walks its own second iterator
+    (incremental backend — the default when ``max_degree`` is unset; the
+    ``incremental`` argument forces either backend, see
+    :class:`DispatchSession`).  After :meth:`run`, the session is kept
+    on :attr:`last_session` for gates that need the commit log.
     """
 
     def __init__(
@@ -1409,6 +1615,7 @@ class EventStreamingEngine(DynamicStreamingEngine):
         max_degree: Optional[int] = None,
         track_memory: bool = False,
         keep_details: bool = False,
+        incremental: Optional[bool] = None,
     ) -> None:
         super().__init__(
             stream,
@@ -1420,6 +1627,7 @@ class EventStreamingEngine(DynamicStreamingEngine):
             track_memory=track_memory,
             keep_details=keep_details,
         )
+        self.incremental = incremental
         self.last_session: Optional[DispatchSession] = None
 
     def run(self, strategy: PricingStrategy) -> SimulationResult:
@@ -1433,6 +1641,7 @@ class EventStreamingEngine(DynamicStreamingEngine):
             task_lifetime=self.task_lifetime,
             max_degree=self.max_degree,
             collector=collector,
+            incremental=self.incremental,
         )
         self.last_session = session
 

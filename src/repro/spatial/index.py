@@ -7,7 +7,7 @@ distance evaluations per time period; the scalability experiment of the
 paper runs up to 500k tasks and workers, where that becomes the dominant
 cost.
 
-Two implementations share the grid-bucketing idea:
+Three implementations share the grid-bucketing idea:
 
 * :class:`GridSpatialIndex` — a mutable, label-keyed index answering one
   circular query at a time (inserts, moves, nearest-neighbour search).
@@ -18,10 +18,18 @@ Two implementations share the grid-bucketing idea:
   flat candidate arrays instead of per-query Python lists, and reuses
   grow-only scratch buffers across periods so the hot loop allocates a
   near-constant amount per period.
+* :class:`DynamicGridBuckets` — the *mutable* counterpart of
+  :class:`GridBuckets`: slot-addressed points under insert/remove, kept
+  in grow-only per-cell storage segments so the same batched query runs
+  against the live population without rebucketing.  It backs
+  :class:`IncrementalAdjacencyIndex`, which answers "which live workers
+  can serve this arriving task" in ``O(neighbourhood)`` — the update-cost
+  (not epoch-cost) adjacency plane of the warm matching paths.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Generic, Hashable, Iterable, List, Optional, Sequence, Tuple, TypeVar, Union
 
 import numpy as np
@@ -70,6 +78,220 @@ _SCRATCH = _BuilderScratch()
 #: so its rectangles can span the whole grid).
 _CELL_CHUNK = 1 << 20
 _POINT_CHUNK = 4 << 20
+
+
+def _batched_circle_query(
+    grid: Grid,
+    xs: np.ndarray,
+    ys: np.ndarray,
+    cell_starts: np.ndarray,
+    cell_counts: np.ndarray,
+    slot_order: np.ndarray,
+    cx: np.ndarray,
+    cy: np.ndarray,
+    rr: np.ndarray,
+    metric: Union[str, DistanceMetric],
+    point_radii: Optional[np.ndarray] = None,
+    points_first: bool = False,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Shared chunked candidate expansion behind the batched circle queries.
+
+    Gathers, for every query center, the points bucketed in the cell
+    rectangle covering the disc of radius ``rr`` around it, computes the
+    exact metric distance per (center, point) candidate and keeps the
+    pairs within range.  ``cell_starts[cell]`` / ``cell_counts[cell]``
+    describe each cell's segment inside ``slot_order`` — the contiguous
+    cumsum layout of :class:`GridBuckets` and the grow-only segmented
+    layout of :class:`DynamicGridBuckets` both fit this shape.
+
+    Args:
+        point_radii: When given, the inclusive filter is
+            ``distance <= point_radii[point]`` (each *point* carries the
+            radius, e.g. a worker's service range) while ``rr`` only
+            sizes the candidate rectangles — callers pass a per-query
+            upper bound such as the plane's maximum live radius.
+            When ``None``, the filter is ``distance <= rr[center]``.
+        points_first: Pass the point coordinates as the metric's first
+            argument pair.  Distances of the supported metrics are
+            symmetric bit-for-bit, but keeping the argument roles of
+            :func:`repro.matching.bipartite.build_graph_from_arrays`
+            (workers first) makes the bitwise contract self-evident.
+
+    Returns:
+        ``(center_idx, point_idx, distance)`` flat arrays ordered by
+        center, then candidate cell, then within-cell storage order.
+    """
+    batch_metric = resolve_batch_metric(metric)
+    if batch_metric is None:
+        raise ValueError(
+            f"metric {metric!r} has no vectorised implementation; "
+            "use GridSpatialIndex.query_circle instead"
+        )
+    empty = (
+        np.zeros(0, dtype=np.int64),
+        np.zeros(0, dtype=np.int64),
+        np.zeros(0, dtype=np.float64),
+    )
+    if not cx.size or not slot_order.size:
+        return empty
+
+    region = grid.region
+    # Candidate cells: the axis-aligned cell rectangle covering the
+    # query disc (a superset of Grid.cells_intersecting_circle; the
+    # exact metric filter below makes the result identical).
+    min_col = np.clip(
+        np.floor((cx - rr - region.min_x) / grid.cell_width), 0, grid.cols - 1
+    ).astype(np.int64)
+    max_col = np.clip(
+        np.floor((cx + rr - region.min_x) / grid.cell_width), 0, grid.cols - 1
+    ).astype(np.int64)
+    min_row = np.clip(
+        np.floor((cy - rr - region.min_y) / grid.cell_height), 0, grid.rows - 1
+    ).astype(np.int64)
+    max_row = np.clip(
+        np.floor((cy + rr - region.min_y) / grid.cell_height), 0, grid.rows - 1
+    ).astype(np.int64)
+    col_span = max_col - min_col + 1
+    ncells = (max_row - min_row + 1) * col_span
+    if not int(ncells.sum()):
+        return empty
+
+    # Both ragged expansions run in bounded chunks (see _CELL_CHUNK /
+    # _POINT_CHUNK): peak transient memory stays proportional to the
+    # chunk size however loose the candidate rectangles are, and the
+    # chunks are processed in order so the output ordering is the
+    # same as one monolithic expansion.
+    out_centers: list = []
+    out_points: list = []
+    out_distances: list = []
+    cell_cum = np.cumsum(ncells)
+    center_start = 0
+    while center_start < cx.size:
+        base = int(cell_cum[center_start - 1]) if center_start else 0
+        center_end = max(
+            int(np.searchsorted(cell_cum, base + _CELL_CHUNK, side="right")),
+            center_start + 1,
+        )
+        chunk_ncells = ncells[center_start:center_end]
+        chunk_total = int(chunk_ncells.sum())
+        center_start_next = center_end
+        if not chunk_total:
+            center_start = center_start_next
+            continue
+
+        # Ragged expansion: one row per (query, candidate cell).
+        center_rep = np.repeat(
+            np.arange(center_start, center_end, dtype=np.int64), chunk_ncells
+        )
+        local = _SCRATCH.iota(chunk_total) - np.repeat(
+            np.cumsum(chunk_ncells) - chunk_ncells, chunk_ncells
+        )
+        span = col_span[center_rep]
+        cell = (min_row[center_rep] + local // span) * grid.cols + (
+            min_col[center_rep] + local % span
+        )
+        counts = cell_counts[cell]
+        nonempty = counts > 0
+        center_rep, cell, counts = (
+            center_rep[nonempty],
+            cell[nonempty],
+            counts[nonempty],
+        )
+        if not counts.size:
+            center_start = center_start_next
+            continue
+
+        # Second ragged expansion: one row per (query, candidate
+        # point), again in bounded chunks of (query, cell) pairs.
+        point_cum = np.cumsum(counts)
+        pair_start = 0
+        while pair_start < counts.size:
+            pair_base = int(point_cum[pair_start - 1]) if pair_start else 0
+            pair_end = max(
+                int(
+                    np.searchsorted(
+                        point_cum, pair_base + _POINT_CHUNK, side="right"
+                    )
+                ),
+                pair_start + 1,
+            )
+            sub_counts = counts[pair_start:pair_end]
+            sub_total = int(sub_counts.sum())
+            ends = np.cumsum(sub_counts)
+            offsets = _SCRATCH.iota(sub_total) - np.repeat(
+                ends - sub_counts, sub_counts
+            )
+            point_idx = slot_order[
+                np.repeat(cell_starts[cell[pair_start:pair_end]], sub_counts)
+                + offsets
+            ]
+            center_idx = np.repeat(center_rep[pair_start:pair_end], sub_counts)
+
+            if points_first:
+                distances = batch_metric(
+                    xs[point_idx],
+                    ys[point_idx],
+                    cx[center_idx],
+                    cy[center_idx],
+                )
+            else:
+                distances = batch_metric(
+                    cx[center_idx],
+                    cy[center_idx],
+                    xs[point_idx],
+                    ys[point_idx],
+                )
+            if point_radii is not None:
+                within = distances <= point_radii[point_idx]
+            else:
+                within = distances <= rr[center_idx]
+            out_centers.append(center_idx[within])
+            out_points.append(point_idx[within])
+            out_distances.append(distances[within])
+            pair_start = pair_end
+        center_start = center_start_next
+
+    if not out_centers:
+        return empty
+    return (
+        np.concatenate(out_centers),
+        np.concatenate(out_points),
+        np.concatenate(out_distances),
+    )
+
+
+def cap_edges_per_center(
+    center_idx: np.ndarray,
+    point_idx: np.ndarray,
+    distances: np.ndarray,
+    num_centers: int,
+    max_degree: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Keep the ``max_degree`` nearest points per center (vectorised).
+
+    Ties on distance break by ascending point index, so the kept set is
+    deterministic and identical to the scalar capping rule.  Inputs may
+    arrive in any order (the selection keys order them fully); outputs
+    are in canonical ascending ``(center, point)`` order.  Doing the
+    ranking sort on the raw arrays and the canonical sort on the *capped*
+    set keeps the expensive three-key lexsort to one pass over the full
+    edge list.
+
+    This is the degree-cap rule of the batch graph builder
+    (:func:`repro.matching.bipartite.build_graph_from_arrays` delegates
+    here) and of :class:`IncrementalAdjacencyIndex` — one implementation,
+    so capped rows agree bit-for-bit wherever the same keys are used.
+    """
+    order = np.lexsort((point_idx, distances, center_idx))
+    sorted_centers = center_idx[order]
+    counts = np.bincount(sorted_centers, minlength=num_centers)
+    starts = np.repeat(np.cumsum(counts) - counts, counts)
+    rank = np.arange(sorted_centers.size, dtype=np.int64) - starts
+    keep = order[rank < max_degree]
+    kept_centers = center_idx[keep]
+    kept_points = point_idx[keep]
+    canonical = np.lexsort((kept_points, kept_centers))
+    return kept_centers[canonical], kept_points[canonical]
 
 
 class GridBuckets:
@@ -135,12 +357,6 @@ class GridBuckets:
             ValueError: for negative radii or a metric without a batch
                 implementation.
         """
-        batch_metric = resolve_batch_metric(metric)
-        if batch_metric is None:
-            raise ValueError(
-                f"metric {metric!r} has no vectorised implementation; "
-                "use GridSpatialIndex.query_circle instead"
-            )
         cx = np.ascontiguousarray(centers_x, dtype=np.float64)
         cy = np.ascontiguousarray(centers_y, dtype=np.float64)
         rr = np.ascontiguousarray(radii, dtype=np.float64)
@@ -148,127 +364,526 @@ class GridBuckets:
             raise ValueError("centers_x, centers_y and radii must have equal length")
         if rr.size and float(rr.min()) < 0:
             raise ValueError("radius must be non-negative")
+        return _batched_circle_query(
+            self._grid,
+            self._xs,
+            self._ys,
+            self._cell_ptr,
+            self._cell_counts,
+            self._order,
+            cx,
+            cy,
+            rr,
+            metric,
+        )
+
+
+class DynamicGridBuckets:
+    """Mutable, array-native cell bucketing of a slot-addressed point set.
+
+    The incremental counterpart of :class:`GridBuckets`: points are
+    inserted and removed one batch at a time, each receiving a
+    monotonically increasing *slot* (slots are never recycled, so slot
+    order is arrival order — the property the warm matchers' traversal
+    contracts lean on).  Per-cell membership lives in grow-only storage
+    segments: each cell owns a contiguous ``[start, start + count)``
+    window of one flat array, doubled by relocation when it fills, with
+    abandoned windows kept in per-capacity free lists for reuse.  Inserts
+    and removes are ``O(1)`` amortised, and the batched circle query runs
+    the exact same chunked numpy expansion as :class:`GridBuckets` over
+    the live population — no per-update rebucketing, no Python per-point
+    work at query time.
+
+    Args:
+        grid: The grid used for bucketing and candidate-cell enumeration.
+        track_radii: Store a service radius per point (worker planes);
+            enables :meth:`query_own_radius`.
+    """
+
+    #: Initial capacity handed to a cell on its first insertion.
+    _SEGMENT_SEED = 4
+
+    def __init__(self, grid: Grid, track_radii: bool = False) -> None:
+        self._grid = grid
+        self._track_radii = track_radii
+        capacity = 16
+        self._xs = np.zeros(capacity, dtype=np.float64)
+        self._ys = np.zeros(capacity, dtype=np.float64)
+        self._radii = np.zeros(capacity, dtype=np.float64) if track_radii else None
+        self._slot_cell = np.full(capacity, -1, dtype=np.int64)
+        self._slot_offset = np.zeros(capacity, dtype=np.int64)
+        self._next_slot = 0
+        self._live = 0
+        self._cell_start = np.zeros(grid.num_cells, dtype=np.int64)
+        self._cell_cap = np.zeros(grid.num_cells, dtype=np.int64)
+        self._cell_count = np.zeros(grid.num_cells, dtype=np.int64)
+        self._storage = np.zeros(64, dtype=np.int64)
+        self._storage_used = 0
+        self._free_segments: Dict[int, List[int]] = {}
+        # Grow-only maximum over every radius ever inserted: an upper
+        # bound on live radii that sizes candidate rectangles without
+        # having to maintain an exact max under removals.
+        self._max_radius = 0.0
+
+    def __len__(self) -> int:
+        return self._live
+
+    @property
+    def grid(self) -> Grid:
+        return self._grid
+
+    @property
+    def max_radius(self) -> float:
+        """Grow-only upper bound on the radius of any live point."""
+        return self._max_radius
+
+    def is_live(self, slot: int) -> bool:
+        return 0 <= slot < self._next_slot and self._slot_cell[slot] >= 0
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def _grow_slots(self, need: int) -> None:
+        capacity = self._xs.shape[0]
+        if need <= capacity:
+            return
+        new_cap = max(need, 2 * capacity)
+        for name in ("_xs", "_ys", "_radii", "_slot_cell", "_slot_offset"):
+            old = getattr(self, name)
+            if old is None:
+                continue
+            grown = np.full(new_cap, -1, dtype=old.dtype) if name == "_slot_cell" \
+                else np.zeros(new_cap, dtype=old.dtype)
+            grown[:capacity] = old
+            setattr(self, name, grown)
+
+    def _cell_append(self, cell: int, slot: int) -> None:
+        count = int(self._cell_count[cell])
+        if count == int(self._cell_cap[cell]):
+            new_cap = max(self._SEGMENT_SEED, 2 * count)
+            free = self._free_segments.get(new_cap)
+            if free:
+                start = free.pop()
+            else:
+                start = self._storage_used
+                need = start + new_cap
+                if need > self._storage.shape[0]:
+                    grown = np.zeros(
+                        max(need, 2 * self._storage.shape[0]), dtype=np.int64
+                    )
+                    grown[: self._storage_used] = self._storage[: self._storage_used]
+                    self._storage = grown
+                self._storage_used = need
+            old_start = int(self._cell_start[cell])
+            old_cap = int(self._cell_cap[cell])
+            if count:
+                self._storage[start : start + count] = self._storage[
+                    old_start : old_start + count
+                ]
+            if old_cap:
+                self._free_segments.setdefault(old_cap, []).append(old_start)
+            self._cell_start[cell] = start
+            self._cell_cap[cell] = new_cap
+        self._storage[int(self._cell_start[cell]) + count] = slot
+        self._slot_cell[slot] = cell
+        self._slot_offset[slot] = count
+        self._cell_count[cell] = count + 1
+
+    def insert(
+        self,
+        xs: Sequence[float],
+        ys: Sequence[float],
+        radii: Optional[Sequence[float]] = None,
+    ) -> np.ndarray:
+        """Insert a batch of points; returns their (new, ascending) slots."""
+        px = np.ascontiguousarray(xs, dtype=np.float64)
+        py = np.ascontiguousarray(ys, dtype=np.float64)
+        if px.shape != py.shape or px.ndim != 1:
+            raise ValueError("xs and ys must be 1-D arrays of equal length")
+        if self._track_radii:
+            if radii is None:
+                raise ValueError("this plane tracks radii; pass them on insert")
+            pr = np.ascontiguousarray(radii, dtype=np.float64)
+            if pr.shape != px.shape:
+                raise ValueError("radii must match xs/ys length")
+            if pr.size and float(pr.min()) < 0:
+                raise ValueError("radius must be non-negative")
+        elif radii is not None:
+            raise ValueError("this plane does not track radii")
+        count = px.shape[0]
+        first = self._next_slot
+        self._grow_slots(first + count)
+        self._xs[first : first + count] = px
+        self._ys[first : first + count] = py
+        if self._track_radii:
+            self._radii[first : first + count] = pr
+            if count:
+                self._max_radius = max(self._max_radius, float(pr.max()))
+        cells = (self._grid.locate_many(px, py) - 1) if count else px.astype(np.int64)
+        for offset in range(count):
+            self._cell_append(int(cells[offset]), first + offset)
+        self._next_slot = first + count
+        self._live += count
+        return np.arange(first, first + count, dtype=np.int64)
+
+    def remove(self, slot: int) -> None:
+        """Remove a live slot (its storage entry is swap-popped in place)."""
+        cell = int(self._slot_cell[slot])
+        if cell < 0:
+            raise ValueError(f"slot {slot} is not live")
+        start = int(self._cell_start[cell])
+        count = int(self._cell_count[cell])
+        offset = int(self._slot_offset[slot])
+        last = count - 1
+        if offset != last:
+            moved = int(self._storage[start + last])
+            self._storage[start + offset] = moved
+            self._slot_offset[moved] = offset
+        self._cell_count[cell] = last
+        self._slot_cell[slot] = -1
+        self._live -= 1
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def query_circles(
+        self,
+        centers_x: Sequence[float],
+        centers_y: Sequence[float],
+        radii: Sequence[float],
+        metric: Union[str, DistanceMetric] = "euclidean",
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Batched inclusive circular range queries over the live points.
+
+        Same contract as :meth:`GridBuckets.query_circles`; point indices
+        in the result are slots.  Within a cell, storage order is
+        insertion order disturbed only by removal swap-pops.
+        """
+        cx = np.ascontiguousarray(centers_x, dtype=np.float64)
+        cy = np.ascontiguousarray(centers_y, dtype=np.float64)
+        rr = np.ascontiguousarray(radii, dtype=np.float64)
+        if not (cx.shape == cy.shape == rr.shape) or cx.ndim != 1:
+            raise ValueError("centers_x, centers_y and radii must have equal length")
+        if rr.size and float(rr.min()) < 0:
+            raise ValueError("radius must be non-negative")
+        if not self._live:
+            return (
+                np.zeros(0, dtype=np.int64),
+                np.zeros(0, dtype=np.int64),
+                np.zeros(0, dtype=np.float64),
+            )
+        if cx.shape[0] == 1:
+            return self._single_circle_query(
+                float(cx[0]), float(cy[0]), float(rr[0]), metric, own_radius=False
+            )
+        return _batched_circle_query(
+            self._grid,
+            self._xs,
+            self._ys,
+            self._cell_start,
+            self._cell_count,
+            self._storage,
+            cx,
+            cy,
+            rr,
+            metric,
+        )
+
+    def query_own_radius(
+        self,
+        centers_x: Sequence[float],
+        centers_y: Sequence[float],
+        metric: Union[str, DistanceMetric] = "euclidean",
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Live points whose *own* radius covers each query center.
+
+        The range-constraint query of the adjacency plane: a worker
+        (point) serves a task (center) when the task lies within the
+        worker's service radius.  Candidate rectangles are sized by the
+        plane's grow-only :attr:`max_radius`; the exact per-point filter
+        makes the result independent of that bound.  Distances are
+        computed with the point (worker) coordinates as the metric's
+        first argument pair — the same roles as the batch graph builder,
+        so shared edges carry bit-identical distances.
+        """
+        if not self._track_radii:
+            raise ValueError("this plane does not track radii")
+        cx = np.ascontiguousarray(centers_x, dtype=np.float64)
+        cy = np.ascontiguousarray(centers_y, dtype=np.float64)
+        if cx.shape != cy.shape or cx.ndim != 1:
+            raise ValueError("centers_x and centers_y must have equal length")
+        if not self._live:
+            return (
+                np.zeros(0, dtype=np.int64),
+                np.zeros(0, dtype=np.int64),
+                np.zeros(0, dtype=np.float64),
+            )
+        if cx.shape[0] == 1:
+            return self._single_circle_query(
+                float(cx[0]), float(cy[0]), self._max_radius, metric, own_radius=True
+            )
+        rr = np.full(cx.shape[0], self._max_radius, dtype=np.float64)
+        return _batched_circle_query(
+            self._grid,
+            self._xs,
+            self._ys,
+            self._cell_start,
+            self._cell_count,
+            self._storage,
+            cx,
+            cy,
+            rr,
+            metric,
+            point_radii=self._radii,
+            points_first=True,
+        )
+
+    def _single_circle_query(
+        self,
+        x: float,
+        y: float,
+        r: float,
+        metric: Union[str, DistanceMetric],
+        own_radius: bool,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Scalar fast path for one query center.
+
+        The event-at-a-time hot loop (one task arrival, one worker
+        arrival) pays the batched expansion's fixed numpy ceremony for a
+        single row; gathering the candidate slots with a plain cell-
+        rectangle walk is an order of magnitude cheaper at service
+        densities.  Distances still come from the *same* vectorised
+        metric over the gathered candidates — elementwise float64 ops do
+        not depend on batch shape, so results are bit-identical to
+        :func:`_batched_circle_query`, in the identical (cell-rectangle,
+        then within-cell storage) order.
+        """
+        batch_metric = resolve_batch_metric(metric)
+        if batch_metric is None:
+            raise ValueError(
+                f"metric {metric!r} has no vectorised implementation; "
+                "use GridSpatialIndex.query_circle instead"
+            )
         empty = (
             np.zeros(0, dtype=np.int64),
             np.zeros(0, dtype=np.int64),
             np.zeros(0, dtype=np.float64),
         )
-        if not cx.size or not self._xs.size:
-            return empty
-
         grid = self._grid
         region = grid.region
-        # Candidate cells: the axis-aligned cell rectangle covering the
-        # query disc (a superset of Grid.cells_intersecting_circle; the
-        # exact metric filter below makes the result identical).
-        min_col = np.clip(
-            np.floor((cx - rr - region.min_x) / grid.cell_width), 0, grid.cols - 1
-        ).astype(np.int64)
-        max_col = np.clip(
-            np.floor((cx + rr - region.min_x) / grid.cell_width), 0, grid.cols - 1
-        ).astype(np.int64)
-        min_row = np.clip(
-            np.floor((cy - rr - region.min_y) / grid.cell_height), 0, grid.rows - 1
-        ).astype(np.int64)
-        max_row = np.clip(
-            np.floor((cy + rr - region.min_y) / grid.cell_height), 0, grid.rows - 1
-        ).astype(np.int64)
-        col_span = max_col - min_col + 1
-        ncells = (max_row - min_row + 1) * col_span
-        if not int(ncells.sum()):
+        # Same float expressions as the batched rectangle (bit-identical
+        # cell bounds), clipped to the grid.
+        min_col = int(min(max(math.floor((x - r - region.min_x) / grid.cell_width), 0), grid.cols - 1))
+        max_col = int(min(max(math.floor((x + r - region.min_x) / grid.cell_width), 0), grid.cols - 1))
+        min_row = int(min(max(math.floor((y - r - region.min_y) / grid.cell_height), 0), grid.rows - 1))
+        max_row = int(min(max(math.floor((y + r - region.min_y) / grid.cell_height), 0), grid.rows - 1))
+        candidates: List[int] = []
+        storage = self._storage
+        starts = self._cell_start
+        counts = self._cell_count
+        for row in range(min_row, max_row + 1):
+            base = row * grid.cols
+            for col in range(min_col, max_col + 1):
+                cell = base + col
+                count = counts[cell]
+                if count:
+                    start = starts[cell]
+                    candidates.extend(storage[start : start + count].tolist())
+        if not candidates:
             return empty
-
-        # Both ragged expansions run in bounded chunks (see _CELL_CHUNK /
-        # _POINT_CHUNK): peak transient memory stays proportional to the
-        # chunk size however loose the candidate rectangles are, and the
-        # chunks are processed in order so the output ordering is the
-        # same as one monolithic expansion.
-        out_centers: list = []
-        out_points: list = []
-        out_distances: list = []
-        cell_cum = np.cumsum(ncells)
-        center_start = 0
-        while center_start < cx.size:
-            base = int(cell_cum[center_start - 1]) if center_start else 0
-            center_end = max(
-                int(np.searchsorted(cell_cum, base + _CELL_CHUNK, side="right")),
-                center_start + 1,
-            )
-            chunk_ncells = ncells[center_start:center_end]
-            chunk_total = int(chunk_ncells.sum())
-            center_start_next = center_end
-            if not chunk_total:
-                center_start = center_start_next
-                continue
-
-            # Ragged expansion: one row per (query, candidate cell).
-            center_rep = np.repeat(
-                np.arange(center_start, center_end, dtype=np.int64), chunk_ncells
-            )
-            local = _SCRATCH.iota(chunk_total) - np.repeat(
-                np.cumsum(chunk_ncells) - chunk_ncells, chunk_ncells
-            )
-            span = col_span[center_rep]
-            cell = (min_row[center_rep] + local // span) * grid.cols + (
-                min_col[center_rep] + local % span
-            )
-            counts = self._cell_counts[cell]
-            nonempty = counts > 0
-            center_rep, cell, counts = (
-                center_rep[nonempty],
-                cell[nonempty],
-                counts[nonempty],
-            )
-            if not counts.size:
-                center_start = center_start_next
-                continue
-
-            # Second ragged expansion: one row per (query, candidate
-            # point), again in bounded chunks of (query, cell) pairs.
-            point_cum = np.cumsum(counts)
-            pair_start = 0
-            while pair_start < counts.size:
-                pair_base = int(point_cum[pair_start - 1]) if pair_start else 0
-                pair_end = max(
-                    int(
-                        np.searchsorted(
-                            point_cum, pair_base + _POINT_CHUNK, side="right"
-                        )
-                    ),
-                    pair_start + 1,
-                )
-                sub_counts = counts[pair_start:pair_end]
-                sub_total = int(sub_counts.sum())
-                ends = np.cumsum(sub_counts)
-                offsets = _SCRATCH.iota(sub_total) - np.repeat(
-                    ends - sub_counts, sub_counts
-                )
-                point_idx = self._order[
-                    np.repeat(self._cell_ptr[cell[pair_start:pair_end]], sub_counts)
-                    + offsets
-                ]
-                center_idx = np.repeat(center_rep[pair_start:pair_end], sub_counts)
-
-                distances = batch_metric(
-                    cx[center_idx],
-                    cy[center_idx],
-                    self._xs[point_idx],
-                    self._ys[point_idx],
-                )
-                within = distances <= rr[center_idx]
-                out_centers.append(center_idx[within])
-                out_points.append(point_idx[within])
-                out_distances.append(distances[within])
-                pair_start = pair_end
-            center_start = center_start_next
-
-        if not out_centers:
-            return empty
+        point_idx = np.asarray(candidates, dtype=np.int64)
+        px = self._xs[point_idx]
+        py = self._ys[point_idx]
+        qx = np.full(point_idx.shape[0], x, dtype=np.float64)
+        qy = np.full(point_idx.shape[0], y, dtype=np.float64)
+        if own_radius:
+            distances = batch_metric(px, py, qx, qy)
+            within = distances <= self._radii[point_idx]
+        else:
+            distances = batch_metric(qx, qy, px, py)
+            within = distances <= r
+        point_idx = point_idx[within]
         return (
-            np.concatenate(out_centers),
-            np.concatenate(out_points),
-            np.concatenate(out_distances),
+            np.zeros(point_idx.shape[0], dtype=np.int64),
+            point_idx,
+            distances[within],
         )
+
+
+class IncrementalAdjacencyIndex:
+    """Live task/worker planes answering per-arrival candidate-edge queries.
+
+    The adjacency side of the warm matching paths: instead of one
+    epoch-wide graph build, arrivals and departures update two
+    :class:`DynamicGridBuckets` planes and each new task's candidate row
+    is computed on demand against the *currently live* workers — cost
+    proportional to the arrival's spatial neighbourhood.  The edge rule
+    is exactly the batch builder's (inclusive radius, same metric
+    argument roles, same degree-cap selection via
+    :func:`cap_edges_per_center`), so at any instant the index's edges
+    over the live population equal
+    :func:`repro.matching.bipartite.build_graph_from_arrays` on that
+    population — the fuzzed contract of
+    ``tests/spatial/test_incremental_index.py``.
+
+    Slots are arrival-ordered and never recycled, on both sides; callers
+    that allocate their own ids in arrival order (the lazy matcher) can
+    therefore use index slots verbatim.
+
+    Args:
+        grid: Bucketing grid.
+        metric: Distance metric name (must have a vectorised form).
+        max_degree: Optional per-task cap — each task keeps its
+            ``max_degree`` nearest live workers *at query time* (ties by
+            worker key).  Note this is the realised-population cap, not
+            the batch builder's whole-universe cap: capping does not
+            commute with arrival order.
+        track_tasks: Maintain the task plane (needed by
+            :meth:`worker_row`; warm-shard callers that only ever query
+            task rows can skip it).
+    """
+
+    def __init__(
+        self,
+        grid: Grid,
+        metric: Union[str, DistanceMetric] = "euclidean",
+        max_degree: Optional[int] = None,
+        track_tasks: bool = True,
+    ) -> None:
+        self._metric = metric
+        self._max_degree = None if max_degree is None else int(max_degree)
+        self._workers = DynamicGridBuckets(grid, track_radii=True)
+        self._tasks = DynamicGridBuckets(grid) if track_tasks else None
+
+    @property
+    def grid(self) -> Grid:
+        return self._workers.grid
+
+    @property
+    def max_degree(self) -> Optional[int]:
+        return self._max_degree
+
+    @property
+    def num_live_workers(self) -> int:
+        return len(self._workers)
+
+    @property
+    def num_live_tasks(self) -> int:
+        return 0 if self._tasks is None else len(self._tasks)
+
+    # ------------------------------------------------------------------
+    # population updates
+    # ------------------------------------------------------------------
+    def insert_workers(
+        self,
+        xs: Sequence[float],
+        ys: Sequence[float],
+        radii: Sequence[float],
+    ) -> np.ndarray:
+        """Bring a batch of workers live; returns their slots (ascending)."""
+        return self._workers.insert(xs, ys, radii)
+
+    def insert_tasks(self, xs: Sequence[float], ys: Sequence[float]) -> np.ndarray:
+        """Bring a batch of tasks live; returns their slots (ascending)."""
+        if self._tasks is None:
+            raise ValueError("index built with track_tasks=False")
+        return self._tasks.insert(xs, ys)
+
+    def remove_worker(self, slot: int) -> None:
+        self._workers.remove(slot)
+
+    def remove_task(self, slot: int) -> None:
+        if self._tasks is None:
+            raise ValueError("index built with track_tasks=False")
+        self._tasks.remove(slot)
+
+    # ------------------------------------------------------------------
+    # candidate-edge queries
+    # ------------------------------------------------------------------
+    def candidate_edges(
+        self,
+        task_x: Sequence[float],
+        task_y: Sequence[float],
+        worker_keys: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Capped candidate edges from query tasks to the live workers.
+
+        Args:
+            task_x / task_y: Query task coordinates (the tasks need not
+                be inserted in the task plane — warm shards query each
+                period's tasks directly).
+            worker_keys: Optional ``int64`` array mapping worker slot →
+                caller id (e.g. a period-local position); the cap's
+                distance-tie rule and the canonical output order both use
+                the caller id, mirroring the batch builder capping over
+                period-local worker positions.  Defaults to the identity
+                (slots are the ids).
+
+        Returns:
+            ``(task_idx, worker_ids)`` in canonical ascending
+            ``(task, id)`` order, one entry per surviving edge.
+        """
+        cx = np.ascontiguousarray(task_x, dtype=np.float64)
+        cy = np.ascontiguousarray(task_y, dtype=np.float64)
+        task_idx, worker_slots, distances = self._workers.query_own_radius(
+            cx, cy, self._metric
+        )
+        ids = worker_slots if worker_keys is None else worker_keys[worker_slots]
+        if self._max_degree is not None and task_idx.size:
+            return cap_edges_per_center(
+                task_idx, ids, distances, cx.shape[0], self._max_degree
+            )
+        order = np.lexsort((ids, task_idx))
+        return task_idx[order], ids[order]
+
+    def task_rows(
+        self,
+        task_x: Sequence[float],
+        task_y: Sequence[float],
+        worker_keys: Optional[np.ndarray] = None,
+    ) -> List[List[int]]:
+        """Per-task candidate rows (ascending worker ids), as plain lists."""
+        cx = np.ascontiguousarray(task_x, dtype=np.float64)
+        task_idx, worker_ids = self.candidate_edges(cx, task_y, worker_keys)
+        rows: List[List[int]] = [[] for _ in range(cx.shape[0])]
+        ids = worker_ids.tolist()
+        for at, task in enumerate(task_idx.tolist()):
+            rows[task].append(ids[at])
+        return rows
+
+    def worker_row(self, worker_slot: int) -> List[int]:
+        """Live task slots within the worker's radius (ascending).
+
+        The edge set a worker *arrival* contributes against the live
+        tasks; the lazy matcher appends these edges so rows stay the
+        arrival-ordered subsequence of the batch universe rows.
+        """
+        return self.worker_rows([worker_slot])[0]
+
+    def worker_rows(self, worker_slots: Sequence[int]) -> List[List[int]]:
+        """Batched :meth:`worker_row` — one plane query for the whole batch.
+
+        The hot loop of a worker-arrival burst: each arriving worker
+        needs its live-task row before entering the matcher, and the
+        rows are independent of each other (worker arrivals do not
+        change the task plane), so a burst can share one chunked query.
+        """
+        if self._tasks is None:
+            raise ValueError("index built with track_tasks=False")
+        slots = np.ascontiguousarray(worker_slots, dtype=np.int64)
+        workers = self._workers
+        if slots.size and not bool(np.all(workers._slot_cell[slots] >= 0)):
+            dead = slots[workers._slot_cell[slots] < 0]
+            raise ValueError(f"worker slot {int(dead[0])} is not live")
+        worker_idx, task_slots, _ = self._tasks.query_circles(
+            workers._xs[slots], workers._ys[slots], workers._radii[slots], self._metric
+        )
+        order = np.lexsort((task_slots, worker_idx))
+        rows: List[List[int]] = [[] for _ in range(slots.shape[0])]
+        ordered_tasks = task_slots[order].tolist()
+        for at, worker in enumerate(worker_idx[order].tolist()):
+            rows[worker].append(ordered_tasks[at])
+        return rows
 
 
 class GridSpatialIndex(Generic[T]):
@@ -408,4 +1023,10 @@ class GridSpatialIndex(Generic[T]):
         return {cell: len(bucket) for cell, bucket in self._buckets.items() if bucket}
 
 
-__all__ = ["GridBuckets", "GridSpatialIndex"]
+__all__ = [
+    "DynamicGridBuckets",
+    "GridBuckets",
+    "GridSpatialIndex",
+    "IncrementalAdjacencyIndex",
+    "cap_edges_per_center",
+]

@@ -240,6 +240,77 @@ def test_dynamic_matcher_churn_parity(instance):
     assert runs["numba"] == runs["python"]
 
 
+def _drive_lazy_churn(adjacency, weights, seed):
+    """Replay a seeded arrival/removal/commit sequence through one
+    ``LazyDynamicMatcher``, logging every outcome and running total.
+
+    Arrival rows come from a fixed adjacency restricted to the live
+    population at arrival time, both sides arriving in ascending index
+    order so ids stay deterministic across kernel families.
+    """
+    from repro.matching.incremental import LazyDynamicMatcher
+
+    rng = np.random.default_rng(seed)
+    num_tasks, num_workers = adjacency.shape
+    matcher = LazyDynamicMatcher(maintain_transpose=True)
+    next_task = next_worker = 0
+    live_tasks: list = []
+    live_workers: list = []
+    log = []
+    for _ in range(3 * (num_tasks + num_workers)):
+        op = int(rng.integers(0, 5))
+        if op == 0 and next_task < num_tasks:
+            pos, next_task = next_task, next_task + 1
+            row = [w for w in sorted(live_workers) if adjacency[pos, w]]
+            log.append(("new_task", pos, matcher.new_task(row, weights[pos])))
+            live_tasks.append(pos)
+        elif op == 1 and next_worker < num_workers:
+            pos, next_worker = next_worker, next_worker + 1
+            task_row = [t for t in sorted(live_tasks) if adjacency[t, pos]]
+            log.append(("new_worker", pos, matcher.new_worker(task_row)))
+            live_workers.append(pos)
+        elif op == 2 and live_tasks:
+            pos = live_tasks.pop(int(rng.integers(len(live_tasks))))
+            log.append(("remove_task", pos, matcher.remove_task(pos)))
+        elif op == 3 and live_workers:
+            pos = live_workers.pop(int(rng.integers(len(live_workers))))
+            log.append(("remove_worker", pos, matcher.remove_worker(pos)))
+        elif op == 4 and live_tasks:
+            matched = [
+                pos for pos in live_tasks if matcher.worker_of(pos) is not None
+            ]
+            if not matched:
+                continue
+            pos = matched[int(rng.integers(len(matched)))]
+            live_tasks.remove(pos)
+            worker_pos = matcher.commit_task(pos)
+            live_workers.remove(worker_pos)
+            log.append(("commit_task", pos, worker_pos))
+        log.append(("total", repr(matcher.total_weight())))
+    return log, dict(matcher.matching()), repr(matcher.total_weight())
+
+
+@needs_numba
+@FUZZ
+@given(instance=matching_instances())
+def test_lazy_matcher_churn_parity(instance):
+    """The arrival-ordered lazy kernels replay churn bitwise across families.
+
+    Covers ``dynamic_augment_lazy`` / ``dynamic_reach_lazy`` — the
+    ragged-row twins of the CSR delete/repair kernels — under the same
+    lockstep contract as :func:`test_dynamic_matcher_churn_parity`.
+    """
+    graph, weights, _allowed, _warm_start, seed = instance
+    adjacency = np.zeros((graph.num_tasks, graph.num_workers), dtype=bool)
+    for task_pos, row in enumerate(graph.task_neighbors):
+        adjacency[task_pos, row] = True
+    runs = {}
+    for mode in ("python", "numba"):
+        with kernel_mode(mode):
+            runs[mode] = _drive_lazy_churn(adjacency, weights, seed)
+    assert runs["numba"] == runs["python"]
+
+
 @needs_numba
 @FUZZ
 @given(

@@ -1,0 +1,228 @@
+"""LazyDynamicMatcher vs the universe DynamicMatcher, fuzzed in lockstep.
+
+The lazy matcher's contract: when ids are allocated in arrival order and
+each arrival brings its candidate row off the incremental adjacency
+plane, the matcher evolves **bit-identical** matched state to a
+:class:`DynamicMatcher` built over the full universe graph and driven
+with the same operation sequence — same pairs after every operation,
+same committed workers, same ``repr``-equal totals.  The warm
+(transpose-free, insert-only-pruning) mode must in turn equal a cold
+matroid-style re-solve of every epoch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.matching.bipartite import BipartiteGraph, CSRGraph, build_graph_from_arrays
+from repro.matching.incremental import DynamicMatcher, LazyDynamicMatcher
+from repro.spatial.grid import Grid
+from repro.spatial.index import IncrementalAdjacencyIndex
+
+GRID = Grid.square(80.0, 8)
+
+
+def _universe(rng, num_tasks, num_workers):
+    tx = rng.uniform(0, 80, num_tasks)
+    ty = rng.uniform(0, 80, num_tasks)
+    wx = rng.uniform(0, 80, num_workers)
+    wy = rng.uniform(0, 80, num_workers)
+    wr = rng.uniform(5, 30, num_workers)
+    # ~1 in 8 tasks arrives non-positive (live but ineligible).
+    weights = np.where(
+        rng.random(num_tasks) < 0.125, 0.0, rng.uniform(0.5, 5.0, num_tasks)
+    )
+    graph = build_graph_from_arrays(
+        [None] * num_tasks,
+        [None] * num_workers,
+        tx,
+        ty,
+        wx,
+        wy,
+        wr,
+        "euclidean",
+        GRID,
+    )
+    return tx, ty, wx, wy, wr, weights, graph
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_lazy_matcher_replays_universe_matcher_bitwise(seed):
+    """Random arrival/removal/commit interleavings, gated every step."""
+    rng = np.random.default_rng(seed)
+    num_tasks, num_workers = 30, 30
+    tx, ty, wx, wy, wr, weights, graph = _universe(rng, num_tasks, num_workers)
+
+    uni = DynamicMatcher(graph, [0.0] * num_tasks)
+    lazy = LazyDynamicMatcher(maintain_transpose=True)
+    plane = IncrementalAdjacencyIndex(GRID, track_tasks=True)
+
+    next_task = next_worker = 0
+    live_tasks: set = set()
+    live_workers: set = set()
+    steps = 0
+    while steps < 250 and (
+        next_task < num_tasks or next_worker < num_workers or live_tasks
+    ):
+        steps += 1
+        roll = rng.random()
+        if roll < 0.3 and next_task < num_tasks:
+            pos, next_task = next_task, next_task + 1
+            # Row off the plane BEFORE the task enters it (a task is not
+            # its own neighbour), then lockstep slot allocation.
+            row = plane.task_rows([tx[pos]], [ty[pos]])[0]
+            (slot,) = plane.insert_tasks([tx[pos]], [ty[pos]]).tolist()
+            assert slot == pos
+            got = uni.insert_task(pos, float(weights[pos]))
+            lazy_id, matched = lazy.new_task(row, float(weights[pos]))
+            assert lazy_id == pos
+            assert matched == got
+            live_tasks.add(pos)
+        elif roll < 0.55 and next_worker < num_workers:
+            pos, next_worker = next_worker, next_worker + 1
+            (slot,) = plane.insert_workers(
+                [wx[pos]], [wy[pos]], [wr[pos]]
+            ).tolist()
+            assert slot == pos
+            row = plane.worker_row(pos)
+            absorbed_uni = uni.insert_worker(pos)
+            lazy_id, absorbed_lazy = lazy.new_worker(row)
+            assert lazy_id == pos
+            assert absorbed_uni == absorbed_lazy
+            live_workers.add(pos)
+        elif roll < 0.7 and live_tasks:
+            pos = int(rng.choice(sorted(live_tasks)))
+            freed_uni = uni.remove_task(pos)
+            freed_lazy = lazy.remove_task(pos)
+            assert freed_uni == freed_lazy
+            plane.remove_task(pos)
+            live_tasks.discard(pos)
+        elif roll < 0.85 and live_workers:
+            pos = int(rng.choice(sorted(live_workers)))
+            assert uni.remove_worker(pos) == lazy.remove_worker(pos)
+            plane.remove_worker(pos)
+            live_workers.discard(pos)
+        else:
+            matched = [pos for pos in sorted(live_tasks) if uni.worker_of(pos) is not None]
+            if not matched:
+                continue
+            pos = int(rng.choice(matched))
+            worker_uni = uni.commit_task(pos)
+            worker_lazy = lazy.commit_task(pos)
+            assert worker_uni == worker_lazy
+            plane.remove_task(pos)
+            plane.remove_worker(worker_uni)
+            live_tasks.discard(pos)
+            live_workers.discard(worker_uni)
+
+        assert lazy.matching() == uni.matching(), f"step {steps}"
+        assert repr(lazy.total_weight()) == repr(uni.total_weight()), f"step {steps}"
+
+    assert steps > 50  # the interleaving actually exercised the matchers
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_warm_mode_epochs_equal_cold_resolve(seed):
+    """Transpose-free + insert-only pruning == a cold per-epoch solve.
+
+    The warm-shard regime: workers persist with churn between epochs,
+    tasks live exactly one epoch and insert in priority order (weight
+    descending, id ascending).  Every epoch's pairs and matched basis
+    must equal a fresh universe ``DynamicMatcher`` solving the same
+    realised instance cold.
+    """
+    rng = np.random.default_rng(seed)
+    plane = IncrementalAdjacencyIndex(GRID, track_tasks=False)
+    warm = LazyDynamicMatcher(maintain_transpose=False, insert_only_pruning=True)
+    live: dict = {}
+    for epoch in range(10):
+        for slot in [s for s in sorted(live) if rng.random() < 0.3]:
+            plane.remove_worker(slot)
+            warm.remove_worker(slot)
+            del live[slot]
+        n = int(rng.integers(3, 9))
+        xs, ys = rng.uniform(0, 80, n), rng.uniform(0, 80, n)
+        rs = rng.uniform(5, 30, n)
+        for slot, x, y, r in zip(
+            plane.insert_workers(xs, ys, rs).tolist(), xs, ys, rs
+        ):
+            live[slot] = (float(x), float(y), float(r))
+            worker_id, absorbed = warm.new_worker()
+            assert worker_id == slot
+            assert absorbed is None
+        num_epoch_tasks = int(rng.integers(2, 10))
+        etx = rng.uniform(0, 80, num_epoch_tasks)
+        ety = rng.uniform(0, 80, num_epoch_tasks)
+        ew = rng.uniform(0.5, 5.0, num_epoch_tasks)
+        order = sorted(range(num_epoch_tasks), key=lambda i: (-ew[i], i))
+        rows = plane.task_rows(etx, ety)
+
+        task_id_of = {}
+        for i in order:
+            task_id, _ = warm.new_task(rows[i], float(ew[i]))
+            task_id_of[i] = task_id
+        warm_pairs = {
+            pos: warm.worker_of(task_id_of[pos])
+            for pos in range(num_epoch_tasks)
+            if warm.worker_of(task_id_of[pos]) is not None
+        }
+
+        # Cold reference: a universe matcher over exactly the realised
+        # rows, same worker slots, same priority-order insertion.
+        num_slots = (max(live) + 1) if live else 1
+        task_idx = np.array(
+            [i for i in range(num_epoch_tasks) for _ in rows[i]], dtype=np.int64
+        )
+        worker_idx = np.array(
+            [w for i in range(num_epoch_tasks) for w in rows[i]], dtype=np.int64
+        )
+        csr = CSRGraph.from_edge_arrays(
+            task_idx, worker_idx, num_epoch_tasks, num_slots
+        )
+        ref = DynamicMatcher(
+            BipartiteGraph.from_csr(
+                [None] * num_epoch_tasks, [None] * num_slots, csr
+            ),
+            [0.0] * num_epoch_tasks,
+        )
+        for slot in sorted(live):
+            ref.insert_worker(slot)
+        for i in order:
+            ref.insert_task(i, float(ew[i]))
+        assert warm_pairs == ref.matching(), f"epoch {epoch}"
+
+        # Epoch end: commit the matched pairs, drop the task side.
+        for pos, slot in warm_pairs.items():
+            assert warm.commit_task(task_id_of[pos]) == slot
+            plane.remove_worker(slot)
+            del live[slot]
+        warm.clear_tasks()
+
+
+def test_transpose_free_worker_arrival_guard():
+    """Without the reverse-BFS plane, absorbing repairs are impossible —
+    a worker arriving while an eligible task sits unmatched must refuse."""
+    lazy = LazyDynamicMatcher(maintain_transpose=False)
+    lazy.new_task([], 1.0)  # eligible, unmatchable: no adjacent worker
+    with pytest.raises(ValueError, match="maintain_transpose"):
+        lazy.new_worker()
+
+
+def test_capped_sessions_are_refused_semantics():
+    """The lazy row is the universe row restricted to live workers only
+    when uncapped; a realised-population cap is a different problem.
+    This pins the documented contract by example: capping the plane
+    changes the row, so consumers must not mix capped planes with
+    universe gating."""
+    rng = np.random.default_rng(5)
+    capped = IncrementalAdjacencyIndex(GRID, max_degree=2, track_tasks=False)
+    uncapped = IncrementalAdjacencyIndex(GRID, track_tasks=False)
+    xs, ys = rng.uniform(30, 50, 6), rng.uniform(30, 50, 6)
+    rs = np.full(6, 40.0)
+    capped.insert_workers(xs, ys, rs)
+    uncapped.insert_workers(xs, ys, rs)
+    row_capped = capped.task_rows([40.0], [40.0])[0]
+    row_uncapped = uncapped.task_rows([40.0], [40.0])[0]
+    assert len(row_capped) == 2
+    assert len(row_uncapped) == 6

@@ -1,0 +1,149 @@
+"""Warm per-shard dynamic matching vs the cold per-period re-solve.
+
+``ShardedEngine(warm_shards=True)`` keeps one incremental adjacency
+plane plus one :class:`~repro.matching.incremental.LazyDynamicMatcher`
+alive per shard for the whole horizon, applying worker churn as a diff
+and inserting each period's accepted tasks off the plane's candidate
+rows.  The headline contract is *bit-identity*: the warm engine must
+reproduce the cold matroid engine's matched basis and float revenue
+exactly — per period, per strategy, with and without the ``dynamic``
+halo reconciliation backend, and under a ``max_degree`` cap (within a
+shard the plane's arrival-ordered slots are order-isomorphic to the
+period-local worker positions, so capped selection agrees with the
+batch builder).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pricing.registry import PAPER_STRATEGIES, calibrated_kwargs, create_strategy
+from repro.simulation.scenarios import get_scenario
+from repro.simulation.sharded import ShardedEngine
+
+
+def _strategy(name, calibration, price_bounds):
+    p_min, p_max = price_bounds
+    return create_strategy(
+        name, **calibrated_kwargs(name, calibration, p_min=p_min, p_max=p_max)
+    )
+
+
+def _assert_bitwise_identical(cold, warm):
+    """Bitwise revenue (repr-compared floats) and basis equality."""
+    assert repr(warm.metrics.total_revenue) == repr(cold.metrics.total_revenue)
+    assert list(map(repr, warm.metrics.revenue_by_period)) == list(
+        map(repr, cold.metrics.revenue_by_period)
+    )
+    assert warm.metrics.served_tasks == cold.metrics.served_tasks
+    assert warm.metrics.accepted_tasks == cold.metrics.accepted_tasks
+    assert warm.metrics.total_tasks == cold.metrics.total_tasks
+
+
+class TestWarmShardsBitEquivalence:
+    @pytest.mark.parametrize("name", PAPER_STRATEGIES)
+    def test_warm_dynamic_reproduces_cold_shards_per_strategy(
+        self, name, tiny_workload, tiny_calibration
+    ):
+        """warm_shards + dynamic halo reconciliation == cold matroid.
+
+        All five paper strategies: the acceptance stream (hence the
+        matching instance) differs per strategy, so each one exercises a
+        different churn/insert trace through the warm matcher.
+        """
+        cold = ShardedEngine(tiny_workload, num_shards=4, halo=1, seed=5).run(
+            _strategy(name, tiny_calibration, tiny_workload.price_bounds)
+        )
+        warm = ShardedEngine(
+            tiny_workload,
+            num_shards=4,
+            halo=1,
+            seed=5,
+            dynamic=True,
+            warm_shards=True,
+        ).run(_strategy(name, tiny_calibration, tiny_workload.price_bounds))
+        _assert_bitwise_identical(cold, warm)
+
+    def test_warm_basis_matches_cold_period_by_period(
+        self, tiny_workload, tiny_calibration
+    ):
+        """Per-period outcomes (the matched basis sizes, prices, floats)
+        agree outcome-for-outcome, not just in aggregate."""
+        cold = ShardedEngine(
+            tiny_workload, num_shards=4, halo=1, seed=5, keep_details=True
+        ).run(_strategy("SDR", tiny_calibration, tiny_workload.price_bounds))
+        warm = ShardedEngine(
+            tiny_workload,
+            num_shards=4,
+            halo=1,
+            seed=5,
+            warm_shards=True,
+            keep_details=True,
+        ).run(_strategy("SDR", tiny_calibration, tiny_workload.price_bounds))
+        assert len(warm.outcomes) == len(cold.outcomes)
+        for ours, theirs in zip(warm.outcomes, cold.outcomes):
+            assert (ours.period, ours.num_tasks, ours.num_workers) == (
+                theirs.period,
+                theirs.num_tasks,
+                theirs.num_workers,
+            )
+            assert ours.prices == theirs.prices
+            assert ours.accepted_tasks == theirs.accepted_tasks
+            assert ours.served_tasks == theirs.served_tasks
+            assert repr(ours.revenue) == repr(theirs.revenue)
+
+    def test_warm_shards_under_degree_cap(self):
+        """The capped plane row must equal the capped batch graph row:
+        slot order == worker position order, so K-nearest selection and
+        its tie-breaks agree."""
+        workload = get_scenario("city_scale").bundle(scale=0.01, seed=3, num_periods=2)
+        strategy = create_strategy("BaseP", base_price=2.0)
+        cold = ShardedEngine(
+            workload, num_shards=4, halo=1, seed=5, max_degree=4
+        ).run(strategy)
+        warm = ShardedEngine(
+            workload,
+            num_shards=4,
+            halo=1,
+            seed=5,
+            max_degree=4,
+            warm_shards=True,
+        ).run(create_strategy("BaseP", base_price=2.0))
+        _assert_bitwise_identical(cold, warm)
+
+    def test_warm_shards_under_worker_churn(self):
+        """churn_city retires workers mid-horizon, exercising the
+        present-set diff (plane removals) rather than append-only growth."""
+        workload = get_scenario("churn_city").bundle(scale=0.05, seed=7)
+        strategy = create_strategy("BaseP", base_price=2.0)
+        cold = ShardedEngine(workload, num_shards=2, halo=1, seed=5).run(strategy)
+        warm = ShardedEngine(
+            workload,
+            num_shards=2,
+            halo=1,
+            seed=5,
+            dynamic=True,
+            warm_shards=True,
+        ).run(create_strategy("BaseP", base_price=2.0))
+        _assert_bitwise_identical(cold, warm)
+
+
+class TestWarmShardsValidation:
+    def test_rejects_non_matroid_backends(self, tiny_workload):
+        with pytest.raises(ValueError, match="matroid"):
+            ShardedEngine(tiny_workload, warm_shards=True, matching_backend="greedy")
+
+    def test_rejects_columnar_path(self):
+        # Chunked workloads auto-select the columnar loop; the warm pool
+        # state needs the object path, so the combination must refuse.
+        chunked = get_scenario("city_scale").chunked(scale=0.005, seed=2)
+        with pytest.raises(ValueError, match="object path"):
+            ShardedEngine(chunked, num_shards=2, warm_shards=True)
+
+    def test_rejects_process_per_shard(self, tiny_workload):
+        with pytest.raises(ValueError, match="sequential"):
+            ShardedEngine(tiny_workload, warm_shards=True, shard_jobs=2)
+
+    def test_rejects_cross_period_warm_start(self, tiny_workload):
+        with pytest.raises(ValueError, match="warm_start"):
+            ShardedEngine(tiny_workload, warm_shards=True, warm_start=True)

@@ -298,6 +298,15 @@ def main(argv=None) -> int:
             f"({run['windows_bit_identical']} windows bit-identical)  "
             f"-> {output}"
         )
+        exact = run.get("exact")
+        if exact:
+            print(
+                f"exact (uncapped) incremental vs delta: "
+                f"{exact['speedup_incremental_vs_delta']:.2f}x "
+                f"(end-to-end {exact['speedup_incremental_vs_delta_end_to_end']:.2f}x, "
+                f"{exact['windows_bit_identical']} windows bit-identical over "
+                f"{exact['epochs']} epoch(s))"
+            )
     elif args.benchmark == "service":
         gate = run["differential"]
         print(
@@ -308,6 +317,13 @@ def main(argv=None) -> int:
             f"{'OK' if gate['revenue_bitwise_equal'] else 'DIVERGED'})  "
             f"-> {output}"
         )
+        speedup = run.get("speedup_incremental_quote_p50")
+        if speedup:
+            print(
+                f"incremental session p50 speedup vs universe matcher: "
+                f"{speedup:.2f}x (backends bitwise "
+                f"{'OK' if gate.get('backends_bitwise_equal') else 'DIVERGED'})"
+            )
     else:
         best = max(run["speedup_vs_baseline"].items(), key=lambda item: item[1])
         print(f"best speedup: {best[0]} {best[1]:.2f}x  -> {output}")

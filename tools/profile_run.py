@@ -12,6 +12,10 @@ does the time go?" is one command::
         --scale 0.02 --shards 8 --halo 1 --sort tottime --top 40
     PYTHONPATH=src python tools/profile_run.py --scenario hotspot_burst \
         --streaming --window 0.5
+    PYTHONPATH=src python tools/profile_run.py --shards 8 --dynamic \
+        --warm-shards          # warm per-shard incremental matching
+    PYTHONPATH=src python tools/profile_run.py --scenario hotspot_burst \
+        --service --scale 0.05  # event-at-a-time DispatchSession quoting
     PYTHONPATH=src python tools/profile_run.py --max-degree 8 --warm-start \
         --output hotpath.pstats   # dump for snakeviz/pstats browsing
 
@@ -39,7 +43,7 @@ from repro.matching.registry import available_backends  # noqa: E402
 from repro.pricing.registry import available_strategies, create_strategy  # noqa: E402
 from repro.simulation.scenarios import available_scenarios, get_scenario  # noqa: E402
 from repro.simulation.sharded import ShardedEngine  # noqa: E402
-from repro.simulation.streaming import StreamingEngine  # noqa: E402
+from repro.simulation.streaming import EventStreamingEngine, StreamingEngine  # noqa: E402
 
 # Importing the backend implementations registers them.
 import repro.matching.weighted  # noqa: E402,F401
@@ -103,6 +107,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="streaming dispatch window length (requires --streaming)",
     )
     parser.add_argument(
+        "--dynamic",
+        action="store_true",
+        help="run halo reconciliation through the dynamic delta-repair "
+        "matching backend (sharded mode)",
+    )
+    parser.add_argument(
+        "--warm-shards",
+        action="store_true",
+        help="keep one incremental adjacency plane + lazy matcher per "
+        "shard alive across periods (sharded mode, matroid backend)",
+    )
+    parser.add_argument(
+        "--service",
+        action="store_true",
+        help="profile the event-at-a-time DispatchSession quote path "
+        "(the service hot loop, without the socket layer)",
+    )
+    parser.add_argument(
+        "--task-lifetime",
+        type=float,
+        default=4.0,
+        help="quote validity horizon in stream time units (requires "
+        "--service; default 4.0)",
+    )
+    parser.add_argument(
+        "--universe-matcher",
+        action="store_true",
+        help="force the session onto the classic pre-built universe "
+        "DynamicMatcher instead of the incremental adjacency plane "
+        "(requires --service)",
+    )
+    parser.add_argument(
         "--top", type=int, default=30, help="hotspot rows to print (default 30)"
     )
     parser.add_argument(
@@ -129,10 +165,29 @@ def main(argv=None) -> int:
         raise SystemExit("--window must be positive")
     if args.shards < 1:
         raise SystemExit("--shards must be >= 1")
+    if args.task_lifetime <= 0:
+        raise SystemExit("--task-lifetime must be positive")
+    if args.service and args.streaming:
+        raise SystemExit("--service and --streaming are mutually exclusive")
+    if args.universe_matcher and not args.service:
+        raise SystemExit("--universe-matcher requires --service")
+    if (args.dynamic or args.warm_shards) and (args.streaming or args.service):
+        raise SystemExit("--dynamic/--warm-shards are sharded-engine modes")
 
     scenario = get_scenario(args.scenario)
     strategy = create_strategy(args.strategy, base_price=args.base_price)
-    if args.streaming:
+    if args.service:
+        stream = scenario.stream(scale=args.scale, seed=args.seed)
+        engine = EventStreamingEngine(
+            stream,
+            seed=args.seed,
+            task_lifetime=args.task_lifetime,
+            max_degree=args.max_degree,
+            incremental=False if args.universe_matcher else None,
+        )
+        backend_name = "universe" if args.universe_matcher else "incremental"
+        mode = f"service session ({backend_name} matcher)"
+    elif args.streaming:
         stream = scenario.stream(scale=args.scale, seed=args.seed)
         engine = StreamingEngine(
             stream,
@@ -156,8 +211,17 @@ def main(argv=None) -> int:
             matching_backend=args.backend,
             max_degree=args.max_degree,
             warm_start=args.warm_start,
+            dynamic=args.dynamic,
+            warm_shards=args.warm_shards,
+            # The warm path keeps per-shard object-pool state alive, so it
+            # needs the object workload even when columns are available.
+            columnar=False if args.warm_shards else None,
         )
         mode = f"sharded (shards={args.shards})" if args.shards > 1 else "batch"
+        flags = [flag for flag, on in (("dynamic", args.dynamic),
+                                       ("warm-shards", args.warm_shards)) if on]
+        if flags:
+            mode += f" [{', '.join(flags)}]"
 
     print(
         f"# profiling {args.scenario} [{mode}] strategy={args.strategy} "
